@@ -1,0 +1,152 @@
+//! Maximal Marginal Relevance (MMR) selection — a classic IR diversification
+//! baseline (Carbonell & Goldstein 1998, paper ref. \[20\]).
+//!
+//! MMR trades *relevance* against *novelty*:
+//! `argmax_u λ · rel(u) − (1 − λ) · max_{v ∈ U} sim(u, v)`.
+//! In the user-selection setting relevance is the user's activity level
+//! (profile size, normalized) and similarity is Jaccard over property sets.
+//! Included for the Table 1 related-work comparison; it exemplifies the
+//! "optimizing properties across axes" family that §2 argues is inadequate
+//! for opinion procurement.
+
+use podium_core::ids::UserId;
+use podium_core::profile::UserRepository;
+
+use crate::selector::Selector;
+
+/// MMR selector with tunable λ.
+#[derive(Debug, Clone)]
+pub struct MmrSelector {
+    lambda: f64,
+}
+
+impl MmrSelector {
+    /// An MMR selector; `lambda` ∈ [0, 1] weighs relevance vs. novelty
+    /// (λ = 1 is pure relevance ranking, λ = 0 pure dispersion).
+    pub fn new(lambda: f64) -> Self {
+        Self {
+            lambda: lambda.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Selector for MmrSelector {
+    fn name(&self) -> &str {
+        "MMR"
+    }
+
+    fn select(&self, repo: &UserRepository, b: usize) -> Vec<UserId> {
+        let n = repo.user_count();
+        let b = b.min(n);
+        if b == 0 {
+            return Vec::new();
+        }
+        let max_profile = repo.max_profile_size().max(1) as f64;
+        let rel: Vec<f64> = repo
+            .iter()
+            .map(|(_, p)| p.len() as f64 / max_profile)
+            .collect();
+
+        let mut selected: Vec<UserId> = Vec::with_capacity(b);
+        let mut max_sim = vec![0.0f64; n]; // max similarity to selected
+        let mut in_sel = vec![false; n];
+        for round in 0..b {
+            let mut best = (f64::NEG_INFINITY, usize::MAX);
+            for u in 0..n {
+                if in_sel[u] {
+                    continue;
+                }
+                let novelty_penalty = if round == 0 { 0.0 } else { max_sim[u] };
+                let score = self.lambda * rel[u] - (1.0 - self.lambda) * novelty_penalty;
+                if score > best.0 {
+                    best = (score, u);
+                }
+            }
+            if best.1 == usize::MAX {
+                break;
+            }
+            let uid = UserId::from_index(best.1);
+            in_sel[best.1] = true;
+            selected.push(uid);
+            let pu = repo.profile(uid).expect("valid user");
+            for v in 0..n {
+                if !in_sel[v] {
+                    let sim = 1.0
+                        - repo
+                            .profile(UserId::from_index(v))
+                            .expect("valid user")
+                            .jaccard_distance(pu);
+                    if sim > max_sim[v] {
+                        max_sim[v] = sim;
+                    }
+                }
+            }
+        }
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::check_selection;
+
+    /// Heavy user 0 (3 properties), twins 1/2 (same 2 properties), loner 3.
+    fn repo() -> UserRepository {
+        let mut r = UserRepository::new();
+        let users: Vec<UserId> = (0..4).map(|i| r.add_user(format!("u{i}"))).collect();
+        let ps: Vec<_> = (0..5)
+            .map(|i| r.intern_property(format!("p{i}")))
+            .collect();
+        r.set_score(users[0], ps[0], 1.0).unwrap();
+        r.set_score(users[0], ps[1], 1.0).unwrap();
+        r.set_score(users[0], ps[2], 1.0).unwrap();
+        r.set_score(users[1], ps[0], 1.0).unwrap();
+        r.set_score(users[1], ps[1], 1.0).unwrap();
+        r.set_score(users[2], ps[0], 1.0).unwrap();
+        r.set_score(users[2], ps[1], 1.0).unwrap();
+        r.set_score(users[3], ps[4], 1.0).unwrap();
+        r
+    }
+
+    #[test]
+    fn first_pick_is_most_relevant() {
+        let r = repo();
+        let sel = MmrSelector::new(0.7).select(&r, 1);
+        assert_eq!(sel, vec![UserId(0)], "largest profile wins round one");
+    }
+
+    #[test]
+    fn novelty_avoids_twins() {
+        let r = repo();
+        let sel = MmrSelector::new(0.5).select(&r, 3);
+        assert!(check_selection(&r, 3, &sel));
+        // After picking one twin, the other is maximally similar; the loner
+        // must enter before the second twin.
+        let twins_picked = sel.iter().filter(|u| u.index() == 1 || u.index() == 2).count();
+        assert_eq!(twins_picked, 1, "selection {sel:?}");
+        assert!(sel.contains(&UserId(3)));
+    }
+
+    #[test]
+    fn pure_relevance_ranks_by_profile_size() {
+        let r = repo();
+        let sel = MmrSelector::new(1.0).select(&r, 2);
+        assert_eq!(sel[0], UserId(0));
+        assert_eq!(sel[1].index(), 1, "ties broken by id");
+    }
+
+    #[test]
+    fn lambda_clamped() {
+        let r = repo();
+        let sel = MmrSelector::new(7.0).select(&r, 1);
+        assert_eq!(sel, vec![UserId(0)]);
+    }
+
+    #[test]
+    fn handles_empty_and_overbudget() {
+        assert!(MmrSelector::new(0.5).select(&UserRepository::new(), 3).is_empty());
+        let r = repo();
+        assert_eq!(MmrSelector::new(0.5).select(&r, 99).len(), 4);
+    }
+}

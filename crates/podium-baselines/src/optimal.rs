@@ -1,0 +1,118 @@
+//! The exhaustive Optimal Selection baseline (§8.3) as a [`Selector`].
+//!
+//! Wraps [`podium_core::exact::exact_select`] with a fixed diversification
+//! instance recipe (LBS weights, Single coverage — the paper's defaults), so
+//! the harness can run it alongside the other selectors. "Naturally
+//! applicable only for small values of B": §8.5 reports 443 s for
+//! `|𝒰| = 40, B = 5` and non-termination beyond `|𝒰| = 100` in the
+//! authors' Python prototype.
+
+use podium_core::bucket::BucketingConfig;
+use podium_core::exact::exact_select;
+use podium_core::group::GroupSet;
+use podium_core::ids::UserId;
+use podium_core::instance::DiversificationInstance;
+use podium_core::profile::UserRepository;
+use podium_core::weights::{CovScheme, WeightScheme};
+
+use crate::selector::Selector;
+
+/// Exhaustive optimal selector (LBS + Single objective).
+#[derive(Debug, Clone)]
+pub struct OptimalSelector {
+    bucketing: BucketingConfig,
+    /// Maximum number of subsets to enumerate before giving up (falls back
+    /// to an empty selection — the harness treats that as "did not finish").
+    pub subset_limit: u128,
+}
+
+impl OptimalSelector {
+    /// Optimal selector with the paper-default bucketing.
+    pub fn new() -> Self {
+        Self {
+            bucketing: BucketingConfig::paper_default(),
+            subset_limit: 50_000_000,
+        }
+    }
+
+    /// Overrides the bucketing configuration.
+    pub fn with_bucketing(mut self, bucketing: BucketingConfig) -> Self {
+        self.bucketing = bucketing;
+        self
+    }
+
+    /// Overrides the enumeration limit.
+    pub fn with_limit(mut self, limit: u128) -> Self {
+        self.subset_limit = limit;
+        self
+    }
+}
+
+impl Default for OptimalSelector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Selector for OptimalSelector {
+    fn name(&self) -> &str {
+        "Optimal"
+    }
+
+    fn select(&self, repo: &UserRepository, b: usize) -> Vec<UserId> {
+        if b == 0 || repo.user_count() == 0 {
+            return Vec::new();
+        }
+        let buckets = self.bucketing.bucketize(repo);
+        let groups = GroupSet::build(repo, &buckets);
+        let inst = DiversificationInstance::from_schemes(
+            &groups,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            b,
+        );
+        match exact_select(&inst, b, self.subset_limit) {
+            Ok(sel) => sel.users,
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use podium_core::greedy::greedy_select;
+
+    #[test]
+    fn optimal_at_least_greedy_on_table2() {
+        let repo = podium_data::table2::table2();
+        let sel = OptimalSelector::new().select(&repo, 2);
+        assert_eq!(sel.len(), 2);
+
+        let buckets = BucketingConfig::paper_default().bucketize(&repo);
+        let groups = GroupSet::build(&repo, &buckets);
+        let inst = DiversificationInstance::from_schemes(
+            &groups,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            2,
+        );
+        let opt_score = inst.score_of(&sel);
+        let greedy_score = greedy_select(&inst, 2).score;
+        assert!(opt_score >= greedy_score);
+        assert_eq!(opt_score, 17.0, "Example 3.8: greedy is optimal here");
+    }
+
+    #[test]
+    fn respects_limit() {
+        let repo = podium_data::table2::table2();
+        let sel = OptimalSelector::new().with_limit(2).select(&repo, 2);
+        assert!(sel.is_empty(), "over limit -> did not finish");
+    }
+
+    #[test]
+    fn zero_budget() {
+        let repo = podium_data::table2::table2();
+        assert!(OptimalSelector::new().select(&repo, 0).is_empty());
+    }
+}

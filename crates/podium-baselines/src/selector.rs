@@ -1,0 +1,47 @@
+//! The common interface of all user-selection algorithms.
+
+use podium_core::ids::UserId;
+use podium_core::profile::UserRepository;
+
+/// A budgeted user-selection algorithm: pick at most `b` users from the
+/// repository.
+///
+/// `Send + Sync` so experiment harnesses can evaluate selectors across
+/// worker threads (selectors are plain configuration data).
+pub trait Selector: Send + Sync {
+    /// A short display name for reports (e.g. `"Random"`).
+    fn name(&self) -> &str;
+
+    /// Selects at most `b` users. Implementations must be deterministic for
+    /// a fixed construction (seeds are constructor parameters).
+    fn select(&self, repo: &UserRepository, b: usize) -> Vec<UserId>;
+}
+
+/// Validates common postconditions (used in tests and debug assertions):
+/// within budget, no duplicates, ids in range.
+pub fn check_selection(repo: &UserRepository, b: usize, selection: &[UserId]) -> bool {
+    if selection.len() > b {
+        return false;
+    }
+    let mut seen = std::collections::HashSet::new();
+    selection
+        .iter()
+        .all(|u| u.index() < repo.user_count() && seen.insert(*u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_selection_rules() {
+        let mut repo = UserRepository::new();
+        for i in 0..3 {
+            repo.add_user(format!("u{i}"));
+        }
+        assert!(check_selection(&repo, 2, &[UserId(0), UserId(2)]));
+        assert!(!check_selection(&repo, 1, &[UserId(0), UserId(2)]), "budget");
+        assert!(!check_selection(&repo, 3, &[UserId(0), UserId(0)]), "dupes");
+        assert!(!check_selection(&repo, 3, &[UserId(9)]), "range");
+    }
+}

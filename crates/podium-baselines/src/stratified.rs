@@ -1,0 +1,216 @@
+//! Stratified sampling with proportionate allocation (Table 1; §2, Def. 2.1).
+//!
+//! The survey-research baseline: the population is partitioned into a small
+//! set of *disjoint* strata; each stratum receives a number of seats
+//! proportional to its size (largest-remainder rounding so seats sum to the
+//! budget), and seat-holders are sampled uniformly within their stratum.
+//!
+//! This faithfully represents the strata per Definition 2.1, but — exactly
+//! as §2 argues — it cannot scale to the thousands of *overlapping* groups
+//! Podium covers: it requires a single disjoint partition chosen up front.
+
+use podium_core::ids::{PropertyId, UserId};
+use podium_core::profile::UserRepository;
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+use crate::selector::Selector;
+
+/// How strata are derived.
+#[derive(Debug, Clone)]
+pub enum Strata {
+    /// One stratum per distinct property in the family with the given label
+    /// prefix (e.g. `"livesIn "` — one stratum per city), plus one stratum
+    /// for users holding no such property.
+    PropertyFamily(String),
+    /// Explicit user → stratum assignment.
+    Explicit(Vec<usize>),
+}
+
+/// Stratified proportionate-allocation selector.
+#[derive(Debug, Clone)]
+pub struct StratifiedSelector {
+    seed: u64,
+    strata: Strata,
+}
+
+impl StratifiedSelector {
+    /// A seeded stratified selector.
+    pub fn new(seed: u64, strata: Strata) -> Self {
+        Self { seed, strata }
+    }
+
+    fn assignment(&self, repo: &UserRepository) -> Vec<usize> {
+        match &self.strata {
+            Strata::Explicit(a) => {
+                assert_eq!(a.len(), repo.user_count(), "one stratum per user");
+                a.clone()
+            }
+            Strata::PropertyFamily(prefix) => {
+                let family: Vec<PropertyId> = (0..repo.property_count())
+                    .map(PropertyId::from_index)
+                    .filter(|&p| {
+                        repo.property_label(p)
+                            .map(|l| l.starts_with(prefix.as_str()))
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                let none_stratum = family.len();
+                repo.iter()
+                    .map(|(_, profile)| {
+                        family
+                            .iter()
+                            .position(|&p| profile.score(p).is_some_and(|s| s >= 0.5))
+                            .unwrap_or(none_stratum)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Largest-remainder (Hamilton) apportionment of `b` seats over stratum
+    /// sizes.
+    pub fn apportion(sizes: &[usize], b: usize) -> Vec<usize> {
+        let total: usize = sizes.iter().sum();
+        if total == 0 || b == 0 {
+            return vec![0; sizes.len()];
+        }
+        let mut seats: Vec<usize> = Vec::with_capacity(sizes.len());
+        let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(sizes.len());
+        let mut assigned = 0usize;
+        for (i, &s) in sizes.iter().enumerate() {
+            let exact = b as f64 * s as f64 / total as f64;
+            let floor = exact.floor() as usize;
+            let floor = floor.min(s); // cannot seat more than the stratum holds
+            seats.push(floor);
+            assigned += floor;
+            remainders.push((exact - floor as f64, i));
+        }
+        remainders.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut left = b.saturating_sub(assigned);
+        for &(_, i) in remainders.iter().cycle().take(remainders.len() * 2) {
+            if left == 0 {
+                break;
+            }
+            if seats[i] < sizes[i] {
+                seats[i] += 1;
+                left -= 1;
+            }
+        }
+        seats
+    }
+}
+
+impl Selector for StratifiedSelector {
+    fn name(&self) -> &str {
+        "Stratified"
+    }
+
+    fn select(&self, repo: &UserRepository, b: usize) -> Vec<UserId> {
+        let n = repo.user_count();
+        let b = b.min(n);
+        if b == 0 {
+            return Vec::new();
+        }
+        let assignment = self.assignment(repo);
+        let n_strata = assignment.iter().copied().max().map_or(0, |m| m + 1);
+        let mut members: Vec<Vec<UserId>> = vec![Vec::new(); n_strata];
+        for (u, &s) in assignment.iter().enumerate() {
+            members[s].push(UserId::from_index(u));
+        }
+        let sizes: Vec<usize> = members.iter().map(Vec::len).collect();
+        let seats = Self::apportion(&sizes, b);
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(b);
+        for (stratum, &k) in seats.iter().enumerate() {
+            if k == 0 {
+                continue;
+            }
+            let pool = &members[stratum];
+            for idx in sample(&mut rng, pool.len(), k.min(pool.len())) {
+                out.push(pool[idx]);
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::check_selection;
+
+    fn city_repo() -> UserRepository {
+        // 6 users in CityA, 3 in CityB, 1 without residence.
+        let mut repo = UserRepository::new();
+        let users: Vec<UserId> = (0..10).map(|i| repo.add_user(format!("u{i}"))).collect();
+        let pa = repo.intern_property("livesIn CityA");
+        let pb = repo.intern_property("livesIn CityB");
+        for (i, &u) in users.iter().enumerate() {
+            if i < 6 {
+                repo.set_score(u, pa, 1.0).unwrap();
+            } else if i < 9 {
+                repo.set_score(u, pb, 1.0).unwrap();
+            }
+        }
+        repo
+    }
+
+    #[test]
+    fn apportionment_is_proportional_and_exact() {
+        assert_eq!(StratifiedSelector::apportion(&[60, 30, 10], 10), vec![6, 3, 1]);
+        let seats = StratifiedSelector::apportion(&[7, 7, 6], 4);
+        assert_eq!(seats.iter().sum::<usize>(), 4);
+        assert_eq!(StratifiedSelector::apportion(&[0, 0], 3), vec![0, 0]);
+    }
+
+    #[test]
+    fn apportionment_caps_at_stratum_size() {
+        let seats = StratifiedSelector::apportion(&[1, 9], 5);
+        assert!(seats[0] <= 1);
+        assert_eq!(seats.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn proportionate_allocation_definition_21() {
+        // With sizes 6/3/1 and budget 10 every user is taken: |g ∩ U|/|U| =
+        // |g|/|𝒰| exactly.
+        let repo = city_repo();
+        let sel = StratifiedSelector::new(1, Strata::PropertyFamily("livesIn ".into()));
+        let picked = sel.select(&repo, 10);
+        assert_eq!(picked.len(), 10);
+        // Budget 5: CityA gets 3, CityB gets 1 or 2, none-stratum <= 1.
+        let picked = sel.select(&repo, 5);
+        assert!(check_selection(&repo, 5, &picked));
+        let in_a = picked.iter().filter(|u| u.index() < 6).count();
+        assert_eq!(in_a, 3, "6/10 of 5 seats -> 3");
+    }
+
+    #[test]
+    fn explicit_strata() {
+        let repo = city_repo();
+        let assignment = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        let sel = StratifiedSelector::new(2, Strata::Explicit(assignment));
+        let picked = sel.select(&repo, 4);
+        assert_eq!(picked.len(), 4);
+        let lo = picked.iter().filter(|u| u.index() < 5).count();
+        assert_eq!(lo, 2, "even split");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let repo = city_repo();
+        let s = StratifiedSelector::new(9, Strata::PropertyFamily("livesIn ".into()));
+        assert_eq!(s.select(&repo, 4), s.select(&repo, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "one stratum per user")]
+    fn explicit_length_mismatch_panics() {
+        let repo = city_repo();
+        StratifiedSelector::new(0, Strata::Explicit(vec![0; 3])).select(&repo, 2);
+    }
+}

@@ -1,0 +1,237 @@
+//! T-Model-style predicted coverage-based selection (Wu et al. 2015; the
+//! paper's Table 1 comparator).
+//!
+//! The T-Model "targets the selection of a user subset with a certain
+//! opinion distribution, but only in a *single* category": it *predicts*
+//! each candidate's opinion in one target category and greedily assembles
+//! a subset whose predicted opinion histogram matches a target
+//! distribution. This is *predicted* diversity (Table 1) — exactly the
+//! family §2 argues is inadequate for multi-dimensional opinion
+//! procurement, making it a useful contrast in ablations.
+//!
+//! Prediction here is intrinsic-to-predicted bridging: a user's opinion
+//! bucket in the target category is predicted from their profile score for
+//! the target property, falling back to the population's most common
+//! bucket when the property is unknown.
+
+use podium_core::bucket::BucketSet;
+use podium_core::ids::{PropertyId, UserId};
+use podium_core::profile::UserRepository;
+
+use crate::selector::Selector;
+
+/// T-Model-like selector over a single target property.
+#[derive(Debug, Clone)]
+pub struct TModelSelector {
+    /// The single category (property) whose opinion distribution is
+    /// targeted.
+    pub property: PropertyId,
+    /// Bucketing of the opinion scale.
+    pub buckets: BucketSet,
+    /// Target distribution over buckets; `None` targets the population's
+    /// own distribution (proportional representation of predicted
+    /// opinions).
+    pub target: Option<Vec<f64>>,
+    name: String,
+}
+
+impl TModelSelector {
+    /// Builds a T-Model selector for `property`, split by `buckets`.
+    pub fn new(property: PropertyId, buckets: BucketSet) -> Self {
+        Self {
+            property,
+            buckets,
+            target: None,
+            name: "T-Model".to_owned(),
+        }
+    }
+
+    /// Sets an explicit target distribution (length must equal the bucket
+    /// count; it will be normalized).
+    pub fn with_target(mut self, target: Vec<f64>) -> Self {
+        assert_eq!(target.len(), self.buckets.len(), "one share per bucket");
+        self.target = Some(target);
+        self
+    }
+
+    /// Predicted opinion bucket of each user (exposed for tests).
+    pub fn predict(&self, repo: &UserRepository) -> Vec<usize> {
+        let k = self.buckets.len().max(1);
+        // Population histogram for the fallback prediction.
+        let mut hist = vec![0usize; k];
+        let scores: Vec<Option<f64>> = repo
+            .iter()
+            .map(|(_, p)| p.score(self.property))
+            .collect();
+        for s in scores.iter().flatten() {
+            if let Some(b) = self.buckets.bucket_of(*s) {
+                hist[b.index()] += 1;
+            }
+        }
+        let fallback = hist
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        scores
+            .into_iter()
+            .map(|s| {
+                s.and_then(|x| self.buckets.bucket_of(x))
+                    .map(|b| b.index())
+                    .unwrap_or(fallback)
+            })
+            .collect()
+    }
+
+    fn target_distribution(&self, predictions: &[usize]) -> Vec<f64> {
+        let k = self.buckets.len().max(1);
+        let raw = match &self.target {
+            Some(t) => t.clone(),
+            None => {
+                let mut hist = vec![0.0; k];
+                for &p in predictions {
+                    hist[p] += 1.0;
+                }
+                hist
+            }
+        };
+        let total: f64 = raw.iter().sum();
+        if total <= 0.0 {
+            vec![1.0 / k as f64; k]
+        } else {
+            raw.into_iter().map(|x| x / total).collect()
+        }
+    }
+}
+
+impl Selector for TModelSelector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn select(&self, repo: &UserRepository, b: usize) -> Vec<UserId> {
+        let n = repo.user_count();
+        let b = b.min(n);
+        if b == 0 || self.buckets.is_empty() {
+            return Vec::new();
+        }
+        let predictions = self.predict(repo);
+        let target = self.target_distribution(&predictions);
+
+        // Greedy: each step adds the user whose predicted bucket most
+        // reduces the L1 distance between the subset's histogram and the
+        // target (ties by user id).
+        let k = self.buckets.len();
+        let mut counts = vec![0usize; k];
+        let mut selected = Vec::with_capacity(b);
+        let mut in_sel = vec![false; n];
+        for step in 1..=b {
+            // Deficit of each bucket after `step` selections.
+            let mut best: Option<(f64, usize)> = None;
+            for u in 0..n {
+                if in_sel[u] {
+                    continue;
+                }
+                let bucket = predictions[u];
+                let deficit =
+                    target[bucket] * step as f64 - counts[bucket] as f64;
+                if best.is_none_or(|(d, _)| deficit > d) {
+                    best = Some((deficit, u));
+                }
+            }
+            let Some((_, u)) = best else { break };
+            in_sel[u] = true;
+            counts[predictions[u]] += 1;
+            selected.push(UserId::from_index(u));
+        }
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use podium_core::bucket::BucketSet;
+
+    fn repo() -> (UserRepository, PropertyId) {
+        let mut r = UserRepository::new();
+        let p = r.intern_property("avgRating Mexican");
+        // 6 "high" users, 3 "low" users, 1 unknown.
+        for i in 0..10 {
+            let u = r.add_user(format!("u{i}"));
+            if i < 6 {
+                r.set_score(u, p, 0.9).unwrap();
+            } else if i < 9 {
+                r.set_score(u, p, 0.1).unwrap();
+            }
+        }
+        (r, p)
+    }
+
+    fn buckets() -> BucketSet {
+        BucketSet::from_interior_edges(&[0.5]).unwrap()
+    }
+
+    #[test]
+    fn predictions_use_profile_and_fallback() {
+        let (r, p) = repo();
+        let sel = TModelSelector::new(p, buckets());
+        let pred = sel.predict(&r);
+        assert_eq!(&pred[..6], &[1; 6], "high bucket");
+        assert_eq!(&pred[6..9], &[0; 3], "low bucket");
+        assert_eq!(pred[9], 1, "unknown falls back to majority bucket");
+    }
+
+    #[test]
+    fn population_target_yields_proportional_subset() {
+        let (r, p) = repo();
+        let sel = TModelSelector::new(p, buckets());
+        // Predicted population: 7 high (incl. fallback), 3 low.
+        let picked = sel.select(&r, 4);
+        assert_eq!(picked.len(), 4);
+        let pred = sel.predict(&r);
+        let high = picked.iter().filter(|u| pred[u.index()] == 1).count();
+        assert_eq!(high, 3, "≈70% of 4 seats");
+    }
+
+    #[test]
+    fn explicit_target_is_respected() {
+        let (r, p) = repo();
+        let sel = TModelSelector::new(p, buckets()).with_target(vec![1.0, 1.0]);
+        let picked = sel.select(&r, 4);
+        let pred = sel.predict(&r);
+        let high = picked.iter().filter(|u| pred[u.index()] == 1).count();
+        assert_eq!(high, 2, "50/50 target");
+    }
+
+    #[test]
+    fn single_category_blindness() {
+        // The T-Model ignores every other property — the §2 critique.
+        let (mut r, p) = repo();
+        let q = r.intern_property("livesIn Tokyo");
+        let u0 = UserId(0);
+        r.set_score(u0, q, 1.0).unwrap();
+        let with_extra = TModelSelector::new(p, buckets()).select(&r, 4);
+        let (r2, p2) = repo();
+        let without = TModelSelector::new(p2, buckets()).select(&r2, 4);
+        assert_eq!(with_extra, without, "extra dimensions cannot matter");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (r, p) = repo();
+        assert!(TModelSelector::new(p, buckets()).select(&r, 0).is_empty());
+        let empty = UserRepository::new();
+        assert!(TModelSelector::new(p, buckets()).select(&empty, 3).is_empty());
+        let sel = TModelSelector::new(p, BucketSet::empty());
+        assert!(sel.select(&r, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one share per bucket")]
+    fn mismatched_target_panics() {
+        let (_, p) = repo();
+        let _ = TModelSelector::new(p, buckets()).with_target(vec![1.0]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion bench: every selector of the §8.3 lineup (plus the Table 1
+//! extensions) on the same repository, budget 8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use podium_baselines::prelude::*;
+use podium_baselines::stratified::Strata;
+use podium_bench::selectors::PodiumSelector;
+use podium_data::synth::tripadvisor;
+
+fn bench_lineup(c: &mut Criterion) {
+    let dataset = tripadvisor(0.08, 9).generate();
+    let repo = &dataset.repo;
+    let mut g = c.benchmark_group("selectors_b8");
+    g.sample_size(10);
+
+    let podium = PodiumSelector::paper_default();
+    g.bench_function("podium", |b| {
+        b.iter(|| podium.select(std::hint::black_box(repo), 8))
+    });
+    let random = RandomSelector::new(9);
+    g.bench_function("random", |b| {
+        b.iter(|| random.select(std::hint::black_box(repo), 8))
+    });
+    let clustering = KMeansSelector::new(9);
+    g.bench_function("clustering", |b| {
+        b.iter(|| clustering.select(std::hint::black_box(repo), 8))
+    });
+    let distance = DistanceSelector::new(9);
+    g.bench_function("distance", |b| {
+        b.iter(|| distance.select(std::hint::black_box(repo), 8))
+    });
+    let stratified = StratifiedSelector::new(9, Strata::PropertyFamily("livesIn ".into()));
+    g.bench_function("stratified", |b| {
+        b.iter(|| stratified.select(std::hint::black_box(repo), 8))
+    });
+    let mmr = MmrSelector::new(0.5);
+    g.bench_function("mmr", |b| {
+        b.iter(|| mmr.select(std::hint::black_box(repo), 8))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lineup);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: the six 1-D interval-splitting strategies of §3.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use podium_core::bucket::{BucketStrategy, BucketingConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn values(n: usize) -> Vec<f64> {
+    // Trimodal data so every strategy has work to do.
+    let mut rng = StdRng::seed_from_u64(99);
+    (0..n)
+        .map(|_| {
+            let mode = [0.15f64, 0.5, 0.85][rng.random_range(0..3)];
+            (mode + (rng.random::<f64>() - 0.5) * 0.2).clamp(0.0, 1.0)
+        })
+        .collect()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bucketing");
+    let strategies = [
+        ("equal_width", BucketStrategy::EqualWidth),
+        ("quantile", BucketStrategy::Quantile),
+        ("jenks", BucketStrategy::Jenks),
+        ("kmeans1d", BucketStrategy::KMeans1D),
+        ("kde", BucketStrategy::Kde),
+        ("em", BucketStrategy::Em),
+    ];
+    for (name, strat) in strategies {
+        let cfg = BucketingConfig {
+            strategy: strat,
+            buckets_per_property: 3,
+            detect_boolean: false,
+        };
+        // Jenks is O(k n²): keep its input modest.
+        let n = if name == "jenks" { 400 } else { 2000 };
+        let base = values(n);
+        group.bench_with_input(BenchmarkId::new(name, n), &base, |b, base| {
+            b.iter_batched(
+                || base.clone(),
+                |mut v| cfg.bucketize_values(std::hint::black_box(&mut v)),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: customization overhead — CUSTOM-DIVERSITY vs
+//! BASE-DIVERSITY on the same repository, plus the pool-refinement step in
+//! isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use podium_core::bucket::BucketingConfig;
+use podium_core::customize::{custom_select, refine_pool, Feedback};
+use podium_core::greedy::greedy_select;
+use podium_core::group::GroupSet;
+use podium_core::ids::GroupId;
+use podium_core::instance::DiversificationInstance;
+use podium_core::weights::{CovScheme, WeightScheme};
+use podium_data::synth::yelp;
+
+fn bench_customization(c: &mut Criterion) {
+    let dataset = yelp(0.01, 10).generate();
+    let repo = &dataset.repo;
+    let buckets = BucketingConfig::adaptive_default().bucketize(repo);
+    let groups = GroupSet::build(repo, &buckets);
+    let inst = DiversificationInstance::from_schemes(
+        &groups,
+        WeightScheme::LinearBySize,
+        CovScheme::Single,
+        8,
+    );
+    // 40 priority groups + a must-have on the largest group.
+    let mut by_size: Vec<GroupId> = groups.ids().collect();
+    by_size.sort_by_key(|&g| std::cmp::Reverse(groups.group(g).unwrap().size()));
+    let feedback = Feedback {
+        must_have: vec![by_size[0]],
+        priority: by_size.iter().skip(1).take(40).copied().collect(),
+        ..Feedback::default()
+    };
+
+    let mut g = c.benchmark_group("customization");
+    g.bench_function("base_diversity_b8", |b| {
+        b.iter(|| greedy_select(std::hint::black_box(&inst), 8));
+    });
+    g.bench_function("custom_diversity_b8", |b| {
+        b.iter(|| {
+            custom_select(
+                std::hint::black_box(repo),
+                &groups,
+                WeightScheme::LinearBySize,
+                CovScheme::Single,
+                8,
+                &feedback,
+            )
+            .unwrap()
+        });
+    });
+    g.bench_function("refine_pool", |b| {
+        b.iter(|| refine_pool(std::hint::black_box(&groups), &feedback).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_customization
+}
+criterion_main!(benches);

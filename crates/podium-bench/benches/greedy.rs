@@ -1,0 +1,69 @@
+//! Criterion bench: the greedy selection core (Algorithm 1) across
+//! population sizes — the microbenchmark behind Figure 5's Podium series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use podium_core::bucket::BucketingConfig;
+use podium_core::greedy::greedy_select;
+use podium_core::group::GroupSet;
+use podium_core::instance::DiversificationInstance;
+use podium_core::weights::{CovScheme, WeightScheme};
+use podium_data::synth::tripadvisor;
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_select");
+    for &users in &[200usize, 400, 800] {
+        let scale = users as f64 / 4475.0;
+        let dataset = tripadvisor(scale, 7).generate();
+        let buckets = BucketingConfig::adaptive_default().bucketize(&dataset.repo);
+        let groups = GroupSet::build(&dataset.repo, &buckets);
+        let inst = DiversificationInstance::from_schemes(
+            &groups,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            8,
+        );
+        group.bench_with_input(BenchmarkId::new("users", users), &inst, |b, inst| {
+            b.iter(|| greedy_select(std::hint::black_box(inst), 8));
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_build(c: &mut Criterion) {
+    let dataset = tripadvisor(0.1, 7).generate();
+    let buckets = BucketingConfig::adaptive_default().bucketize(&dataset.repo);
+    c.bench_function("group_set_build", |b| {
+        b.iter(|| GroupSet::build(std::hint::black_box(&dataset.repo), &buckets));
+    });
+}
+
+fn bench_incremental_updates(c: &mut Criterion) {
+    use podium_core::incremental::IncrementalGroups;
+    let dataset = tripadvisor(0.05, 7).generate();
+    let buckets = BucketingConfig::adaptive_default().bucketize(&dataset.repo);
+    let inc = IncrementalGroups::build(&dataset.repo, &buckets);
+    let prop = podium_core::ids::PropertyId(0);
+    let mut g = c.benchmark_group("incremental");
+    // One point update vs a full rebuild of the same structure.
+    g.bench_function("point_update", |b| {
+        b.iter_batched(
+            || inc.clone(),
+            |mut inc| {
+                inc.update_score(podium_core::ids::UserId(0), prop, Some(0.9));
+                inc
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("full_rebuild", |b| {
+        b.iter(|| GroupSet::build(std::hint::black_box(&dataset.repo), &buckets));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_greedy, bench_group_build, bench_incremental_updates
+}
+criterion_main!(benches);

@@ -1,0 +1,440 @@
+//! The experiment driver: regenerates every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//! experiments <id> [--scale X] [--budget B] [--seed S]
+//! ```
+//! where `<id>` is one of `table2`, `fig3a`, `fig3b`, `fig3c`, `fig3d`,
+//! `fig4`, `fig5`, `fig6`, `approx`, `optscale`, `ablation`, or `all`.
+//!
+//! Run with `--release`; the scalability and approximation experiments are
+//! meaningless in debug builds.
+
+use podium_bench::opinion_exp::OpinionConfig;
+use podium_bench::{
+    approx_exp, budget_exp, custom_exp, datasets, intrinsic_exp, opinion_exp, scalability_exp,
+    table2_exp,
+};
+
+struct Args {
+    experiment: String,
+    scale: f64,
+    budget: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiment: "all".to_owned(),
+        scale: 1.0,
+        budget: datasets::DEFAULT_BUDGET,
+        seed: 2020,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut positional = Vec::new();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a number"));
+            }
+            "--budget" => {
+                args.budget = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--budget needs an integer"));
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--help" | "-h" => usage(""),
+            other => positional.push(other.to_owned()),
+        }
+    }
+    if let Some(e) = positional.into_iter().next() {
+        args.experiment = e;
+    }
+    args
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: experiments <table2|fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|optscale|bsweep|ablation|all> \
+         [--scale X] [--budget B] [--seed S]"
+    );
+    std::process::exit(2);
+}
+
+fn header(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+
+/// Prints paired-bootstrap significance of Podium vs. each competitor on
+/// topic+sentiment coverage (per-destination pairing).
+fn print_significance(detailed: &[(String, Vec<podium_metrics::opinion::OpinionMetrics>)]) {
+    let podium = &detailed[0];
+    println!("paired bootstrap (topic+sentiment coverage, Podium vs. each, 95% CI):");
+    for (name, per_dest) in &detailed[1..] {
+        let a: Vec<f64> = podium.1.iter().map(|m| m.topic_sentiment_coverage).collect();
+        let b: Vec<f64> = per_dest.iter().map(|m| m.topic_sentiment_coverage).collect();
+        let r = podium_metrics::significance::paired_bootstrap(&a, &b, 0.95, 2000, 2020);
+        println!(
+            "  vs {name:<11} Δ = {:+.4} [{:+.4}, {:+.4}]{}",
+            r.mean_diff,
+            r.ci_low,
+            r.ci_high,
+            if r.significant() { "  (significant)" } else { "" }
+        );
+    }
+}
+
+
+/// Prints the §8.4 pairwise-intersection diagnostic for a dataset.
+fn print_overlap(dataset: &podium_data::synth::SynthDataset, budget: usize, seed: u64) {
+    println!("mean pairwise property intersection of the selected subset (§8.4):");
+    for (name, stats) in intrinsic_exp::overlap_comparison(dataset, budget, seed) {
+        println!(
+            "  {name:<11} {:>7.1} shared properties/pair (jaccard distance {:.3})",
+            stats.mean_intersection, stats.mean_jaccard_distance
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let run = |name: &str| args.experiment == name || args.experiment == "all";
+    let mut matched = false;
+
+    if run("table2") {
+        matched = true;
+        header("Table 2 running example (Examples 3.5-6.4)");
+        print!("{}", table2_exp::run());
+    }
+    if run("fig3a") {
+        matched = true;
+        header("Figure 3a: TripAdvisor-like intrinsic diversity (3-seed average)");
+        let tables: Vec<_> = (0..3)
+            .map(|i| {
+                let dataset = datasets::ta_dataset(args.scale, args.seed + i);
+                if i == 0 {
+                    println!(
+                        "dataset: {} users, {} properties (per seed)",
+                        dataset.repo.user_count(),
+                        dataset.repo.property_count()
+                    );
+                }
+                intrinsic_exp::run_intrinsic(&dataset, args.budget, datasets::TOP_K, args.seed + i)
+            })
+            .collect();
+        print!("{}", podium_metrics::report::ComparisonTable::average(&tables).render());
+        print_overlap(&datasets::ta_dataset(args.scale, args.seed), args.budget, args.seed);
+    }
+    if run("fig3b") {
+        matched = true;
+        header("Figure 3b: TripAdvisor-like opinion diversity");
+        let dataset = datasets::ta_dataset(args.scale, args.seed);
+        let (table, detailed) = opinion_exp::run_opinion_detailed(
+            &dataset,
+            OpinionConfig {
+                destinations: 50,
+                min_reviews: 8,
+                budget: args.budget,
+                with_usefulness: false,
+                seed: args.seed,
+            },
+        );
+        print!("{}", table.render());
+        print_significance(&detailed);
+    }
+    if run("fig3c") {
+        matched = true;
+        header("Figure 3c: Yelp-like intrinsic diversity (3-seed average)");
+        let tables: Vec<_> = (0..3)
+            .map(|i| {
+                let dataset = datasets::yelp_dataset(args.scale, args.seed + i);
+                if i == 0 {
+                    println!(
+                        "dataset: {} users, {} properties (per seed)",
+                        dataset.repo.user_count(),
+                        dataset.repo.property_count()
+                    );
+                }
+                intrinsic_exp::run_intrinsic(&dataset, args.budget, datasets::TOP_K, args.seed + i)
+            })
+            .collect();
+        print!("{}", podium_metrics::report::ComparisonTable::average(&tables).render());
+        print_overlap(&datasets::yelp_dataset(args.scale, args.seed), args.budget, args.seed);
+    }
+    if run("fig3d") {
+        matched = true;
+        header("Figure 3d: Yelp-like opinion diversity");
+        let dataset = datasets::yelp_dataset(args.scale, args.seed);
+        let (table, detailed) = opinion_exp::run_opinion_detailed(
+            &dataset,
+            OpinionConfig {
+                destinations: 130,
+                min_reviews: 10,
+                budget: args.budget,
+                with_usefulness: true,
+                seed: args.seed,
+            },
+        );
+        print!("{}", table.render());
+        print_significance(&detailed);
+    }
+    if run("fig4") {
+        matched = true;
+        header("Figure 4: Yelp-like intrinsic diversity with customization");
+        let dataset = datasets::yelp_dataset(args.scale, args.seed);
+        let rows = custom_exp::run_customization(
+            &dataset,
+            args.budget,
+            datasets::TOP_K,
+            &[0, 20, 40, 60, 80],
+            20,
+            args.seed,
+        );
+        print!("{}", custom_exp::render(&rows));
+    }
+    if run("fig5") {
+        matched = true;
+        header("Figure 5: execution time vs |U| (profiles capped ~200 properties)");
+        let counts: Vec<usize> = [1000, 2000, 4000, 8000]
+            .iter()
+            .map(|&n| ((n as f64 * args.scale) as usize).max(100))
+            .collect();
+        let rows = scalability_exp::run_user_sweep(&counts, args.budget, args.seed);
+        print!("{}", scalability_exp::render(&rows, "users"));
+        let x: Vec<f64> = rows.iter().map(|r| r.users as f64).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r.podium_ms).collect();
+        println!(
+            "podium linearity R² = {:.4}",
+            scalability_exp::linear_r2(&x, &y)
+        );
+    }
+    if run("fig6") {
+        matched = true;
+        header("Figure 6: execution time vs profile size (|U| fixed)");
+        let users = ((8000.0 * args.scale) as usize).max(200);
+        let rows =
+            scalability_exp::run_profile_sweep(users, &[2, 4, 8, 16], args.budget, args.seed);
+        print!("{}", scalability_exp::render(&rows, "profile"));
+        let x: Vec<f64> = rows.iter().map(|r| r.mean_profile).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r.podium_ms).collect();
+        println!(
+            "podium linearity R² = {:.4}",
+            scalability_exp::linear_r2(&x, &y)
+        );
+    }
+    if run("approx") {
+        matched = true;
+        header("§8.4: approximation ratio, greedy vs optimal (5 of 40 users)");
+        let dataset = datasets::ta_dataset(args.scale.max(0.1), args.seed);
+        let results = approx_exp::run_approx(&dataset, 40, 5, 5, args.seed);
+        print!("{}", approx_exp::render_approx(&results));
+    }
+    if run("optscale") {
+        matched = true;
+        header("§8.5: Optimal baseline runtime blow-up (B = 5)");
+        let dataset = datasets::ta_dataset(args.scale.max(0.1), args.seed);
+        let rows = approx_exp::run_optscale(&dataset, &[20, 30, 40], 5, args.seed);
+        print!("{}", approx_exp::render_optscale(&rows));
+    }
+    if run("bsweep") {
+        matched = true;
+        header("§8.4 budget sweep: quality vs B (top-k coverage, Podium gap)");
+        let dataset = datasets::yelp_dataset(args.scale, args.seed);
+        let rows =
+            budget_exp::run_budget_sweep(&dataset, &[2, 4, 8, 16, 32], datasets::TOP_K, args.seed);
+        print!("{}", budget_exp::render(&rows));
+    }
+    if run("ablation") {
+        matched = true;
+        header("Ablation: weight/coverage schemes, bucketing, eager vs lazy greedy");
+        run_ablation(args.scale, args.budget, args.seed);
+    }
+
+    if !matched {
+        usage(&format!("unknown experiment '{}'", args.experiment));
+    }
+}
+
+/// Design-choice ablations called out in DESIGN.md: how the weight scheme,
+/// coverage scheme and bucketing strategy change the intrinsic metrics, and
+/// eager vs. lazy greedy equivalence/runtime.
+fn run_ablation(scale: f64, budget: usize, seed: u64) {
+    use podium_bench::selectors::PodiumSelector;
+    use podium_core::bucket::{BucketStrategy, BucketingConfig};
+    use podium_core::group::GroupSet;
+    use podium_core::instance::DiversificationInstance;
+    use podium_core::weights::{CovScheme, WeightScheme};
+    use podium_metrics::intrinsic::IntrinsicMetrics;
+
+    let dataset = datasets::ta_dataset(scale * 0.5, seed);
+    let repo = &dataset.repo;
+    println!(
+        "dataset: {} users, {} properties",
+        repo.user_count(),
+        repo.property_count()
+    );
+
+    // Weight × coverage ablation, evaluated under the LBS+Single objective.
+    let buckets = BucketingConfig::adaptive_default().bucketize(repo);
+    let groups = GroupSet::build(repo, &buckets);
+    let eval = DiversificationInstance::from_schemes(
+        &groups,
+        WeightScheme::LinearBySize,
+        CovScheme::Single,
+        budget,
+    );
+    println!("\nweight × coverage ablation (evaluated under LBS+Single):");
+    for (wname, w) in [
+        ("Iden", WeightScheme::Identical),
+        ("LBS", WeightScheme::LinearBySize),
+    ] {
+        for (cname, c) in [
+            ("Single", CovScheme::Single),
+            ("Prop", CovScheme::Proportional),
+        ] {
+            let inst = DiversificationInstance::from_schemes(&groups, w, c, budget);
+            let sel = podium_core::greedy::greedy_select(&inst, budget);
+            let m = IntrinsicMetrics::evaluate(&eval, &sel.users, datasets::TOP_K);
+            println!(
+                "  {wname:>4} + {cname:<6} -> score {:>10.1}, top-k {:.3}, dist-sim {:.3}",
+                m.total_score, m.top_k_coverage, m.distribution_similarity
+            );
+        }
+    }
+    // EBS (exact big-weights).
+    {
+        let inst = DiversificationInstance::ebs(&groups, CovScheme::Single, budget);
+        let sel = podium_core::greedy::greedy_select(&inst, budget);
+        let m = IntrinsicMetrics::evaluate(&eval, &sel.users, datasets::TOP_K);
+        println!(
+            "  {:>4} + {:<6} -> score {:>10.1}, top-k {:.3}, dist-sim {:.3}",
+            "EBS", "Single", m.total_score, m.top_k_coverage, m.distribution_similarity
+        );
+    }
+
+    // Bucketing strategy ablation.
+    println!("\nbucketing strategy ablation (3 buckets/property):");
+    for (name, strat) in [
+        ("equal-width", BucketStrategy::EqualWidth),
+        ("quantile", BucketStrategy::Quantile),
+        ("jenks", BucketStrategy::Jenks),
+        ("kmeans-1d", BucketStrategy::KMeans1D),
+        ("kde", BucketStrategy::Kde),
+        ("em", BucketStrategy::Em),
+    ] {
+        let cfg = BucketingConfig {
+            strategy: strat,
+            buckets_per_property: 3,
+            detect_boolean: true,
+        };
+        let t0 = std::time::Instant::now();
+        let b = cfg.bucketize(repo);
+        let g = GroupSet::build(repo, &b);
+        let inst = DiversificationInstance::from_schemes(
+            &g,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            budget,
+        );
+        let sel = podium_core::greedy::greedy_select(&inst, budget);
+        let m = IntrinsicMetrics::evaluate(&eval, &sel.users, datasets::TOP_K);
+        println!(
+            "  {name:>11}: {:>6} groups, eval score {:>10.1}, top-k {:.3} ({:.0} ms)",
+            g.len(),
+            m.total_score,
+            m.top_k_coverage,
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+    }
+
+    // Group-definition ablation (§3.2): simple groups vs multidimensional
+    // clusters as groups. Both selections are evaluated under the
+    // simple-group LBS+Single objective.
+    println!("\ngroup definition ablation (evaluated under simple-group LBS+Single):");
+    {
+        let sel = podium_core::greedy::greedy_select(&eval, budget);
+        let m = IntrinsicMetrics::evaluate(&eval, &sel.users, datasets::TOP_K);
+        println!(
+            "  {:>22}: {:>6} groups, eval score {:>10.1}, top-k {:.3}",
+            "simple groups",
+            groups.len(),
+            m.total_score,
+            m.top_k_coverage
+        );
+        for k in [budget, 4 * budget] {
+            let cgroups =
+                podium_baselines::clustering::cluster_group_set(repo, k, seed);
+            let cinst = DiversificationInstance::from_schemes(
+                &cgroups,
+                WeightScheme::LinearBySize,
+                CovScheme::Single,
+                budget,
+            );
+            let csel = podium_core::greedy::greedy_select(&cinst, budget);
+            let cm = IntrinsicMetrics::evaluate(&eval, &csel.users, datasets::TOP_K);
+            println!(
+                "  {:>22}: {:>6} groups, eval score {:>10.1}, top-k {:.3}",
+                format!("{k} multidim clusters"),
+                cgroups.len(),
+                cm.total_score,
+                cm.top_k_coverage
+            );
+        }
+    }
+
+    // Greedy engines: eager vs lazy (CELF) vs stochastic.
+    println!("\ngreedy engine ablation:");
+    for (name, lazy) in [("eager", false), ("lazy (CELF)", true)] {
+        let selector = PodiumSelector::paper_default().with_lazy(lazy);
+        let t0 = std::time::Instant::now();
+        let sel = podium_baselines::selector::Selector::select(&selector, repo, budget);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let score = eval.score_of(&sel);
+        println!("  {name:>16}: score {score:>10.1} in {ms:.1} ms");
+    }
+    for eps in [0.2, 0.05] {
+        let t0 = std::time::Instant::now();
+        let sel =
+            podium_core::stochastic_greedy::stochastic_greedy_select(&eval, budget, eps, seed);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let score = eval.score_of(&sel.users);
+        println!("  stochastic ε={eps:<4}: score {score:>10.1} in {ms:.1} ms");
+    }
+
+    // Randomized weights (§10 future work): selection diversity under noise.
+    println!("\nnoisy LBS weights (§10, amplitude sweep, 5 seeds each):");
+    let base = WeightScheme::LinearBySize.weights(&groups);
+    let covs = CovScheme::Single.cov(&groups, budget);
+    for amplitude in [0.0, 0.2, 0.5] {
+        let mut scores = Vec::new();
+        let mut distinct: std::collections::HashSet<Vec<podium_core::ids::UserId>> =
+            std::collections::HashSet::new();
+        for s in 0..5u64 {
+            let noisy = podium_core::weights::noisy_weights(&base, amplitude, seed + s);
+            let inst = DiversificationInstance::new(&groups, noisy, covs.clone());
+            let sel = podium_core::greedy::greedy_select(&inst, budget);
+            scores.push(eval.score_of(&sel.users));
+            let mut users = sel.users;
+            users.sort();
+            distinct.insert(users);
+        }
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        println!(
+            "  amplitude {amplitude:>4}: mean eval score {mean:>10.1}, {} distinct selections",
+            distinct.len()
+        );
+    }
+}

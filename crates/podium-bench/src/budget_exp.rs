@@ -1,0 +1,135 @@
+//! Budget sweep — the §8.4 observation that "as B increases, all the
+//! quality metrics improve and the gaps between the baselines slightly
+//! decrease, but the general trends are preserved".
+
+use podium_core::bucket::BucketingConfig;
+use podium_core::group::GroupSet;
+use podium_core::instance::DiversificationInstance;
+use podium_core::weights::{CovScheme, WeightScheme};
+use podium_data::synth::SynthDataset;
+use podium_metrics::intrinsic::IntrinsicMetrics;
+
+use crate::selectors::standard_lineup;
+
+/// One row of the budget sweep: metrics per algorithm at one budget.
+#[derive(Debug, Clone)]
+pub struct BudgetRow {
+    /// The selection budget `B`.
+    pub budget: usize,
+    /// `(algorithm name, metrics)` pairs in lineup order.
+    pub per_algo: Vec<(String, IntrinsicMetrics)>,
+}
+
+impl BudgetRow {
+    /// Podium's top-k coverage minus the best baseline's — the "gap" whose
+    /// shrinkage §8.4 reports.
+    pub fn coverage_gap(&self) -> f64 {
+        let podium = self.per_algo[0].1.top_k_coverage;
+        let best_baseline = self.per_algo[1..]
+            .iter()
+            .map(|(_, m)| m.top_k_coverage)
+            .fold(f64::NEG_INFINITY, f64::max);
+        podium - best_baseline
+    }
+}
+
+/// Runs the budget sweep. Group construction happens once; each budget gets
+/// its own evaluation instance (Prop's coverage depends on `B`).
+pub fn run_budget_sweep(
+    dataset: &SynthDataset,
+    budgets: &[usize],
+    top_k: usize,
+    seed: u64,
+) -> Vec<BudgetRow> {
+    let repo = &dataset.repo;
+    let buckets = BucketingConfig::adaptive_default().bucketize(repo);
+    let groups = GroupSet::build(repo, &buckets);
+    budgets
+        .iter()
+        .map(|&b| {
+            let eval = DiversificationInstance::from_schemes(
+                &groups,
+                WeightScheme::LinearBySize,
+                CovScheme::Single,
+                b,
+            );
+            let per_algo = standard_lineup(seed)
+                .iter()
+                .map(|s| {
+                    let sel = s.select(repo, b);
+                    (
+                        s.name().to_owned(),
+                        IntrinsicMetrics::evaluate(&eval, &sel, top_k),
+                    )
+                })
+                .collect();
+            BudgetRow { budget: b, per_algo }
+        })
+        .collect()
+}
+
+/// Renders the sweep as a text table of top-k coverage per algorithm with
+/// the Podium-vs-best-baseline gap.
+pub fn render(rows: &[BudgetRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if rows.is_empty() {
+        return out;
+    }
+    let _ = write!(out, "{:>5}", "B");
+    for (name, _) in &rows[0].per_algo {
+        let _ = write!(out, " | {name:>10}");
+    }
+    let _ = writeln!(out, " | {:>8}", "gap");
+    let _ = writeln!(out, "{:-<70}", "");
+    for row in rows {
+        let _ = write!(out, "{:>5}", row.budget);
+        for (_, m) in &row.per_algo {
+            let _ = write!(out, " | {:>10.3}", m.top_k_coverage);
+        }
+        let _ = writeln!(out, " | {:>8.3}", row.coverage_gap());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn metrics_improve_and_gaps_shrink_with_budget() {
+        let dataset = datasets::yelp_dataset(0.04, 17);
+        let rows = run_budget_sweep(&dataset, &[2, 8, 32], 100, 17);
+        assert_eq!(rows.len(), 3);
+        // §8.4: quality improves with B for every algorithm…
+        for algo in 0..rows[0].per_algo.len() {
+            let cov: Vec<f64> = rows.iter().map(|r| r.per_algo[algo].1.top_k_coverage).collect();
+            assert!(
+                cov.windows(2).all(|w| w[1] >= w[0] - 0.02),
+                "{}: coverage not improving: {cov:?}",
+                rows[0].per_algo[algo].0
+            );
+        }
+        // …and the Podium-vs-best gap shrinks from small B to large B.
+        assert!(
+            rows[2].coverage_gap() <= rows[0].coverage_gap() + 1e-9,
+            "gap at B=32 ({:.3}) vs B=2 ({:.3})",
+            rows[2].coverage_gap(),
+            rows[0].coverage_gap()
+        );
+        // Trends preserved: Podium still leads at every budget.
+        for row in &rows {
+            assert!(row.coverage_gap() >= -1e-9, "B={}", row.budget);
+        }
+    }
+
+    #[test]
+    fn render_shape() {
+        let dataset = datasets::yelp_dataset(0.02, 18);
+        let rows = run_budget_sweep(&dataset, &[2, 4], 50, 18);
+        let text = render(&rows);
+        assert!(text.contains("Podium"));
+        assert_eq!(text.lines().count(), 4);
+    }
+}

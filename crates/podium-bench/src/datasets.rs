@@ -1,0 +1,42 @@
+//! Standard experiment datasets with laptop-friendly default scales.
+//!
+//! The paper's repositories (TripAdvisor 4 475 users, Yelp 60K users) are
+//! simulated by the `podium-data` presets. Defaults here are scaled down so
+//! the whole experiment suite finishes in minutes; pass `--scale` to the
+//! `experiments` binary to grow them toward paper scale.
+
+use podium_data::synth::{tripadvisor, yelp, SynthDataset};
+
+/// Default TripAdvisor-like scale (fraction of the paper's 4 475 users).
+pub const TA_DEFAULT_SCALE: f64 = 0.25;
+/// Default Yelp-like scale (fraction of the paper's 60K users).
+pub const YELP_DEFAULT_SCALE: f64 = 0.05;
+/// The paper's selection budget in the qualitative experiments (§8.3).
+pub const DEFAULT_BUDGET: usize = 8;
+/// Top-k for the coverage metrics (§8.2 sets k = 200).
+pub const TOP_K: usize = 200;
+
+/// The TripAdvisor-like experiment dataset at a relative scale multiplier
+/// (1.0 = default harness scale, not paper scale).
+pub fn ta_dataset(scale_mult: f64, seed: u64) -> SynthDataset {
+    tripadvisor(TA_DEFAULT_SCALE * scale_mult, seed).generate()
+}
+
+/// The Yelp-like experiment dataset at a relative scale multiplier.
+pub fn yelp_dataset(scale_mult: f64, seed: u64) -> SynthDataset {
+    yelp(YELP_DEFAULT_SCALE * scale_mult, seed).generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scales_are_manageable() {
+        let ta = ta_dataset(0.1, 1);
+        assert!(ta.repo.user_count() >= 100);
+        assert!(ta.repo.property_count() > 50);
+        let ye = yelp_dataset(0.1, 1);
+        assert!(ye.repo.user_count() >= 250);
+    }
+}

@@ -1,0 +1,229 @@
+//! Opinion diversity experiment — Figures 3b (TripAdvisor) and 3d (Yelp).
+//!
+//! Simulates opinion procurement (§8.2): the busiest destinations are held
+//! out; profiles are rebuilt *without* their reviews; for each held-out
+//! destination, each algorithm selects `B` users from the destination's
+//! reviewer population (so every procured opinion has ground truth), and
+//! the selected users' recorded reviews are scored with the opinion
+//! metrics. Results are averaged over destinations.
+//!
+//! Destinations are evaluated in parallel (crossbeam scoped threads); all
+//! selectors are deterministic so the parallel schedule cannot change the
+//! outcome.
+
+use parking_lot::Mutex;
+use podium_baselines::selector::Selector;
+use podium_core::ids::UserId;
+use podium_data::reviews::DestinationId;
+use podium_data::split::holdout_split;
+use podium_data::synth::SynthDataset;
+use podium_metrics::opinion::{evaluate_destination, OpinionMetrics};
+use podium_metrics::report::ComparisonTable;
+
+use crate::selectors::standard_lineup;
+
+/// Configuration of the opinion-procurement simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct OpinionConfig {
+    /// Number of destinations to hold out (paper: 50 for TripAdvisor, 130
+    /// for Yelp).
+    pub destinations: usize,
+    /// Minimum reviews for a destination to qualify.
+    pub min_reviews: usize,
+    /// Selection budget per destination.
+    pub budget: usize,
+    /// Whether the dataset carries usefulness votes (adds the metric row).
+    pub with_usefulness: bool,
+    /// Seed for the seeded selectors.
+    pub seed: u64,
+}
+
+/// Runs the opinion-diversity comparison on a dataset.
+pub fn run_opinion(dataset: &SynthDataset, config: OpinionConfig) -> ComparisonTable {
+    run_opinion_detailed(dataset, config).0
+}
+
+/// Like [`run_opinion`], additionally returning the raw per-destination
+/// metric bundles per algorithm (same order as the table's algorithms) —
+/// the paired samples needed for bootstrap significance testing.
+pub fn run_opinion_detailed(
+    dataset: &SynthDataset,
+    config: OpinionConfig,
+) -> (ComparisonTable, Vec<(String, Vec<OpinionMetrics>)>) {
+    let split = holdout_split(dataset, config.destinations, config.min_reviews);
+    let lineup = standard_lineup(config.seed);
+
+    // Reviewer population per held-out destination (sorted, distinct).
+    let reviewers_of: Vec<(DestinationId, Vec<UserId>)> = split
+        .eval_destinations
+        .iter()
+        .map(|&d| {
+            let mut users: Vec<UserId> =
+                dataset.corpus.reviews_of(d).map(|r| r.user).collect();
+            users.sort();
+            users.dedup();
+            (d, users)
+        })
+        .collect();
+
+    let mut names = Vec::new();
+    let mut per_algo: Vec<OpinionMetrics> = Vec::new();
+    let mut detailed: Vec<(String, Vec<OpinionMetrics>)> = Vec::new();
+    for selector in &lineup {
+        names.push(selector.name().to_owned());
+        let per_destination = evaluate_selector(
+            dataset,
+            &split.selection_repo,
+            &reviewers_of,
+            selector.as_ref(),
+            config.budget,
+        );
+        per_algo.push(OpinionMetrics::mean(&per_destination));
+        detailed.push((selector.name().to_owned(), per_destination));
+    }
+
+    let mut table = ComparisonTable::new(names);
+    table.add_metric(
+        "topic+sentiment coverage",
+        per_algo.iter().map(|m| m.topic_sentiment_coverage).collect(),
+    );
+    if config.with_usefulness {
+        table.add_metric(
+            "usefulness",
+            per_algo.iter().map(|m| m.usefulness).collect(),
+        );
+    }
+    table.add_metric(
+        "rating dist. similarity",
+        per_algo
+            .iter()
+            .map(|m| m.rating_distribution_similarity)
+            .collect(),
+    );
+    table.add_metric(
+        "rating variance",
+        per_algo.iter().map(|m| m.rating_variance).collect(),
+    );
+    (table, detailed)
+}
+
+/// Evaluates one selector over all held-out destinations, in parallel.
+/// Results are returned in destination order (stable regardless of worker
+/// scheduling), so per-destination bundles pair up across algorithms.
+fn evaluate_selector(
+    dataset: &SynthDataset,
+    selection_repo: &podium_core::profile::UserRepository,
+    reviewers_of: &[(DestinationId, Vec<UserId>)],
+    selector: &dyn Selector,
+    budget: usize,
+) -> Vec<OpinionMetrics> {
+    let results: Mutex<Vec<Option<OpinionMetrics>>> =
+        Mutex::new(vec![None; reviewers_of.len()]);
+    let n_workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(reviewers_of.len().max(1));
+    let chunk = reviewers_of.len().div_ceil(n_workers).max(1);
+
+    crossbeam::thread::scope(|scope| {
+        for (chunk_idx, part) in reviewers_of.chunks(chunk).enumerate() {
+            let results = &results;
+            scope.spawn(move |_| {
+                let base = chunk_idx * chunk;
+                let mut local = Vec::with_capacity(part.len());
+                for (d, reviewers) in part {
+                    // Select from the reviewer population only, using
+                    // held-out-free profiles; map local ids back to global.
+                    let restricted = selection_repo.restrict(reviewers);
+                    let local_sel = selector.select(&restricted, budget);
+                    let global: Vec<UserId> =
+                        local_sel.iter().map(|u| reviewers[u.index()]).collect();
+                    local.push(evaluate_destination(&dataset.corpus, *d, &global));
+                }
+                let mut guard = results.lock();
+                for (offset, m) in local.into_iter().enumerate() {
+                    guard[base + offset] = Some(m);
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|m| m.expect("every destination evaluated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn runs_on_small_yelp_and_reports_usefulness() {
+        let dataset = datasets::yelp_dataset(0.04, 3);
+        let table = run_opinion(
+            &dataset,
+            OpinionConfig {
+                destinations: 10,
+                min_reviews: 6,
+                budget: 8,
+                with_usefulness: true,
+                seed: 3,
+            },
+        );
+        assert_eq!(table.metrics().len(), 4);
+        assert!(table.metrics().iter().any(|m| m == "usefulness"));
+        for m in 0..table.metrics().len() {
+            for a in 0..table.algorithms().len() {
+                assert!(table.raw(m, a).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn detailed_results_align_across_algorithms() {
+        let dataset = datasets::yelp_dataset(0.03, 6);
+        let (table, detailed) = run_opinion_detailed(
+            &dataset,
+            OpinionConfig {
+                destinations: 6,
+                min_reviews: 5,
+                budget: 6,
+                with_usefulness: true,
+                seed: 6,
+            },
+        );
+        assert_eq!(detailed.len(), table.algorithms().len());
+        let n = detailed[0].1.len();
+        assert!(n > 0);
+        for (name, per_dest) in &detailed {
+            assert_eq!(per_dest.len(), n, "{name} misaligned");
+        }
+        // The table's mean equals the mean of the detailed bundles.
+        let mean = podium_metrics::opinion::OpinionMetrics::mean(&detailed[0].1);
+        assert!((table.raw(0, 0) - mean.topic_sentiment_coverage).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tripadvisor_variant_omits_usefulness() {
+        let dataset = datasets::ta_dataset(0.08, 4);
+        let table = run_opinion(
+            &dataset,
+            OpinionConfig {
+                destinations: 8,
+                min_reviews: 5,
+                budget: 8,
+                with_usefulness: false,
+                seed: 4,
+            },
+        );
+        assert_eq!(table.metrics().len(), 3);
+        // Some opinions must actually be procured.
+        let any_positive = (0..table.metrics().len())
+            .any(|m| (0..table.algorithms().len()).any(|a| table.raw(m, a) > 0.0));
+        assert!(any_positive, "{}", table.render());
+    }
+}

@@ -1,0 +1,139 @@
+//! The running example of the paper (Table 2, Examples 3.5–6.4) as a
+//! self-verifying experiment: every printed value is asserted against the
+//! numbers stated in the paper.
+
+use podium_core::bucket::BucketingConfig;
+use podium_core::customize::{custom_select, Feedback};
+use podium_core::explain::SelectionReport;
+use podium_core::greedy::greedy_select;
+use podium_core::group::GroupSet;
+use podium_core::ids::PropertyId;
+use podium_core::instance::DiversificationInstance;
+use podium_core::weights::{CovScheme, WeightScheme};
+
+/// Runs the running example and returns a textual transcript. Panics if any
+/// paper-stated value is not reproduced, so this doubles as a smoke test.
+pub fn run() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+
+    let repo = podium_data::table2::table2();
+    let buckets = BucketingConfig::paper_default().bucketize(&repo);
+    let groups = GroupSet::build(&repo, &buckets);
+    let _ = writeln!(
+        out,
+        "Table 2 repository: {} users, {} properties, {} simple groups",
+        repo.user_count(),
+        repo.property_count(),
+        groups.len()
+    );
+
+    // Example 3.8 / 4.3: LBS + Single, B = 2 -> {Alice, Eve}, score 17.
+    let inst = DiversificationInstance::from_schemes(
+        &groups,
+        WeightScheme::LinearBySize,
+        CovScheme::Single,
+        2,
+    );
+    let sel = greedy_select(&inst, 2);
+    let names: Vec<&str> = sel
+        .users
+        .iter()
+        .map(|&u| repo.user_name(u).unwrap())
+        .collect();
+    assert_eq!(names, vec!["Alice", "Eve"], "Example 3.8 selection");
+    assert_eq!(sel.score, 17.0, "Example 3.8 total score");
+    let _ = writeln!(
+        out,
+        "LBS + Single, B=2  -> {{{}}} with total score {}",
+        names.join(", "),
+        sel.score
+    );
+
+    // Example 3.8 (Iden): {Alice, Bob}, score 11.
+    let iden = DiversificationInstance::from_schemes(
+        &groups,
+        WeightScheme::Identical,
+        CovScheme::Single,
+        2,
+    );
+    let isel = greedy_select(&iden, 2);
+    let inames: Vec<&str> = isel
+        .users
+        .iter()
+        .map(|&u| repo.user_name(u).unwrap())
+        .collect();
+    assert_eq!(inames, vec!["Alice", "Bob"], "Example 3.8 Iden selection");
+    assert_eq!(isel.score, 11.0, "Example 3.8 Iden score");
+    let _ = writeln!(
+        out,
+        "Iden + Single, B=2 -> {{{}}} with total score {} (eccentric users)",
+        inames.join(", "),
+        isel.score
+    );
+
+    // Example 5.2: explanations.
+    let report = SelectionReport::build(&inst, &repo, &sel, 5);
+    let _ = writeln!(out, "\nExplanations (Example 5.2):");
+    let _ = write!(out, "{}", report.render());
+
+    // Example 6.2 / 6.4: customization.
+    let mex_groups: Vec<_> = (0..repo.property_count())
+        .map(PropertyId::from_index)
+        .filter(|&p| repo.property_label(p).unwrap() == "avgRating Mexican")
+        .flat_map(|p| groups.groups_of_property(p))
+        .collect();
+    let lives_groups: Vec<_> = (0..repo.property_count())
+        .map(PropertyId::from_index)
+        .filter(|&p| repo.property_label(p).unwrap().starts_with("livesIn"))
+        .flat_map(|p| groups.groups_of_property(p))
+        .collect();
+    let feedback = Feedback {
+        must_have: mex_groups,
+        priority: lives_groups,
+        ..Feedback::default()
+    };
+    let custom = custom_select(
+        &repo,
+        &groups,
+        WeightScheme::LinearBySize,
+        CovScheme::Single,
+        2,
+        &feedback,
+    )
+    .expect("valid feedback");
+    let cnames: Vec<&str> = custom
+        .users()
+        .iter()
+        .map(|&u| repo.user_name(u).unwrap())
+        .collect();
+    assert_eq!(cnames, vec!["Alice", "Eve"], "Example 6.4 selection");
+    assert_eq!(custom.pool_size, 4, "Carol filtered out (Example 6.4)");
+    assert_eq!(custom.priority_score(), 3.0, "livesIn weight sum (Ex. 6.4)");
+    assert_eq!(custom.standard_score(), 14.0, "other-properties sum (Ex. 6.4)");
+    let _ = writeln!(
+        out,
+        "\nCustomization (Example 6.4): must-have avgRating Mexican, priority livesIn"
+    );
+    let _ = writeln!(
+        out,
+        "  refined pool {} users -> {{{}}}, priority score {}, standard score {}",
+        custom.pool_size,
+        cnames.join(", "),
+        custom.priority_score(),
+        custom.standard_score()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn running_example_reproduces_all_paper_values() {
+        let transcript = super::run();
+        assert!(transcript.contains("score 17"));
+        assert!(transcript.contains("Alice, Eve"));
+        assert!(transcript.contains("Alice, Bob"));
+        assert!(transcript.contains("priority score 3"));
+    }
+}

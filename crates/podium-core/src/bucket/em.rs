@@ -1,0 +1,176 @@
+//! 1-D Gaussian-mixture interval splitting via expectation maximization.
+//!
+//! Fits a `k`-component Gaussian mixture to the scores with EM (deterministic
+//! quantile initialization), then cuts wherever the maximum-posterior
+//! component changes along a grid sweep of `[0, 1]`. Components that collapse
+//! (weight or variance → 0) are dropped, so fewer than `k` buckets may
+//! result.
+
+const MAX_ITERS: usize = 100;
+const MIN_VAR: f64 = 1e-6;
+const GRID: usize = 512;
+
+#[derive(Clone, Copy)]
+struct Component {
+    weight: f64,
+    mean: f64,
+    var: f64,
+}
+
+fn log_pdf(c: &Component, x: f64) -> f64 {
+    let d = x - c.mean;
+    c.weight.ln() - 0.5 * (d * d / c.var) - 0.5 * (c.var * std::f64::consts::TAU).ln()
+}
+
+/// Returns interior edges where the fitted mixture's dominant component
+/// changes.
+///
+/// `values` must be sorted ascending.
+pub fn split(values: &[f64], k: usize) -> Vec<f64> {
+    let n = values.len();
+    if k <= 1 || n < 2 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+
+    // Quantile initialization with a shared initial variance.
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var = (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64)
+        .max(MIN_VAR);
+    let mut comps: Vec<Component> = (0..k)
+        .map(|i| Component {
+            weight: 1.0 / k as f64,
+            mean: values[((2 * i + 1) * n / (2 * k)).min(n - 1)],
+            var: var / k as f64,
+        })
+        .collect();
+
+    let mut resp = vec![0.0f64; k];
+    let mut stats = vec![(0.0f64, 0.0f64, 0.0f64); k]; // (r, r*x, r*x²)
+    let mut prev_ll = f64::NEG_INFINITY;
+    for _ in 0..MAX_ITERS {
+        for s in stats.iter_mut() {
+            *s = (0.0, 0.0, 0.0);
+        }
+        let mut ll = 0.0;
+        for &x in values {
+            // E-step for one point, in log space for stability.
+            let mut max_lp = f64::NEG_INFINITY;
+            for (j, c) in comps.iter().enumerate() {
+                resp[j] = log_pdf(c, x);
+                max_lp = max_lp.max(resp[j]);
+            }
+            let mut denom = 0.0;
+            for r in resp.iter_mut() {
+                *r = (*r - max_lp).exp();
+                denom += *r;
+            }
+            ll += denom.ln() + max_lp;
+            for (j, s) in stats.iter_mut().enumerate() {
+                let r = resp[j] / denom;
+                s.0 += r;
+                s.1 += r * x;
+                s.2 += r * x * x;
+            }
+        }
+        // M-step.
+        for (c, &(r, rx, rx2)) in comps.iter_mut().zip(stats.iter()) {
+            if r < 1e-9 {
+                c.weight = 0.0;
+                continue;
+            }
+            c.weight = r / n as f64;
+            c.mean = rx / r;
+            c.var = (rx2 / r - c.mean * c.mean).max(MIN_VAR);
+        }
+        if (ll - prev_ll).abs() < 1e-9 {
+            break;
+        }
+        prev_ll = ll;
+    }
+    comps.retain(|c| c.weight > 1e-6);
+    if comps.len() <= 1 {
+        return Vec::new();
+    }
+    comps.sort_by(|a, b| a.mean.total_cmp(&b.mean));
+
+    // Sweep a grid, recording where the argmax-posterior component changes.
+    let lo = values[0];
+    let hi = values[n - 1];
+    if hi <= lo {
+        return Vec::new();
+    }
+    let mut edges = Vec::new();
+    let mut prev_best = usize::MAX;
+    for g in 0..GRID {
+        let x = lo + (hi - lo) * g as f64 / (GRID - 1) as f64;
+        let best = comps
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| log_pdf(a, x).total_cmp(&log_pdf(b, x)))
+            .map(|(j, _)| j)
+            .unwrap_or(0);
+        if prev_best != usize::MAX && best != prev_best {
+            edges.push(x);
+        }
+        prev_best = best;
+    }
+    // A wide component can dominate in several disjoint regions (e.g. both
+    // tails around a narrow central component), yielding more than `k - 1`
+    // switches; drop the excess so the result respects the requested bucket
+    // count.
+    edges.truncate(k - 1);
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_gaussians() {
+        let mut values = Vec::new();
+        for i in 0..50 {
+            values.push(0.2 + 0.02 * ((i % 7) as f64 - 3.0) / 3.0);
+            values.push(0.8 + 0.02 * ((i % 5) as f64 - 2.0) / 2.0);
+        }
+        values.sort_by(f64::total_cmp);
+        let e = split(&values, 2);
+        assert_eq!(e.len(), 1, "{e:?}");
+        assert!(e[0] > 0.3 && e[0] < 0.7, "boundary at {e:?}");
+    }
+
+    #[test]
+    fn collapsed_components_are_dropped() {
+        // Single tight cluster: extra components collapse, no cuts remain.
+        let values = vec![0.5, 0.5001, 0.5002, 0.5003, 0.5004];
+        let e = split(&values, 3);
+        assert!(e.len() <= 1, "{e:?}");
+    }
+
+    #[test]
+    fn constant_data_yields_no_cuts() {
+        assert!(split(&[0.25; 40], 3).is_empty());
+    }
+
+    #[test]
+    fn three_components() {
+        let mut values = Vec::new();
+        for c in [0.1, 0.5, 0.9] {
+            for i in 0..30 {
+                values.push(c + 0.015 * ((i % 9) as f64 - 4.0) / 4.0);
+            }
+        }
+        values.sort_by(f64::total_cmp);
+        let e = split(&values, 3);
+        assert_eq!(e.len(), 2, "{e:?}");
+        assert!(e[0] > 0.15 && e[0] < 0.5, "{e:?}");
+        assert!(e[1] > 0.55 && e[1] < 0.9, "{e:?}");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(split(&[], 2).is_empty());
+        assert!(split(&[0.3], 2).is_empty());
+    }
+}

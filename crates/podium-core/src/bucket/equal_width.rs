@@ -1,0 +1,34 @@
+//! Equal-width interval splitting: `k` intervals of width `1/k` over `[0, 1]`.
+
+/// Returns the `k - 1` interior edges of the equal-width partition of `[0, 1]`.
+pub fn split(k: usize) -> Vec<f64> {
+    if k <= 1 {
+        return Vec::new();
+    }
+    (1..k).map(|i| i as f64 / k as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_buckets() {
+        let e = split(3);
+        assert_eq!(e.len(), 2);
+        assert!((e[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((e[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_bucket_has_no_edges() {
+        assert!(split(1).is_empty());
+        assert!(split(0).is_empty());
+    }
+
+    #[test]
+    fn edges_are_strictly_increasing() {
+        let e = split(10);
+        assert!(e.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,160 @@
+//! Jenks natural-breaks optimization (Jenks 1967, paper ref. \[14\]).
+//!
+//! Finds the partition of sorted 1-D data into `k` classes minimizing the
+//! total within-class sum of squared deviations from the class mean, via the
+//! classic `O(k·n²)` dynamic program (Fisher's exact method). Prefix sums
+//! make each interval cost O(1).
+
+/// Returns interior edges of the optimal `k`-class natural-breaks partition.
+///
+/// `values` must be sorted ascending. Edges are placed midway between the
+/// last value of one class and the first value of the next.
+#[allow(clippy::needless_range_loop)] // DP indices mirror the textbook recurrence
+pub fn split(values: &[f64], k: usize) -> Vec<f64> {
+    let n = values.len();
+    if k <= 1 || n < 2 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+
+    // prefix[i] = sum of first i values; prefix2 likewise for squares.
+    let mut prefix = vec![0.0f64; n + 1];
+    let mut prefix2 = vec![0.0f64; n + 1];
+    for (i, &v) in values.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + v;
+        prefix2[i + 1] = prefix2[i] + v * v;
+    }
+    // Cost (SSE) of the class values[i..j], i < j.
+    let sse = |i: usize, j: usize| -> f64 {
+        let cnt = (j - i) as f64;
+        let s = prefix[j] - prefix[i];
+        let s2 = prefix2[j] - prefix2[i];
+        (s2 - s * s / cnt).max(0.0)
+    };
+
+    // dp[c][j] = min cost of splitting the first j values into c classes.
+    // back[c][j] = start index of the last class in that optimum.
+    let mut dp = vec![f64::INFINITY; n + 1];
+    let mut back = vec![vec![0usize; n + 1]; k + 1];
+    for j in 1..=n {
+        dp[j] = sse(0, j);
+        back[1][j] = 0;
+    }
+    dp[0] = 0.0;
+    for c in 2..=k {
+        let mut next = vec![f64::INFINITY; n + 1];
+        for j in c..=n {
+            let mut best = f64::INFINITY;
+            let mut best_i = c - 1;
+            for i in (c - 1)..j {
+                let cost = dp[i] + sse(i, j);
+                if cost < best {
+                    best = cost;
+                    best_i = i;
+                }
+            }
+            next[j] = best;
+            back[c][j] = best_i;
+        }
+        dp = next;
+    }
+
+    // Recover class boundaries.
+    let mut cuts = Vec::with_capacity(k - 1);
+    let mut j = n;
+    for c in (2..=k).rev() {
+        let i = back[c][j];
+        cuts.push(i);
+        j = i;
+    }
+    cuts.reverse();
+
+    cuts.into_iter()
+        .filter(|&i| i > 0 && i < n && values[i] > values[i - 1])
+        .map(|i| (values[i - 1] + values[i]) / 2.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_obvious_clusters() {
+        let mut values = vec![0.1, 0.11, 0.12, 0.13, 0.9, 0.91, 0.92];
+        values.sort_by(f64::total_cmp);
+        let e = split(&values, 2);
+        assert_eq!(e.len(), 1);
+        assert!(e[0] > 0.13 && e[0] < 0.9, "cut at {e:?}");
+    }
+
+    #[test]
+    fn separates_three_clusters() {
+        let mut values = Vec::new();
+        for c in [0.1, 0.5, 0.9] {
+            for i in 0..10 {
+                values.push(c + i as f64 * 0.001);
+            }
+        }
+        values.sort_by(f64::total_cmp);
+        let e = split(&values, 3);
+        assert_eq!(e.len(), 2);
+        assert!(e[0] > 0.11 && e[0] < 0.5);
+        assert!(e[1] > 0.51 && e[1] < 0.9);
+    }
+
+    #[test]
+    fn optimality_against_brute_force() {
+        // Compare DP cost with brute-force enumeration of all 2-cut splits.
+        let values = [0.05, 0.1, 0.3, 0.35, 0.4, 0.7, 0.75, 0.95];
+        let e = split(&values, 3);
+        let cost = |cuts: &[usize]| -> f64 {
+            let mut bounds = vec![0];
+            bounds.extend_from_slice(cuts);
+            bounds.push(values.len());
+            bounds
+                .windows(2)
+                .map(|w| {
+                    let cls = &values[w[0]..w[1]];
+                    let m = cls.iter().sum::<f64>() / cls.len() as f64;
+                    cls.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
+                })
+                .sum()
+        };
+        // Recover the DP's cut indices from the returned edges.
+        let dp_cuts: Vec<usize> = e
+            .iter()
+            .map(|&edge| values.iter().position(|&v| v > edge).unwrap())
+            .collect();
+        let dp_cost = cost(&dp_cuts);
+        let mut best = f64::INFINITY;
+        for i in 1..values.len() {
+            for j in (i + 1)..values.len() {
+                best = best.min(cost(&[i, j]));
+            }
+        }
+        assert!(
+            dp_cost <= best + 1e-12,
+            "DP cost {dp_cost} worse than brute force {best}"
+        );
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let values = [0.2, 0.8];
+        let e = split(&values, 10);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn constant_data_yields_no_cuts() {
+        let values = [0.4; 20];
+        assert!(split(&values, 3).is_empty());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(split(&[], 3).is_empty());
+        assert!(split(&[0.5], 3).is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Kernel-density-estimation valley splitting.
+//!
+//! Estimates the score density with a Gaussian kernel (Silverman's
+//! rule-of-thumb bandwidth), evaluates it on a fixed grid over `[0, 1]`, and
+//! cuts at the deepest local minima ("valleys") between density modes. If
+//! fewer than `k - 1` valleys exist the method returns fewer cuts — the
+//! density simply does not support more buckets.
+
+const GRID: usize = 256;
+
+/// Returns up to `k - 1` interior edges at density valleys.
+///
+/// `values` must be sorted ascending and lie in `[0, 1]`.
+pub fn split(values: &[f64], k: usize) -> Vec<f64> {
+    let n = values.len();
+    if k <= 1 || n < 2 {
+        return Vec::new();
+    }
+
+    // Silverman bandwidth: 0.9 * min(sd, IQR/1.34) * n^(-1/5).
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    let sd = var.sqrt();
+    let iqr = values[(3 * n) / 4].max(values[n - 1]) - values[n / 4];
+    let spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
+    if spread <= 0.0 {
+        return Vec::new(); // constant data: single mode, no valleys
+    }
+    let h = 0.9 * spread * (n as f64).powf(-0.2);
+
+    // Density on the grid.
+    let mut density = [0.0f64; GRID];
+    for (g, d) in density.iter_mut().enumerate() {
+        let x = g as f64 / (GRID - 1) as f64;
+        *d = values
+            .iter()
+            .map(|&v| {
+                let z = (x - v) / h;
+                (-0.5 * z * z).exp()
+            })
+            .sum::<f64>();
+    }
+
+    // Local minima strictly between local maxima, scored by depth
+    // (min of the two neighbouring peaks minus valley height).
+    let mut valleys: Vec<(f64, usize)> = Vec::new(); // (depth, grid index)
+    let mut g = 1;
+    while g + 1 < GRID {
+        if density[g] < density[g - 1] && density[g] <= density[g + 1] {
+            // Valley depth relative to the highest peak on each side.
+            let left_peak = density[..=g].iter().cloned().fold(f64::MIN, f64::max);
+            let right_peak = density[g..].iter().cloned().fold(f64::MIN, f64::max);
+            let depth = left_peak.min(right_peak) - density[g];
+            if depth > 1e-9 {
+                valleys.push((depth, g));
+            }
+        }
+        g += 1;
+    }
+
+    // Keep the k-1 deepest valleys, restore positional order.
+    valleys.sort_by(|a, b| b.0.total_cmp(&a.0));
+    valleys.truncate(k - 1);
+    valleys.sort_by_key(|&(_, g)| g);
+    valleys
+        .into_iter()
+        .map(|(_, g)| g as f64 / (GRID - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_valley_between_two_modes() {
+        let mut values = Vec::new();
+        for i in 0..40 {
+            values.push(0.15 + (i % 10) as f64 * 0.004);
+            values.push(0.85 + (i % 10) as f64 * 0.004);
+        }
+        values.sort_by(f64::total_cmp);
+        let e = split(&values, 2);
+        assert_eq!(e.len(), 1, "edges {e:?}");
+        assert!(e[0] > 0.25 && e[0] < 0.8, "valley at {e:?}");
+    }
+
+    #[test]
+    fn unimodal_data_yields_no_cut() {
+        let values: Vec<f64> = (0..60).map(|i| 0.5 + (i as f64 - 30.0) * 0.002).collect();
+        let e = split(&values, 3);
+        assert!(e.len() <= 1, "nearly uniform hump should have few valleys: {e:?}");
+    }
+
+    #[test]
+    fn constant_data_yields_no_cuts() {
+        assert!(split(&[0.6; 30], 3).is_empty());
+    }
+
+    #[test]
+    fn respects_requested_bucket_count() {
+        // Four separated modes, but only k=2 requested -> at most 1 cut.
+        let mut values = Vec::new();
+        for c in [0.1, 0.37, 0.63, 0.9] {
+            for i in 0..15 {
+                values.push(c + i as f64 * 0.002);
+            }
+        }
+        values.sort_by(f64::total_cmp);
+        assert!(split(&values, 2).len() <= 1);
+        assert!(split(&values, 4).len() <= 3);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(split(&[], 3).is_empty());
+        assert!(split(&[0.1], 3).is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! 1-D k-means interval splitting (Lloyd's algorithm).
+//!
+//! Because the data is one-dimensional and sorted, cluster assignments are
+//! contiguous intervals, so the result is a valid bucketing. Centroids are
+//! seeded at the quantile midpoints, which makes the procedure deterministic.
+
+/// Returns interior edges from a `k`-means clustering of the sorted values.
+pub fn split(values: &[f64], k: usize) -> Vec<f64> {
+    let n = values.len();
+    if k <= 1 || n < 2 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+
+    // Quantile seeding.
+    let mut centroids: Vec<f64> = (0..k)
+        .map(|i| values[((2 * i + 1) * n / (2 * k)).min(n - 1)])
+        .collect();
+    centroids.dedup();
+    let k = centroids.len();
+    if k <= 1 {
+        return Vec::new();
+    }
+
+    // Lloyd iterations. Assignments for sorted 1-D data are determined by the
+    // midpoints between consecutive centroids.
+    let mut boundaries = vec![0usize; k + 1];
+    for _ in 0..64 {
+        boundaries[0] = 0;
+        boundaries[k] = n;
+        for c in 1..k {
+            let mid = (centroids[c - 1] + centroids[c]) / 2.0;
+            boundaries[c] = values.partition_point(|&v| v < mid).max(boundaries[c - 1]);
+        }
+        let mut moved = false;
+        for c in 0..k {
+            let (lo, hi) = (boundaries[c], boundaries[c + 1]);
+            if lo >= hi {
+                continue; // empty cluster keeps its centroid
+            }
+            let mean = values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            if (mean - centroids[c]).abs() > 1e-12 {
+                centroids[c] = mean;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    boundaries[1..k]
+        .iter()
+        .filter(|&&i| i > 0 && i < n && values[i] > values[i - 1])
+        .map(|&i| (values[i - 1] + values[i]) / 2.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_clusters() {
+        let values = [0.1, 0.12, 0.14, 0.8, 0.82, 0.84];
+        let e = split(&values, 2);
+        assert_eq!(e.len(), 1);
+        assert!(e[0] > 0.14 && e[0] < 0.8);
+    }
+
+    #[test]
+    fn matches_jenks_on_well_separated_data() {
+        // k-means and Jenks share the SSE criterion; on clearly separated
+        // clusters both must find the same gaps.
+        let mut values = Vec::new();
+        for c in [0.15, 0.55, 0.9] {
+            for i in 0..8 {
+                values.push(c + i as f64 * 0.002);
+            }
+        }
+        values.sort_by(f64::total_cmp);
+        let km = split(&values, 3);
+        let jk = super::super::jenks::split(&values, 3);
+        assert_eq!(km.len(), jk.len());
+        for (a, b) in km.iter().zip(jk.iter()) {
+            assert!((a - b).abs() < 1e-9, "km={km:?} jenks={jk:?}");
+        }
+    }
+
+    #[test]
+    fn constant_data_yields_no_cuts() {
+        assert!(split(&[0.3; 10], 3).is_empty());
+    }
+
+    #[test]
+    fn handles_k_exceeding_distinct_values() {
+        let values = [0.2, 0.2, 0.2, 0.9, 0.9];
+        let e = split(&values, 4);
+        assert_eq!(e.len(), 1);
+        assert!(e[0] > 0.2 && e[0] < 0.9);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(split(&[], 2).is_empty());
+        assert!(split(&[0.5], 2).is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Equal-frequency (quantile) interval splitting.
+//!
+//! Cuts are placed at the `i/k` quantiles of the observed scores, midway
+//! between the two straddling observations so that ties do not produce
+//! degenerate buckets.
+
+/// Returns interior edges placing roughly `n/k` observations per bucket.
+///
+/// `values` must be sorted ascending.
+pub fn split(values: &[f64], k: usize) -> Vec<f64> {
+    if k <= 1 || values.len() < 2 {
+        return Vec::new();
+    }
+    let n = values.len();
+    let mut edges = Vec::with_capacity(k - 1);
+    for i in 1..k {
+        let pos = i * n / k;
+        if pos == 0 || pos >= n {
+            continue;
+        }
+        let lo = values[pos - 1];
+        let hi = values[pos];
+        if hi > lo {
+            edges.push((lo + hi) / 2.0);
+        }
+        // hi == lo: the quantile falls inside a run of ties; no cut here.
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_data_gets_balanced_cuts() {
+        let values: Vec<f64> = (0..90).map(|i| i as f64 / 89.0).collect();
+        let e = split(&values, 3);
+        assert_eq!(e.len(), 2);
+        // Cuts near the 1/3 and 2/3 quantiles.
+        assert!((e[0] - 1.0 / 3.0).abs() < 0.05, "{e:?}");
+        assert!((e[1] - 2.0 / 3.0).abs() < 0.05, "{e:?}");
+    }
+
+    #[test]
+    fn ties_do_not_create_degenerate_cuts() {
+        let values = vec![0.5; 100];
+        assert!(split(&values, 3).is_empty());
+    }
+
+    #[test]
+    fn skewed_data_cuts_follow_mass() {
+        // 90% of mass at the low score. With k=2 the median falls inside the
+        // tie run, so no cut is possible; with k=10 the 9/10 quantile lands
+        // exactly on the boundary between the two runs.
+        let mut values = vec![0.05; 90];
+        values.extend(std::iter::repeat_n(0.9, 10));
+        assert!(split(&values, 2).is_empty(), "median inside tie run");
+        let e = split(&values, 10);
+        assert_eq!(e.len(), 1);
+        assert!((e[0] - 0.475).abs() < 1e-12, "midpoint between 0.05 and 0.9");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert!(split(&[], 3).is_empty());
+        assert!(split(&[0.5], 3).is_empty());
+        let e = split(&[0.2, 0.8], 2);
+        assert_eq!(e, vec![0.5]);
+    }
+}

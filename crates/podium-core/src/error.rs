@@ -1,0 +1,109 @@
+//! Error types for `podium-core`.
+
+use crate::ids::{GroupId, PropertyId, UserId};
+
+/// Result alias using [`CoreError`].
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors produced by the core library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A property score was outside the normalized `[0, 1]` range.
+    ScoreOutOfRange {
+        /// The offending score.
+        score: f64,
+        /// The property the score was assigned to.
+        property: PropertyId,
+    },
+    /// A user identifier did not exist in the repository.
+    UnknownUser(UserId),
+    /// A property identifier did not exist in the repository.
+    UnknownProperty(PropertyId),
+    /// A group identifier did not exist in the group set.
+    UnknownGroup(GroupId),
+    /// Bucketing was requested with an invalid number of buckets.
+    InvalidBucketCount(usize),
+    /// Bucket edges were not strictly increasing within `[0, 1]`.
+    InvalidBucketEdges(Vec<f64>),
+    /// A selection budget of zero was requested.
+    ZeroBudget,
+    /// Customization feedback referenced groups inconsistently (e.g. the same
+    /// group both "must have" and "must not").
+    ContradictoryFeedback(GroupId),
+    /// The exhaustive optimal solver was asked for an instance too large to
+    /// enumerate.
+    InstanceTooLarge {
+        /// Number of candidate users.
+        users: usize,
+        /// Requested budget.
+        budget: usize,
+        /// Maximum number of subsets the solver is willing to enumerate.
+        limit: u128,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::ScoreOutOfRange { score, property } => write!(
+                f,
+                "score {score} for {property} is outside the normalized [0, 1] range"
+            ),
+            CoreError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            CoreError::UnknownProperty(p) => write!(f, "unknown property {p}"),
+            CoreError::UnknownGroup(g) => write!(f, "unknown group {g}"),
+            CoreError::InvalidBucketCount(k) => {
+                write!(f, "invalid bucket count {k}; at least 1 bucket is required")
+            }
+            CoreError::InvalidBucketEdges(edges) => {
+                write!(f, "bucket edges {edges:?} are not strictly increasing in [0, 1]")
+            }
+            CoreError::ZeroBudget => write!(f, "selection budget must be at least 1"),
+            CoreError::ContradictoryFeedback(g) => write!(
+                f,
+                "customization feedback lists {g} as both required and forbidden"
+            ),
+            CoreError::InstanceTooLarge {
+                users,
+                budget,
+                limit,
+            } => write!(
+                f,
+                "exhaustive search over C({users}, {budget}) subsets exceeds the limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::ScoreOutOfRange {
+            score: 1.5,
+            property: PropertyId(3),
+        };
+        assert!(e.to_string().contains("1.5"));
+        assert!(e.to_string().contains("PropertyId(3)"));
+
+        let e = CoreError::InstanceTooLarge {
+            users: 100,
+            budget: 10,
+            limit: 1_000_000,
+        };
+        assert!(e.to_string().contains("C(100, 10)"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CoreError::ZeroBudget, CoreError::ZeroBudget);
+        assert_ne!(
+            CoreError::UnknownUser(UserId(1)),
+            CoreError::UnknownUser(UserId(2))
+        );
+    }
+}

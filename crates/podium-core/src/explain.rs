@@ -1,0 +1,518 @@
+//! Explanations of diversification results (paper §5, Definition 5.1).
+//!
+//! Three complementary explanation types are provided:
+//!
+//! * **Group explanations** `⟨label, wei(G), cov(G)⟩` — what a group means
+//!   and how important it is;
+//! * **User explanations** `{G ∈ 𝒢 | u ∈ G}` — why a user was selected;
+//! * **Subset-group explanations** `⟨cov(G), |U ∩ G|⟩` — required versus
+//!   actual coverage of a group by the selected subset.
+//!
+//! [`SelectionReport`] aggregates these into the payload the Podium UI
+//! renders (Figure 2): per-user top-weight covered groups (left pane), the
+//! covered percentage of top-weight groups (middle pane), and per-property
+//! population-vs-subset score distributions (right pane).
+
+use serde::Serialize;
+
+use crate::greedy::Selection;
+use crate::ids::{GroupId, PropertyId, UserId};
+use crate::instance::DiversificationInstance;
+use crate::profile::UserRepository;
+use crate::score::ScoreValue;
+
+/// Group explanation `⟨l_G, wei(G), cov(G)⟩` (Definition 5.1).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GroupExplanation {
+    /// The group.
+    pub group: GroupId,
+    /// Human-readable label combining property and bucket labels.
+    pub label: String,
+    /// The group's weight, rendered as `f64` for display.
+    pub weight: f64,
+    /// The required coverage `cov(G)`.
+    pub cov: u32,
+}
+
+/// User explanation: the groups a selected user represents (Definition 5.1).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct UserExplanation {
+    /// The user being explained.
+    pub user: UserId,
+    /// The user's display name.
+    pub name: String,
+    /// Groups the user belongs to, sorted by descending weight.
+    pub groups: Vec<GroupExplanation>,
+}
+
+/// Subset-group explanation `⟨cov(G), |U ∩ G|⟩` (Definition 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SubsetGroupExplanation {
+    /// The group.
+    pub group: GroupId,
+    /// Required coverage `cov(G)`.
+    pub required: u32,
+    /// Actual coverage `|U ∩ G|`.
+    pub actual: u32,
+}
+
+impl SubsetGroupExplanation {
+    /// Whether the subset covers the group (`actual ≥ required`).
+    #[inline]
+    pub fn is_covered(&self) -> bool {
+        self.actual >= self.required
+    }
+
+    /// Whether the group is over-represented (`actual > required`) — not
+    /// rewarded but also not penalized by the score (§3.2).
+    #[inline]
+    pub fn is_over_represented(&self) -> bool {
+        self.actual > self.required
+    }
+}
+
+/// Builds the group explanation of `g`.
+pub fn explain_group<W: ScoreValue>(
+    inst: &DiversificationInstance<'_, W>,
+    repo: &UserRepository,
+    g: GroupId,
+) -> GroupExplanation {
+    GroupExplanation {
+        group: g,
+        label: inst.groups().label(g, repo),
+        weight: inst.weight(g).as_f64(),
+        cov: inst.cov(g),
+    }
+}
+
+/// Builds the user explanation of `u`: the groups `u` represents, sorted by
+/// descending weight (the UI shows the top-weight ones).
+pub fn explain_user<W: ScoreValue>(
+    inst: &DiversificationInstance<'_, W>,
+    repo: &UserRepository,
+    u: UserId,
+) -> UserExplanation {
+    let mut groups: Vec<GroupExplanation> = inst
+        .groups()
+        .groups_of(u)
+        .iter()
+        .map(|&g| explain_group(inst, repo, g))
+        .collect();
+    groups.sort_by(|a, b| b.weight.total_cmp(&a.weight).then(a.group.cmp(&b.group)));
+    UserExplanation {
+        user: u,
+        name: repo.user_name(u).unwrap_or("<unknown>").to_owned(),
+        groups,
+    }
+}
+
+/// Builds the subset-group explanation of `g` for a completed selection.
+pub fn explain_subset_group<W: ScoreValue>(
+    inst: &DiversificationInstance<'_, W>,
+    selection: &Selection<W>,
+    g: GroupId,
+) -> SubsetGroupExplanation {
+    SubsetGroupExplanation {
+        group: g,
+        required: inst.cov(g),
+        actual: selection.covered_counts[g.index()],
+    }
+}
+
+/// Counterfactual explanation: *why was this user not selected?*
+///
+/// An extension of §5's explanation vocabulary in the direction of §10
+/// ("proposing relevant refinements for the user"): it contrasts the
+/// residual marginal contribution the user would still add with the gains
+/// the greedy algorithm actually accepted, and splits the user's groups
+/// into novel (still uncovered) versus redundant (already covered by the
+/// selection) — the actionable signal for a client who expected the user
+/// to be picked.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WhyNotExplanation {
+    /// The user being explained.
+    pub user: UserId,
+    /// Display name.
+    pub name: String,
+    /// The marginal gain the user would add to the *final* selection.
+    pub residual_gain: f64,
+    /// The smallest gain the greedy run actually accepted (the "bar").
+    pub smallest_accepted_gain: f64,
+    /// The user's groups that the selection still leaves under-covered.
+    pub novel_groups: Vec<GroupId>,
+    /// The user's groups already covered by the selection.
+    pub redundant_groups: Vec<GroupId>,
+}
+
+impl WhyNotExplanation {
+    /// Whether the user was simply dominated: everything they offer is
+    /// already covered.
+    pub fn fully_redundant(&self) -> bool {
+        self.novel_groups.is_empty()
+    }
+}
+
+/// Builds the why-not explanation of an unselected user.
+///
+/// Returns `None` if `u` *was* selected.
+pub fn explain_why_not<W: ScoreValue>(
+    inst: &DiversificationInstance<'_, W>,
+    repo: &UserRepository,
+    selection: &Selection<W>,
+    u: UserId,
+) -> Option<WhyNotExplanation> {
+    if selection.contains(u) {
+        return None;
+    }
+    let mut residual = W::zero();
+    let mut novel_groups = Vec::new();
+    let mut redundant_groups = Vec::new();
+    for &g in inst.groups().groups_of(u) {
+        if selection.covered_counts[g.index()] < inst.cov(g) {
+            residual.add_assign(inst.weight(g));
+            novel_groups.push(g);
+        } else {
+            redundant_groups.push(g);
+        }
+    }
+    let smallest = selection
+        .gains
+        .iter()
+        .map(ScoreValue::as_f64)
+        .fold(f64::INFINITY, f64::min);
+    Some(WhyNotExplanation {
+        user: u,
+        name: repo.user_name(u).unwrap_or("<unknown>").to_owned(),
+        residual_gain: residual.as_f64(),
+        smallest_accepted_gain: if smallest.is_finite() { smallest } else { 0.0 },
+        novel_groups,
+        redundant_groups,
+    })
+}
+
+/// One row of the per-property distribution comparison (Figure 2, right
+/// pane): population vs. selected-subset share of each bucket.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DistributionRow {
+    /// Bucket label (e.g. `"high"`).
+    pub bucket_label: String,
+    /// Fraction of the population's property-holders in this bucket.
+    pub population_share: f64,
+    /// Fraction of the subset's property-holders in this bucket.
+    pub subset_share: f64,
+}
+
+/// A full explanation report for one selection — the data behind the Podium
+/// explanation page (Figure 2).
+#[derive(Debug, Clone, Serialize)]
+pub struct SelectionReport {
+    /// Per selected user: their explanation (left pane).
+    pub users: Vec<UserExplanation>,
+    /// Subset-group explanations for every group, ordered by descending
+    /// weight (middle pane's green/red list).
+    pub groups: Vec<(GroupExplanation, SubsetGroupExplanation)>,
+    /// Fraction of the `top_k` heaviest groups covered by the subset (the
+    /// "97%" headline of Figure 2).
+    pub top_weight_coverage: f64,
+    /// How many groups were considered "top weight".
+    pub top_k: usize,
+}
+
+impl SelectionReport {
+    /// Builds the report. `top_k` bounds the headline coverage statistic.
+    pub fn build<W: ScoreValue>(
+        inst: &DiversificationInstance<'_, W>,
+        repo: &UserRepository,
+        selection: &Selection<W>,
+        top_k: usize,
+    ) -> Self {
+        let users = selection
+            .users
+            .iter()
+            .map(|&u| explain_user(inst, repo, u))
+            .collect();
+        let mut groups: Vec<(GroupExplanation, SubsetGroupExplanation)> = inst
+            .groups()
+            .ids()
+            .map(|g| {
+                (
+                    explain_group(inst, repo, g),
+                    explain_subset_group(inst, selection, g),
+                )
+            })
+            .collect();
+        groups.sort_by(|a, b| {
+            b.0.weight
+                .total_cmp(&a.0.weight)
+                .then(a.0.group.cmp(&b.0.group))
+        });
+        let top_k = top_k.min(groups.len());
+        let top_weight_coverage = if top_k == 0 {
+            1.0 // no groups to cover: vacuously complete
+        } else {
+            let covered = groups[..top_k].iter().filter(|(_, s)| s.is_covered()).count();
+            covered as f64 / top_k as f64
+        };
+        Self {
+            users,
+            groups,
+            top_weight_coverage,
+            top_k,
+        }
+    }
+
+    /// The distribution comparison for one property (Figure 2, right pane):
+    /// per bucket, the share of property-holders in the population vs. in
+    /// the selected subset. Shares are weighted by group size exactly as the
+    /// group-bucket distribution similarity metric prescribes (§8.2).
+    pub fn property_distribution<W: ScoreValue>(
+        inst: &DiversificationInstance<'_, W>,
+        repo: &UserRepository,
+        selection: &Selection<W>,
+        property: PropertyId,
+    ) -> Vec<DistributionRow> {
+        let groups = inst.groups();
+        let prop_groups = groups.groups_of_property(property);
+        let pop_total: usize = prop_groups
+            .iter()
+            .filter_map(|&g| groups.group(g).ok())
+            .map(|g| g.size())
+            .sum();
+        let sub_total: u32 = prop_groups
+            .iter()
+            .map(|&g| selection.covered_counts[g.index()])
+            .sum();
+        prop_groups
+            .iter()
+            .map(|&g| {
+                let size = groups.group(g).map(|gr| gr.size()).unwrap_or(0);
+                let bucket_label = groups
+                    .bucket_of_group(g)
+                    .map(|b| {
+                        if b.label.is_empty() {
+                            b.range_string()
+                        } else {
+                            b.label.clone()
+                        }
+                    })
+                    .unwrap_or_else(|| groups.label(g, repo));
+                DistributionRow {
+                    bucket_label,
+                    population_share: if pop_total == 0 {
+                        0.0
+                    } else {
+                        size as f64 / pop_total as f64
+                    },
+                    subset_share: if sub_total == 0 {
+                        0.0
+                    } else {
+                        f64::from(selection.covered_counts[g.index()]) / f64::from(sub_total)
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the report as plain text (used by examples and the harness).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "covered {:.0}% of the top-{} groups by weight",
+            self.top_weight_coverage * 100.0,
+            self.top_k
+        );
+        for ue in &self.users {
+            let top: Vec<&str> = ue
+                .groups
+                .iter()
+                .take(3)
+                .map(|g| g.label.as_str())
+                .collect();
+            let _ = writeln!(out, "  {} represents: {}", ue.name, top.join("; "));
+        }
+        for (ge, se) in self.groups.iter().take(self.top_k) {
+            let mark = if se.is_covered() { '+' } else { '-' };
+            let _ = writeln!(
+                out,
+                "  [{mark}] {} (weight {:.0}, required {}, actual {})",
+                ge.label, ge.weight, se.required, se.actual
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::BucketingConfig;
+    use crate::greedy::greedy_select;
+    use crate::group::GroupSet;
+    use crate::weights::{CovScheme, WeightScheme};
+
+    fn setup() -> (UserRepository, GroupSet) {
+        let repo = crate::testutil::table2();
+        let buckets = BucketingConfig::paper_default().bucketize(&repo);
+        let groups = GroupSet::build(&repo, &buckets);
+        (repo, groups)
+    }
+
+    #[test]
+    fn example_52_group_explanations() {
+        let (repo, groups) = setup();
+        let inst = DiversificationInstance::from_schemes(
+            &groups,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            2,
+        );
+        // ⟨"high avgRating Mexican", 3, 1⟩
+        let mex = repo.property_id("avgRating Mexican").unwrap();
+        let high = groups
+            .groups_of_property(mex)
+            .into_iter()
+            .find(|&g| groups.group(g).unwrap().size() == 3)
+            .unwrap();
+        let e = explain_group(&inst, &repo, high);
+        assert_eq!(e.label, "high avgRating Mexican");
+        assert_eq!(e.weight, 3.0);
+        assert_eq!(e.cov, 1);
+        // ⟨"livesIn Tokyo", 2, 1⟩ — Boolean bucket label empty.
+        let tokyo = repo.property_id("livesIn Tokyo").unwrap();
+        let tg = groups.groups_of_property(tokyo)[0];
+        let e = explain_group(&inst, &repo, tg);
+        assert_eq!(e.label, "livesIn Tokyo");
+        assert_eq!(e.weight, 2.0);
+    }
+
+    #[test]
+    fn example_52_user_and_subset_explanations() {
+        let (repo, groups) = setup();
+        let inst = DiversificationInstance::from_schemes(
+            &groups,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            2,
+        );
+        let sel = greedy_select(&inst, 2);
+        assert_eq!(sel.users, vec![UserId(0), UserId(4)], "{{Alice, Eve}}");
+
+        let alice = explain_user(&inst, &repo, UserId(0));
+        let labels: Vec<&str> = alice.groups.iter().map(|g| g.label.as_str()).collect();
+        assert!(labels.contains(&"high avgRating Mexican"));
+        assert!(labels.contains(&"livesIn Tokyo"));
+        assert_eq!(alice.groups.len(), 6);
+        // Sorted by weight descending: the weight-3 group first.
+        assert_eq!(alice.groups[0].label, "high avgRating Mexican");
+
+        // Subset-group explanation ⟨1, 2⟩ for "high avgRating Mexican":
+        // both Alice and Eve belong, exceeding the required coverage.
+        let mex = repo.property_id("avgRating Mexican").unwrap();
+        let high = groups
+            .groups_of_property(mex)
+            .into_iter()
+            .find(|&g| groups.group(g).unwrap().size() == 3)
+            .unwrap();
+        let se = explain_subset_group(&inst, &sel, high);
+        assert_eq!((se.required, se.actual), (1, 2));
+        assert!(se.is_covered());
+        assert!(se.is_over_represented());
+    }
+
+    #[test]
+    fn report_top_weight_coverage() {
+        let (repo, groups) = setup();
+        let inst = DiversificationInstance::from_schemes(
+            &groups,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            2,
+        );
+        let sel = greedy_select(&inst, 2);
+        let report = SelectionReport::build(&inst, &repo, &sel, 5);
+        assert_eq!(report.top_k, 5);
+        assert!(report.top_weight_coverage > 0.0 && report.top_weight_coverage <= 1.0);
+        assert_eq!(report.users.len(), 2);
+        assert_eq!(report.groups.len(), groups.len());
+        // Groups sorted by descending weight.
+        assert!(report
+            .groups
+            .windows(2)
+            .all(|w| w[0].0.weight >= w[1].0.weight));
+        let text = report.render();
+        assert!(text.contains("Alice"));
+        assert!(text.contains("top-5"));
+    }
+
+    #[test]
+    fn full_selection_covers_all_top_groups() {
+        let (repo, groups) = setup();
+        let inst = DiversificationInstance::from_schemes(
+            &groups,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            5,
+        );
+        let sel = greedy_select(&inst, 5);
+        let report = SelectionReport::build(&inst, &repo, &sel, groups.len());
+        assert_eq!(report.top_weight_coverage, 1.0, "everyone selected");
+    }
+
+    #[test]
+    fn why_not_explanations() {
+        let (repo, groups) = setup();
+        let inst = DiversificationInstance::from_schemes(
+            &groups,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            2,
+        );
+        let sel = greedy_select(&inst, 2); // {Alice, Eve}
+
+        // Selected users get no why-not explanation.
+        assert!(explain_why_not(&inst, &repo, &sel, UserId(0)).is_none());
+
+        // David: Tokyo and avgMex-high are covered by Alice/Eve; his only
+        // novel group is medium visitFreq Mexican — but Eve covered that
+        // too. Residual = 0 means fully dominated.
+        let david = explain_why_not(&inst, &repo, &sel, UserId(3)).unwrap();
+        assert_eq!(david.name, "David");
+        assert!(david.fully_redundant(), "{david:?}");
+        assert_eq!(david.residual_gain, 0.0);
+        assert_eq!(david.redundant_groups.len(), 3);
+
+        // Bob still offers five uncovered singleton groups (weight 5 > bar 7? no:
+        // residual 5 < smallest accepted gain 7 — that's *why* he lost).
+        let bob = explain_why_not(&inst, &repo, &sel, UserId(1)).unwrap();
+        assert_eq!(bob.residual_gain, 5.0);
+        assert_eq!(bob.smallest_accepted_gain, 7.0);
+        assert!(!bob.fully_redundant());
+        assert_eq!(bob.novel_groups.len(), 5);
+        assert!(bob.residual_gain < bob.smallest_accepted_gain);
+    }
+
+    #[test]
+    fn property_distribution_rows() {
+        let (repo, groups) = setup();
+        let inst = DiversificationInstance::from_schemes(
+            &groups,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            2,
+        );
+        let sel = greedy_select(&inst, 2);
+        let mex = repo.property_id("avgRating Mexican").unwrap();
+        let rows = SelectionReport::property_distribution(&inst, &repo, &sel, mex);
+        assert_eq!(rows.len(), 2, "low and high buckets materialized");
+        let pop_sum: f64 = rows.iter().map(|r| r.population_share).sum();
+        let sub_sum: f64 = rows.iter().map(|r| r.subset_share).sum();
+        assert!((pop_sum - 1.0).abs() < 1e-12);
+        assert!((sub_sum - 1.0).abs() < 1e-12);
+        // Alice & Eve are both "high": subset share of high = 1.0.
+        let high = rows.iter().find(|r| r.bucket_label == "high").unwrap();
+        assert_eq!(high.subset_share, 1.0);
+        assert!((high.population_share - 0.75).abs() < 1e-12);
+    }
+}

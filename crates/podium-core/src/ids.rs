@@ -1,0 +1,104 @@
+//! Strongly-typed identifiers for users, properties, groups and buckets.
+//!
+//! All identifiers are dense `u32` indices into the owning container
+//! ([`crate::profile::UserRepository`] or [`crate::group::GroupSet`]), which
+//! keeps the bidirectional user ↔ group link lists of Algorithm 1 compact and
+//! cache-friendly.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the identifier as a `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an identifier from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `idx` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(idx: usize) -> Self {
+                Self(u32::try_from(idx).expect("identifier index exceeds u32::MAX"))
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a user in a [`crate::profile::UserRepository`].
+    UserId
+);
+define_id!(
+    /// Identifier of an interned property label (e.g. `"avgRating Mexican"`).
+    PropertyId
+);
+define_id!(
+    /// Identifier of a group in a [`crate::group::GroupSet`].
+    GroupId
+);
+define_id!(
+    /// Index of a bucket within one property's [`crate::bucket::BucketSet`].
+    BucketIdx
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let u = UserId::from_index(42);
+        assert_eq!(u.index(), 42);
+        assert_eq!(u, UserId(42));
+    }
+
+    #[test]
+    fn display_includes_type_name() {
+        assert_eq!(GroupId(7).to_string(), "GroupId(7)");
+        assert_eq!(PropertyId(0).to_string(), "PropertyId(0)");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(UserId(1) < UserId(2));
+        let mut v = vec![BucketIdx(3), BucketIdx(0), BucketIdx(2)];
+        v.sort();
+        assert_eq!(v, vec![BucketIdx(0), BucketIdx(2), BucketIdx(3)]);
+    }
+
+    #[test]
+    fn from_u32_conversion() {
+        let p: PropertyId = 9u32.into();
+        assert_eq!(p, PropertyId(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "identifier index exceeds u32::MAX")]
+    fn from_index_overflow_panics() {
+        let _ = UserId::from_index(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Diversification instances (Definition 3.3) and the total score function.
+//!
+//! An instance is the triple `(𝒢, wei, cov)`; given a selected subset `U`,
+//! its score is `score_𝒢(U) = Σ_G wei(G) · min{|U ∩ G|, cov(G)}`. The
+//! BASE-DIVERSITY problem asks for `U` with `|U| ≤ B` maximizing this score.
+
+use crate::group::GroupSet;
+use crate::ids::{GroupId, UserId};
+use crate::score::{EbsValue, LexPair, ScoreValue};
+use crate::weights::{ebs_weights, CovScheme, WeightScheme};
+
+/// A diversification instance `(𝒢, wei, cov)` over a group set, generic in
+/// the weight value type `W` (see [`crate::score`]).
+#[derive(Debug, Clone)]
+pub struct DiversificationInstance<'g, W: ScoreValue> {
+    groups: &'g GroupSet,
+    weights: Vec<W>,
+    cov: Vec<u32>,
+}
+
+impl<'g, W: ScoreValue> DiversificationInstance<'g, W> {
+    /// Builds an instance from explicit weight and coverage vectors, both
+    /// indexed by [`GroupId`].
+    ///
+    /// # Panics
+    /// Panics if the vector lengths disagree with the group count.
+    pub fn new(groups: &'g GroupSet, weights: Vec<W>, cov: Vec<u32>) -> Self {
+        assert_eq!(weights.len(), groups.len(), "one weight per group");
+        assert_eq!(cov.len(), groups.len(), "one coverage size per group");
+        Self {
+            groups,
+            weights,
+            cov,
+        }
+    }
+
+    /// The underlying group set.
+    #[inline]
+    pub fn groups(&self) -> &'g GroupSet {
+        self.groups
+    }
+
+    /// The weight of group `g`.
+    #[inline]
+    pub fn weight(&self, g: GroupId) -> &W {
+        &self.weights[g.index()]
+    }
+
+    /// The required coverage of group `g`.
+    #[inline]
+    pub fn cov(&self, g: GroupId) -> u32 {
+        self.cov[g.index()]
+    }
+
+    /// Number of candidate users.
+    #[inline]
+    pub fn user_count(&self) -> usize {
+        self.groups.user_count()
+    }
+
+    /// `score_𝒢(U) = Σ_G wei(G) · min{|U ∩ G|, cov(G)}` (Definition 3.3).
+    ///
+    /// Duplicate users in `subset` are counted once.
+    pub fn score_of(&self, subset: &[UserId]) -> W {
+        let mut seen = vec![false; self.groups.user_count()];
+        let mut counts = vec![0u32; self.groups.len()];
+        for &u in subset {
+            if std::mem::replace(&mut seen[u.index()], true) {
+                continue;
+            }
+            for &g in self.groups.groups_of(u) {
+                counts[g.index()] += 1;
+            }
+        }
+        let mut total = W::zero();
+        for (gi, &c) in counts.iter().enumerate() {
+            let m = c.min(self.cov[gi]);
+            for _ in 0..m {
+                total.add_assign(&self.weights[gi]);
+            }
+        }
+        total
+    }
+
+    /// The marginal gain of adding `u` to `subset`:
+    /// `score(subset ∪ {u}) − score(subset)`, computed directly from the
+    /// groups of `u` (O(|groups of u|) after counting `subset`).
+    pub fn marginal_gain(&self, subset: &[UserId], u: UserId) -> W {
+        if subset.contains(&u) {
+            return W::zero();
+        }
+        let mut counts = vec![0u32; self.groups.len()];
+        let mut seen = vec![false; self.groups.user_count()];
+        for &v in subset {
+            if std::mem::replace(&mut seen[v.index()], true) {
+                continue;
+            }
+            for &g in self.groups.groups_of(v) {
+                counts[g.index()] += 1;
+            }
+        }
+        let mut gain = W::zero();
+        for &g in self.groups.groups_of(u) {
+            if counts[g.index()] < self.cov[g.index()] {
+                gain.add_assign(&self.weights[g.index()]);
+            }
+        }
+        gain
+    }
+
+    /// The maximum achievable score: every group fully covered,
+    /// `Σ_G wei(G) · cov(G)`. This is the Set-Cover threshold `T` of
+    /// Proposition 4.1.
+    pub fn max_score(&self) -> W {
+        let mut total = W::zero();
+        for (gi, w) in self.weights.iter().enumerate() {
+            for _ in 0..self.cov[gi] {
+                total.add_assign(w);
+            }
+        }
+        total
+    }
+}
+
+impl<'g> DiversificationInstance<'g, f64> {
+    /// Builds an instance from the paper's named weight/coverage schemes.
+    /// `budget` is only used by [`CovScheme::Proportional`].
+    pub fn from_schemes(
+        groups: &'g GroupSet,
+        weight: WeightScheme,
+        cov: CovScheme,
+        budget: usize,
+    ) -> Self {
+        Self::new(groups, weight.weights(groups), cov.cov(groups, budget))
+    }
+}
+
+impl<'g> DiversificationInstance<'g, EbsValue> {
+    /// Builds an EBS-weighted instance (Definition 3.6, *Enforced By Size*).
+    pub fn ebs(groups: &'g GroupSet, cov: CovScheme, budget: usize) -> Self {
+        Self::new(groups, ebs_weights(groups), cov.cov(groups, budget))
+    }
+}
+
+impl<'g, T: ScoreValue> DiversificationInstance<'g, LexPair<T>> {
+    /// Builds a lexicographic instance from separate priority/standard weight
+    /// vectors (the CUSTOM-DIVERSITY objective of §6). Groups outside both
+    /// sets should carry `T::zero()` in both vectors.
+    pub fn lexicographic(
+        groups: &'g GroupSet,
+        priority: Vec<T>,
+        standard: Vec<T>,
+        cov: Vec<u32>,
+    ) -> Self {
+        let weights = priority
+            .into_iter()
+            .zip(standard)
+            .map(|(p, s)| LexPair {
+                priority: p,
+                standard: s,
+            })
+            .collect();
+        Self::new(groups, weights, cov)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupSet;
+
+    fn demo() -> GroupSet {
+        // G0 = {0,1}, G1 = {1,2}, G2 = {3}
+        GroupSet::from_memberships(
+            4,
+            vec![
+                vec![UserId(0), UserId(1)],
+                vec![UserId(1), UserId(2)],
+                vec![UserId(3)],
+            ],
+        )
+    }
+
+    #[test]
+    fn score_counts_min_of_members_and_cov() {
+        let g = demo();
+        let inst = DiversificationInstance::new(&g, vec![5.0, 3.0, 2.0], vec![1, 2, 1]);
+        // U = {0,1}: G0 has 2 members but cov 1 -> 5; G1 has 1 (cov 2) -> 3.
+        assert_eq!(inst.score_of(&[UserId(0), UserId(1)]), 8.0);
+        // U = {1,2}: G0 count 1 -> 5; G1 count 2, cov 2 -> 6.
+        assert_eq!(inst.score_of(&[UserId(1), UserId(2)]), 11.0);
+        assert_eq!(inst.score_of(&[]), 0.0);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let g = demo();
+        let inst = DiversificationInstance::new(&g, vec![1.0, 1.0, 1.0], vec![2, 2, 2]);
+        assert_eq!(
+            inst.score_of(&[UserId(0), UserId(0)]),
+            inst.score_of(&[UserId(0)])
+        );
+    }
+
+    #[test]
+    fn excessive_representation_not_rewarded() {
+        // "Excessive representation is not rewarded but also not penalized."
+        let g = demo();
+        let inst = DiversificationInstance::new(&g, vec![1.0, 0.0, 0.0], vec![1, 1, 1]);
+        let one = inst.score_of(&[UserId(0)]);
+        let two = inst.score_of(&[UserId(0), UserId(1)]);
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn marginal_gain_matches_score_difference() {
+        let g = demo();
+        let inst = DiversificationInstance::new(&g, vec![5.0, 3.0, 2.0], vec![1, 2, 1]);
+        for base in [vec![], vec![UserId(0)], vec![UserId(0), UserId(2)]] {
+            for u in 0..4 {
+                let u = UserId(u);
+                if base.contains(&u) {
+                    continue;
+                }
+                let mut ext = base.clone();
+                ext.push(u);
+                let direct = inst.score_of(&ext) - inst.score_of(&base);
+                assert!(
+                    (inst.marginal_gain(&base, u) - direct).abs() < 1e-12,
+                    "base {base:?} u {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_gain_of_member_is_zero() {
+        let g = demo();
+        let inst = DiversificationInstance::new(&g, vec![1.0, 1.0, 1.0], vec![1, 1, 1]);
+        assert_eq!(inst.marginal_gain(&[UserId(1)], UserId(1)), 0.0);
+    }
+
+    #[test]
+    fn max_score_sums_weight_times_cov() {
+        let g = demo();
+        let inst = DiversificationInstance::new(&g, vec![5.0, 3.0, 2.0], vec![1, 2, 1]);
+        assert_eq!(inst.max_score(), 5.0 + 6.0 + 2.0);
+    }
+
+    #[test]
+    fn from_schemes_lbs_single() {
+        let g = demo();
+        let inst = DiversificationInstance::from_schemes(
+            &g,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            2,
+        );
+        assert_eq!(*inst.weight(GroupId(0)), 2.0);
+        assert_eq!(inst.cov(GroupId(0)), 1);
+        // User 1 covers G0 (w=2) and G1 (w=2).
+        assert_eq!(inst.score_of(&[UserId(1)]), 4.0);
+    }
+
+    #[test]
+    fn ebs_instance_prefers_large_groups() {
+        let g = demo(); // sizes 2, 2, 1
+        let inst = DiversificationInstance::ebs(&g, CovScheme::Single, 1);
+        // User 1 covers both size-2 groups; user 3 covers only the size-1.
+        assert!(inst.score_of(&[UserId(1)]) > inst.score_of(&[UserId(3)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per group")]
+    fn mismatched_weights_panic() {
+        let g = demo();
+        let _ = DiversificationInstance::new(&g, vec![1.0], vec![1, 1, 1]);
+    }
+}

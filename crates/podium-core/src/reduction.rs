@@ -1,0 +1,193 @@
+//! The Set-Cover reduction of Proposition 4.1, as executable code.
+//!
+//! The paper proves DEC-DIVERSITY NP-complete by mapping a Set Cover
+//! instance `(universe {1..N}, sets S_1..S_m, k)` to a diversification
+//! instance: one *user* per set, one *group* per universe element,
+//! membership `u_j ∈ G_i ⟺ i ∈ S_j`, Single coverage, and threshold
+//! `T = Σ_G wei(G)` — achievable iff some `k` sets cover the universe.
+//!
+//! This module materializes the reduction and a decision-procedure wrapper;
+//! tests verify equivalence against a brute-force Set Cover solver, which
+//! both validates the construction and exercises the scoring machinery on
+//! adversarial instances.
+
+use crate::exact::exact_select;
+use crate::error::Result;
+use crate::group::GroupSet;
+use crate::ids::UserId;
+use crate::instance::DiversificationInstance;
+use crate::score::ScoreValue;
+
+/// A Set Cover instance: `universe = {0, .., universe_size - 1}` and a list
+/// of subsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetCover {
+    /// Number of universe elements.
+    pub universe_size: usize,
+    /// The available subsets.
+    pub sets: Vec<Vec<usize>>,
+}
+
+impl SetCover {
+    /// Builds the diversification group structure of Proposition 4.1:
+    /// groups = universe elements, users = sets.
+    pub fn to_groups(&self) -> GroupSet {
+        let mut memberships: Vec<Vec<UserId>> = vec![Vec::new(); self.universe_size];
+        for (j, set) in self.sets.iter().enumerate() {
+            for &i in set {
+                assert!(i < self.universe_size, "element outside universe");
+                memberships[i].push(UserId::from_index(j));
+            }
+        }
+        GroupSet::from_memberships(self.sets.len(), memberships)
+    }
+
+    /// Decision procedure via the reduction: does a cover of size ≤ `k`
+    /// exist? Solved exactly with the exhaustive optimizer (exponential —
+    /// tests only). Any positive weight function works; unit weights are
+    /// used (`wei(G) = 1`, `cov(G) = 1` per the proof).
+    pub fn has_cover_of_size(&self, k: usize) -> Result<bool> {
+        if k == 0 {
+            return Ok(self.universe_size == 0);
+        }
+        let groups = self.to_groups();
+        let weights = vec![1.0f64; groups.len()];
+        let cov = vec![1u32; groups.len()];
+        let inst = DiversificationInstance::new(&groups, weights, cov);
+        let threshold = inst.max_score(); // T = Σ wei(G) · min(cov, …)
+        let best = exact_select(&inst, k, 1 << 32)?;
+        Ok(best.score >= threshold.as_f64() - 1e-9)
+    }
+
+    /// Brute-force Set Cover (ground truth for the equivalence tests).
+    pub fn brute_force_min_cover(&self) -> Option<usize> {
+        let m = self.sets.len();
+        assert!(m <= 20, "brute force limited to small instances");
+        let full: u64 = if self.universe_size == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.universe_size) - 1
+        };
+        let set_masks: Vec<u64> = self
+            .sets
+            .iter()
+            .map(|s| s.iter().fold(0u64, |acc, &i| acc | (1 << i)))
+            .collect();
+        let mut best: Option<usize> = None;
+        for choice in 0u32..(1 << m) {
+            let mut covered = 0u64;
+            for (j, &mask) in set_masks.iter().enumerate() {
+                if choice & (1 << j) != 0 {
+                    covered |= mask;
+                }
+            }
+            if covered == full {
+                let size = choice.count_ones() as usize;
+                if best.is_none_or(|b| size < b) {
+                    best = Some(size);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classic() -> SetCover {
+        // Universe {0..5}; greedy-trap instance.
+        SetCover {
+            universe_size: 6,
+            sets: vec![
+                vec![0, 1, 2],
+                vec![3, 4, 5],
+                vec![0, 3],
+                vec![1, 4],
+                vec![2, 5],
+            ],
+        }
+    }
+
+    #[test]
+    fn reduction_structure() {
+        let sc = classic();
+        let groups = sc.to_groups();
+        assert_eq!(groups.len(), 6, "one group per element");
+        assert_eq!(groups.user_count(), 5, "one user per set");
+        // u_0 ∈ G_i ⟺ i ∈ S_0 = {0,1,2}.
+        for i in 0..3 {
+            assert!(groups
+                .group(crate::ids::GroupId(i))
+                .unwrap()
+                .contains(UserId(0)));
+        }
+        assert!(!groups
+            .group(crate::ids::GroupId(3))
+            .unwrap()
+            .contains(UserId(0)));
+    }
+
+    #[test]
+    fn decision_matches_brute_force() {
+        let sc = classic();
+        let min = sc.brute_force_min_cover().unwrap();
+        assert_eq!(min, 2, "{{0,1,2}} + {{3,4,5}}");
+        for k in 1..=4 {
+            assert_eq!(
+                sc.has_cover_of_size(k).unwrap(),
+                k >= min,
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn uncoverable_universe() {
+        let sc = SetCover {
+            universe_size: 3,
+            sets: vec![vec![0], vec![1]], // element 2 uncoverable
+        };
+        assert_eq!(sc.brute_force_min_cover(), None);
+        assert!(!sc.has_cover_of_size(2).unwrap());
+    }
+
+    #[test]
+    fn randomized_equivalence() {
+        // Deterministic pseudo-random instances; compare the reduction's
+        // answer with brute force for every k.
+        let mut state: u64 = 0xDEAD_BEEF;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for _trial in 0..25 {
+            let universe = 3 + next() % 5;
+            let n_sets = 2 + next() % 5;
+            let sets: Vec<Vec<usize>> = (0..n_sets)
+                .map(|_| {
+                    let size = 1 + next() % universe;
+                    let mut s: Vec<usize> = (0..size).map(|_| next() % universe).collect();
+                    s.sort();
+                    s.dedup();
+                    s
+                })
+                .collect();
+            let sc = SetCover {
+                universe_size: universe,
+                sets,
+            };
+            let min = sc.brute_force_min_cover();
+            for k in 1..=sc.sets.len() {
+                let expected = min.is_some_and(|m| k >= m);
+                assert_eq!(
+                    sc.has_cover_of_size(k).unwrap(),
+                    expected,
+                    "universe {universe}, sets {:?}, k {k}",
+                    sc.sets
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Checkable forms of the score-function properties from Proposition 4.4.
+//!
+//! The `(1 − 1/e)` greedy guarantee rests on `score_𝒢` being non-negative,
+//! monotone and submodular *for every choice of `wei` and `cov`*. These
+//! helpers verify the properties on concrete instances and subsets; the
+//! property-based tests in `tests/` drive them over randomized inputs.
+
+use crate::ids::UserId;
+use crate::instance::DiversificationInstance;
+use crate::score::ScoreValue;
+
+/// Checks monotonicity on a chain: `score(U) ≤ score(U ∪ {u})` for each
+/// prefix of `order`.
+pub fn check_monotone_chain<W: ScoreValue>(
+    inst: &DiversificationInstance<'_, W>,
+    order: &[UserId],
+) -> bool {
+    let mut prev = W::zero();
+    for i in 1..=order.len() {
+        let s = inst.score_of(&order[..i]);
+        if s < prev {
+            return false;
+        }
+        prev = s;
+    }
+    true
+}
+
+/// Checks the submodularity inequality for one witness:
+/// `score(U ∪ {u}) − score(U) ≥ score(U' ∪ {u}) − score(U')`
+/// where `U ⊆ U'` and `u ∉ U'`.
+pub fn check_submodular_witness<W: ScoreValue>(
+    inst: &DiversificationInstance<'_, W>,
+    smaller: &[UserId],
+    larger: &[UserId],
+    u: UserId,
+) -> bool {
+    debug_assert!(smaller.iter().all(|x| larger.contains(x)), "U ⊆ U'");
+    debug_assert!(!larger.contains(&u), "u ∉ U'");
+    let small_gain = inst.marginal_gain(smaller, u);
+    let large_gain = inst.marginal_gain(larger, u);
+    // small_gain >= large_gain
+    !matches!(
+        small_gain.partial_cmp(&large_gain),
+        Some(std::cmp::Ordering::Less) | None
+    )
+}
+
+/// Exhaustively checks submodularity over *all* `(U ⊆ U', u)` triples of a
+/// small instance. Exponential — intended for instances with ≤ ~12 users.
+pub fn check_submodular_exhaustive<W: ScoreValue>(
+    inst: &DiversificationInstance<'_, W>,
+) -> bool {
+    let n = inst.user_count();
+    assert!(n <= 16, "exhaustive check limited to small instances");
+    let users: Vec<UserId> = (0..n).map(UserId::from_index).collect();
+    for large_mask in 0u32..(1 << n) {
+        let larger: Vec<UserId> = users
+            .iter()
+            .filter(|u| large_mask & (1 << u.index()) != 0)
+            .copied()
+            .collect();
+        // Enumerate submasks of large_mask as the smaller set.
+        let mut sub = large_mask;
+        loop {
+            let smaller: Vec<UserId> = users
+                .iter()
+                .filter(|u| sub & (1 << u.index()) != 0)
+                .copied()
+                .collect();
+            for &u in &users {
+                if large_mask & (1 << u.index()) != 0 {
+                    continue;
+                }
+                if !check_submodular_witness(inst, &smaller, &larger, u) {
+                    return false;
+                }
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & large_mask;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupSet;
+    use crate::weights::{CovScheme, WeightScheme};
+
+    fn demo() -> GroupSet {
+        GroupSet::from_memberships(
+            4,
+            vec![
+                vec![UserId(0), UserId(1)],
+                vec![UserId(1), UserId(2), UserId(3)],
+                vec![UserId(2)],
+            ],
+        )
+    }
+
+    #[test]
+    fn score_is_monotone_on_chains() {
+        let g = demo();
+        let inst = DiversificationInstance::from_schemes(
+            &g,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            4,
+        );
+        let order: Vec<UserId> = (0..4).map(UserId::from_index).collect();
+        assert!(check_monotone_chain(&inst, &order));
+    }
+
+    #[test]
+    fn score_is_submodular_exhaustively_single_cov() {
+        let g = demo();
+        let inst = DiversificationInstance::from_schemes(
+            &g,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            4,
+        );
+        assert!(check_submodular_exhaustive(&inst));
+    }
+
+    #[test]
+    fn score_is_submodular_exhaustively_prop_cov() {
+        let g = demo();
+        let inst = DiversificationInstance::new(&g, vec![2.0, 3.0, 1.0], vec![2, 3, 1]);
+        assert!(check_submodular_exhaustive(&inst));
+    }
+
+    #[test]
+    fn witness_detects_violations() {
+        // A supermodular counterexample cannot come from DiversificationInstance
+        // (its score is always submodular), so check the checker's direction
+        // with a hand-picked true witness instead.
+        let g = demo();
+        let inst = DiversificationInstance::from_schemes(
+            &g,
+            WeightScheme::Identical,
+            CovScheme::Single,
+            4,
+        );
+        // Adding user 1 to {} gains 2 groups; to {0, 2} gains 0 groups.
+        assert!(check_submodular_witness(
+            &inst,
+            &[],
+            &[UserId(0), UserId(2)],
+            UserId(1)
+        ));
+    }
+}

@@ -1,0 +1,42 @@
+//! Shared test fixtures (compiled only for tests).
+
+use crate::profile::UserRepository;
+
+/// Builds the paper's Table 2 repository: five users (Alice, Bob, Carol,
+/// David, Eve) over six properties. Used by tests that reproduce the
+/// running examples (3.5, 3.8, 4.3, 5.2, 6.2, 6.4).
+pub(crate) fn table2() -> UserRepository {
+    let mut repo = UserRepository::new();
+    for name in ["Alice", "Bob", "Carol", "David", "Eve"] {
+        repo.add_user(name);
+    }
+    let mut set = |user: &str, prop: &str, score: f64| {
+        let u = repo.user_by_name(user).unwrap();
+        let p = repo.intern_property(prop);
+        repo.set_score(u, p, score).unwrap();
+    };
+    set("Alice", "livesIn Tokyo", 1.0);
+    set("Bob", "livesIn NYC", 1.0);
+    set("Carol", "livesIn Bali", 1.0);
+    set("David", "livesIn Tokyo", 1.0);
+    set("Eve", "livesIn Paris", 1.0);
+    set("Alice", "ageGroup 50-64", 1.0);
+    set("Carol", "ageGroup 50-64", 1.0);
+    set("Alice", "avgRating Mexican", 0.95);
+    set("Bob", "avgRating Mexican", 0.3);
+    set("David", "avgRating Mexican", 0.75);
+    set("Eve", "avgRating Mexican", 0.8);
+    set("Alice", "visitFreq Mexican", 0.8);
+    set("Bob", "visitFreq Mexican", 0.25);
+    set("David", "visitFreq Mexican", 0.6);
+    set("Eve", "visitFreq Mexican", 0.45);
+    set("Alice", "avgRating CheapEats", 0.1);
+    set("Bob", "avgRating CheapEats", 0.9);
+    set("Carol", "avgRating CheapEats", 0.45);
+    set("Eve", "avgRating CheapEats", 0.6);
+    set("Alice", "visitFreq CheapEats", 0.6);
+    set("Bob", "visitFreq CheapEats", 0.85);
+    set("Carol", "visitFreq CheapEats", 0.2);
+    set("Eve", "visitFreq CheapEats", 0.3);
+    repo
+}

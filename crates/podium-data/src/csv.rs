@@ -1,0 +1,295 @@
+//! CSV profile interchange: a common tabular format for user repositories.
+//!
+//! Layout: the header row is `user,<property label>,<property label>,…`;
+//! each data row is a user name followed by one score cell per property.
+//! Empty cells mean *unknown* (open-world), matching the sparse profile
+//! semantics of §3.1. Fields containing commas or quotes are quoted with
+//! standard CSV doubling rules. No external CSV crate is needed — the
+//! dialect here is deliberately small.
+
+//! ```
+//! use podium_data::csv::{profiles_from_csv, profiles_to_csv};
+//!
+//! let repo = profiles_from_csv("user,avgRating Thai\nAda,0.8\nBen,\n").unwrap();
+//! assert_eq!(repo.user_count(), 2);
+//! let ada = repo.user_by_name("Ada").unwrap();
+//! let thai = repo.property_id("avgRating Thai").unwrap();
+//! assert_eq!(repo.score(ada, thai), Some(0.8));
+//! let back = profiles_from_csv(&profiles_to_csv(&repo)).unwrap();
+//! assert_eq!(back.user_count(), 2);
+//! ```
+
+use podium_core::error::CoreError;
+use podium_core::profile::UserRepository;
+
+/// Errors from CSV profile I/O.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Structural problem (missing header, ragged row, bad quoting).
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A score cell failed to parse or was out of range.
+    BadScore {
+        /// 1-based line number.
+        line: usize,
+        /// Property column label.
+        property: String,
+        /// Offending cell contents.
+        cell: String,
+    },
+    /// Semantic error from the repository layer.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Malformed { line, message } => {
+                write!(f, "CSV line {line}: {message}")
+            }
+            CsvError::BadScore {
+                line,
+                property,
+                cell,
+            } => write!(f, "CSV line {line}: bad score '{cell}' for '{property}'"),
+            CsvError::Core(e) => write!(f, "profile error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<CoreError> for CsvError {
+    fn from(e: CoreError) -> Self {
+        CsvError::Core(e)
+    }
+}
+
+/// Splits one CSV record honoring quotes. Returns the fields.
+fn split_record(line: &str, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' if field.is_empty() => in_quotes = true,
+                '"' => {
+                    return Err(CsvError::Malformed {
+                        line: line_no,
+                        message: "stray quote inside unquoted field".into(),
+                    })
+                }
+                ',' => fields.push(std::mem::take(&mut field)),
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::Malformed {
+            line: line_no,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Quotes a field if needed.
+fn quote(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Parses a repository from CSV text.
+pub fn profiles_from_csv(text: &str) -> Result<UserRepository, CsvError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (hline, header) = lines.next().ok_or(CsvError::Malformed {
+        line: 1,
+        message: "missing header row".into(),
+    })?;
+    let header = split_record(header, hline + 1)?;
+    if header.is_empty() || header[0] != "user" {
+        return Err(CsvError::Malformed {
+            line: hline + 1,
+            message: "header must start with 'user'".into(),
+        });
+    }
+    let mut repo = UserRepository::new();
+    let props: Vec<_> = header[1..]
+        .iter()
+        .map(|label| repo.intern_property(label))
+        .collect();
+    for (i, line) in lines {
+        let line_no = i + 1;
+        let fields = split_record(line, line_no)?;
+        if fields.len() != header.len() {
+            return Err(CsvError::Malformed {
+                line: line_no,
+                message: format!(
+                    "expected {} fields, found {}",
+                    header.len(),
+                    fields.len()
+                ),
+            });
+        }
+        let u = repo.add_user(&fields[0]);
+        for (cell, &p) in fields[1..].iter().zip(&props) {
+            let cell = cell.trim();
+            if cell.is_empty() {
+                continue; // unknown
+            }
+            let score: f64 = cell.parse().map_err(|_| CsvError::BadScore {
+                line: line_no,
+                property: repo.property_label(p).unwrap_or("?").to_owned(),
+                cell: cell.to_owned(),
+            })?;
+            repo.set_score(u, p, score).map_err(|_| CsvError::BadScore {
+                line: line_no,
+                property: repo.property_label(p).unwrap_or("?").to_owned(),
+                cell: cell.to_owned(),
+            })?;
+        }
+    }
+    Ok(repo)
+}
+
+/// Serializes a repository to CSV text (all interned properties as columns,
+/// unknown scores as empty cells).
+pub fn profiles_to_csv(repo: &UserRepository) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("user");
+    let props: Vec<_> = (0..repo.property_count())
+        .map(podium_core::ids::PropertyId::from_index)
+        .collect();
+    for &p in &props {
+        let _ = write!(out, ",{}", quote(repo.property_label(p).unwrap_or("?")));
+    }
+    out.push('\n');
+    for (u, profile) in repo.iter() {
+        let _ = write!(out, "{}", quote(repo.user_name(u).unwrap_or("?")));
+        for &p in &props {
+            match profile.score(p) {
+                Some(s) => {
+                    let _ = write!(out, ",{s}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+user,livesIn Tokyo,avgRating Mexican
+Alice,1.0,0.95
+Bob,,0.3
+Carol,,
+";
+
+    #[test]
+    fn parse_sample() {
+        let repo = profiles_from_csv(SAMPLE).unwrap();
+        assert_eq!(repo.user_count(), 3);
+        assert_eq!(repo.property_count(), 2);
+        let alice = repo.user_by_name("Alice").unwrap();
+        let bob = repo.user_by_name("Bob").unwrap();
+        let tokyo = repo.property_id("livesIn Tokyo").unwrap();
+        assert_eq!(repo.score(alice, tokyo), Some(1.0));
+        assert_eq!(repo.score(bob, tokyo), None, "empty cell = unknown");
+        let carol = repo.user_by_name("Carol").unwrap();
+        assert!(repo.profile(carol).unwrap().is_empty());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let repo = crate::table2::table2();
+        let csv = profiles_to_csv(&repo);
+        let back = profiles_from_csv(&csv).unwrap();
+        assert_eq!(back.user_count(), repo.user_count());
+        assert_eq!(back.property_count(), repo.property_count());
+        for (u, profile) in repo.iter() {
+            let name = repo.user_name(u).unwrap();
+            let bu = back.user_by_name(name).unwrap();
+            for (p, s) in profile.iter() {
+                let label = repo.property_label(p).unwrap();
+                let bp = back.property_id(label).unwrap();
+                assert_eq!(back.score(bu, bp), Some(s), "{name}/{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let csv = "user,\"rating, overall\"\n\"Smith, Jane\",0.5\n";
+        let repo = profiles_from_csv(csv).unwrap();
+        let u = repo.user_by_name("Smith, Jane").unwrap();
+        let p = repo.property_id("rating, overall").unwrap();
+        assert_eq!(repo.score(u, p), Some(0.5));
+        // And the writer quotes them back.
+        let out = profiles_to_csv(&repo);
+        assert!(out.contains("\"Smith, Jane\""));
+        assert!(out.contains("\"rating, overall\""));
+    }
+
+    #[test]
+    fn embedded_quotes() {
+        let csv = "user,p\n\"the \"\"best\"\" user\",1.0\n";
+        let repo = profiles_from_csv(csv).unwrap();
+        assert!(repo.user_by_name("the \"best\" user").is_some());
+        let back = profiles_from_csv(&profiles_to_csv(&repo)).unwrap();
+        assert!(back.user_by_name("the \"best\" user").is_some());
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = profiles_from_csv("").unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { .. }));
+
+        let err = profiles_from_csv("name,p\nA,1.0\n").unwrap_err();
+        assert!(err.to_string().contains("header must start with 'user'"));
+
+        let err = profiles_from_csv("user,p\nA,1.0,extra\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        let err = profiles_from_csv("user,p\nA,not-a-number\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadScore { line: 2, .. }), "{err}");
+
+        let err = profiles_from_csv("user,p\nA,1.7\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadScore { .. }), "out of range");
+
+        let err = profiles_from_csv("user,p\n\"A,1.0\n").unwrap_err();
+        assert!(err.to_string().contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let repo = profiles_from_csv("user,p\n\nA,0.5\n\n").unwrap();
+        assert_eq!(repo.user_count(), 1);
+    }
+}

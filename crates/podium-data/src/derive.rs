@@ -1,0 +1,386 @@
+//! Derivation of aggregate profile properties from raw activity (§8.1).
+//!
+//! The paper's datasets contain two kinds of properties: ones explicit in
+//! the raw data (age, residence) and ones *derived by aggregating user
+//! activity* per category:
+//!
+//! * **Average Rating** — the user's mean rating for restaurants of a
+//!   category, normalized by their overall mean rating;
+//! * **Visit Frequency** — the fraction of the user's visits that fall in
+//!   the category;
+//! * **Enthusiasm Level** — the fraction of the user's total rating points
+//!   given to the category.
+//!
+//! Categories are enriched through the taxonomy (generalization rules of
+//! §3.1): a review of a *Mexican* restaurant also counts toward *Latin* and
+//! every higher ancestor.
+
+use podium_core::profile::UserRepository;
+use serde::{Deserialize, Serialize};
+
+use crate::reviews::ReviewCorpus;
+use crate::taxonomy::{CategoryId, Taxonomy};
+
+/// Which derived property kinds to emit. The Yelp-like preset uses fewer
+/// kinds than the TripAdvisor-like one ("less groups due to its simpler
+/// semantics", §8.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropertyKinds {
+    /// Emit `avgRating <category>` properties.
+    pub avg_rating: bool,
+    /// Emit `visitFreq <category>` properties.
+    pub visit_freq: bool,
+    /// Emit `enthusiasm <category>` properties.
+    pub enthusiasm: bool,
+}
+
+impl PropertyKinds {
+    /// All three kinds (TripAdvisor-like).
+    pub fn all() -> Self {
+        Self {
+            avg_rating: true,
+            visit_freq: true,
+            enthusiasm: true,
+        }
+    }
+
+    /// Rating and visit frequency only (Yelp-like).
+    pub fn simple() -> Self {
+        Self {
+            avg_rating: true,
+            visit_freq: true,
+            enthusiasm: false,
+        }
+    }
+}
+
+/// Options controlling property derivation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeriveOptions {
+    /// Which derived property kinds to emit.
+    pub kinds: PropertyKinds,
+    /// Minimum number of category visits before aggregate properties are
+    /// emitted for that (user, category) pair.
+    pub min_visits: usize,
+    /// Whether to generalize categories through the taxonomy (ancestors
+    /// also receive aggregates).
+    pub generalize: bool,
+    /// Whether to additionally emit per-(leaf category, city) visit
+    /// frequencies (`visitFreq <cat>@<city>`). This models the
+    /// fine-grained, destination-localized properties that make the paper's
+    /// real repositories so high-dimensional (up to 2 189 properties per
+    /// TripAdvisor user) and produces many small, sparsely-populated
+    /// groups.
+    #[serde(default)]
+    pub city_properties: bool,
+}
+
+impl Default for DeriveOptions {
+    fn default() -> Self {
+        Self {
+            kinds: PropertyKinds::all(),
+            min_visits: 1,
+            generalize: true,
+            city_properties: false,
+        }
+    }
+}
+
+/// Normalizes an average-rating ratio `r = mean_category / mean_overall`
+/// into `[0, 1]` via the monotone map `r / (1 + r)`; `r = 1` (category rated
+/// exactly at the user's overall average) maps to `0.5`.
+pub fn normalize_rating_ratio(ratio: f64) -> f64 {
+    if !ratio.is_finite() || ratio <= 0.0 {
+        return 0.0;
+    }
+    (ratio / (1.0 + ratio)).clamp(0.0, 1.0)
+}
+
+/// Derives aggregate properties from `corpus` into `repo` for every user
+/// appearing in the reviews. Users are addressed by their existing ids in
+/// `repo`, which must therefore already contain all reviewers.
+///
+/// Reviews of destinations listed in `exclude` are skipped — this is the
+/// holdout mechanism of §8.2 ("select users based on their profiles
+/// *excluding* the data related to some destination").
+pub fn derive_properties(
+    repo: &mut UserRepository,
+    corpus: &ReviewCorpus,
+    taxonomy: &Taxonomy,
+    options: &DeriveOptions,
+    exclude: &dyn Fn(crate::reviews::DestinationId) -> bool,
+) {
+    let n = repo.user_count();
+    // Per-user accumulators over categories. Dense per-user maps keyed by
+    // category id keep this pass O(reviews × taxonomy depth).
+    #[derive(Default, Clone)]
+    struct Acc {
+        visits: u32,
+        rating_sum: f64,
+    }
+    let mut per_user: Vec<std::collections::HashMap<CategoryId, Acc>> =
+        vec![std::collections::HashMap::new(); n];
+    // Per-user visit counts by (leaf category, city), for city_properties.
+    let mut per_user_city: Vec<std::collections::HashMap<(CategoryId, u32), u32>> =
+        vec![std::collections::HashMap::new(); n];
+    let mut totals: Vec<Acc> = vec![Acc::default(); n];
+
+    for review in &corpus.reviews {
+        if exclude(review.destination) {
+            continue;
+        }
+        let u = review.user.index();
+        if u >= n {
+            continue;
+        }
+        let rating = f64::from(review.rating);
+        totals[u].visits += 1;
+        totals[u].rating_sum += rating;
+        let dest = &corpus.destinations[review.destination.index()];
+        let leaf = dest.category;
+        if options.city_properties {
+            *per_user_city[u].entry((leaf, dest.city)).or_default() += 1;
+        }
+        let cats = if options.generalize {
+            taxonomy.ancestors_inclusive(leaf)
+        } else {
+            vec![leaf]
+        };
+        for c in cats {
+            let acc = per_user[u].entry(c).or_default();
+            acc.visits += 1;
+            acc.rating_sum += rating;
+        }
+    }
+
+    // Emit properties. Property labels are interned once per category.
+    for u in 0..n {
+        if totals[u].visits == 0 {
+            continue;
+        }
+        let overall_mean = totals[u].rating_sum / f64::from(totals[u].visits);
+        let total_points = totals[u].rating_sum;
+        let uid = podium_core::ids::UserId::from_index(u);
+        // Deterministic property order: sort categories by id.
+        let mut cats: Vec<(&CategoryId, &Acc)> = per_user[u].iter().collect();
+        cats.sort_by_key(|(c, _)| **c);
+        for (c, acc) in cats {
+            if (acc.visits as usize) < options.min_visits {
+                continue;
+            }
+            let cat_name = taxonomy.name(*c);
+            if options.kinds.avg_rating && overall_mean > 0.0 {
+                let mean = acc.rating_sum / f64::from(acc.visits);
+                let p = repo.intern_property(format!("avgRating {cat_name}"));
+                let score = normalize_rating_ratio(mean / overall_mean);
+                repo.set_score(uid, p, score).expect("score in [0,1]");
+            }
+            if options.kinds.visit_freq {
+                let p = repo.intern_property(format!("visitFreq {cat_name}"));
+                let score =
+                    (f64::from(acc.visits) / f64::from(totals[u].visits)).clamp(0.0, 1.0);
+                repo.set_score(uid, p, score).expect("score in [0,1]");
+            }
+            if options.kinds.enthusiasm && total_points > 0.0 {
+                let p = repo.intern_property(format!("enthusiasm {cat_name}"));
+                let score = (acc.rating_sum / total_points).clamp(0.0, 1.0);
+                repo.set_score(uid, p, score).expect("score in [0,1]");
+            }
+        }
+        if options.city_properties {
+            let mut pairs: Vec<(&(CategoryId, u32), &u32)> = per_user_city[u].iter().collect();
+            pairs.sort_by_key(|(k, _)| **k);
+            for ((cat, city), &visits) in pairs {
+                if (visits as usize) < options.min_visits {
+                    continue;
+                }
+                let cat_name = taxonomy.name(*cat);
+                let p = repo.intern_property(format!("visitFreq {cat_name}@city{city}"));
+                let score =
+                    (f64::from(visits) / f64::from(totals[u].visits)).clamp(0.0, 1.0);
+                repo.set_score(uid, p, score).expect("score in [0,1]");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reviews::{Destination, DestinationId, Review};
+    use podium_core::ids::UserId;
+
+    fn fixture() -> (UserRepository, ReviewCorpus, Taxonomy) {
+        let taxonomy = Taxonomy::example_cuisines();
+        let mexican = taxonomy.find("Mexican").unwrap();
+        let french = taxonomy.find("French").unwrap();
+        let mut repo = UserRepository::new();
+        repo.add_user("u0");
+        repo.add_user("u1");
+        let corpus = ReviewCorpus {
+            destinations: vec![
+                Destination {
+                    name: "El Rancho".into(),
+                    category: mexican,
+                    city: 0,
+                    topics: vec![],
+                    base_quality: 4.0,
+                },
+                Destination {
+                    name: "Le Bistro".into(),
+                    category: french,
+                    city: 0,
+                    topics: vec![],
+                    base_quality: 3.0,
+                },
+            ],
+            reviews: vec![
+                Review {
+                    user: UserId(0),
+                    destination: DestinationId(0),
+                    rating: 5,
+                    topics: vec![],
+                    useful_votes: 0,
+                },
+                Review {
+                    user: UserId(0),
+                    destination: DestinationId(1),
+                    rating: 3,
+                    topics: vec![],
+                    useful_votes: 0,
+                },
+                Review {
+                    user: UserId(1),
+                    destination: DestinationId(1),
+                    rating: 4,
+                    topics: vec![],
+                    useful_votes: 0,
+                },
+            ],
+            topic_names: vec![],
+        };
+        (repo, corpus, taxonomy)
+    }
+
+    #[test]
+    fn derives_all_three_kinds() {
+        let (mut repo, corpus, taxonomy) = fixture();
+        derive_properties(
+            &mut repo,
+            &corpus,
+            &taxonomy,
+            &DeriveOptions::default(),
+            &|_| false,
+        );
+        let u0 = UserId(0);
+        // u0: ratings 5 (Mexican) and 3 (French); overall mean 4.
+        let avg_mex = repo.property_id("avgRating Mexican").unwrap();
+        // ratio 5/4 = 1.25 -> 1.25/2.25
+        let expected = 1.25 / 2.25;
+        assert!((repo.score(u0, avg_mex).unwrap() - expected).abs() < 1e-12);
+        let vf_mex = repo.property_id("visitFreq Mexican").unwrap();
+        assert!((repo.score(u0, vf_mex).unwrap() - 0.5).abs() < 1e-12);
+        let en_mex = repo.property_id("enthusiasm Mexican").unwrap();
+        assert!((repo.score(u0, en_mex).unwrap() - 5.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generalization_creates_ancestor_properties() {
+        // Example 3.2: avgRating Mexican enables deriving avgRating Latin.
+        let (mut repo, corpus, taxonomy) = fixture();
+        derive_properties(
+            &mut repo,
+            &corpus,
+            &taxonomy,
+            &DeriveOptions::default(),
+            &|_| false,
+        );
+        let u0 = UserId(0);
+        let avg_latin = repo.property_id("avgRating Latin").unwrap();
+        let avg_mex = repo.property_id("avgRating Mexican").unwrap();
+        assert_eq!(repo.score(u0, avg_latin), repo.score(u0, avg_mex));
+        // The shared root aggregates everything: visitFreq Food = 1.
+        let vf_food = repo.property_id("visitFreq Food").unwrap();
+        assert_eq!(repo.score(u0, vf_food), Some(1.0));
+    }
+
+    #[test]
+    fn no_generalization_when_disabled() {
+        let (mut repo, corpus, taxonomy) = fixture();
+        let opts = DeriveOptions {
+            generalize: false,
+            ..DeriveOptions::default()
+        };
+        derive_properties(&mut repo, &corpus, &taxonomy, &opts, &|_| false);
+        assert!(repo.property_id("avgRating Latin").is_none());
+        assert!(repo.property_id("avgRating Mexican").is_some());
+    }
+
+    #[test]
+    fn exclusion_removes_destination_influence() {
+        let (mut repo, corpus, taxonomy) = fixture();
+        derive_properties(
+            &mut repo,
+            &corpus,
+            &taxonomy,
+            &DeriveOptions::default(),
+            &|d| d == DestinationId(0),
+        );
+        // Only French reviews remain; Mexican properties must not exist.
+        assert!(repo.property_id("avgRating Mexican").is_none());
+        let u0 = UserId(0);
+        let vf_french = repo.property_id("visitFreq French").unwrap();
+        assert_eq!(repo.score(u0, vf_french), Some(1.0));
+    }
+
+    #[test]
+    fn min_visits_threshold() {
+        let (mut repo, corpus, taxonomy) = fixture();
+        let opts = DeriveOptions {
+            min_visits: 2,
+            ..DeriveOptions::default()
+        };
+        derive_properties(&mut repo, &corpus, &taxonomy, &opts, &|_| false);
+        // u0 visited each leaf once -> no leaf properties; but Food twice.
+        assert!(repo.property_id("avgRating Mexican").is_none());
+        let u0 = UserId(0);
+        let vf_food = repo.property_id("visitFreq Food").unwrap();
+        assert_eq!(repo.score(u0, vf_food), Some(1.0));
+    }
+
+    #[test]
+    fn simple_kinds_skip_enthusiasm() {
+        let (mut repo, corpus, taxonomy) = fixture();
+        let opts = DeriveOptions {
+            kinds: PropertyKinds::simple(),
+            ..DeriveOptions::default()
+        };
+        derive_properties(&mut repo, &corpus, &taxonomy, &opts, &|_| false);
+        assert!(repo.property_id("enthusiasm Mexican").is_none());
+        assert!(repo.property_id("avgRating Mexican").is_some());
+    }
+
+    #[test]
+    fn normalize_rating_ratio_shape() {
+        assert_eq!(normalize_rating_ratio(0.0), 0.0);
+        assert!((normalize_rating_ratio(1.0) - 0.5).abs() < 1e-12);
+        assert!(normalize_rating_ratio(4.0) > normalize_rating_ratio(1.0));
+        assert!(normalize_rating_ratio(1e9) <= 1.0);
+        assert_eq!(normalize_rating_ratio(f64::NAN), 0.0);
+        assert_eq!(normalize_rating_ratio(-2.0), 0.0);
+    }
+
+    #[test]
+    fn users_without_reviews_get_no_properties() {
+        let (mut repo, corpus, taxonomy) = fixture();
+        let lurker = repo.add_user("lurker");
+        derive_properties(
+            &mut repo,
+            &corpus,
+            &taxonomy,
+            &DeriveOptions::default(),
+            &|_| false,
+        );
+        assert_eq!(repo.profile(lurker).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Profile inference rules (paper §3.1, Example 3.2).
+//!
+//! Profiles should be "as complete as possible" before selection, so Podium
+//! applies inference rules in a preprocessing step:
+//!
+//! * **Implication rules** — RDF-style generalizations over Boolean
+//!   properties (`livesIn Tokyo ⇒ livesIn Japan`);
+//! * **Functional rules** — a property family like `livesIn <city>` where a
+//!   user can hold at most one value: a known `1` score lets us infer `0`
+//!   (known false) for every other property of the family. Under the open
+//!   world assumption the remaining missing properties stay *unknown*.
+//!
+//! Category generalization over *numeric* aggregates (avgRating Mexican →
+//! avgRating Latin) happens during property derivation ([`crate::derive`]),
+//! where the raw activity data is still available.
+
+//! ```
+//! use podium_data::inference::{InferenceEngine, Rule};
+//! use podium_core::profile::UserRepository;
+//!
+//! let mut repo = UserRepository::new();
+//! let u = repo.add_user("Alice");
+//! let tokyo = repo.intern_property("livesIn Tokyo");
+//! repo.set_score(u, tokyo, 1.0).unwrap();
+//!
+//! InferenceEngine::new()
+//!     .with_rule(Rule::Implies {
+//!         premise: "livesIn Tokyo".into(),
+//!         conclusion: "livesIn Japan".into(),
+//!         threshold: 1.0,
+//!     })
+//!     .apply(&mut repo)
+//!     .unwrap();
+//! let japan = repo.property_id("livesIn Japan").unwrap();
+//! assert_eq!(repo.score(u, japan), Some(1.0));
+//! ```
+
+use podium_core::error::Result;
+use podium_core::ids::PropertyId;
+use podium_core::profile::UserRepository;
+use serde::{Deserialize, Serialize};
+
+/// One inference rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Rule {
+    /// If the premise property holds with score ≥ `threshold`, assert the
+    /// conclusion property with score 1 (unless already known).
+    Implies {
+        /// Premise property label.
+        premise: String,
+        /// Conclusion property label.
+        conclusion: String,
+        /// Minimum premise score for the rule to fire.
+        threshold: f64,
+    },
+    /// Properties whose labels start with `prefix` form a functional family:
+    /// a score of exactly 1 on one member infers score 0 on every *other
+    /// interned* member for that user (Example 3.2's `livesIn`).
+    Functional {
+        /// Common label prefix of the family, e.g. `"livesIn "`.
+        prefix: String,
+    },
+}
+
+/// A reusable rule engine.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InferenceEngine {
+    rules: Vec<Rule>,
+}
+
+impl InferenceEngine {
+    /// An engine with no rules.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule (builder style).
+    pub fn with_rule(mut self, rule: Rule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Borrow the rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Applies all rules to the repository until fixpoint (implications can
+    /// chain). Returns the number of scores written.
+    pub fn apply(&self, repo: &mut UserRepository) -> Result<usize> {
+        let mut written = 0usize;
+        loop {
+            let mut round = 0usize;
+            for rule in &self.rules {
+                round += match rule {
+                    Rule::Implies {
+                        premise,
+                        conclusion,
+                        threshold,
+                    } => self.apply_implication(repo, premise, conclusion, *threshold)?,
+                    Rule::Functional { prefix } => self.apply_functional(repo, prefix)?,
+                };
+            }
+            written += round;
+            if round == 0 {
+                return Ok(written);
+            }
+        }
+    }
+
+    fn apply_implication(
+        &self,
+        repo: &mut UserRepository,
+        premise: &str,
+        conclusion: &str,
+        threshold: f64,
+    ) -> Result<usize> {
+        let Some(p) = repo.property_id(premise) else {
+            return Ok(0);
+        };
+        let c = repo.intern_property(conclusion);
+        let mut writes: Vec<podium_core::ids::UserId> = Vec::new();
+        for (u, profile) in repo.iter() {
+            if profile.score(p).is_some_and(|s| s >= threshold) && !profile.contains(c) {
+                writes.push(u);
+            }
+        }
+        for &u in &writes {
+            repo.set_score(u, c, 1.0)?;
+        }
+        Ok(writes.len())
+    }
+
+    fn apply_functional(&self, repo: &mut UserRepository, prefix: &str) -> Result<usize> {
+        let family: Vec<PropertyId> = (0..repo.property_count())
+            .map(PropertyId::from_index)
+            .filter(|&p| {
+                repo.property_label(p)
+                    .map(|l| l.starts_with(prefix))
+                    .unwrap_or(false)
+            })
+            .collect();
+        if family.len() < 2 {
+            return Ok(0);
+        }
+        let mut writes: Vec<(podium_core::ids::UserId, PropertyId)> = Vec::new();
+        for (u, profile) in repo.iter() {
+            let holds = family
+                .iter()
+                .any(|&p| profile.score(p).is_some_and(|s| s == 1.0));
+            if !holds {
+                continue;
+            }
+            for &p in &family {
+                if !profile.contains(p) {
+                    writes.push((u, p));
+                }
+            }
+        }
+        for &(u, p) in &writes {
+            repo.set_score(u, p, 0.0)?;
+        }
+        Ok(writes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo() -> UserRepository {
+        let mut repo = UserRepository::new();
+        let alice = repo.add_user("Alice");
+        let bob = repo.add_user("Bob");
+        let tokyo = repo.intern_property("livesIn Tokyo");
+        let nyc = repo.intern_property("livesIn NYC");
+        repo.set_score(alice, tokyo, 1.0).unwrap();
+        repo.set_score(bob, nyc, 1.0).unwrap();
+        repo
+    }
+
+    #[test]
+    fn functional_rule_infers_falsehood() {
+        // Example 3.2: S_Alice(livesIn Tokyo) = 1 ⟹ S_Alice(livesIn X) = 0
+        // for every other X in 𝒫.
+        let mut r = repo();
+        let engine = InferenceEngine::new().with_rule(Rule::Functional {
+            prefix: "livesIn ".into(),
+        });
+        let written = engine.apply(&mut r).unwrap();
+        assert_eq!(written, 2, "one falsehood per user");
+        let alice = r.user_by_name("Alice").unwrap();
+        let nyc = r.property_id("livesIn NYC").unwrap();
+        assert_eq!(r.score(alice, nyc), Some(0.0), "known false, not unknown");
+    }
+
+    #[test]
+    fn functional_rule_skips_users_without_value() {
+        let mut r = repo();
+        let carol = r.add_user("Carol");
+        let engine = InferenceEngine::new().with_rule(Rule::Functional {
+            prefix: "livesIn ".into(),
+        });
+        engine.apply(&mut r).unwrap();
+        let tokyo = r.property_id("livesIn Tokyo").unwrap();
+        assert_eq!(
+            r.score(carol, tokyo),
+            None,
+            "open world: Carol's residence stays unknown"
+        );
+    }
+
+    #[test]
+    fn implication_rule_generalizes() {
+        let mut r = repo();
+        let engine = InferenceEngine::new().with_rule(Rule::Implies {
+            premise: "livesIn Tokyo".into(),
+            conclusion: "livesIn Japan".into(),
+            threshold: 1.0,
+        });
+        engine.apply(&mut r).unwrap();
+        let alice = r.user_by_name("Alice").unwrap();
+        let bob = r.user_by_name("Bob").unwrap();
+        let japan = r.property_id("livesIn Japan").unwrap();
+        assert_eq!(r.score(alice, japan), Some(1.0));
+        assert_eq!(r.score(bob, japan), None);
+    }
+
+    #[test]
+    fn implications_chain_to_fixpoint() {
+        let mut r = repo();
+        let engine = InferenceEngine::new()
+            .with_rule(Rule::Implies {
+                premise: "livesIn Japan".into(),
+                conclusion: "livesIn Asia".into(),
+                threshold: 1.0,
+            })
+            .with_rule(Rule::Implies {
+                premise: "livesIn Tokyo".into(),
+                conclusion: "livesIn Japan".into(),
+                threshold: 1.0,
+            });
+        // Rules listed in "wrong" order: fixpoint iteration must still chain
+        // Tokyo -> Japan -> Asia.
+        engine.apply(&mut r).unwrap();
+        let alice = r.user_by_name("Alice").unwrap();
+        let asia = r.property_id("livesIn Asia").unwrap();
+        assert_eq!(r.score(alice, asia), Some(1.0));
+    }
+
+    #[test]
+    fn implication_respects_threshold() {
+        let mut r = UserRepository::new();
+        let u = r.add_user("u");
+        let p = r.intern_property("avgRating Mexican");
+        r.set_score(u, p, 0.5).unwrap();
+        let engine = InferenceEngine::new().with_rule(Rule::Implies {
+            premise: "avgRating Mexican".into(),
+            conclusion: "likes Mexican".into(),
+            threshold: 0.65,
+        });
+        let written = engine.apply(&mut r).unwrap();
+        assert_eq!(written, 0);
+        let c = r.property_id("likes Mexican").unwrap();
+        assert_eq!(r.score(u, c), None);
+    }
+
+    #[test]
+    fn existing_scores_not_overwritten() {
+        let mut r = repo();
+        let alice = r.user_by_name("Alice").unwrap();
+        let japan = r.intern_property("livesIn Japan");
+        r.set_score(alice, japan, 0.0).unwrap(); // contradicting prior value
+        let engine = InferenceEngine::new().with_rule(Rule::Implies {
+            premise: "livesIn Tokyo".into(),
+            conclusion: "livesIn Japan".into(),
+            threshold: 1.0,
+        });
+        engine.apply(&mut r).unwrap();
+        assert_eq!(r.score(alice, japan), Some(0.0), "data beats inference");
+    }
+
+    #[test]
+    fn missing_premise_property_is_noop() {
+        let mut r = repo();
+        let engine = InferenceEngine::new().with_rule(Rule::Implies {
+            premise: "nonexistent".into(),
+            conclusion: "whatever".into(),
+            threshold: 1.0,
+        });
+        assert_eq!(engine.apply(&mut r).unwrap(), 0);
+    }
+}

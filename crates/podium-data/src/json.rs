@@ -1,0 +1,258 @@
+//! The JSON profile interchange format of the Podium prototype (§7).
+//!
+//! "The input to Podium is a set of user profiles … in JSON format." The
+//! schema is a flat list of users with a `properties` map from label to
+//! normalized score:
+//!
+//! ```json
+//! {
+//!   "users": [
+//!     { "name": "Alice",
+//!       "properties": { "livesIn Tokyo": 1.0, "avgRating Mexican": 0.95 } }
+//!   ]
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+
+use podium_core::error::{CoreError, Result};
+use podium_core::profile::UserRepository;
+use serde::{Deserialize, Serialize};
+
+/// Serde schema of one user entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JsonUser {
+    /// Display name.
+    pub name: String,
+    /// Property label → normalized score. `BTreeMap` keeps serialization
+    /// deterministic.
+    pub properties: BTreeMap<String, f64>,
+}
+
+/// Serde schema of the whole document.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JsonRepository {
+    /// All users.
+    pub users: Vec<JsonUser>,
+}
+
+/// Parses a repository from the JSON interchange format.
+///
+/// Scores outside `[0, 1]` are rejected with
+/// [`CoreError::ScoreOutOfRange`]; malformed JSON surfaces as
+/// [`JsonError::Syntax`].
+pub fn profiles_from_json(text: &str) -> std::result::Result<UserRepository, JsonError> {
+    let doc: JsonRepository = serde_json::from_str(text)?;
+    let mut repo = UserRepository::new();
+    for user in &doc.users {
+        let u = repo.add_user(&user.name);
+        for (label, &score) in &user.properties {
+            let p = repo.intern_property(label);
+            repo.set_score(u, p, score)?;
+        }
+    }
+    Ok(repo)
+}
+
+/// Serializes a repository to the JSON interchange format (pretty-printed,
+/// deterministic key order).
+pub fn profiles_to_json(repo: &UserRepository) -> std::result::Result<String, JsonError> {
+    let mut doc = JsonRepository::default();
+    for (u, profile) in repo.iter() {
+        let mut properties = BTreeMap::new();
+        for (p, s) in profile.iter() {
+            let label = repo
+                .property_label(p)
+                .map_err(JsonError::Core)?
+                .to_owned();
+            properties.insert(label, s);
+        }
+        doc.users.push(JsonUser {
+            name: repo.user_name(u).map_err(JsonError::Core)?.to_owned(),
+            properties,
+        });
+    }
+    Ok(serde_json::to_string_pretty(&doc)?)
+}
+
+/// Errors from JSON profile I/O.
+#[derive(Debug)]
+pub enum JsonError {
+    /// JSON syntax or schema error.
+    Syntax(serde_json::Error),
+    /// Semantic error (e.g. score out of range).
+    Core(CoreError),
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::Syntax(e) => write!(f, "JSON error: {e}"),
+            JsonError::Core(e) => write!(f, "profile error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<serde_json::Error> for JsonError {
+    fn from(e: serde_json::Error) -> Self {
+        JsonError::Syntax(e)
+    }
+}
+
+impl From<CoreError> for JsonError {
+    fn from(e: CoreError) -> Self {
+        JsonError::Core(e)
+    }
+}
+
+/// Convenience: loads profiles from a file path.
+pub fn profiles_from_path(
+    path: impl AsRef<std::path::Path>,
+) -> std::result::Result<UserRepository, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(profiles_from_json(&text)?)
+}
+
+/// Convenience: saves profiles to a file path.
+pub fn profiles_to_path(
+    repo: &UserRepository,
+    path: impl AsRef<std::path::Path>,
+) -> std::result::Result<(), Box<dyn std::error::Error>> {
+    std::fs::write(path, profiles_to_json(repo)?)?;
+    Ok(())
+}
+
+/// Serializes a review corpus to JSON — dataset snapshots for sharing the
+/// exact ground-truth opinions an experiment ran against.
+pub fn corpus_to_json(
+    corpus: &crate::reviews::ReviewCorpus,
+) -> std::result::Result<String, JsonError> {
+    Ok(serde_json::to_string(corpus)?)
+}
+
+/// Parses a review corpus back from JSON.
+pub fn corpus_from_json(
+    text: &str,
+) -> std::result::Result<crate::reviews::ReviewCorpus, JsonError> {
+    Ok(serde_json::from_str(text)?)
+}
+
+// Re-exported so callers can use the crate-level Result alias if desired.
+#[allow(unused)]
+type CoreResult<T> = Result<T>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "users": [
+            { "name": "Alice",
+              "properties": { "livesIn Tokyo": 1.0, "avgRating Mexican": 0.95 } },
+            { "name": "Bob",
+              "properties": { "avgRating Mexican": 0.3 } },
+            { "name": "Carol", "properties": {} }
+        ]
+    }"#;
+
+    #[test]
+    fn parse_sample() {
+        let repo = profiles_from_json(SAMPLE).unwrap();
+        assert_eq!(repo.user_count(), 3);
+        assert_eq!(repo.property_count(), 2);
+        let alice = repo.user_by_name("Alice").unwrap();
+        let mex = repo.property_id("avgRating Mexican").unwrap();
+        assert_eq!(repo.score(alice, mex), Some(0.95));
+        let carol = repo.user_by_name("Carol").unwrap();
+        assert!(repo.profile(carol).unwrap().is_empty());
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let repo = profiles_from_json(SAMPLE).unwrap();
+        let json = profiles_to_json(&repo).unwrap();
+        let back = profiles_from_json(&json).unwrap();
+        assert_eq!(back.user_count(), repo.user_count());
+        assert_eq!(back.property_count(), repo.property_count());
+        for (u, profile) in repo.iter() {
+            let name = repo.user_name(u).unwrap();
+            let bu = back.user_by_name(name).unwrap();
+            for (p, s) in profile.iter() {
+                let label = repo.property_label(p).unwrap();
+                let bp = back.property_id(label).unwrap();
+                assert_eq!(back.score(bu, bp), Some(s));
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_score_rejected() {
+        let bad = r#"{ "users": [ { "name": "X", "properties": { "p": 1.5 } } ] }"#;
+        assert!(matches!(
+            profiles_from_json(bad),
+            Err(JsonError::Core(CoreError::ScoreOutOfRange { .. }))
+        ));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            profiles_from_json("{ not json"),
+            Err(JsonError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn table2_roundtrips() {
+        let repo = crate::table2::table2();
+        let json = profiles_to_json(&repo).unwrap();
+        let back = profiles_from_json(&json).unwrap();
+        assert_eq!(back.user_count(), 5);
+        let eve = back.user_by_name("Eve").unwrap();
+        let p = back.property_id("visitFreq CheapEats").unwrap();
+        assert_eq!(back.score(eve, p), Some(0.3));
+    }
+
+    #[test]
+    fn corpus_roundtrip() {
+        use crate::reviews::{Destination, DestinationId, Review, ReviewCorpus, Sentiment, TopicId};
+        use crate::taxonomy::CategoryId;
+        use podium_core::ids::UserId;
+        let corpus = ReviewCorpus {
+            destinations: vec![Destination {
+                name: "d".into(),
+                category: CategoryId(2),
+                city: 1,
+                topics: vec![TopicId(0)],
+                base_quality: 3.5,
+            }],
+            reviews: vec![Review {
+                user: UserId(4),
+                destination: DestinationId(0),
+                rating: 5,
+                topics: vec![(TopicId(0), Sentiment::Negative)],
+                useful_votes: 2,
+            }],
+            topic_names: vec!["food".into()],
+        };
+        let json = corpus_to_json(&corpus).unwrap();
+        let back = corpus_from_json(&json).unwrap();
+        assert_eq!(back.destinations, corpus.destinations);
+        assert_eq!(back.reviews, corpus.reviews);
+        assert_eq!(back.topic_names, corpus.topic_names);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let repo = profiles_from_json(SAMPLE).unwrap();
+        let dir = std::env::temp_dir().join("podium-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profiles.json");
+        profiles_to_path(&repo, &path).unwrap();
+        let back = profiles_from_path(&path).unwrap();
+        assert_eq!(back.user_count(), 3);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,212 @@
+//! Ground-truth opinions: destinations, reviews, topics and usefulness.
+//!
+//! The opinion-diversity experiments (§8.2) simulate procurement by
+//! revealing the held-out reviews of selected users. A review carries the
+//! signals the paper's metrics consume: a 1–5 star rating, the set of
+//! prevalent *topics* it mentions, each with a sentiment, and the number of
+//! "useful" votes it received (Yelp only).
+
+use podium_core::ids::UserId;
+use serde::{Deserialize, Serialize};
+
+use crate::taxonomy::CategoryId;
+
+/// Identifier of a destination (restaurant) being reviewed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DestinationId(pub u32);
+
+impl DestinationId {
+    /// Index form.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+    /// From index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self(u32::try_from(i).expect("destination index exceeds u32::MAX"))
+    }
+}
+
+/// Identifier of a review topic (food quality, service, price, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TopicId(pub u32);
+
+impl TopicId {
+    /// Index form.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+    /// From index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self(u32::try_from(i).expect("topic index exceeds u32::MAX"))
+    }
+}
+
+/// Sentiment of a topic mention within a review.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sentiment {
+    /// The reviewer spoke positively about the topic.
+    Positive,
+    /// The reviewer spoke negatively about the topic.
+    Negative,
+}
+
+/// A reviewed destination (restaurant).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Destination {
+    /// Display name.
+    pub name: String,
+    /// Leaf cuisine category.
+    pub category: CategoryId,
+    /// City index (into the dataset's city table).
+    pub city: u32,
+    /// The prevalent topics of this destination's reviews — the topic list
+    /// the Topic+Sentiment Coverage metric measures against (§8.2).
+    pub topics: Vec<TopicId>,
+    /// Latent base quality on the 1–5 star scale (generator internal; kept
+    /// for diagnostics).
+    pub base_quality: f64,
+}
+
+/// One procured opinion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Review {
+    /// The reviewing user.
+    pub user: UserId,
+    /// The destination reviewed.
+    pub destination: DestinationId,
+    /// Star rating in `1..=5`.
+    pub rating: u8,
+    /// Topics mentioned, each with a sentiment.
+    pub topics: Vec<(TopicId, Sentiment)>,
+    /// "Useful" votes received (the Usefulness metric, Yelp only).
+    pub useful_votes: u32,
+}
+
+/// The full review corpus of a dataset.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReviewCorpus {
+    /// All destinations, indexed by [`DestinationId`].
+    pub destinations: Vec<Destination>,
+    /// All reviews, in generation order.
+    pub reviews: Vec<Review>,
+    /// Topic display names, indexed by [`TopicId`].
+    pub topic_names: Vec<String>,
+}
+
+impl ReviewCorpus {
+    /// Number of destinations.
+    pub fn destination_count(&self) -> usize {
+        self.destinations.len()
+    }
+
+    /// Number of reviews.
+    pub fn review_count(&self) -> usize {
+        self.reviews.len()
+    }
+
+    /// All reviews of one destination.
+    pub fn reviews_of(&self, d: DestinationId) -> impl Iterator<Item = &Review> {
+        self.reviews.iter().filter(move |r| r.destination == d)
+    }
+
+    /// Review counts per destination, indexed by [`DestinationId`].
+    pub fn review_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.destinations.len()];
+        for r in &self.reviews {
+            counts[r.destination.index()] += 1;
+        }
+        counts
+    }
+
+    /// Mean rating of a destination (0.0 when unreviewed).
+    pub fn mean_rating(&self, d: DestinationId) -> f64 {
+        let (mut sum, mut n) = (0u64, 0u64);
+        for r in self.reviews_of(d) {
+            sum += u64::from(r.rating);
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> ReviewCorpus {
+        ReviewCorpus {
+            destinations: vec![
+                Destination {
+                    name: "Summer Pavilion".into(),
+                    category: CategoryId(0),
+                    city: 0,
+                    topics: vec![TopicId(0), TopicId(1)],
+                    base_quality: 4.0,
+                },
+                Destination {
+                    name: "Cheap Eats Corner".into(),
+                    category: CategoryId(1),
+                    city: 1,
+                    topics: vec![TopicId(1)],
+                    base_quality: 2.5,
+                },
+            ],
+            reviews: vec![
+                Review {
+                    user: UserId(0),
+                    destination: DestinationId(0),
+                    rating: 5,
+                    topics: vec![(TopicId(0), Sentiment::Positive)],
+                    useful_votes: 3,
+                },
+                Review {
+                    user: UserId(1),
+                    destination: DestinationId(0),
+                    rating: 3,
+                    topics: vec![(TopicId(1), Sentiment::Negative)],
+                    useful_votes: 1,
+                },
+                Review {
+                    user: UserId(0),
+                    destination: DestinationId(1),
+                    rating: 2,
+                    topics: vec![],
+                    useful_votes: 0,
+                },
+            ],
+            topic_names: vec!["food".into(), "service".into()],
+        }
+    }
+
+    #[test]
+    fn reviews_of_filters_by_destination() {
+        let c = corpus();
+        assert_eq!(c.reviews_of(DestinationId(0)).count(), 2);
+        assert_eq!(c.reviews_of(DestinationId(1)).count(), 1);
+    }
+
+    #[test]
+    fn review_counts_and_means() {
+        let c = corpus();
+        assert_eq!(c.review_counts(), vec![2, 1]);
+        assert!((c.mean_rating(DestinationId(0)) - 4.0).abs() < 1e-12);
+        assert!((c.mean_rating(DestinationId(1)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_destination_mean_is_zero() {
+        let mut c = corpus();
+        c.reviews.clear();
+        assert_eq!(c.mean_rating(DestinationId(0)), 0.0);
+    }
+}

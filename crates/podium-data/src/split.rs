@@ -1,0 +1,123 @@
+//! Holdout splitting for opinion-procurement simulation (§8.2).
+//!
+//! "We split the data into profiles used for selection, and data that
+//! simulates the procured opinions." Evaluation destinations are held out:
+//! profiles are derived from all *other* reviews, and the held-out reviews
+//! become the ground-truth opinions revealed once a user is "asked".
+
+use std::collections::HashSet;
+
+use podium_core::profile::UserRepository;
+
+use crate::reviews::DestinationId;
+use crate::synth::SynthDataset;
+
+/// A holdout split of a synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct HoldoutSplit {
+    /// Destinations whose reviews are held out for evaluation.
+    pub eval_destinations: Vec<DestinationId>,
+    /// Profiles derived from the remaining reviews only.
+    pub selection_repo: UserRepository,
+}
+
+/// Splits the dataset: the `count` most-reviewed destinations with at least
+/// `min_reviews` reviews are held out (the paper evaluates on destinations
+/// with many reviews — e.g. 50 TripAdvisor destinations averaging 90
+/// reviews, 130 Yelp destinations averaging 1 730).
+pub fn holdout_split(dataset: &SynthDataset, count: usize, min_reviews: usize) -> HoldoutSplit {
+    let counts = dataset.corpus.review_counts();
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by_key(|&d| std::cmp::Reverse(counts[d]));
+    let eval_destinations: Vec<DestinationId> = order
+        .into_iter()
+        .filter(|&d| counts[d] >= min_reviews)
+        .take(count)
+        .map(DestinationId::from_index)
+        .collect();
+    let held: HashSet<DestinationId> = eval_destinations.iter().copied().collect();
+    let selection_repo = dataset.profiles_excluding(&|d| held.contains(&d));
+    HoldoutSplit {
+        eval_destinations,
+        selection_repo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+    use crate::derive::DeriveOptions;
+
+    fn dataset() -> SynthDataset {
+        SynthConfig {
+            name: "split-test".into(),
+            seed: 11,
+            users: 80,
+            destinations: 60,
+            cities: 4,
+            age_groups: 2,
+            archetypes: 3,
+            regions: 3,
+            leaves_per_region: 3,
+            topics: 8,
+            mean_reviews_per_user: 10.0,
+            review_dispersion: 0.5,
+            rating_noise: 0.7,
+            preference_gain: 0.8,
+            zipf_exponent: 1.0,
+            include_demographics: true,
+            useful_votes: true,
+            derive: DeriveOptions::default(),
+        }
+        .generate()
+    }
+
+    #[test]
+    fn holds_out_most_reviewed_destinations() {
+        let d = dataset();
+        let split = holdout_split(&d, 5, 2);
+        assert_eq!(split.eval_destinations.len(), 5);
+        let counts = d.corpus.review_counts();
+        let min_held = split
+            .eval_destinations
+            .iter()
+            .map(|&dd| counts[dd.index()])
+            .min()
+            .unwrap();
+        let max_rest = (0..counts.len())
+            .filter(|&dd| {
+                !split
+                    .eval_destinations
+                    .contains(&DestinationId::from_index(dd))
+            })
+            .map(|dd| counts[dd])
+            .max()
+            .unwrap();
+        assert!(min_held >= max_rest, "held-out are the busiest");
+    }
+
+    #[test]
+    fn min_reviews_filter() {
+        let d = dataset();
+        let split = holdout_split(&d, 1000, 5);
+        let counts = d.corpus.review_counts();
+        for dd in &split.eval_destinations {
+            assert!(counts[dd.index()] >= 5);
+        }
+    }
+
+    #[test]
+    fn selection_profiles_shrink() {
+        let d = dataset();
+        let split = holdout_split(&d, 10, 1);
+        let full: usize = d
+            .repo
+            .iter()
+            .map(|(_, p)| p.len())
+            .sum();
+        let held: usize = split.selection_repo.iter().map(|(_, p)| p.len()).sum();
+        assert!(held < full);
+        assert_eq!(split.selection_repo.user_count(), d.repo.user_count());
+    }
+}

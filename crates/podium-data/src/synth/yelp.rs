@@ -1,0 +1,83 @@
+//! Yelp-like dataset preset.
+//!
+//! The paper's Yelp subset has 60K users (the most-active reviewers), 52K
+//! restaurants and 8 491 groups — *more users but fewer groups* than
+//! TripAdvisor "due to its simpler semantics" (§8.1). The preset mirrors
+//! that: no demographics, only two aggregate property kinds, a flatter
+//! taxonomy, but usefulness votes on reviews (the Usefulness metric is
+//! Yelp-only).
+
+use crate::derive::{DeriveOptions, PropertyKinds};
+
+use super::SynthConfig;
+
+/// Builds a Yelp-like configuration at the given scale. `scale = 1.0` ≈ the
+/// paper's 60K users; the experiment harness defaults to a laptop-friendly
+/// fraction.
+pub fn yelp(scale: f64, seed: u64) -> SynthConfig {
+    let users = ((60_000.0 * scale).round() as usize).max(20);
+    SynthConfig {
+        name: format!("yelp-like (scale {scale})"),
+        seed,
+        users,
+        destinations: (users).max(50),
+        cities: (users / 500).clamp(4, 60),
+        age_groups: 0,
+        archetypes: 8,
+        regions: 5,
+        leaves_per_region: 7,
+        topics: 18,
+        mean_reviews_per_user: 25.0, // "the 60K users with most reviews"
+        review_dispersion: 0.8,
+        rating_noise: 0.8,
+        preference_gain: 0.7,
+        zipf_exponent: 1.1,
+        include_demographics: false,
+        useful_votes: true,
+        derive: DeriveOptions {
+            kinds: PropertyKinds::simple(),
+            min_visits: 1,
+            generalize: true,
+            city_properties: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_shape() {
+        let cfg = yelp(0.01, 1);
+        assert_eq!(cfg.users, 600);
+        assert!(!cfg.include_demographics);
+        assert!(!cfg.derive.kinds.enthusiasm, "simpler semantics");
+        assert!(cfg.useful_votes);
+    }
+
+    #[test]
+    fn full_scale_matches_paper_user_count() {
+        assert_eq!(yelp(1.0, 1).users, 60_000);
+    }
+
+    #[test]
+    fn fewer_property_kinds_than_tripadvisor() {
+        let y = yelp(0.004, 2).generate();
+        let t = super::super::tripadvisor::tripadvisor(0.05, 2).generate();
+        // Comparable user counts (240 vs 224) but Yelp-like must have fewer
+        // distinct properties — the paper's "less room for maneuver".
+        assert!(
+            y.repo.property_count() < t.repo.property_count(),
+            "yelp {} < tripadvisor {}",
+            y.repo.property_count(),
+            t.repo.property_count()
+        );
+    }
+
+    #[test]
+    fn useful_votes_are_generated() {
+        let y = yelp(0.002, 5).generate();
+        assert!(y.corpus.reviews.iter().any(|r| r.useful_votes > 0));
+    }
+}

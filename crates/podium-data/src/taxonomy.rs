@@ -1,0 +1,233 @@
+//! Category taxonomies for profile enrichment (paper §3.1, Example 3.2).
+//!
+//! A taxonomy is a forest of named categories. Generalization rules walk the
+//! ancestor chain: a user activity recorded for *Mexican* cuisine also
+//! counts toward *Latin* cuisine and any higher ancestor, which is how the
+//! dataset generators derive enriched aggregate properties.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a taxonomy category (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct CategoryId(pub u32);
+
+impl CategoryId {
+    /// Index form.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+    /// From index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self(u32::try_from(i).expect("category index exceeds u32::MAX"))
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    name: String,
+    parent: Option<CategoryId>,
+    children: Vec<CategoryId>,
+}
+
+/// A category taxonomy (forest).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Taxonomy {
+    nodes: Vec<Node>,
+}
+
+impl Taxonomy {
+    /// An empty taxonomy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a root category.
+    pub fn add_root(&mut self, name: impl Into<String>) -> CategoryId {
+        let id = CategoryId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.into(),
+            parent: None,
+            children: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a child of `parent`.
+    ///
+    /// # Panics
+    /// Panics if `parent` does not exist.
+    pub fn add_child(&mut self, parent: CategoryId, name: impl Into<String>) -> CategoryId {
+        assert!(parent.index() < self.nodes.len(), "unknown parent category");
+        let id = CategoryId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.into(),
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Number of categories.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the taxonomy has no categories.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The category's name.
+    pub fn name(&self, c: CategoryId) -> &str {
+        &self.nodes[c.index()].name
+    }
+
+    /// The category's parent, if any.
+    pub fn parent(&self, c: CategoryId) -> Option<CategoryId> {
+        self.nodes[c.index()].parent
+    }
+
+    /// Direct children of a category.
+    pub fn children(&self, c: CategoryId) -> &[CategoryId] {
+        &self.nodes[c.index()].children
+    }
+
+    /// Finds a category by name (linear scan).
+    pub fn find(&self, name: &str) -> Option<CategoryId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(CategoryId::from_index)
+    }
+
+    /// The ancestor chain of `c`, starting from `c` itself up to its root.
+    /// This drives generalization: activity in `c` counts toward every
+    /// returned category.
+    pub fn ancestors_inclusive(&self, c: CategoryId) -> Vec<CategoryId> {
+        let mut out = vec![c];
+        let mut cur = c;
+        while let Some(p) = self.parent(cur) {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// All leaf categories (no children), in id order.
+    pub fn leaves(&self) -> Vec<CategoryId> {
+        (0..self.nodes.len())
+            .map(CategoryId::from_index)
+            .filter(|c| self.nodes[c.index()].children.is_empty())
+            .collect()
+    }
+
+    /// Whether `descendant` is in the subtree of `ancestor` (inclusive).
+    pub fn is_descendant(&self, descendant: CategoryId, ancestor: CategoryId) -> bool {
+        self.ancestors_inclusive(descendant).contains(&ancestor)
+    }
+
+    /// A small curated cuisine taxonomy mirroring the paper's example
+    /// (Mexican ⊂ Latin, plus a few siblings). Useful for tests and the
+    /// quickstart example.
+    pub fn example_cuisines() -> Self {
+        let mut t = Self::new();
+        let food = t.add_root("Food");
+        let latin = t.add_child(food, "Latin");
+        t.add_child(latin, "Mexican");
+        t.add_child(latin, "Brazilian");
+        let european = t.add_child(food, "European");
+        t.add_child(european, "French");
+        t.add_child(european, "Italian");
+        let asian = t.add_child(food, "Asian");
+        t.add_child(asian, "Japanese");
+        t.add_child(asian, "Thai");
+        t
+    }
+
+    /// Generates a synthetic cuisine taxonomy: one root, `regions` regional
+    /// categories, `leaves_per_region` leaf cuisines each. Deterministic
+    /// naming (`Region3`, `Cuisine3_2`).
+    pub fn generate(regions: usize, leaves_per_region: usize) -> Self {
+        let mut t = Self::new();
+        let root = t.add_root("Food");
+        for r in 0..regions {
+            let region = t.add_child(root, format!("Region{r}"));
+            for l in 0..leaves_per_region {
+                t.add_child(region, format!("Cuisine{r}_{l}"));
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_taxonomy_structure() {
+        let t = Taxonomy::example_cuisines();
+        let mexican = t.find("Mexican").unwrap();
+        let latin = t.find("Latin").unwrap();
+        let food = t.find("Food").unwrap();
+        assert_eq!(t.parent(mexican), Some(latin));
+        assert_eq!(t.parent(latin), Some(food));
+        assert_eq!(t.parent(food), None);
+        assert_eq!(
+            t.ancestors_inclusive(mexican),
+            vec![mexican, latin, food],
+            "Example 3.2: Mexican generalizes to Latin (and Food)"
+        );
+    }
+
+    #[test]
+    fn leaves_have_no_children() {
+        let t = Taxonomy::example_cuisines();
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), 6);
+        for l in leaves {
+            assert!(t.children(l).is_empty());
+        }
+    }
+
+    #[test]
+    fn is_descendant() {
+        let t = Taxonomy::example_cuisines();
+        let mexican = t.find("Mexican").unwrap();
+        let latin = t.find("Latin").unwrap();
+        let asian = t.find("Asian").unwrap();
+        assert!(t.is_descendant(mexican, latin));
+        assert!(t.is_descendant(mexican, mexican));
+        assert!(!t.is_descendant(mexican, asian));
+        assert!(!t.is_descendant(latin, mexican));
+    }
+
+    #[test]
+    fn generated_shape() {
+        let t = Taxonomy::generate(4, 5);
+        assert_eq!(t.len(), 1 + 4 + 20);
+        assert_eq!(t.leaves().len(), 20);
+        let leaf = t.find("Cuisine2_3").unwrap();
+        let region = t.find("Region2").unwrap();
+        assert_eq!(t.parent(leaf), Some(region));
+    }
+
+    #[test]
+    fn find_missing_returns_none() {
+        let t = Taxonomy::example_cuisines();
+        assert_eq!(t.find("Klingon"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn add_child_of_missing_parent_panics() {
+        let mut t = Taxonomy::new();
+        t.add_child(CategoryId(5), "orphan");
+    }
+}

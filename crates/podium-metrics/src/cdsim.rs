@@ -1,0 +1,144 @@
+//! Coverage-oriented distribution similarity — CD-sim (Definition 8.1).
+//!
+//! Standard goodness-of-fit metrics are inadequate for coverage-based
+//! selection because small groups *must* be over-represented to be covered
+//! at all. CD-sim therefore taxes only under-representation:
+//!
+//! ```text
+//! cd-sim(f_subset, f_all) = 1 − (1/k) · Σ_{f_subset(b) < f_all(b)}
+//!                               (f_all(b) − f_subset(b)) / f_all(b)
+//! ```
+//!
+//! Normalizing each term by `f_all(b)` makes missing users of *large*
+//! groups cheaper per capita, "since the relative tax each missing user
+//! incurs is smaller".
+
+//! ```
+//! use podium_metrics::cdsim::cd_sim;
+//!
+//! // Example 8.2 of the paper: penalty only for under-representation.
+//! let score = cd_sim(&[0.4, 0.5, 0.1], &[0.23, 0.4, 0.37]);
+//! assert!((score - 0.7568).abs() < 1e-3);
+//! ```
+
+
+/// Computes CD-sim between a subset distribution and a population
+/// distribution over the same discrete domain.
+///
+/// Both slices must have the same length `k > 0`. Values are typically
+/// relative frequencies but any non-negative functions work. Domain values
+/// with `f_all(b) = 0` cannot be under-represented and contribute nothing.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn cd_sim(f_subset: &[f64], f_all: &[f64]) -> f64 {
+    assert_eq!(f_subset.len(), f_all.len(), "domains must match");
+    assert!(!f_all.is_empty(), "domain must be non-empty");
+    let k = f_all.len() as f64;
+    let penalty: f64 = f_subset
+        .iter()
+        .zip(f_all)
+        .filter(|&(&s, &a)| a > 0.0 && s < a)
+        .map(|(&s, &a)| (a - s) / a)
+        .sum();
+    1.0 - penalty / k
+}
+
+/// Converts raw counts into relative frequencies; an all-zero histogram maps
+/// to all-zero frequencies.
+pub fn frequencies(counts: &[usize]) -> Vec<f64> {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_82_from_the_paper() {
+        // Population [0.23, 0.4, 0.37], subset [0.4, 0.5, 0.1] -> 0.76
+        // (penalty solely for the third bucket's under-representation).
+        let score = cd_sim(&[0.4, 0.5, 0.1], &[0.23, 0.4, 0.37]);
+        let expected = 1.0 - (0.37 - 0.1) / 0.37 / 3.0;
+        assert!((score - expected).abs() < 1e-12);
+        assert!((score - 0.7568).abs() < 1e-3, "≈0.76 as printed in Ex. 8.2");
+    }
+
+    #[test]
+    fn identical_distributions_score_one() {
+        let f = [0.2, 0.5, 0.3];
+        assert!((cd_sim(&f, &f) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_representation_not_penalized() {
+        // Subset over-represents bucket 0, matches bucket 1, empty bucket 2
+        // had no population mass: no penalty anywhere.
+        let score = cd_sim(&[0.8, 0.2, 0.0], &[0.5, 0.2, 0.0]);
+        assert!(
+            (score - 1.0).abs() < 1e-12,
+            "only under-representation taxes: {score}"
+        );
+    }
+
+    #[test]
+    fn total_miss_scores_zero() {
+        let score = cd_sim(&[0.0, 0.0], &[0.5, 0.5]);
+        assert!((score - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_groups_taxed_relatively_less() {
+        // Missing 0.1 mass from a large group (0.8) hurts less than missing
+        // 0.1 from a small group (0.15).
+        let large_miss = cd_sim(&[0.7, 0.3], &[0.8, 0.2]);
+        let small_miss = cd_sim(&[0.9, 0.05], &[0.85, 0.15]);
+        assert!(large_miss > small_miss);
+    }
+
+    #[test]
+    fn frequencies_helper() {
+        assert_eq!(frequencies(&[1, 3]), vec![0.25, 0.75]);
+        assert_eq!(frequencies(&[0, 0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "domains must match")]
+    fn mismatched_domains_panic() {
+        cd_sim(&[0.5], &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_panics() {
+        cd_sim(&[], &[]);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval_for_frequency_inputs() {
+        for trial in 0..50 {
+            // pseudo-random frequency vectors
+            let mut a = [0.0; 4];
+            let mut b = [0.0; 4];
+            let mut x = trial as u64 * 2654435761 + 1;
+            let mut next = move || {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) % 1000) as f64
+            };
+            for i in 0..4 {
+                a[i] = next();
+                b[i] = next();
+            }
+            let an: f64 = a.iter().sum();
+            let bn: f64 = b.iter().sum();
+            let a: Vec<f64> = a.iter().map(|v| v / an.max(1.0)).collect();
+            let b: Vec<f64> = b.iter().map(|v| v / bn.max(1.0)).collect();
+            let s = cd_sim(&a, &b);
+            assert!((0.0..=1.0).contains(&s), "{s}");
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Diverse opinion metrics (§8.2): the diversity of the *procured opinions*
+//! themselves, computed from held-out ground-truth reviews.
+//!
+//! All metrics are defined per destination; the experiment harness selects a
+//! user subset per destination (from its reviewer population, using
+//! held-out-free profiles) and averages over destinations.
+
+use podium_core::ids::UserId;
+use podium_data::reviews::{Review, ReviewCorpus, Sentiment};
+
+use crate::cdsim::cd_sim;
+
+/// The opinion metric bundle reported in Figures 3b/3d.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpinionMetrics {
+    /// Topic+Sentiment coverage: 1.0 means every prevalent topic of the
+    /// destination appears in both a positive and a negative selected
+    /// review.
+    pub topic_sentiment_coverage: f64,
+    /// Sum of "useful" votes of the selected reviews (Yelp only).
+    pub usefulness: f64,
+    /// CD-sim between the selected subset's rating distribution and the full
+    /// reviewer population's (over ratings 1..=5).
+    pub rating_distribution_similarity: f64,
+    /// Variance of the selected subset's ratings.
+    pub rating_variance: f64,
+}
+
+impl OpinionMetrics {
+    /// Averages a list of per-destination metric bundles.
+    pub fn mean(metrics: &[OpinionMetrics]) -> OpinionMetrics {
+        if metrics.is_empty() {
+            return OpinionMetrics::default();
+        }
+        let n = metrics.len() as f64;
+        OpinionMetrics {
+            topic_sentiment_coverage: metrics
+                .iter()
+                .map(|m| m.topic_sentiment_coverage)
+                .sum::<f64>()
+                / n,
+            usefulness: metrics.iter().map(|m| m.usefulness).sum::<f64>() / n,
+            rating_distribution_similarity: metrics
+                .iter()
+                .map(|m| m.rating_distribution_similarity)
+                .sum::<f64>()
+                / n,
+            rating_variance: metrics.iter().map(|m| m.rating_variance).sum::<f64>() / n,
+        }
+    }
+}
+
+/// *Topic+Sentiment coverage* of a set of selected reviews against the
+/// destination's prevalent topic list: each topic contributes one point for
+/// appearing in a positive mention and one for a negative mention.
+pub fn topic_sentiment_coverage(
+    selected_reviews: &[&Review],
+    destination_topics: &[podium_data::reviews::TopicId],
+) -> f64 {
+    if destination_topics.is_empty() {
+        return 0.0;
+    }
+    let mut points = 0usize;
+    for &t in destination_topics {
+        let mut pos = false;
+        let mut neg = false;
+        for r in selected_reviews {
+            for &(rt, s) in &r.topics {
+                if rt == t {
+                    match s {
+                        Sentiment::Positive => pos = true,
+                        Sentiment::Negative => neg = true,
+                    }
+                }
+            }
+        }
+        points += usize::from(pos) + usize::from(neg);
+    }
+    points as f64 / (2 * destination_topics.len()) as f64
+}
+
+/// *Usefulness*: total "useful" votes over the selected reviews ("computed
+/// by summing over individual reviews usefulness levels").
+pub fn usefulness(selected_reviews: &[&Review]) -> f64 {
+    selected_reviews
+        .iter()
+        .map(|r| f64::from(r.useful_votes))
+        .sum()
+}
+
+/// Histogram of ratings `1..=5` over reviews.
+pub fn rating_histogram<'a>(reviews: impl Iterator<Item = &'a Review>) -> [usize; 5] {
+    let mut h = [0usize; 5];
+    for r in reviews {
+        let idx = (r.rating.clamp(1, 5) - 1) as usize;
+        h[idx] += 1;
+    }
+    h
+}
+
+/// *Rating distribution similarity*: CD-sim between the selected reviews'
+/// rating distribution and the full population's, over `B = {1..5}`.
+pub fn rating_distribution_similarity(
+    selected_reviews: &[&Review],
+    all_reviews: &[&Review],
+) -> f64 {
+    let sel = rating_histogram(selected_reviews.iter().copied());
+    let all = rating_histogram(all_reviews.iter().copied());
+    let sel_f = crate::cdsim::frequencies(&sel);
+    let all_f = crate::cdsim::frequencies(&all);
+    cd_sim(&sel_f, &all_f)
+}
+
+/// *Rating variance* of the selected reviews (population variance; 0 for
+/// fewer than two reviews).
+pub fn rating_variance(selected_reviews: &[&Review]) -> f64 {
+    if selected_reviews.len() < 2 {
+        return 0.0;
+    }
+    let n = selected_reviews.len() as f64;
+    let mean = selected_reviews
+        .iter()
+        .map(|r| f64::from(r.rating))
+        .sum::<f64>()
+        / n;
+    selected_reviews
+        .iter()
+        .map(|r| {
+            let d = f64::from(r.rating) - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Evaluates all opinion metrics for one destination: `selection` is the
+/// procured user subset; their reviews of `destination` are the simulated
+/// procured opinions.
+pub fn evaluate_destination(
+    corpus: &ReviewCorpus,
+    destination: podium_data::reviews::DestinationId,
+    selection: &[UserId],
+) -> OpinionMetrics {
+    let all: Vec<&Review> = corpus.reviews_of(destination).collect();
+    let sel: Vec<&Review> = all
+        .iter()
+        .copied()
+        .filter(|r| selection.contains(&r.user))
+        .collect();
+    let topics = &corpus.destinations[destination.index()].topics;
+    OpinionMetrics {
+        topic_sentiment_coverage: topic_sentiment_coverage(&sel, topics),
+        usefulness: usefulness(&sel),
+        rating_distribution_similarity: rating_distribution_similarity(&sel, &all),
+        rating_variance: rating_variance(&sel),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use podium_data::reviews::{Destination, DestinationId, TopicId};
+    use podium_data::taxonomy::CategoryId;
+
+    fn review(user: u32, rating: u8, topics: Vec<(TopicId, Sentiment)>, votes: u32) -> Review {
+        Review {
+            user: UserId(user),
+            destination: DestinationId(0),
+            rating,
+            topics,
+            useful_votes: votes,
+        }
+    }
+
+    fn corpus() -> ReviewCorpus {
+        ReviewCorpus {
+            destinations: vec![Destination {
+                name: "d0".into(),
+                category: CategoryId(0),
+                city: 0,
+                topics: vec![TopicId(0), TopicId(1)],
+                base_quality: 3.5,
+            }],
+            reviews: vec![
+                review(0, 5, vec![(TopicId(0), Sentiment::Positive)], 2),
+                review(1, 1, vec![(TopicId(0), Sentiment::Negative)], 1),
+                review(2, 3, vec![(TopicId(1), Sentiment::Positive)], 0),
+                review(3, 4, vec![], 5),
+            ],
+            topic_names: vec!["food".into(), "service".into()],
+        }
+    }
+
+    #[test]
+    fn topic_sentiment_coverage_definition() {
+        let c = corpus();
+        let all: Vec<&Review> = c.reviews.iter().collect();
+        // topic0: pos+neg; topic1: pos only -> 3 of 4 points.
+        assert!((topic_sentiment_coverage(&all, &c.destinations[0].topics) - 0.75).abs() < 1e-12);
+        let none: Vec<&Review> = vec![];
+        assert_eq!(topic_sentiment_coverage(&none, &c.destinations[0].topics), 0.0);
+        assert_eq!(topic_sentiment_coverage(&all, &[]), 0.0);
+    }
+
+    #[test]
+    fn usefulness_sums_votes() {
+        let c = corpus();
+        let all: Vec<&Review> = c.reviews.iter().collect();
+        assert_eq!(usefulness(&all), 8.0);
+    }
+
+    #[test]
+    fn rating_variance_basics() {
+        let c = corpus();
+        let all: Vec<&Review> = c.reviews.iter().collect();
+        // ratings 5,1,3,4: mean 3.25, var = (3.0625+5.0625+0.0625+0.5625)/4
+        assert!((rating_variance(&all) - 2.1875).abs() < 1e-12);
+        assert_eq!(rating_variance(&all[..1]), 0.0);
+    }
+
+    #[test]
+    fn rating_distribution_similarity_full_selection_is_one() {
+        let c = corpus();
+        let all: Vec<&Review> = c.reviews.iter().collect();
+        assert!((rating_distribution_similarity(&all, &all) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_destination_filters_by_selection() {
+        let c = corpus();
+        let m = evaluate_destination(&c, DestinationId(0), &[UserId(0), UserId(1)]);
+        // Selected reviews: ratings 5 and 1 — topic0 covered both ways.
+        assert!((m.topic_sentiment_coverage - 0.5).abs() < 1e-12);
+        assert_eq!(m.usefulness, 3.0);
+        assert!((m.rating_variance - 4.0).abs() < 1e-12);
+        assert!(m.rating_distribution_similarity > 0.0);
+        // Nobody selected: all metrics zero except distribution (total miss).
+        let z = evaluate_destination(&c, DestinationId(0), &[]);
+        assert_eq!(z.topic_sentiment_coverage, 0.0);
+        assert_eq!(z.usefulness, 0.0);
+        assert_eq!(z.rating_variance, 0.0);
+    }
+
+    #[test]
+    fn mean_aggregation() {
+        let a = OpinionMetrics {
+            topic_sentiment_coverage: 0.5,
+            usefulness: 2.0,
+            rating_distribution_similarity: 0.8,
+            rating_variance: 1.0,
+        };
+        let b = OpinionMetrics {
+            topic_sentiment_coverage: 1.0,
+            usefulness: 4.0,
+            rating_distribution_similarity: 0.6,
+            rating_variance: 3.0,
+        };
+        let m = OpinionMetrics::mean(&[a, b]);
+        assert!((m.topic_sentiment_coverage - 0.75).abs() < 1e-12);
+        assert!((m.usefulness - 3.0).abs() < 1e-12);
+        assert!((m.rating_distribution_similarity - 0.7).abs() < 1e-12);
+        assert!((m.rating_variance - 2.0).abs() < 1e-12);
+        assert_eq!(OpinionMetrics::mean(&[]), OpinionMetrics::default());
+    }
+
+    #[test]
+    fn rating_histogram_clamps() {
+        let r = review(0, 5, vec![], 0);
+        let h = rating_histogram([&r].into_iter());
+        assert_eq!(h, [0, 0, 0, 0, 1]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Pairwise property-overlap statistics of a selected subset.
+//!
+//! §8.4 explains the behavioral gap between Podium and the distance-based
+//! S-Model through this quantity: "the main difference between the
+//! distance-based approach and ours is the pairwise intersection in user
+//! properties — e.g., 2 versus tens on average that we get for the Yelp
+//! dataset. Consequently, when there are a few prevalent categories that
+//! are shared by many users, the distance-based approach tends to seek the
+//! few users that do not have these categories, which comes at the expense
+//! of coverage."
+
+use podium_core::ids::UserId;
+use podium_core::profile::UserRepository;
+
+/// Overlap statistics over all pairs of a subset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapStats {
+    /// Mean pairwise property-set intersection size.
+    pub mean_intersection: f64,
+    /// Smallest pairwise intersection.
+    pub min_intersection: usize,
+    /// Largest pairwise intersection.
+    pub max_intersection: usize,
+    /// Mean pairwise Jaccard distance (1 − |∩|/|∪|).
+    pub mean_jaccard_distance: f64,
+    /// Number of pairs measured.
+    pub pairs: usize,
+}
+
+/// Computes pairwise overlap statistics of `subset`'s profiles. Subsets
+/// with fewer than two users yield zeroed statistics.
+pub fn overlap_stats(repo: &UserRepository, subset: &[UserId]) -> OverlapStats {
+    let mut pairs = 0usize;
+    let mut sum_inter = 0usize;
+    let mut min_inter = usize::MAX;
+    let mut max_inter = 0usize;
+    let mut sum_jaccard = 0.0f64;
+    for i in 0..subset.len() {
+        let pi = repo.profile(subset[i]).expect("valid user");
+        for &uj in &subset[(i + 1)..] {
+            let pj = repo.profile(uj).expect("valid user");
+            let jd = pi.jaccard_distance(pj);
+            // Recover |∩| from the Jaccard distance and set sizes:
+            // jd = 1 − inter/union, union = |a| + |b| − inter.
+            let a = pi.len() as f64;
+            let b = pj.len() as f64;
+            let inter = if a + b == 0.0 {
+                0.0
+            } else {
+                (1.0 - jd) * (a + b) / (2.0 - jd)
+            };
+            let inter = inter.round() as usize;
+            pairs += 1;
+            sum_inter += inter;
+            min_inter = min_inter.min(inter);
+            max_inter = max_inter.max(inter);
+            sum_jaccard += jd;
+        }
+    }
+    if pairs == 0 {
+        return OverlapStats {
+            mean_intersection: 0.0,
+            min_intersection: 0,
+            max_intersection: 0,
+            mean_jaccard_distance: 0.0,
+            pairs: 0,
+        };
+    }
+    OverlapStats {
+        mean_intersection: sum_inter as f64 / pairs as f64,
+        min_intersection: min_inter,
+        max_intersection: max_inter,
+        mean_jaccard_distance: sum_jaccard / pairs as f64,
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use podium_core::ids::PropertyId;
+
+    fn repo() -> UserRepository {
+        let mut r = UserRepository::new();
+        let users: Vec<UserId> = (0..3).map(|i| r.add_user(format!("u{i}"))).collect();
+        let ps: Vec<PropertyId> = (0..4).map(|i| r.intern_property(format!("p{i}"))).collect();
+        // u0: {p0, p1, p2}; u1: {p1, p2, p3}; u2: {p3}
+        for &p in &ps[0..3] {
+            r.set_score(users[0], p, 0.5).unwrap();
+        }
+        for &p in &ps[1..4] {
+            r.set_score(users[1], p, 0.5).unwrap();
+        }
+        r.set_score(users[2], ps[3], 0.5).unwrap();
+        r
+    }
+
+    #[test]
+    fn exact_intersections() {
+        let r = repo();
+        let s = overlap_stats(&r, &[UserId(0), UserId(1)]);
+        assert_eq!(s.pairs, 1);
+        assert_eq!(s.mean_intersection, 2.0, "p1, p2 shared");
+        assert_eq!((s.min_intersection, s.max_intersection), (2, 2));
+        assert!((s.mean_jaccard_distance - 0.5).abs() < 1e-9, "2 of 4 union");
+    }
+
+    #[test]
+    fn all_pairs_counted() {
+        let r = repo();
+        let all: Vec<UserId> = (0..3).map(UserId::from_index).collect();
+        let s = overlap_stats(&r, &all);
+        assert_eq!(s.pairs, 3);
+        // intersections: (0,1)=2, (0,2)=0, (1,2)=1 -> mean 1.
+        assert!((s.mean_intersection - 1.0).abs() < 1e-9);
+        assert_eq!(s.min_intersection, 0);
+        assert_eq!(s.max_intersection, 2);
+    }
+
+    #[test]
+    fn degenerate_subsets() {
+        let r = repo();
+        assert_eq!(overlap_stats(&r, &[]).pairs, 0);
+        assert_eq!(overlap_stats(&r, &[UserId(0)]).pairs, 0);
+    }
+
+    #[test]
+    fn disjoint_profiles_have_max_distance() {
+        let r = repo();
+        let s = overlap_stats(&r, &[UserId(0), UserId(2)]);
+        assert_eq!(s.mean_intersection, 0.0);
+        assert!((s.mean_jaccard_distance - 1.0).abs() < 1e-9);
+    }
+}

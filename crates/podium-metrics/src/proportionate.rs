@@ -1,0 +1,121 @@
+//! Proportionate allocation (Definition 2.1) as a measurable quantity.
+//!
+//! A subset `U` is a proportionate allocation of groups `𝒢` when
+//! `|g ∩ U| / |U| = |g| / |𝒰|` for every `g ∈ 𝒢`. §2 argues this is
+//! generally *impossible* in high-dimensional repositories — there are too
+//! many overlapping groups for any small subset to match all shares. These
+//! helpers quantify how close a selection comes, which the tests use to
+//! demonstrate that §2 claim empirically and which complements CD-sim
+//! (which taxes only under-representation).
+
+use podium_core::group::GroupSet;
+use podium_core::ids::UserId;
+
+/// Per-group allocation error: `| |g ∩ U|/|U| − |g|/|𝒰| |`, indexed by
+/// group id. Empty selections give each group its full population share as
+/// error.
+pub fn allocation_errors(groups: &GroupSet, selection: &[UserId]) -> Vec<f64> {
+    let n = groups.user_count().max(1) as f64;
+    let mut selected = vec![false; groups.user_count()];
+    let mut count = 0usize;
+    for &u in selection {
+        if u.index() < selected.len() && !std::mem::replace(&mut selected[u.index()], true) {
+            count += 1;
+        }
+    }
+    let b = count.max(1) as f64;
+    groups
+        .iter()
+        .map(|(_, g)| {
+            let in_sel = g.members.iter().filter(|&&u| selected[u.index()]).count() as f64;
+            let subset_share = if count == 0 { 0.0 } else { in_sel / b };
+            let pop_share = g.size() as f64 / n;
+            (subset_share - pop_share).abs()
+        })
+        .collect()
+}
+
+/// Whether `selection` is an *exact* proportionate allocation of every
+/// group (Definition 2.1) up to `tol`.
+pub fn is_proportionate(groups: &GroupSet, selection: &[UserId], tol: f64) -> bool {
+    allocation_errors(groups, selection)
+        .into_iter()
+        .all(|e| e <= tol)
+}
+
+/// Mean allocation error over all groups — a scalar "distance from
+/// proportionate allocation".
+pub fn mean_allocation_error(groups: &GroupSet, selection: &[UserId]) -> f64 {
+    let errors = allocation_errors(groups, selection);
+    if errors.is_empty() {
+        0.0
+    } else {
+        errors.iter().sum::<f64>() / errors.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_selection_is_proportionate() {
+        let groups = GroupSet::from_memberships(
+            4,
+            vec![vec![UserId(0), UserId(1)], vec![UserId(2)]],
+        );
+        let everyone: Vec<UserId> = (0..4).map(UserId::from_index).collect();
+        assert!(is_proportionate(&groups, &everyone, 1e-12));
+        assert_eq!(mean_allocation_error(&groups, &everyone), 0.0);
+    }
+
+    #[test]
+    fn exact_half_sample_of_disjoint_halves() {
+        // Groups {0,1} and {2,3}; selecting one from each is proportionate.
+        let groups = GroupSet::from_memberships(
+            4,
+            vec![
+                vec![UserId(0), UserId(1)],
+                vec![UserId(2), UserId(3)],
+            ],
+        );
+        assert!(is_proportionate(&groups, &[UserId(0), UserId(2)], 1e-12));
+        // Both from one half: each group off by 1/2 - ... = |1 - 0.5| = 0.5.
+        assert!(!is_proportionate(&groups, &[UserId(0), UserId(1)], 1e-12));
+        assert!(
+            (mean_allocation_error(&groups, &[UserId(0), UserId(1)]) - 0.5).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn overlapping_groups_make_proportionality_impossible() {
+        // The §2 phenomenon in miniature: user 0 is in both groups, user 1
+        // in one, user 2 in the other; |𝒰| = 3. Groups have sizes 2 and 2.
+        // For |U| = 1 the shares 2/3 cannot be matched by 0-or-1 counts.
+        let groups = GroupSet::from_memberships(
+            3,
+            vec![
+                vec![UserId(0), UserId(1)],
+                vec![UserId(0), UserId(2)],
+            ],
+        );
+        for u in 0..3 {
+            assert!(!is_proportionate(&groups, &[UserId(u)], 1e-9), "u={u}");
+        }
+    }
+
+    #[test]
+    fn empty_selection_errors_equal_population_shares() {
+        let groups = GroupSet::from_memberships(4, vec![vec![UserId(0), UserId(1)]]);
+        let errs = allocation_errors(&groups, &[]);
+        assert_eq!(errs, vec![0.5]);
+    }
+
+    #[test]
+    fn duplicates_in_selection_ignored() {
+        let groups = GroupSet::from_memberships(2, vec![vec![UserId(0)]]);
+        let a = allocation_errors(&groups, &[UserId(0), UserId(0)]);
+        let b = allocation_errors(&groups, &[UserId(0)]);
+        assert_eq!(a, b);
+    }
+}

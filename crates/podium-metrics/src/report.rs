@@ -1,0 +1,237 @@
+//! Normalize-to-leader comparison tables — the presentation form of the
+//! paper's Figure 3 ("all scores are normalized relative to the leading
+//! algorithm's score; the value of the leading score is denoted on the
+//! relevant bar").
+
+/// A metric × algorithm comparison table.
+#[derive(Debug, Clone, Default)]
+pub struct ComparisonTable {
+    algorithms: Vec<String>,
+    metrics: Vec<String>,
+    /// `values[m][a]` = raw value of metric `m` for algorithm `a`.
+    values: Vec<Vec<f64>>,
+}
+
+impl ComparisonTable {
+    /// Creates a table for the given algorithm names.
+    pub fn new<S: Into<String>>(algorithms: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            algorithms: algorithms.into_iter().map(Into::into).collect(),
+            metrics: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Adds one metric row; `values` must align with the algorithm order.
+    ///
+    /// # Panics
+    /// Panics if the value count differs from the algorithm count.
+    pub fn add_metric(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.algorithms.len(),
+            "one value per algorithm"
+        );
+        self.metrics.push(name.into());
+        self.values.push(values);
+    }
+
+    /// Algorithm names.
+    pub fn algorithms(&self) -> &[String] {
+        &self.algorithms
+    }
+
+    /// Metric names.
+    pub fn metrics(&self) -> &[String] {
+        &self.metrics
+    }
+
+    /// The raw value of `(metric, algorithm)`.
+    pub fn raw(&self, metric: usize, algorithm: usize) -> f64 {
+        self.values[metric][algorithm]
+    }
+
+    /// Values of one metric normalized to the leader (leader = 1.0). An
+    /// all-zero (or non-positive-leader) row normalizes to zeros.
+    pub fn normalized(&self, metric: usize) -> Vec<f64> {
+        let row = &self.values[metric];
+        let leader = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if leader <= 0.0 {
+            return vec![0.0; row.len()];
+        }
+        row.iter().map(|v| v / leader).collect()
+    }
+
+    /// Index of the leading algorithm for one metric (first maximum).
+    pub fn leader(&self, metric: usize) -> usize {
+        let row = &self.values[metric];
+        row.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Whether one algorithm leads (or ties the leader on) *every* metric —
+    /// the headline claim of Figure 3 ("Podium outperforms its alternatives
+    /// in every tested diversity metric").
+    pub fn leads_everywhere(&self, algorithm: usize) -> bool {
+        (0..self.metrics.len()).all(|m| {
+            let row = &self.values[m];
+            let leader = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            row[algorithm] >= leader - 1e-12
+        })
+    }
+
+    /// Averages several tables cell-wise. All tables must share the same
+    /// algorithms and metrics (used to average experiment repetitions over
+    /// different dataset seeds).
+    ///
+    /// # Panics
+    /// Panics on empty input or mismatched table shapes.
+    pub fn average(tables: &[ComparisonTable]) -> ComparisonTable {
+        let first = tables.first().expect("at least one table");
+        let mut out = ComparisonTable::new(first.algorithms.iter().cloned());
+        for m in 0..first.metrics.len() {
+            let mut row = vec![0.0; first.algorithms.len()];
+            for t in tables {
+                assert_eq!(t.algorithms, first.algorithms, "same algorithms");
+                assert_eq!(t.metrics, first.metrics, "same metrics");
+                for (acc, v) in row.iter_mut().zip(&t.values[m]) {
+                    *acc += v;
+                }
+            }
+            for v in row.iter_mut() {
+                *v /= tables.len() as f64;
+            }
+            out.add_metric(first.metrics[m].clone(), row);
+        }
+        out
+    }
+
+    /// Renders the table as aligned text: normalized values with the raw
+    /// leader value per row, Figure-3 style.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let name_w = self
+            .metrics
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let col_w = self
+            .algorithms
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let _ = write!(out, "{:name_w$}", "metric");
+        for a in &self.algorithms {
+            let _ = write!(out, " | {a:>col_w$}");
+        }
+        let _ = writeln!(out, " | leader (raw)");
+        let _ = write!(out, "{:-<name_w$}", "");
+        for _ in &self.algorithms {
+            let _ = write!(out, "-+-{:-<col_w$}", "");
+        }
+        let _ = writeln!(out, "-+-------------");
+        for m in 0..self.metrics.len() {
+            let norm = self.normalized(m);
+            let _ = write!(out, "{:name_w$}", self.metrics[m]);
+            for &v in &norm {
+                let _ = write!(out, " | {v:>col_w$.3}");
+            }
+            let leader = self.leader(m);
+            let _ = writeln!(
+                out,
+                " | {} ({:.4})",
+                self.algorithms[leader], self.values[m][leader]
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ComparisonTable {
+        let mut t = ComparisonTable::new(["Podium", "Random", "Clustering"]);
+        t.add_metric("total score", vec![17.0, 10.0, 8.5]);
+        t.add_metric("coverage", vec![0.9, 0.6, 0.3]);
+        t
+    }
+
+    #[test]
+    fn normalization_to_leader() {
+        let t = table();
+        let n = t.normalized(0);
+        assert!((n[0] - 1.0).abs() < 1e-12);
+        assert!((n[1] - 10.0 / 17.0).abs() < 1e-12);
+        assert_eq!(t.leader(0), 0);
+    }
+
+    #[test]
+    fn leads_everywhere() {
+        let t = table();
+        assert!(t.leads_everywhere(0));
+        assert!(!t.leads_everywhere(1));
+    }
+
+    #[test]
+    fn ties_count_as_leading() {
+        let mut t = ComparisonTable::new(["A", "B"]);
+        t.add_metric("m", vec![1.0, 1.0]);
+        assert!(t.leads_everywhere(0));
+        assert!(t.leads_everywhere(1));
+    }
+
+    #[test]
+    fn render_contains_values() {
+        let t = table();
+        let s = t.render();
+        assert!(s.contains("Podium"));
+        assert!(s.contains("total score"));
+        assert!(s.contains("17.0000"));
+        assert!(s.contains("1.000"));
+    }
+
+    #[test]
+    fn zero_rows_normalize_to_zero() {
+        let mut t = ComparisonTable::new(["A", "B"]);
+        t.add_metric("m", vec![0.0, 0.0]);
+        assert_eq!(t.normalized(0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per algorithm")]
+    fn mismatched_row_panics() {
+        let mut t = ComparisonTable::new(["A", "B"]);
+        t.add_metric("m", vec![1.0]);
+    }
+
+    #[test]
+    fn average_is_cellwise_mean() {
+        let mut a = ComparisonTable::new(["A", "B"]);
+        a.add_metric("m", vec![1.0, 3.0]);
+        let mut b = ComparisonTable::new(["A", "B"]);
+        b.add_metric("m", vec![3.0, 5.0]);
+        let avg = ComparisonTable::average(&[a, b]);
+        assert_eq!(avg.raw(0, 0), 2.0);
+        assert_eq!(avg.raw(0, 1), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same metrics")]
+    fn average_rejects_mismatched_metrics() {
+        let mut a = ComparisonTable::new(["A"]);
+        a.add_metric("m", vec![1.0]);
+        let mut b = ComparisonTable::new(["A"]);
+        b.add_metric("other", vec![1.0]);
+        ComparisonTable::average(&[a, b]);
+    }
+}

@@ -1,0 +1,68 @@
+//! JSON pipeline: the prototype's input format (§7) plus the explanation
+//! payload behind the Figure 2 UI.
+//!
+//! Loads user profiles from the JSON interchange format, runs diverse
+//! selection, and prints the data each pane of the Podium UI renders: the
+//! per-user top-weight groups (left pane), the top-weight coverage headline
+//! (middle pane), and a population-vs-subset score distribution for one
+//! property (right pane).
+//!
+//! Run with: `cargo run --example json_profiles`
+
+use podium::core::explain::SelectionReport;
+use podium::prelude::*;
+
+const PROFILES: &str = r#"{
+  "users": [
+    { "name": "Amit",  "properties": { "livesIn Berlin": 1.0, "avgRating Thai": 0.9,  "visitFreq Thai": 0.7 } },
+    { "name": "Bella", "properties": { "livesIn Berlin": 1.0, "avgRating Thai": 0.2,  "visitFreq Thai": 0.3 } },
+    { "name": "Chen",  "properties": { "livesIn Paris": 1.0,  "avgRating Thai": 0.55 } },
+    { "name": "Dana",  "properties": { "livesIn Paris": 1.0,  "avgRating Thai": 0.5,  "visitFreq Thai": 0.5 } },
+    { "name": "Ed",    "properties": { "livesIn Oslo": 1.0,   "avgRating Thai": 0.95, "visitFreq Thai": 0.9 } },
+    { "name": "Fay",   "properties": { "livesIn Oslo": 1.0 } }
+  ]
+}"#;
+
+fn main() {
+    let repo = profiles_from_json(PROFILES).expect("valid profile JSON");
+    println!(
+        "loaded {} users / {} properties from JSON",
+        repo.user_count(),
+        repo.property_count()
+    );
+
+    let buckets = BucketingConfig::paper_default().bucketize(&repo);
+    let groups = GroupSet::build(&repo, &buckets);
+    let inst = DiversificationInstance::from_schemes(
+        &groups,
+        WeightScheme::LinearBySize,
+        CovScheme::Single,
+        3,
+    );
+    let sel = greedy_select(&inst, 3);
+    let names: Vec<&str> = sel
+        .users
+        .iter()
+        .map(|&u| repo.user_name(u).unwrap())
+        .collect();
+    println!("selected (B=3): {{{}}}", names.join(", "));
+
+    // The Figure 2 panes.
+    let report = SelectionReport::build(&inst, &repo, &sel, groups.len());
+    print!("\n{}", report.render());
+
+    let thai = repo.property_id("avgRating Thai").expect("interned above");
+    println!("\nscore distribution for 'avgRating Thai' (population vs subset):");
+    for row in SelectionReport::property_distribution(&inst, &repo, &sel, thai) {
+        println!(
+            "  {:<8} population {:>5.1}%   subset {:>5.1}%",
+            row.bucket_label,
+            row.population_share * 100.0,
+            row.subset_share * 100.0
+        );
+    }
+
+    // Round-trip back to JSON (deterministic key order).
+    let json = profiles_to_json(&repo).expect("serializable");
+    println!("\nround-tripped JSON is {} bytes", json.len());
+}

@@ -1,0 +1,108 @@
+//! Traveler scenario: procure diverse opinions about a destination (§8.2's
+//! simulation, the introduction's first motivating example).
+//!
+//! A traveler wants "tips" about a popular restaurant. We hold out that
+//! destination's reviews, rebuild profiles without them, select 8 of its
+//! reviewers with Podium and with Random, then reveal the held-out reviews
+//! and compare the diversity of the procured opinions.
+//!
+//! Run with: `cargo run --release --example opinion_procurement`
+
+use podium::baselines::prelude::*;
+use podium::core::greedy::greedy_select;
+use podium::metrics::opinion::evaluate_destination;
+use podium::prelude::*;
+
+fn main() {
+    let dataset = podium::data::synth::tripadvisor(0.15, 7).generate();
+    println!(
+        "population: {} users, {} reviews over {} destinations",
+        dataset.repo.user_count(),
+        dataset.corpus.review_count(),
+        dataset.corpus.destination_count()
+    );
+
+    // Hold out the single busiest destination.
+    let split = holdout_split(&dataset, 1, 5);
+    let destination = split.eval_destinations[0];
+    let dest = &dataset.corpus.destinations[destination.index()];
+    let all_reviews: Vec<_> = dataset.corpus.reviews_of(destination).collect();
+    println!(
+        "\ntarget destination: {} ({} ground-truth reviews, mean rating {:.2})",
+        dest.name,
+        all_reviews.len(),
+        dataset.corpus.mean_rating(destination)
+    );
+
+    // Candidate pool: the destination's reviewers (each has a recorded
+    // ground-truth opinion), with held-out-free profiles.
+    let mut reviewers: Vec<_> = all_reviews.iter().map(|r| r.user).collect();
+    reviewers.sort();
+    reviewers.dedup();
+    let pool = split.selection_repo.restrict(&reviewers);
+
+    let budget = 8;
+
+    // Podium selection on the pool.
+    let buckets = BucketingConfig::adaptive_default().bucketize(&pool);
+    let groups = GroupSet::build(&pool, &buckets);
+    let inst = DiversificationInstance::from_schemes(
+        &groups,
+        WeightScheme::LinearBySize,
+        CovScheme::Single,
+        budget,
+    );
+    let podium_local = greedy_select(&inst, budget).users;
+    let podium_sel: Vec<_> = podium_local.iter().map(|u| reviewers[u.index()]).collect();
+
+    // Random selection on the same pool.
+    let random_local = RandomSelector::new(7).select(&pool, budget);
+    let random_sel: Vec<_> = random_local.iter().map(|u| reviewers[u.index()]).collect();
+
+    // Reveal the held-out opinions and score them.
+    println!("\n{:<22} {:>8} {:>8}", "opinion metric", "Podium", "Random");
+    let pm = evaluate_destination(&dataset.corpus, destination, &podium_sel);
+    let rm = evaluate_destination(&dataset.corpus, destination, &random_sel);
+    println!(
+        "{:<22} {:>8.3} {:>8.3}",
+        "topic+sentiment cov.", pm.topic_sentiment_coverage, rm.topic_sentiment_coverage
+    );
+    println!(
+        "{:<22} {:>8.3} {:>8.3}",
+        "rating dist. sim.",
+        pm.rating_distribution_similarity,
+        rm.rating_distribution_similarity
+    );
+    println!(
+        "{:<22} {:>8.3} {:>8.3}",
+        "rating variance", pm.rating_variance, rm.rating_variance
+    );
+
+    println!("\nprocured opinions (Podium):");
+    for r in all_reviews.iter().filter(|r| podium_sel.contains(&r.user)) {
+        let topics: Vec<String> = r
+            .topics
+            .iter()
+            .map(|&(t, s)| {
+                format!(
+                    "{}{}",
+                    dataset.corpus.topic_names[t.index()],
+                    match s {
+                        podium::data::reviews::Sentiment::Positive => "(+)",
+                        podium::data::reviews::Sentiment::Negative => "(-)",
+                    }
+                )
+            })
+            .collect();
+        println!(
+            "  user{:<5} rated {}/5, topics: {}",
+            r.user.0,
+            r.rating,
+            if topics.is_empty() {
+                "—".to_owned()
+            } else {
+                topics.join(", ")
+            }
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the paper's running example (Table 2) end to end.
+//!
+//! Builds the five-user repository, buckets the property scores with the
+//! paper's edges, materializes simple groups, selects a diverse pair of
+//! users under two weight schemes, and prints explanations.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use podium::prelude::*;
+
+fn main() {
+    // 1. The user repository of Table 2 (Alice, Bob, Carol, David, Eve).
+    let repo = table2();
+    println!(
+        "repository: {} users, {} properties",
+        repo.user_count(),
+        repo.property_count()
+    );
+
+    // 2. Bucket every property's scores: [0, .4) low, [.4, .65) medium,
+    //    [.65, 1] high; Boolean properties get a single "true" bucket.
+    let buckets = BucketingConfig::paper_default().bucketize(&repo);
+
+    // 3. Materialize the simple groups G_{p,b} (Definition 3.4).
+    let groups = GroupSet::build(&repo, &buckets);
+    println!("groups ({}):", groups.len());
+    for (gid, g) in groups.iter() {
+        println!("  {:<28} size {}", groups.label(gid, &repo), g.size());
+    }
+
+    // 4. LBS weights + Single coverage (the paper's defaults), budget 2.
+    let inst = DiversificationInstance::from_schemes(
+        &groups,
+        WeightScheme::LinearBySize,
+        CovScheme::Single,
+        2,
+    );
+    let sel = greedy_select(&inst, 2);
+    let names: Vec<&str> = sel
+        .users
+        .iter()
+        .map(|&u| repo.user_name(u).unwrap())
+        .collect();
+    println!(
+        "\nLBS + Single selection (B=2): {{{}}} with total score {}",
+        names.join(", "),
+        sel.score
+    );
+    assert_eq!(names, ["Alice", "Eve"], "Example 3.8");
+
+    // 5. Iden weights favour eccentric users (Example 3.8's comparison).
+    let iden = DiversificationInstance::from_schemes(
+        &groups,
+        WeightScheme::Identical,
+        CovScheme::Single,
+        2,
+    );
+    let isel = greedy_select(&iden, 2);
+    let inames: Vec<&str> = isel
+        .users
+        .iter()
+        .map(|&u| repo.user_name(u).unwrap())
+        .collect();
+    println!(
+        "Iden + Single selection (B=2): {{{}}} with {} groups represented",
+        inames.join(", "),
+        isel.score
+    );
+
+    // 6. Explanations (Definition 5.1 / Figure 2).
+    let report = SelectionReport::build(&inst, &repo, &sel, 5);
+    println!("\nexplanations:\n{}", report.render());
+}

@@ -1,0 +1,100 @@
+//! Interactive-style refinement loop: inspect a selection, ask *why not?*
+//! about a user you expected, then steer the next round with feedback —
+//! plus the §10 randomized-weights trick for generating alternative
+//! selections.
+//!
+//! Run with: `cargo run --example refine_selection`
+
+use podium::core::customize::Feedback;
+use podium::core::explain::explain_why_not;
+use podium::core::greedy::greedy_select;
+use podium::core::instance::DiversificationInstance;
+use podium::core::weights::noisy_weights;
+use podium::prelude::*;
+
+fn main() {
+    let repo = table2();
+    let fitted = Podium::new()
+        .bucketing(BucketingConfig::paper_default())
+        .fit(&repo);
+
+    // Round 1: plain diverse selection.
+    let sel = fitted.select(2);
+    let names: Vec<&str> = sel
+        .users
+        .iter()
+        .map(|&u| repo.user_name(u).unwrap())
+        .collect();
+    println!("round 1 selection: {{{}}} (score {})", names.join(", "), sel.score);
+
+    // The client expected Bob. Why not Bob?
+    let inst = fitted.instance(2);
+    let bob = repo.user_by_name("Bob").unwrap();
+    let why_not = explain_why_not(&inst, &repo, &sel, bob).expect("Bob unselected");
+    println!(
+        "\nwhy not {}? residual gain {:.0} vs. the smallest accepted gain {:.0}",
+        why_not.name, why_not.residual_gain, why_not.smallest_accepted_gain
+    );
+    println!(
+        "  {} of his groups are still uncovered; {} are redundant",
+        why_not.novel_groups.len(),
+        why_not.redundant_groups.len()
+    );
+    for &g in &why_not.novel_groups {
+        println!("    uncovered: {}", fitted.groups().label(g, &repo));
+    }
+
+    // Round 2: the client decides cheap-eats *enthusiasts* matter —
+    // prioritize the "high" buckets of both CheapEats properties (exactly
+    // the uncovered groups the why-not explanation surfaced). Bob, their
+    // only member, now makes the cut.
+    let priority: Vec<_> = ["avgRating CheapEats", "visitFreq CheapEats"]
+        .iter()
+        .filter_map(|l| repo.property_id(l))
+        .flat_map(|p| fitted.groups().groups_of_property(p))
+        .filter(|&g| {
+            fitted
+                .groups()
+                .bucket_of_group(g)
+                .is_some_and(|b| b.label == "high")
+        })
+        .collect();
+    let feedback = Feedback {
+        priority,
+        ..Feedback::default()
+    };
+    let refined = fitted.select_with_feedback(2, &feedback).unwrap();
+    let names: Vec<&str> = refined
+        .users()
+        .iter()
+        .map(|&u| repo.user_name(u).unwrap())
+        .collect();
+    println!(
+        "\nround 2 (priority on high CheapEats buckets): {{{}}}, \
+         priority score {:.0}, standard score {:.0}",
+        names.join(", "),
+        refined.priority_score(),
+        refined.standard_score()
+    );
+    assert!(refined.users().contains(&bob), "feedback surfaced Bob");
+
+    // Alternative selections via randomized weights (§10): perturb the LBS
+    // weights and watch the tie structure produce different, equally good
+    // subsets.
+    println!("\nalternative selections from ±30% weight noise:");
+    let base = WeightScheme::LinearBySize.weights(fitted.groups());
+    let covs = CovScheme::Single.cov(fitted.groups(), 2);
+    for seed in 0..4 {
+        let noisy = noisy_weights(&base, 0.3, seed);
+        let inst = DiversificationInstance::new(fitted.groups(), noisy, covs.clone());
+        let alt = greedy_select(&inst, 2);
+        let names: Vec<&str> = alt
+            .users
+            .iter()
+            .map(|&u| repo.user_name(u).unwrap())
+            .collect();
+        // Evaluate under the *unperturbed* objective for comparability.
+        let eval = fitted.instance(2).score_of(&alt.users);
+        println!("  seed {seed}: {{{}}} (unperturbed score {eval})", names.join(", "));
+    }
+}

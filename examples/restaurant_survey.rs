@@ -1,0 +1,106 @@
+//! Restaurant-owner scenario: a preliminary customer survey with
+//! customization (the introduction's second motivating example, §6).
+//!
+//! The owner of a new Mexican-style restaurant wants opinions from users
+//! who (a) actually rate that kind of cuisine — a "must have" filter — and
+//! (b) come from as many different cities as possible — "priority
+//! coverage" on the livesIn properties. Everything else diversifies as a
+//! tie-breaker.
+//!
+//! Run with: `cargo run --release --example restaurant_survey`
+
+use podium::core::customize::{custom_select, Feedback};
+use podium::core::ids::PropertyId;
+use podium::prelude::*;
+
+fn main() {
+    // A Yelp-like synthetic user repository (see podium-data's DESIGN notes
+    // on how it stands in for the paper's Yelp dataset).
+    let dataset = podium::data::synth::yelp(0.01, 42).generate();
+    let repo = &dataset.repo;
+    println!(
+        "population: {} users, {} properties",
+        repo.user_count(),
+        repo.property_count()
+    );
+
+    let buckets = BucketingConfig::adaptive_default().bucketize(repo);
+    let groups = GroupSet::build(repo, &buckets);
+    println!("{} simple groups materialized", groups.len());
+
+    // The owner's target cuisine: the most reviewed leaf cuisine.
+    let target = (0..repo.property_count())
+        .map(PropertyId::from_index)
+        .filter(|&p| {
+            repo.property_label(p)
+                .map(|l| l.starts_with("avgRating Cuisine"))
+                .unwrap_or(false)
+        })
+        .max_by_key(|&p| repo.property_support(p))
+        .expect("synthetic data always has rated cuisines");
+    println!(
+        "survey target: users who rated '{}' ({} raters)",
+        repo.property_label(target).unwrap(),
+        repo.property_support(target)
+    );
+
+    // Customization feedback (Example 6.2's shape): must-have = any rating
+    // bucket of the target cuisine; priority = the livesIn groups.
+    let must_have = groups.groups_of_property(target);
+    let priority: Vec<_> = (0..repo.property_count())
+        .map(PropertyId::from_index)
+        .filter(|&p| {
+            repo.property_label(p)
+                .map(|l| l.starts_with("visitFreq"))
+                .unwrap_or(false)
+        })
+        .flat_map(|p| groups.groups_of_property(p))
+        .collect();
+    let feedback = Feedback {
+        must_have,
+        priority,
+        ..Feedback::default()
+    };
+
+    let budget = 8;
+    let sel = custom_select(
+        repo,
+        &groups,
+        WeightScheme::LinearBySize,
+        CovScheme::Single,
+        budget,
+        &feedback,
+    )
+    .expect("consistent feedback");
+
+    println!(
+        "\nrefined pool: {} of {} users qualify",
+        sel.pool_size,
+        repo.user_count()
+    );
+    println!(
+        "selected {} users; priority score {:.0}, standard score {:.0}, \
+         feedback group coverage {:.1}%",
+        sel.users().len(),
+        sel.priority_score(),
+        sel.standard_score(),
+        sel.feedback_group_coverage * 100.0
+    );
+    for &u in sel.users() {
+        let profile = repo.profile(u).unwrap();
+        println!(
+            "  {} ({} known properties)",
+            repo.user_name(u).unwrap(),
+            profile.len()
+        );
+    }
+
+    // Sanity: every selected user really rated the target cuisine.
+    for &u in sel.users() {
+        assert!(
+            repo.profile(u).unwrap().contains(target),
+            "must-have filter violated"
+        );
+    }
+    println!("\nall selected users satisfy the must-have filter ✓");
+}

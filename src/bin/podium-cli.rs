@@ -1,0 +1,43 @@
+//! `podium-cli` — diverse user selection over JSON profile files.
+//!
+//! See `podium::cli::USAGE` or run with `--help`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
+        eprint!("{}", podium::cli::USAGE);
+        std::process::exit(if argv.is_empty() { 2 } else { 0 });
+    }
+    let args = match podium::cli::parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", podium::cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let profiles = match std::fs::read_to_string(&args.profiles) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot read '{}': {e}", args.profiles);
+            std::process::exit(1);
+        }
+    };
+    let config = match args.config.as_deref() {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("error: cannot read '{path}': {e}");
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
+    match podium::cli::run(&args, &profiles, config.as_deref()) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

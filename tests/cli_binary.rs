@@ -1,0 +1,120 @@
+//! End-to-end tests of the real `podium-cli` binary: process spawning,
+//! file I/O, exit codes — the layer the in-process CLI tests cannot reach.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_podium-cli"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("podium-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+const PROFILES: &str = r#"{
+  "users": [
+    { "name": "Alice", "properties": { "livesIn Tokyo": 1.0, "avgRating Mexican": 0.95 } },
+    { "name": "Bob",   "properties": { "livesIn NYC": 1.0,   "avgRating Mexican": 0.3 } },
+    { "name": "Eve",   "properties": { "livesIn Paris": 1.0, "avgRating Mexican": 0.8 } }
+  ]
+}"#;
+
+#[test]
+fn no_args_prints_usage_and_exits_2() {
+    let out = bin().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn help_exits_0() {
+    let out = bin().arg("--help").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn stats_runs_against_file() {
+    let profiles = write_temp("stats.json", PROFILES);
+    let out = bin().args(["stats", "--profiles"]).arg(&profiles).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("users:              3"), "{text}");
+}
+
+#[test]
+fn select_with_flags_and_spaces_in_labels() {
+    let profiles = write_temp("select.json", PROFILES);
+    let out = bin()
+        .args(["select", "--strategy", "paper", "--budget", "2", "--profiles"])
+        .arg(&profiles)
+        .args(["--must-have", "avgRating Mexican"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("selected 2 users"), "{text}");
+}
+
+#[test]
+fn json_output_parses() {
+    let profiles = write_temp("json.json", PROFILES);
+    let out = bin()
+        .args(["select", "--strategy", "paper", "--budget", "2", "--json", "--profiles"])
+        .arg(&profiles)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("stdout is valid JSON");
+    assert_eq!(v["users"].as_array().unwrap().len(), 2);
+}
+
+#[test]
+fn config_file_applies() {
+    let profiles = write_temp("cfgp.json", PROFILES);
+    let config = write_temp(
+        "cfg.json",
+        r#"{ "title": "Mexican focus", "include_properties": ["avgRating Mexican"], "budget": 2 }"#,
+    );
+    let out = bin()
+        .args(["select", "--strategy", "paper", "--profiles"])
+        .arg(&profiles)
+        .arg("--config")
+        .arg(&config)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("configuration: Mexican focus"), "{text}");
+}
+
+#[test]
+fn missing_file_exits_1_with_message() {
+    let out = bin()
+        .args(["stats", "--profiles", "/nonexistent/nope.json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn malformed_profiles_exit_1() {
+    let profiles = write_temp("bad.json", "{ not json");
+    let out = bin().args(["stats", "--profiles"]).arg(&profiles).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let out = bin()
+        .args(["stats", "--profiles", "x", "--frobnicate"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,210 @@
+//! Failure-injection and degenerate-input tests across the whole pipeline:
+//! the library must degrade gracefully, never panic, on empty, tiny, or
+//! pathological repositories.
+
+use podium::core::customize::{custom_select, Feedback};
+use podium::core::explain::SelectionReport;
+use podium::core::greedy::greedy_select;
+use podium::metrics::intrinsic::IntrinsicMetrics;
+use podium::prelude::*;
+
+fn fit(repo: &UserRepository) -> (GroupSet, podium::core::bucket::PropertyBuckets) {
+    let buckets = BucketingConfig::adaptive_default().bucketize(repo);
+    let groups = GroupSet::build(repo, &buckets);
+    (groups, buckets)
+}
+
+#[test]
+fn empty_repository_flows_through() {
+    let repo = UserRepository::new();
+    let (groups, _) = fit(&repo);
+    assert!(groups.is_empty());
+    let inst = DiversificationInstance::from_schemes(
+        &groups,
+        WeightScheme::LinearBySize,
+        CovScheme::Single,
+        8,
+    );
+    let sel = greedy_select(&inst, 8);
+    assert!(sel.users.is_empty());
+    assert_eq!(sel.score, 0.0);
+    let report = SelectionReport::build(&inst, &repo, &sel, 10);
+    assert_eq!(report.users.len(), 0);
+    let m = IntrinsicMetrics::evaluate(&inst, &sel.users, 10);
+    assert_eq!(m.total_score, 0.0);
+}
+
+#[test]
+fn users_without_any_properties() {
+    let mut repo = UserRepository::new();
+    for i in 0..5 {
+        repo.add_user(format!("ghost{i}"));
+    }
+    let (groups, _) = fit(&repo);
+    assert!(groups.is_empty(), "no properties, no groups");
+    let inst = DiversificationInstance::from_schemes(
+        &groups,
+        WeightScheme::Identical,
+        CovScheme::Single,
+        3,
+    );
+    // Users exist but carry zero marginal gain; selection still returns
+    // (arbitrary) users up to budget, scored zero.
+    let sel = greedy_select(&inst, 3);
+    assert_eq!(sel.users.len(), 3);
+    assert_eq!(sel.score, 0.0);
+}
+
+#[test]
+fn identical_profiles_tie_everywhere() {
+    let mut repo = UserRepository::new();
+    let p = repo.intern_property("same");
+    for i in 0..6 {
+        let u = repo.add_user(format!("clone{i}"));
+        repo.set_score(u, p, 0.5).unwrap();
+    }
+    let (groups, _) = fit(&repo);
+    assert_eq!(groups.len(), 1, "one degenerate bucket group");
+    let inst = DiversificationInstance::from_schemes(
+        &groups,
+        WeightScheme::LinearBySize,
+        CovScheme::Single,
+        3,
+    );
+    let sel = greedy_select(&inst, 3);
+    assert_eq!(sel.users.len(), 3);
+    assert_eq!(sel.score, 6.0, "one covered group of weight 6");
+    assert_eq!(sel.gains[1], 0.0, "second clone adds nothing");
+}
+
+#[test]
+fn feedback_that_excludes_everyone() {
+    let repo = table2();
+    let (groups, _) = fit(&repo);
+    // must_have the Tokyo group AND must_not it — contradiction is an error;
+    // instead require two disjoint property families.
+    let tokyo = repo.property_id("livesIn Tokyo").unwrap();
+    let nyc = repo.property_id("livesIn NYC").unwrap();
+    let feedback = Feedback {
+        must_have: [tokyo, nyc]
+            .iter()
+            .flat_map(|&p| groups.groups_of_property(p))
+            .collect(),
+        ..Feedback::default()
+    };
+    // The refinement groups must-haves per property: users need livesIn
+    // Tokyo AND livesIn NYC — nobody has both.
+    let sel = custom_select(
+        &repo,
+        &groups,
+        WeightScheme::LinearBySize,
+        CovScheme::Single,
+        4,
+        &feedback,
+    )
+    .unwrap();
+    assert_eq!(sel.pool_size, 0);
+    assert!(sel.users().is_empty(), "empty pool, empty selection");
+}
+
+#[test]
+fn score_boundary_values() {
+    let mut repo = UserRepository::new();
+    let p = repo.intern_property("edge");
+    let a = repo.add_user("zero");
+    let b = repo.add_user("one");
+    repo.set_score(a, p, 0.0).unwrap();
+    repo.set_score(b, p, 1.0).unwrap();
+    let (groups, buckets) = fit(&repo);
+    // 0.0 and 1.0 are Boolean-like: single true-bucket keeps only `one`.
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups.group(GroupId(0)).unwrap().members, vec![b]);
+    assert!(buckets.of(p).bucket_of(1.0).is_some());
+}
+
+#[test]
+fn single_user_population() {
+    let mut repo = UserRepository::new();
+    let u = repo.add_user("solo");
+    let p = repo.intern_property("p");
+    repo.set_score(u, p, 0.7).unwrap();
+    let (groups, _) = fit(&repo);
+    let inst = DiversificationInstance::from_schemes(
+        &groups,
+        WeightScheme::LinearBySize,
+        CovScheme::Proportional,
+        5,
+    );
+    let sel = greedy_select(&inst, 5);
+    assert_eq!(sel.users, vec![u]);
+    let m = IntrinsicMetrics::evaluate(&inst, &sel.users, 10);
+    assert_eq!(m.top_k_coverage, 1.0);
+    assert_eq!(m.distribution_similarity, 1.0);
+}
+
+#[test]
+fn budget_one_with_proportional_coverage() {
+    let repo = table2();
+    let (groups, _) = fit(&repo);
+    let inst = DiversificationInstance::from_schemes(
+        &groups,
+        WeightScheme::LinearBySize,
+        CovScheme::Proportional,
+        1,
+    );
+    let sel = greedy_select(&inst, 1);
+    assert_eq!(sel.users.len(), 1);
+    assert!(sel.score > 0.0);
+}
+
+#[test]
+fn malformed_inputs_are_errors_not_panics() {
+    use podium::data::csv::profiles_from_csv;
+    use podium::data::json::profiles_from_json;
+    for bad in ["", "{", "[1,2,3]", r#"{"users": 7}"#] {
+        assert!(profiles_from_json(bad).is_err(), "{bad:?}");
+    }
+    for bad in ["", "nope\n", "user,p\nA\n", "user,p\nA,xyz\n"] {
+        assert!(profiles_from_csv(bad).is_err(), "{bad:?}");
+    }
+}
+
+#[test]
+fn nan_and_out_of_range_scores_rejected_everywhere() {
+    let mut repo = UserRepository::new();
+    let u = repo.add_user("u");
+    let p = repo.intern_property("p");
+    for bad in [f64::NAN, f64::INFINITY, -0.1, 1.0001] {
+        assert!(repo.set_score(u, p, bad).is_err(), "{bad}");
+    }
+    // The repository stays consistent after rejections.
+    assert_eq!(repo.profile(u).unwrap().len(), 0);
+    repo.set_score(u, p, 1.0).unwrap();
+    assert_eq!(repo.score(u, p), Some(1.0));
+}
+
+#[test]
+fn zero_weight_instance_selects_but_scores_zero() {
+    let repo = table2();
+    let (groups, _) = fit(&repo);
+    let weights = vec![0.0; groups.len()];
+    let cov = vec![1; groups.len()];
+    let inst = DiversificationInstance::new(&groups, weights, cov);
+    let sel = greedy_select(&inst, 3);
+    assert_eq!(sel.users.len(), 3);
+    assert_eq!(sel.score, 0.0);
+}
+
+#[test]
+fn bucket_count_one_collapses_to_membership_groups() {
+    let repo = table2();
+    let cfg = BucketingConfig {
+        strategy: podium::core::bucket::BucketStrategy::Quantile,
+        buckets_per_property: 1,
+        detect_boolean: false,
+    };
+    let buckets = cfg.bucketize(&repo);
+    let groups = GroupSet::build(&repo, &buckets);
+    // One group per property: "has this property at all".
+    assert_eq!(groups.len(), repo.property_count());
+}
