@@ -116,7 +116,11 @@ impl KMeansSelector {
             for u in 0..n {
                 let c = assignment[u];
                 counts[c] += 1;
-                for (p, s) in repo.profile(UserId::from_index(u)).expect("valid user").iter() {
+                for (p, s) in repo
+                    .profile(UserId::from_index(u))
+                    .expect("valid user")
+                    .iter()
+                {
                     sums[c][p.index()] += s;
                 }
             }

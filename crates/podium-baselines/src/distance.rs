@@ -198,7 +198,9 @@ mod tests {
         repo.add_user("b");
         let sel = DistanceSelector::new(0).select(&repo, 5);
         assert_eq!(sel.len(), 2);
-        assert!(DistanceSelector::new(0).select(&UserRepository::new(), 2).is_empty());
+        assert!(DistanceSelector::new(0)
+            .select(&UserRepository::new(), 2)
+            .is_empty());
     }
 
     #[test]

@@ -95,9 +95,7 @@ mod tests {
     fn repo() -> UserRepository {
         let mut r = UserRepository::new();
         let users: Vec<UserId> = (0..4).map(|i| r.add_user(format!("u{i}"))).collect();
-        let ps: Vec<_> = (0..5)
-            .map(|i| r.intern_property(format!("p{i}")))
-            .collect();
+        let ps: Vec<_> = (0..5).map(|i| r.intern_property(format!("p{i}"))).collect();
         r.set_score(users[0], ps[0], 1.0).unwrap();
         r.set_score(users[0], ps[1], 1.0).unwrap();
         r.set_score(users[0], ps[2], 1.0).unwrap();
@@ -123,7 +121,10 @@ mod tests {
         assert!(check_selection(&r, 3, &sel));
         // After picking one twin, the other is maximally similar; the loner
         // must enter before the second twin.
-        let twins_picked = sel.iter().filter(|u| u.index() == 1 || u.index() == 2).count();
+        let twins_picked = sel
+            .iter()
+            .filter(|u| u.index() == 1 || u.index() == 2)
+            .count();
         assert_eq!(twins_picked, 1, "selection {sel:?}");
         assert!(sel.contains(&UserId(3)));
     }
@@ -145,7 +146,9 @@ mod tests {
 
     #[test]
     fn handles_empty_and_overbudget() {
-        assert!(MmrSelector::new(0.5).select(&UserRepository::new(), 3).is_empty());
+        assert!(MmrSelector::new(0.5)
+            .select(&UserRepository::new(), 3)
+            .is_empty());
         let r = repo();
         assert_eq!(MmrSelector::new(0.5).select(&r, 99).len(), 4);
     }

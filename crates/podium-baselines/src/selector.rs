@@ -15,6 +15,19 @@ pub trait Selector: Send + Sync {
     /// Selects at most `b` users. Implementations must be deterministic for
     /// a fixed construction (seeds are constructor parameters).
     fn select(&self, repo: &UserRepository, b: usize) -> Vec<UserId>;
+
+    /// Like [`Self::select`] but asserts the [`check_selection`]
+    /// postconditions in debug builds (zero cost in release). Harnesses
+    /// should prefer this entry point when comparing selectors.
+    fn select_checked(&self, repo: &UserRepository, b: usize) -> Vec<UserId> {
+        let selection = self.select(repo, b);
+        debug_assert!(
+            check_selection(repo, b, &selection),
+            "selector `{}` violated selection postconditions",
+            self.name()
+        );
+        selection
+    }
 }
 
 /// Validates common postconditions (used in tests and debug assertions):
@@ -40,8 +53,32 @@ mod tests {
             repo.add_user(format!("u{i}"));
         }
         assert!(check_selection(&repo, 2, &[UserId(0), UserId(2)]));
-        assert!(!check_selection(&repo, 1, &[UserId(0), UserId(2)]), "budget");
+        assert!(
+            !check_selection(&repo, 1, &[UserId(0), UserId(2)]),
+            "budget"
+        );
         assert!(!check_selection(&repo, 3, &[UserId(0), UserId(0)]), "dupes");
         assert!(!check_selection(&repo, 3, &[UserId(9)]), "range");
+    }
+
+    #[test]
+    fn select_checked_passes_through_valid_selections() {
+        struct TakeFirst;
+        impl Selector for TakeFirst {
+            fn name(&self) -> &str {
+                "TakeFirst"
+            }
+            fn select(&self, repo: &UserRepository, b: usize) -> Vec<UserId> {
+                (0..repo.user_count().min(b) as u32).map(UserId).collect()
+            }
+        }
+        let mut repo = UserRepository::new();
+        for i in 0..4 {
+            repo.add_user(format!("u{i}"));
+        }
+        assert_eq!(
+            TakeFirst.select_checked(&repo, 2),
+            vec![UserId(0), UserId(1)]
+        );
     }
 }

@@ -161,7 +161,10 @@ mod tests {
 
     #[test]
     fn apportionment_is_proportional_and_exact() {
-        assert_eq!(StratifiedSelector::apportion(&[60, 30, 10], 10), vec![6, 3, 1]);
+        assert_eq!(
+            StratifiedSelector::apportion(&[60, 30, 10], 10),
+            vec![6, 3, 1]
+        );
         let seats = StratifiedSelector::apportion(&[7, 7, 6], 4);
         assert_eq!(seats.iter().sum::<usize>(), 4);
         assert_eq!(StratifiedSelector::apportion(&[0, 0], 3), vec![0, 0]);

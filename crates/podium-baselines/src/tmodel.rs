@@ -59,10 +59,7 @@ impl TModelSelector {
         let k = self.buckets.len().max(1);
         // Population histogram for the fallback prediction.
         let mut hist = vec![0usize; k];
-        let scores: Vec<Option<f64>> = repo
-            .iter()
-            .map(|(_, p)| p.score(self.property))
-            .collect();
+        let scores: Vec<Option<f64>> = repo.iter().map(|(_, p)| p.score(self.property)).collect();
         for s in scores.iter().flatten() {
             if let Some(b) = self.buckets.bucket_of(*s) {
                 hist[b.index()] += 1;
@@ -134,8 +131,7 @@ impl Selector for TModelSelector {
                     continue;
                 }
                 let bucket = predictions[u];
-                let deficit =
-                    target[bucket] * step as f64 - counts[bucket] as f64;
+                let deficit = target[bucket] * step as f64 - counts[bucket] as f64;
                 if best.is_none_or(|(d, _)| deficit > d) {
                     best = Some((deficit, u));
                 }
@@ -223,7 +219,9 @@ mod tests {
         let (r, p) = repo();
         assert!(TModelSelector::new(p, buckets()).select(&r, 0).is_empty());
         let empty = UserRepository::new();
-        assert!(TModelSelector::new(p, buckets()).select(&empty, 3).is_empty());
+        assert!(TModelSelector::new(p, buckets())
+            .select(&empty, 3)
+            .is_empty());
         let sel = TModelSelector::new(p, BucketSet::empty());
         assert!(sel.select(&r, 3).is_empty());
     }

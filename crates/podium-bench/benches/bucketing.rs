@@ -10,7 +10,8 @@ fn values(n: usize) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(99);
     (0..n)
         .map(|_| {
-            let mode = [0.15f64, 0.5, 0.85][rng.random_range(0..3)];
+            let idx: usize = rng.random_range(0..3);
+            let mode = [0.15f64, 0.5, 0.85][idx];
             (mode + (rng.random::<f64>() - 0.5) * 0.2).clamp(0.0, 1.0)
         })
         .collect()

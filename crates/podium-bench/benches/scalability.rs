@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use podium_baselines::prelude::*;
 use podium_bench::selectors::PodiumSelector;
+use podium_core::engine::EngineVariant;
 use podium_data::synth::tripadvisor;
 
 fn bench_users_sweep(c: &mut Criterion) {
@@ -13,12 +14,15 @@ fn bench_users_sweep(c: &mut Criterion) {
     for &users in &[250usize, 500, 1000] {
         let dataset = tripadvisor(users as f64 / 4475.0, 5).generate();
         let repo = &dataset.repo;
-        let podium = PodiumSelector::paper_default();
         let clustering = KMeansSelector::new(5);
         let distance = DistanceSelector::new(5);
-        group.bench_with_input(BenchmarkId::new("podium", users), repo, |b, r| {
-            b.iter(|| podium.select(std::hint::black_box(r), 8));
-        });
+        for variant in EngineVariant::ALL {
+            let podium = PodiumSelector::paper_default().with_engine(variant);
+            let id = BenchmarkId::new(format!("podium_{}", variant.label()), users);
+            group.bench_with_input(id, repo, |b, r| {
+                b.iter(|| podium.select(std::hint::black_box(r), 8));
+            });
+        }
         group.bench_with_input(BenchmarkId::new("clustering", users), repo, |b, r| {
             b.iter(|| clustering.select(std::hint::black_box(r), 8));
         });

@@ -49,11 +49,8 @@ pub fn run_approx(
     let mut out = Vec::with_capacity(trials);
     for t in 0..trials {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
-        let sample = podium_data::synth::stats::sample_distinct(
-            &mut rng,
-            dataset.repo.user_count(),
-            users,
-        );
+        let sample =
+            podium_data::synth::stats::sample_distinct(&mut rng, dataset.repo.user_count(), users);
         let ids: Vec<UserId> = sample.into_iter().map(UserId::from_index).collect();
         let repo = dataset.repo.restrict(&ids);
         let buckets = BucketingConfig::adaptive_default().bucketize(&repo);
@@ -107,11 +104,8 @@ pub fn run_optscale(
         .iter()
         .map(|&n| {
             let mut rng = StdRng::seed_from_u64(seed);
-            let sample = podium_data::synth::stats::sample_distinct(
-                &mut rng,
-                dataset.repo.user_count(),
-                n,
-            );
+            let sample =
+                podium_data::synth::stats::sample_distinct(&mut rng, dataset.repo.user_count(), n);
             let ids: Vec<UserId> = sample.into_iter().map(UserId::from_index).collect();
             let repo = dataset.repo.restrict(&ids);
             let buckets = BucketingConfig::adaptive_default().bucketize(&repo);
@@ -156,7 +150,10 @@ pub fn render_approx(results: &[ApproxResult]) -> String {
         );
     }
     let mean: f64 = results.iter().map(|r| r.ratio).sum::<f64>() / results.len().max(1) as f64;
-    let min: f64 = results.iter().map(|r| r.ratio).fold(f64::INFINITY, f64::min);
+    let min: f64 = results
+        .iter()
+        .map(|r| r.ratio)
+        .fold(f64::INFINITY, f64::min);
     let _ = writeln!(
         out,
         "mean ratio {mean:.4}, min ratio {min:.4} (guarantee: ≥ {:.4})",

@@ -77,26 +77,35 @@ fn header(title: &str) {
     println!("\n==== {title} ====");
 }
 
-
 /// Prints paired-bootstrap significance of Podium vs. each competitor on
 /// topic+sentiment coverage (per-destination pairing).
 fn print_significance(detailed: &[(String, Vec<podium_metrics::opinion::OpinionMetrics>)]) {
     let podium = &detailed[0];
     println!("paired bootstrap (topic+sentiment coverage, Podium vs. each, 95% CI):");
     for (name, per_dest) in &detailed[1..] {
-        let a: Vec<f64> = podium.1.iter().map(|m| m.topic_sentiment_coverage).collect();
-        let b: Vec<f64> = per_dest.iter().map(|m| m.topic_sentiment_coverage).collect();
+        let a: Vec<f64> = podium
+            .1
+            .iter()
+            .map(|m| m.topic_sentiment_coverage)
+            .collect();
+        let b: Vec<f64> = per_dest
+            .iter()
+            .map(|m| m.topic_sentiment_coverage)
+            .collect();
         let r = podium_metrics::significance::paired_bootstrap(&a, &b, 0.95, 2000, 2020);
         println!(
             "  vs {name:<11} Δ = {:+.4} [{:+.4}, {:+.4}]{}",
             r.mean_diff,
             r.ci_low,
             r.ci_high,
-            if r.significant() { "  (significant)" } else { "" }
+            if r.significant() {
+                "  (significant)"
+            } else {
+                ""
+            }
         );
     }
 }
-
 
 /// Prints the §8.4 pairwise-intersection diagnostic for a dataset.
 fn print_overlap(dataset: &podium_data::synth::SynthDataset, budget: usize, seed: u64) {
@@ -135,8 +144,15 @@ fn main() {
                 intrinsic_exp::run_intrinsic(&dataset, args.budget, datasets::TOP_K, args.seed + i)
             })
             .collect();
-        print!("{}", podium_metrics::report::ComparisonTable::average(&tables).render());
-        print_overlap(&datasets::ta_dataset(args.scale, args.seed), args.budget, args.seed);
+        print!(
+            "{}",
+            podium_metrics::report::ComparisonTable::average(&tables).render()
+        );
+        print_overlap(
+            &datasets::ta_dataset(args.scale, args.seed),
+            args.budget,
+            args.seed,
+        );
     }
     if run("fig3b") {
         matched = true;
@@ -171,8 +187,15 @@ fn main() {
                 intrinsic_exp::run_intrinsic(&dataset, args.budget, datasets::TOP_K, args.seed + i)
             })
             .collect();
-        print!("{}", podium_metrics::report::ComparisonTable::average(&tables).render());
-        print_overlap(&datasets::yelp_dataset(args.scale, args.seed), args.budget, args.seed);
+        print!(
+            "{}",
+            podium_metrics::report::ComparisonTable::average(&tables).render()
+        );
+        print_overlap(
+            &datasets::yelp_dataset(args.scale, args.seed),
+            args.budget,
+            args.seed,
+        );
     }
     if run("fig3d") {
         matched = true;
@@ -375,8 +398,7 @@ fn run_ablation(scale: f64, budget: usize, seed: u64) {
             m.top_k_coverage
         );
         for k in [budget, 4 * budget] {
-            let cgroups =
-                podium_baselines::clustering::cluster_group_set(repo, k, seed);
+            let cgroups = podium_baselines::clustering::cluster_group_set(repo, k, seed);
             let cinst = DiversificationInstance::from_schemes(
                 &cgroups,
                 WeightScheme::LinearBySize,

@@ -63,7 +63,10 @@ pub fn run_budget_sweep(
                     )
                 })
                 .collect();
-            BudgetRow { budget: b, per_algo }
+            BudgetRow {
+                budget: b,
+                per_algo,
+            }
         })
         .collect()
 }
@@ -104,7 +107,10 @@ mod tests {
         assert_eq!(rows.len(), 3);
         // §8.4: quality improves with B for every algorithm…
         for algo in 0..rows[0].per_algo.len() {
-            let cov: Vec<f64> = rows.iter().map(|r| r.per_algo[algo].1.top_k_coverage).collect();
+            let cov: Vec<f64> = rows
+                .iter()
+                .map(|r| r.per_algo[algo].1.top_k_coverage)
+                .collect();
             assert!(
                 cov.windows(2).all(|w| w[1] >= w[0] - 0.02),
                 "{}: coverage not improving: {cov:?}",

@@ -7,11 +7,12 @@
 //! the selected users' recorded reviews are scored with the opinion
 //! metrics. Results are averaged over destinations.
 //!
-//! Destinations are evaluated in parallel (crossbeam scoped threads); all
+//! Destinations are evaluated in parallel (`std::thread::scope`); all
 //! selectors are deterministic so the parallel schedule cannot change the
 //! outcome.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
 use podium_baselines::selector::Selector;
 use podium_core::ids::UserId;
 use podium_data::reviews::DestinationId;
@@ -58,8 +59,7 @@ pub fn run_opinion_detailed(
         .eval_destinations
         .iter()
         .map(|&d| {
-            let mut users: Vec<UserId> =
-                dataset.corpus.reviews_of(d).map(|r| r.user).collect();
+            let mut users: Vec<UserId> = dataset.corpus.reviews_of(d).map(|r| r.user).collect();
             users.sort();
             users.dedup();
             (d, users)
@@ -85,7 +85,10 @@ pub fn run_opinion_detailed(
     let mut table = ComparisonTable::new(names);
     table.add_metric(
         "topic+sentiment coverage",
-        per_algo.iter().map(|m| m.topic_sentiment_coverage).collect(),
+        per_algo
+            .iter()
+            .map(|m| m.topic_sentiment_coverage)
+            .collect(),
     );
     if config.with_usefulness {
         table.add_metric(
@@ -117,18 +120,17 @@ fn evaluate_selector(
     selector: &dyn Selector,
     budget: usize,
 ) -> Vec<OpinionMetrics> {
-    let results: Mutex<Vec<Option<OpinionMetrics>>> =
-        Mutex::new(vec![None; reviewers_of.len()]);
+    let results: Mutex<Vec<Option<OpinionMetrics>>> = Mutex::new(vec![None; reviewers_of.len()]);
     let n_workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(reviewers_of.len().max(1));
     let chunk = reviewers_of.len().div_ceil(n_workers).max(1);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (chunk_idx, part) in reviewers_of.chunks(chunk).enumerate() {
             let results = &results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let base = chunk_idx * chunk;
                 let mut local = Vec::with_capacity(part.len());
                 for (d, reviewers) in part {
@@ -140,17 +142,17 @@ fn evaluate_selector(
                         local_sel.iter().map(|u| reviewers[u.index()]).collect();
                     local.push(evaluate_destination(&dataset.corpus, *d, &global));
                 }
-                let mut guard = results.lock();
+                let mut guard = results.lock().expect("results lock poisoned");
                 for (offset, m) in local.into_iter().enumerate() {
                     guard[base + offset] = Some(m);
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     results
         .into_inner()
+        .expect("results lock poisoned")
         .into_iter()
         .map(|m| m.expect("every destination evaluated"))
         .collect()

@@ -69,7 +69,11 @@ fn time_ms(f: impl FnOnce()) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
-fn measure(repo: &podium_core::profile::UserRepository, budget: usize, seed: u64) -> (f64, f64, f64) {
+fn measure(
+    repo: &podium_core::profile::UserRepository,
+    budget: usize,
+    seed: u64,
+) -> (f64, f64, f64) {
     let podium = PodiumSelector::paper_default();
     let clustering = KMeansSelector::new(seed);
     let distance = DistanceSelector::new(seed);

@@ -2,11 +2,10 @@
 
 use podium_baselines::prelude::*;
 use podium_core::bucket::BucketingConfig;
-use podium_core::greedy::greedy_select;
+use podium_core::engine::{EngineVariant, SelectionEngine};
 use podium_core::group::GroupSet;
 use podium_core::ids::UserId;
 use podium_core::instance::DiversificationInstance;
-use podium_core::lazy_greedy::lazy_greedy_select;
 use podium_core::profile::UserRepository;
 use podium_core::weights::{CovScheme, WeightScheme};
 
@@ -21,8 +20,9 @@ pub struct PodiumSelector {
     pub weight: WeightScheme,
     /// Coverage scheme.
     pub cov: CovScheme,
-    /// Use the lazy (CELF) greedy instead of the paper's eager updates.
-    pub lazy: bool,
+    /// Which selection-engine variant runs the greedy loop. All variants
+    /// produce identical selections; they differ only in throughput.
+    pub engine: EngineVariant,
 }
 
 impl PodiumSelector {
@@ -32,7 +32,7 @@ impl PodiumSelector {
             bucketing: BucketingConfig::adaptive_default(),
             weight: WeightScheme::LinearBySize,
             cov: CovScheme::Single,
-            lazy: false,
+            engine: EngineVariant::Eager,
         }
     }
 
@@ -42,9 +42,19 @@ impl PodiumSelector {
         self
     }
 
-    /// Switches to the lazy-greedy implementation.
-    pub fn with_lazy(mut self, lazy: bool) -> Self {
-        self.lazy = lazy;
+    /// Switches between the eager and lazy-heap (CELF) implementations.
+    /// Kept for compatibility; prefer [`Self::with_engine`].
+    pub fn with_lazy(self, lazy: bool) -> Self {
+        self.with_engine(if lazy {
+            EngineVariant::LazyHeap
+        } else {
+            EngineVariant::Eager
+        })
+    }
+
+    /// Selects the engine variant that runs the greedy loop.
+    pub fn with_engine(mut self, engine: EngineVariant) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -60,13 +70,8 @@ impl Selector for PodiumSelector {
         }
         let buckets = self.bucketing.bucketize(repo);
         let groups = GroupSet::build(repo, &buckets);
-        let inst =
-            DiversificationInstance::from_schemes(&groups, self.weight, self.cov, b);
-        let sel = if self.lazy {
-            lazy_greedy_select(&inst, b)
-        } else {
-            greedy_select(&inst, b)
-        };
+        let inst = DiversificationInstance::from_schemes(&groups, self.weight, self.cov, b);
+        let sel = SelectionEngine::new(&inst).select(self.engine, b);
         sel.users
     }
 }
@@ -94,6 +99,28 @@ mod tests {
             .select(&repo, 2);
         let names: Vec<&str> = sel.iter().map(|&u| repo.user_name(u).unwrap()).collect();
         assert_eq!(names, vec!["Alice", "Eve"]);
+    }
+
+    #[test]
+    fn every_engine_variant_picks_the_same_users() {
+        let repo = podium_data::table2::table2();
+        let eager = PodiumSelector::paper_default()
+            .with_bucketing(BucketingConfig::paper_default())
+            .select(&repo, 3);
+        for variant in EngineVariant::ALL {
+            let picked = PodiumSelector::paper_default()
+                .with_bucketing(BucketingConfig::paper_default())
+                .with_engine(variant)
+                .select(&repo, 3);
+            assert_eq!(picked, eager, "variant {}", variant.label());
+        }
+    }
+
+    #[test]
+    fn with_lazy_maps_onto_engine_variants() {
+        let base = PodiumSelector::paper_default();
+        assert_eq!(base.clone().with_lazy(true).engine, EngineVariant::LazyHeap);
+        assert_eq!(base.with_lazy(false).engine, EngineVariant::Eager);
     }
 
     #[test]

@@ -110,7 +110,11 @@ pub fn run() -> String {
     assert_eq!(cnames, vec!["Alice", "Eve"], "Example 6.4 selection");
     assert_eq!(custom.pool_size, 4, "Carol filtered out (Example 6.4)");
     assert_eq!(custom.priority_score(), 3.0, "livesIn weight sum (Ex. 6.4)");
-    assert_eq!(custom.standard_score(), 14.0, "other-properties sum (Ex. 6.4)");
+    assert_eq!(
+        custom.standard_score(),
+        14.0,
+        "other-properties sum (Ex. 6.4)"
+    );
     let _ = writeln!(
         out,
         "\nCustomization (Example 6.4): must-have avgRating Mexican, priority livesIn"

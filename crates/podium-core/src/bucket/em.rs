@@ -35,8 +35,7 @@ pub fn split(values: &[f64], k: usize) -> Vec<f64> {
 
     // Quantile initialization with a shared initial variance.
     let mean = values.iter().sum::<f64>() / n as f64;
-    let var = (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64)
-        .max(MIN_VAR);
+    let var = (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64).max(MIN_VAR);
     let mut comps: Vec<Component> = (0..k)
         .map(|i| Component {
             weight: 1.0 / k as f64,

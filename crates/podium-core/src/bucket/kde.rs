@@ -89,7 +89,10 @@ mod tests {
     fn unimodal_data_yields_no_cut() {
         let values: Vec<f64> = (0..60).map(|i| 0.5 + (i as f64 - 30.0) * 0.002).collect();
         let e = split(&values, 3);
-        assert!(e.len() <= 1, "nearly uniform hump should have few valleys: {e:?}");
+        assert!(
+            e.len() <= 1,
+            "nearly uniform hump should have few valleys: {e:?}"
+        );
     }
 
     #[test]

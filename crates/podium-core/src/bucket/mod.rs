@@ -294,7 +294,9 @@ impl PropertyBuckets {
 
     /// The bucket set of property `p` (empty set if out of range).
     pub fn of(&self, p: crate::ids::PropertyId) -> &BucketSet {
-        static EMPTY: BucketSet = BucketSet { buckets: Vec::new() };
+        static EMPTY: BucketSet = BucketSet {
+            buckets: Vec::new(),
+        };
         self.sets.get(p.index()).unwrap_or(&EMPTY)
     }
 
@@ -363,7 +365,10 @@ mod tests {
         let set = cfg.bucketize_values(&mut vals);
         assert_eq!(set.len(), 1);
         assert!(set.buckets()[0].contains(1.0));
-        assert!(!set.buckets()[0].contains(0.0), "false scores join no group");
+        assert!(
+            !set.buckets()[0].contains(0.0),
+            "false scores join no group"
+        );
         assert_eq!(set.buckets()[0].label, "");
     }
 

@@ -58,7 +58,10 @@ mod tests {
         assert!(split(&values, 2).is_empty(), "median inside tie run");
         let e = split(&values, 10);
         assert_eq!(e.len(), 1);
-        assert!((e[0] - 0.475).abs() < 1e-12, "midpoint between 0.05 and 0.9");
+        assert!(
+            (e[0] - 0.475).abs() < 1e-12,
+            "midpoint between 0.05 and 0.9"
+        );
     }
 
     #[test]

@@ -444,14 +444,16 @@ mod tests {
             priority: groups_of_props(&groups, &repo, "livesIn"),
             ..Feedback::default()
         };
-        let (sel, pool, cov) =
-            custom_select_weighted(&groups, &base, &covs, 2, &feedback).unwrap();
+        let (sel, pool, cov) = custom_select_weighted(&groups, &base, &covs, 2, &feedback).unwrap();
         assert_eq!(pool, 5, "no must-have filter");
         assert_eq!(sel.users.len(), 2);
         // Tokyo (the largest livesIn group) must be covered first under EBS.
         let tokyo = repo.property_id("livesIn Tokyo").unwrap();
         let tg = groups.groups_of_property(tokyo)[0];
-        assert!(sel.covered_counts[tg.index()] >= 1, "largest priority group covered");
+        assert!(
+            sel.covered_counts[tg.index()] >= 1,
+            "largest priority group covered"
+        );
         assert!(cov > 0.0);
     }
 
@@ -474,8 +476,7 @@ mod tests {
         .unwrap();
         let base = WeightScheme::LinearBySize.weights(&groups);
         let covs = CovScheme::Single.cov(&groups, 2);
-        let (sel, pool, cov) =
-            custom_select_weighted(&groups, &base, &covs, 2, &feedback).unwrap();
+        let (sel, pool, cov) = custom_select_weighted(&groups, &base, &covs, 2, &feedback).unwrap();
         assert_eq!(via_wrapper.users(), sel.users.as_slice());
         assert_eq!(via_wrapper.pool_size, pool);
         assert_eq!(via_wrapper.feedback_group_coverage, cov);

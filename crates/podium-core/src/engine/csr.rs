@@ -1,0 +1,210 @@
+//! Compressed-sparse-row (CSR) storage of the bipartite user ↔ group graph.
+//!
+//! [`crate::group::GroupSet`] keeps one `Vec` per group and one `Vec` per
+//! user — convenient to build incrementally, but the selection hot loops
+//! chase a pointer per adjacency list. [`CsrGraph`] flattens both directions
+//! into two offset/adjacency array pairs (ids as raw `u32`), so a candidate
+//! scan walks a single contiguous buffer. The group set stays the
+//! construction front-end; a `CsrGraph` is derived from it once per
+//! selection run (`O(|V| + |E|)`) and is immutable afterwards.
+
+use crate::group::GroupSet;
+use crate::ids::UserId;
+
+/// Flat bidirectional adjacency of users and groups.
+///
+/// Both directions preserve the `GroupSet` ordering: `groups_of(u)` lists
+/// group indices in ascending order and `members_of(g)` lists user indices
+/// in ascending order, exactly like their nested-`Vec` counterparts — so
+/// algorithms ported to CSR traversal visit edges in the same sequence and
+/// stay bit-identical to the originals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `user_adj[user_offsets[u]..user_offsets[u + 1]]` = groups of user `u`.
+    user_offsets: Vec<u32>,
+    user_adj: Vec<u32>,
+    /// `group_adj[group_offsets[g]..group_offsets[g + 1]]` = members of `g`.
+    group_offsets: Vec<u32>,
+    group_adj: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds the CSR graph of a group set.
+    pub fn from_group_set(groups: &GroupSet) -> Self {
+        let lists: Vec<&[UserId]> = groups.iter().map(|(_, g)| g.members.as_slice()).collect();
+        Self::from_member_lists(groups.user_count(), &lists)
+    }
+
+    /// Builds the CSR graph from one sorted member list per group (groups in
+    /// id order) — the shared back-end of [`CsrGraph::from_group_set`] and
+    /// [`crate::incremental::IncrementalGroups::snapshot_csr`].
+    pub fn from_member_lists(user_count: usize, lists: &[&[UserId]]) -> Self {
+        let edges: usize = lists.iter().map(|m| m.len()).sum();
+        assert!(
+            user_count < u32::MAX as usize,
+            "user count exceeds u32 range"
+        );
+        assert!(
+            lists.len() < u32::MAX as usize,
+            "group count exceeds u32 range"
+        );
+        assert!(edges < u32::MAX as usize, "edge count exceeds u32 range");
+
+        // Group side: concatenation of the member lists.
+        let mut group_offsets = Vec::with_capacity(lists.len() + 1);
+        let mut group_adj = Vec::with_capacity(edges);
+        group_offsets.push(0u32);
+        let mut degree = vec![0u32; user_count];
+        for members in lists {
+            for &u in *members {
+                group_adj.push(u.index() as u32);
+                degree[u.index()] += 1;
+            }
+            group_offsets.push(group_adj.len() as u32);
+        }
+
+        // User side: counting sort by user. Groups are appended in ascending
+        // id order, so each user's slice comes out ascending as well.
+        let mut user_offsets = Vec::with_capacity(user_count + 1);
+        user_offsets.push(0u32);
+        for d in &degree {
+            let last = *user_offsets.last().expect("seeded with 0");
+            user_offsets.push(last + d);
+        }
+        let mut cursor: Vec<u32> = user_offsets[..user_count].to_vec();
+        let mut user_adj = vec![0u32; edges];
+        for (g, members) in lists.iter().enumerate() {
+            for &u in *members {
+                let c = &mut cursor[u.index()];
+                user_adj[*c as usize] = g as u32;
+                *c += 1;
+            }
+        }
+
+        Self {
+            user_offsets,
+            user_adj,
+            group_offsets,
+            group_adj,
+        }
+    }
+
+    /// Number of users (rows of the user → group direction).
+    #[inline]
+    pub fn user_count(&self) -> usize {
+        self.user_offsets.len() - 1
+    }
+
+    /// Number of groups.
+    #[inline]
+    pub fn group_count(&self) -> usize {
+        self.group_offsets.len() - 1
+    }
+
+    /// Number of membership edges `Σ_G |G|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.user_adj.len()
+    }
+
+    /// The group indices user `u` belongs to, ascending.
+    #[inline]
+    pub fn groups_of(&self, u: usize) -> &[u32] {
+        let lo = self.user_offsets[u] as usize;
+        let hi = self.user_offsets[u + 1] as usize;
+        &self.user_adj[lo..hi]
+    }
+
+    /// The member (user) indices of group `g`, ascending.
+    #[inline]
+    pub fn members_of(&self, g: usize) -> &[u32] {
+        let lo = self.group_offsets[g] as usize;
+        let hi = self.group_offsets[g + 1] as usize;
+        &self.group_adj[lo..hi]
+    }
+
+    /// `|{G | u ∈ G}|`.
+    #[inline]
+    pub fn user_degree(&self, u: usize) -> usize {
+        (self.user_offsets[u + 1] - self.user_offsets[u]) as usize
+    }
+
+    /// `|G|` for group `g`.
+    #[inline]
+    pub fn group_size(&self, g: usize) -> usize {
+        (self.group_offsets[g + 1] - self.group_offsets[g]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GroupId;
+
+    fn demo() -> GroupSet {
+        // G0 = {0,1}, G1 = {1,2}, G2 = {3}, G3 = {} is impossible via
+        // from_memberships (empty groups still get an id there).
+        GroupSet::from_memberships(
+            5,
+            vec![
+                vec![UserId(0), UserId(1)],
+                vec![UserId(1), UserId(2)],
+                vec![UserId(3)],
+            ],
+        )
+    }
+
+    #[test]
+    fn mirrors_group_set_links() {
+        let groups = demo();
+        let csr = CsrGraph::from_group_set(&groups);
+        assert_eq!(csr.user_count(), groups.user_count());
+        assert_eq!(csr.group_count(), groups.len());
+        assert_eq!(csr.edge_count(), 5);
+        for u in 0..groups.user_count() {
+            let expect: Vec<u32> = groups
+                .groups_of(UserId::from_index(u))
+                .iter()
+                .map(|g| g.index() as u32)
+                .collect();
+            assert_eq!(csr.groups_of(u), expect.as_slice(), "user {u}");
+            assert_eq!(csr.user_degree(u), expect.len());
+        }
+        for (gid, g) in groups.iter() {
+            let expect: Vec<u32> = g.members.iter().map(|u| u.index() as u32).collect();
+            assert_eq!(csr.members_of(gid.index()), expect.as_slice(), "{gid}");
+            assert_eq!(csr.group_size(gid.index()), g.size());
+        }
+    }
+
+    #[test]
+    fn adjacency_is_sorted_both_ways() {
+        let groups = demo();
+        let csr = CsrGraph::from_group_set(&groups);
+        for u in 0..csr.user_count() {
+            assert!(csr.groups_of(u).windows(2).all(|w| w[0] < w[1]));
+        }
+        for g in 0..csr.group_count() {
+            assert!(csr.members_of(g).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let groups = GroupSet::from_memberships(0, vec![]);
+        let csr = CsrGraph::from_group_set(&groups);
+        assert_eq!(csr.user_count(), 0);
+        assert_eq!(csr.group_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+    }
+
+    #[test]
+    fn isolated_users_have_empty_slices() {
+        let groups = GroupSet::from_memberships(3, vec![vec![UserId(1)]]);
+        let csr = CsrGraph::from_group_set(&groups);
+        assert!(csr.groups_of(0).is_empty());
+        assert_eq!(csr.groups_of(1), &[0]);
+        assert!(csr.groups_of(2).is_empty());
+        let _ = GroupId(0);
+    }
+}

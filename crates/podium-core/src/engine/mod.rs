@@ -1,0 +1,268 @@
+//! The high-throughput selection engine: CSR group storage, heap-based
+//! lazy greedy, and (optionally) multi-threaded marginal evaluation.
+//!
+//! The historical entry points — [`crate::greedy::greedy_select`],
+//! [`crate::lazy_greedy::lazy_greedy_select`],
+//! [`crate::stochastic_greedy::stochastic_greedy_select`] — remain the
+//! stable API and now delegate here; their results are unchanged. This
+//! module additionally exposes the pieces for callers that select
+//! repeatedly from the same group set:
+//!
+//! * [`CsrGraph`] — the flat bipartite user ↔ group adjacency, built once
+//!   from a [`GroupSet`] in `O(|V| + |E|)` and shared across runs;
+//! * [`SelectionEngine`] — couples an instance with its CSR graph and runs
+//!   any [`EngineVariant`];
+//! * the `parallel` cargo feature (default **off**, zero new dependencies)
+//!   — chunks marginal evaluations across `std::thread::scope` workers for
+//!   the [`EngineVariant::LazyHeapParallel`] paths; with the feature off
+//!   those paths fall back to the sequential implementation.
+//!
+//! Complexity: eager greedy is `O(|E| + B·n + Σ_{covered G} |G|)`; the
+//! lazy heap replaces the `B·n` argmax scans and the member-side updates
+//! with `O(|E|)` heapify plus `O(r·(log n + deg))` for the `r` entries it
+//! actually refreshes — typically `r ≪ n` (the CELF effect).
+
+pub mod csr;
+mod eager;
+mod lazy;
+mod par;
+mod stochastic;
+
+pub use csr::CsrGraph;
+
+use crate::greedy::{Selection, TieBreak};
+use crate::instance::DiversificationInstance;
+use crate::score::ScoreValue;
+
+/// Which selection algorithm the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineVariant {
+    /// Algorithm 1 with decremental marginal maintenance (the paper's
+    /// eager update scheme).
+    Eager,
+    /// CELF lazy greedy over a max-heap of stale upper bounds; selections
+    /// are bit-identical to [`EngineVariant::Eager`] under the `FirstUser`
+    /// tie-break and exact score arithmetic.
+    LazyHeap,
+    /// [`EngineVariant::LazyHeap`] with initial gains and large refresh
+    /// bursts chunked across scoped threads (`parallel` feature; sequential
+    /// fallback when the feature is off or the pool is small).
+    LazyHeapParallel,
+}
+
+impl EngineVariant {
+    /// Every variant, for benchmark sweeps.
+    pub const ALL: [EngineVariant; 3] = [
+        EngineVariant::Eager,
+        EngineVariant::LazyHeap,
+        EngineVariant::LazyHeapParallel,
+    ];
+
+    /// A stable snake_case label for reports and benchmark ids.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineVariant::Eager => "eager",
+            EngineVariant::LazyHeap => "lazy_heap",
+            EngineVariant::LazyHeapParallel => "lazy_heap_parallel",
+        }
+    }
+}
+
+/// A diversification instance coupled with the CSR form of its group graph.
+///
+/// Building the engine performs the one-time `O(|V| + |E|)` CSR
+/// construction; every selection after that walks flat arrays only.
+#[derive(Debug, Clone)]
+pub struct SelectionEngine<'i, W: ScoreValue> {
+    inst: &'i DiversificationInstance<'i, W>,
+    csr: CsrGraph,
+}
+
+impl<'i, W: ScoreValue> SelectionEngine<'i, W> {
+    /// Builds the engine (and the CSR graph) for an instance.
+    pub fn new(inst: &'i DiversificationInstance<'i, W>) -> Self {
+        let csr = CsrGraph::from_group_set(inst.groups());
+        Self { inst, csr }
+    }
+
+    /// The CSR graph, for callers that want raw adjacency access.
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &'i DiversificationInstance<'i, W> {
+        self.inst
+    }
+
+    /// Runs `variant` with budget `b` (no eligibility filter, `FirstUser`
+    /// ties).
+    pub fn select(&self, variant: EngineVariant, b: usize) -> Selection<W> {
+        match variant {
+            EngineVariant::Eager => self.eager(b, None, TieBreak::FirstUser),
+            EngineVariant::LazyHeap => self.lazy(b, None),
+            EngineVariant::LazyHeapParallel => self.lazy_parallel(b, None),
+        }
+    }
+
+    /// Eager greedy (Algorithm 1) with an optional eligibility filter and
+    /// tie-break policy.
+    pub fn eager(&self, b: usize, eligible: Option<&[bool]>, tie_break: TieBreak) -> Selection<W> {
+        eager::eager_select(self.inst, &self.csr, b, eligible, tie_break)
+    }
+
+    /// Sequential CELF lazy greedy. `FirstUser` tie-break only — for
+    /// `Seeded` ties use [`SelectionEngine::eager`], whose reservoir
+    /// sampling needs the full candidate scan.
+    pub fn lazy(&self, b: usize, eligible: Option<&[bool]>) -> Selection<W> {
+        lazy::lazy_select(self.inst, &self.csr, b, eligible)
+    }
+
+    /// CELF lazy greedy with multi-threaded marginal evaluation (`parallel`
+    /// feature; sequential fallback otherwise). Same selection as
+    /// [`SelectionEngine::lazy`].
+    pub fn lazy_parallel(&self, b: usize, eligible: Option<&[bool]>) -> Selection<W> {
+        lazy::lazy_select_parallel(self.inst, &self.csr, b, eligible)
+    }
+
+    /// Stochastic greedy (see [`crate::stochastic_greedy`]).
+    pub fn stochastic(&self, b: usize, epsilon: f64, seed: u64) -> Selection<W> {
+        stochastic::stochastic_select(self.inst, &self.csr, b, epsilon, seed)
+    }
+}
+
+/// Crate-internal one-shot helpers for the delegating legacy entry points
+/// (they build the CSR graph per call; the engine type amortizes it).
+pub(crate) fn eager_once<W: ScoreValue>(
+    inst: &DiversificationInstance<'_, W>,
+    b: usize,
+    eligible: Option<&[bool]>,
+    tie_break: TieBreak,
+) -> Selection<W> {
+    let csr = CsrGraph::from_group_set(inst.groups());
+    eager::eager_select(inst, &csr, b, eligible, tie_break)
+}
+
+/// One-shot sequential lazy greedy (see [`eager_once`]).
+pub(crate) fn lazy_once<W: ScoreValue>(
+    inst: &DiversificationInstance<'_, W>,
+    b: usize,
+    eligible: Option<&[bool]>,
+) -> Selection<W> {
+    let csr = CsrGraph::from_group_set(inst.groups());
+    lazy::lazy_select(inst, &csr, b, eligible)
+}
+
+/// One-shot stochastic greedy (see [`eager_once`]).
+pub(crate) fn stochastic_once<W: ScoreValue>(
+    inst: &DiversificationInstance<'_, W>,
+    b: usize,
+    epsilon: f64,
+    seed: u64,
+) -> Selection<W> {
+    let csr = CsrGraph::from_group_set(inst.groups());
+    stochastic::stochastic_select(inst, &csr, b, epsilon, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupSet;
+    use crate::ids::UserId;
+    use crate::weights::{CovScheme, WeightScheme};
+
+    fn random_groups(seed: u64, users: usize, groups: usize) -> GroupSet {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let memberships: Vec<Vec<UserId>> = (0..groups)
+            .map(|_| {
+                let size = 1 + next() % users;
+                let mut m: Vec<UserId> = (0..size)
+                    .map(|_| UserId::from_index(next() % users))
+                    .collect();
+                m.sort();
+                m.dedup();
+                m
+            })
+            .collect();
+        GroupSet::from_memberships(users, memberships)
+    }
+
+    #[test]
+    fn all_variants_agree_exactly() {
+        for seed in 0..12 {
+            let g = random_groups(seed, 30, 45);
+            let inst = DiversificationInstance::from_schemes(
+                &g,
+                WeightScheme::LinearBySize,
+                CovScheme::Proportional,
+                6,
+            );
+            let engine = SelectionEngine::new(&inst);
+            let eager = engine.select(EngineVariant::Eager, 6);
+            for variant in [EngineVariant::LazyHeap, EngineVariant::LazyHeapParallel] {
+                let sel = engine.select(variant, 6);
+                assert_eq!(sel.users, eager.users, "seed {seed} {variant:?}");
+                assert_eq!(sel.gains, eager.gains, "seed {seed} {variant:?}");
+                assert_eq!(sel.score, eager.score, "seed {seed} {variant:?}");
+                assert_eq!(
+                    sel.covered_counts, eager.covered_counts,
+                    "seed {seed} {variant:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_legacy_entry_points() {
+        let g = random_groups(5, 20, 30);
+        let inst = DiversificationInstance::from_schemes(
+            &g,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            5,
+        );
+        let engine = SelectionEngine::new(&inst);
+        let legacy = crate::greedy::greedy_select(&inst, 5);
+        assert_eq!(engine.select(EngineVariant::Eager, 5), legacy);
+        let legacy_lazy = crate::lazy_greedy::lazy_greedy_select(&inst, 5);
+        assert_eq!(engine.select(EngineVariant::LazyHeap, 5), legacy_lazy);
+        let legacy_stoch = crate::stochastic_greedy::stochastic_greedy_select(&inst, 5, 0.2, 9);
+        assert_eq!(engine.stochastic(5, 0.2, 9), legacy_stoch);
+    }
+
+    #[test]
+    fn eligibility_respected_by_every_variant() {
+        let g = random_groups(2, 10, 15);
+        let inst = DiversificationInstance::from_schemes(
+            &g,
+            WeightScheme::Identical,
+            CovScheme::Single,
+            3,
+        );
+        let engine = SelectionEngine::new(&inst);
+        let mut eligible = vec![true; 10];
+        eligible[0] = false;
+        eligible[4] = false;
+        let eager = engine.eager(3, Some(&eligible), TieBreak::FirstUser);
+        let lazy = engine.lazy(3, Some(&eligible));
+        let par = engine.lazy_parallel(3, Some(&eligible));
+        assert_eq!(eager.users, lazy.users);
+        assert_eq!(eager.users, par.users);
+        for sel in [&eager, &lazy, &par] {
+            assert!(!sel.contains(UserId(0)));
+            assert!(!sel.contains(UserId(4)));
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<&str> = EngineVariant::ALL.iter().map(|v| v.label()).collect();
+        assert_eq!(labels, vec!["eager", "lazy_heap", "lazy_heap_parallel"]);
+    }
+}

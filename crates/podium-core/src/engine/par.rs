@@ -1,0 +1,107 @@
+//! Multi-threaded marginal evaluation behind the `parallel` cargo feature.
+//!
+//! Built on `std::thread::scope` only — no extra crate dependencies. With
+//! the feature disabled (the default) every helper degrades to its
+//! sequential form, so downstream code can call the parallel-capable engine
+//! paths unconditionally. With the feature enabled, candidate slices are
+//! chunked across `available_parallelism()` workers; small inputs still run
+//! sequentially because scoped-thread startup would dominate.
+
+/// Inputs below this size are evaluated sequentially even with the
+/// `parallel` feature on: spawning scoped workers costs tens of
+/// microseconds, which only pays off across hundreds of marginal
+/// evaluations.
+#[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+pub(crate) const MIN_PARALLEL_EVALS: usize = 512;
+
+/// Upper bound on how many stale heap entries a lazy-greedy refresh burst
+/// may pop at once (see [`super::lazy`]). `1` disables bursting and yields
+/// the classic one-at-a-time CELF refresh.
+///
+/// Bursting exists solely to hand [`map_gains`] batches large enough to
+/// chunk across workers: every popped entry was a stale heap *top*, but
+/// only the first refresh is guaranteed necessary, so a burst below the
+/// parallel threshold is pure wasted work. Hence the cap is 1 — classic
+/// CELF — unless the `parallel` feature is on *and* the machine actually
+/// has multiple workers, in which case long stale cascades are refreshed
+/// [`MIN_PARALLEL_EVALS`] at a time across the thread pool.
+pub(crate) fn refresh_burst_cap() -> usize {
+    #[cfg(feature = "parallel")]
+    if workers() > 1 {
+        return MIN_PARALLEL_EVALS;
+    }
+    1
+}
+
+/// Worker-pool size, probed once per process: `available_parallelism()`
+/// reads cgroup limits from the filesystem on Linux, far too slow to call
+/// per refresh.
+#[cfg(feature = "parallel")]
+fn workers() -> usize {
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Evaluates `eval` over every candidate in `users`, preserving order.
+///
+/// Feature `parallel` + large input: chunked over scoped threads.
+/// Otherwise: a plain sequential map. Results are identical either way —
+/// each evaluation is independent and written back in input order.
+#[cfg(feature = "parallel")]
+pub(crate) fn map_gains<W, F>(users: &[u32], eval: F) -> Vec<W>
+where
+    W: Send,
+    F: Fn(u32) -> W + Sync,
+{
+    let workers = workers();
+    if workers <= 1 || users.len() < MIN_PARALLEL_EVALS {
+        return users.iter().map(|&u| eval(u)).collect();
+    }
+    let chunk = users.len().div_ceil(workers);
+    let eval = &eval;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = users
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(|&u| eval(u)).collect::<Vec<W>>()))
+            .collect();
+        let mut out = Vec::with_capacity(users.len());
+        for h in handles {
+            out.extend(h.join().expect("marginal evaluation worker panicked"));
+        }
+        out
+    })
+}
+
+/// Sequential fallback compiled when the `parallel` feature is off.
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn map_gains<W, F>(users: &[u32], eval: F) -> Vec<W>
+where
+    F: Fn(u32) -> W,
+{
+    users.iter().map(|&u| eval(u)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let users: Vec<u32> = (0..2000).rev().collect();
+        let out = map_gains(&users, |u| u as u64 * 3);
+        assert_eq!(out.len(), users.len());
+        for (i, &u) in users.iter().enumerate() {
+            assert_eq!(out[i], u as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(map_gains(&[], |u| u).is_empty());
+        assert_eq!(map_gains(&[7], |u| u + 1), vec![8]);
+    }
+}

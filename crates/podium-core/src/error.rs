@@ -56,7 +56,10 @@ impl std::fmt::Display for CoreError {
                 write!(f, "invalid bucket count {k}; at least 1 bucket is required")
             }
             CoreError::InvalidBucketEdges(edges) => {
-                write!(f, "bucket edges {edges:?} are not strictly increasing in [0, 1]")
+                write!(
+                    f,
+                    "bucket edges {edges:?} are not strictly increasing in [0, 1]"
+                )
             }
             CoreError::ZeroBudget => write!(f, "selection budget must be at least 1"),
             CoreError::ContradictoryFeedback(g) => write!(

@@ -113,12 +113,12 @@ pub fn exact_select<W: ScoreValue>(
         gains.push(gain);
         prev = s;
     }
-    Ok(Selection {
-        users: best,
+    Ok(Selection::from_parts(
+        best,
         gains,
-        score: best_score,
+        best_score,
         covered_counts,
-    })
+    ))
 }
 
 fn add_user<W: ScoreValue>(
@@ -182,11 +182,7 @@ mod tests {
     #[test]
     fn optimal_beats_or_matches_greedy() {
         let g = demo();
-        let inst = DiversificationInstance::new(
-            &g,
-            vec![2.0, 2.0, 1.0, 2.0, 2.0],
-            vec![1; 5],
-        );
+        let inst = DiversificationInstance::new(&g, vec![2.0, 2.0, 1.0, 2.0, 2.0], vec![1; 5]);
         for b in 1..=4 {
             let opt = exact_select(&inst, b, 1 << 20).unwrap();
             let grd = greedy_select(&inst, b);
@@ -201,11 +197,8 @@ mod tests {
         // Cross-check the incremental score against direct evaluation over
         // every subset.
         let g = demo();
-        let inst = DiversificationInstance::new(
-            &g,
-            vec![1.0, 3.0, 2.0, 1.0, 1.0],
-            vec![1, 2, 1, 1, 2],
-        );
+        let inst =
+            DiversificationInstance::new(&g, vec![1.0, 3.0, 2.0, 1.0, 1.0], vec![1, 2, 1, 1, 2]);
         let b = 3;
         let opt = exact_select(&inst, b, 1 << 20).unwrap();
         let mut best = f64::NEG_INFINITY;
@@ -214,8 +207,10 @@ mod tests {
             if mask.count_ones() as usize != b {
                 continue;
             }
-            let subset: Vec<UserId> =
-                (0..n).filter(|i| mask & (1 << i) != 0).map(UserId::from_index).collect();
+            let subset: Vec<UserId> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(UserId::from_index)
+                .collect();
             best = best.max(inst.score_of(&subset));
         }
         assert_eq!(opt.score, best);

@@ -250,7 +250,10 @@ impl SelectionReport {
         let top_weight_coverage = if top_k == 0 {
             1.0 // no groups to cover: vacuously complete
         } else {
-            let covered = groups[..top_k].iter().filter(|(_, s)| s.is_covered()).count();
+            let covered = groups[..top_k]
+                .iter()
+                .filter(|(_, s)| s.is_covered())
+                .count();
             covered as f64 / top_k as f64
         };
         Self {
@@ -324,12 +327,7 @@ impl SelectionReport {
             self.top_k
         );
         for ue in &self.users {
-            let top: Vec<&str> = ue
-                .groups
-                .iter()
-                .take(3)
-                .map(|g| g.label.as_str())
-                .collect();
+            let top: Vec<&str> = ue.groups.iter().take(3).map(|g| g.label.as_str()).collect();
             let _ = writeln!(out, "  {} represents: {}", ue.name, top.join("; "));
         }
         for (ge, se) in self.groups.iter().take(self.top_k) {

@@ -13,6 +13,10 @@
 //! `(1 − 1/e)` approximation of the optimal budgeted score (Nemhauser,
 //! Wolsey & Fisher 1978). Total time is
 //! `O(B · max_G |G| · max_u |{G | u ∈ G}|)`.
+//!
+//! The traversal itself runs in [`crate::engine`] over compressed
+//! sparse-row (CSR) adjacency; this module keeps the stable public entry
+//! points and the [`Selection`]/[`TieBreak`] types.
 
 //! ```
 //! use podium_core::prelude::*;
@@ -44,12 +48,36 @@ pub struct Selection<W> {
     /// `|U ∩ G|` for every group, indexed by group id — feeds the
     /// subset-group explanations of §5.
     pub covered_counts: Vec<u32>,
+    /// Sorted copy of `users` backing O(log B) membership tests — the
+    /// why-not explanations of §5 probe every unselected user, which was
+    /// quadratic with the old linear scan.
+    #[serde(skip)]
+    membership: Vec<u32>,
 }
 
 impl<W: ScoreValue> Selection<W> {
-    /// Whether user `u` was selected.
+    /// Assembles a selection, building the sorted membership index.
+    pub fn from_parts(
+        users: Vec<UserId>,
+        gains: Vec<W>,
+        score: W,
+        covered_counts: Vec<u32>,
+    ) -> Self {
+        let mut membership: Vec<u32> = users.iter().map(|u| u.index() as u32).collect();
+        membership.sort_unstable();
+        Self {
+            users,
+            gains,
+            score,
+            covered_counts,
+            membership,
+        }
+    }
+
+    /// Whether user `u` was selected (binary search over the sorted
+    /// membership index).
     pub fn contains(&self, u: UserId) -> bool {
-        self.users.contains(&u)
+        self.membership.binary_search(&(u.index() as u32)).is_ok()
     }
 }
 
@@ -82,149 +110,7 @@ pub fn greedy_select_opts<W: ScoreValue>(
     eligible: Option<&[bool]>,
     tie_break: TieBreak,
 ) -> Selection<W> {
-    let groups = inst.groups();
-    let n = groups.user_count();
-    if let Some(e) = eligible {
-        assert_eq!(e.len(), n, "one eligibility flag per user");
-    }
-
-    // Line 2: marg_{u,𝒰} = Σ_{G ∋ u} wei(G) for eligible users. Groups with
-    // zero weight or zero coverage are skipped up front (the "remove links"
-    // optimization of §4).
-    let mut available: Vec<bool> = (0..n)
-        .map(|u| eligible.is_none_or(|e| e[u]))
-        .collect();
-    let mut cov_rem: Vec<u32> = groups.ids().map(|g| inst.cov(g)).collect();
-    let mut marg: Vec<W> = vec![W::zero(); n];
-    for u in 0..n {
-        if !available[u] {
-            continue;
-        }
-        for &g in groups.groups_of(UserId::from_index(u)) {
-            if cov_rem[g.index()] > 0 && !inst.weight(g).is_zero() {
-                marg[u].add_assign(inst.weight(g));
-            }
-        }
-    }
-
-    let mut rng_state = match tie_break {
-        TieBreak::Seeded(seed) => seed ^ 0x9E37_79B9_7F4A_7C15,
-        TieBreak::FirstUser => 0,
-    };
-    let mut users = Vec::with_capacity(b.min(n));
-    let mut gains = Vec::with_capacity(b.min(n));
-    let mut score = W::zero();
-    let mut covered_counts = vec![0u32; groups.len()];
-
-    // Lines 3–10.
-    for _ in 0..b {
-        // Line 5: argmax over available users.
-        let best = match tie_break {
-            TieBreak::FirstUser => argmax_first(&marg, &available),
-            TieBreak::Seeded(_) => argmax_seeded(&marg, &available, &mut rng_state),
-        };
-        let Some(u) = best else { break }; // line 4: pool exhausted
-
-        // Line 6: move u from 𝒰 to U.
-        available[u] = false;
-        let uid = UserId::from_index(u);
-        score.add_assign(&marg[u]);
-        gains.push(marg[u].clone());
-        users.push(uid);
-
-        // Lines 7–10: update coverage and the marginal contributions.
-        for &g in groups.groups_of(uid) {
-            let gi = g.index();
-            covered_counts[gi] += 1;
-            if cov_rem[gi] == 0 {
-                continue; // group was already fully covered
-            }
-            cov_rem[gi] -= 1;
-            if cov_rem[gi] == 0 && !inst.weight(g).is_zero() {
-                // Group newly fully covered: it no longer contributes to any
-                // other member's marginal contribution (line 10).
-                for &m in &groups.group(g).expect("group id from iterator").members {
-                    if available[m.index()] {
-                        marg[m.index()].sub_assign(inst.weight(g));
-                    }
-                }
-            }
-        }
-    }
-
-    Selection {
-        users,
-        gains,
-        score,
-        covered_counts,
-    }
-}
-
-fn argmax_first<W: ScoreValue>(marg: &[W], available: &[bool]) -> Option<usize> {
-    let mut best: Option<usize> = None;
-    for u in 0..marg.len() {
-        if !available[u] {
-            continue;
-        }
-        match best {
-            None => best = Some(u),
-            Some(b) => {
-                if marg[u]
-                    .partial_cmp(&marg[b])
-                    .is_some_and(|o| o == std::cmp::Ordering::Greater)
-                {
-                    best = Some(u);
-                }
-            }
-        }
-    }
-    best
-}
-
-/// Reservoir-samples uniformly among the argmax users with a splitmix64
-/// stream, so runs are reproducible for a fixed seed.
-fn argmax_seeded<W: ScoreValue>(
-    marg: &[W],
-    available: &[bool],
-    state: &mut u64,
-) -> Option<usize> {
-    let mut best: Option<usize> = None;
-    let mut ties = 0u64;
-    for u in 0..marg.len() {
-        if !available[u] {
-            continue;
-        }
-        let ord = match best {
-            None => std::cmp::Ordering::Greater,
-            Some(b) => marg[u]
-                .partial_cmp(&marg[b])
-                .unwrap_or(std::cmp::Ordering::Less),
-        };
-        match ord {
-            std::cmp::Ordering::Greater => {
-                best = Some(u);
-                ties = 1;
-            }
-            std::cmp::Ordering::Equal => {
-                ties += 1;
-                if splitmix64(state).is_multiple_of(ties) {
-                    best = Some(u);
-                }
-            }
-            std::cmp::Ordering::Less => {}
-        }
-    }
-    best
-}
-
-/// The splitmix64 PRNG step (public-domain constant stream); enough for tie
-/// shuffling without pulling a full RNG dependency into the core crate.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    crate::engine::eager_once(inst, b, eligible, tie_break)
 }
 
 #[cfg(test)]
@@ -281,8 +167,12 @@ mod tests {
     #[test]
     fn example_43_initial_marginals_and_outcome() {
         let g = example_43();
-        let inst =
-            DiversificationInstance::from_schemes(&g, WeightScheme::LinearBySize, CovScheme::Single, 2);
+        let inst = DiversificationInstance::from_schemes(
+            &g,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            2,
+        );
         // Initial marginal contributions: 10, 5, 7, 7, 10. Example 4.3 prints
         // David's as 6, but its own update step (reduced by 2+3 to reach 2)
         // confirms 7: Tokyo(2) + avgMex high(3) + visitMex medium(2).
@@ -303,8 +193,12 @@ mod tests {
     #[test]
     fn example_38_iden_selects_alice_and_bob() {
         let g = example_43();
-        let inst =
-            DiversificationInstance::from_schemes(&g, WeightScheme::Identical, CovScheme::Single, 2);
+        let inst = DiversificationInstance::from_schemes(
+            &g,
+            WeightScheme::Identical,
+            CovScheme::Single,
+            2,
+        );
         let sel = greedy_select(&inst, 2);
         assert_eq!(sel.users, vec![UserId(0), UserId(1)]);
         assert_eq!(sel.score, 11.0, "11 represented groups (Example 3.8)");
@@ -313,8 +207,12 @@ mod tests {
     #[test]
     fn selection_score_matches_direct_evaluation() {
         let g = example_43();
-        let inst =
-            DiversificationInstance::from_schemes(&g, WeightScheme::LinearBySize, CovScheme::Single, 3);
+        let inst = DiversificationInstance::from_schemes(
+            &g,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            3,
+        );
         let sel = greedy_select(&inst, 3);
         assert_eq!(sel.score, inst.score_of(&sel.users));
     }
@@ -322,8 +220,12 @@ mod tests {
     #[test]
     fn covered_counts_reported() {
         let g = example_43();
-        let inst =
-            DiversificationInstance::from_schemes(&g, WeightScheme::LinearBySize, CovScheme::Single, 2);
+        let inst = DiversificationInstance::from_schemes(
+            &g,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            2,
+        );
         let sel = greedy_select(&inst, 2);
         // g5 avgMex high contains Alice and Eve -> count 2 (over-covered).
         assert_eq!(sel.covered_counts[5], 2);
@@ -333,8 +235,12 @@ mod tests {
     #[test]
     fn budget_larger_than_population() {
         let g = example_43();
-        let inst =
-            DiversificationInstance::from_schemes(&g, WeightScheme::LinearBySize, CovScheme::Single, 99);
+        let inst = DiversificationInstance::from_schemes(
+            &g,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            99,
+        );
         let sel = greedy_select(&inst, 99);
         assert_eq!(sel.users.len(), 5, "stops when 𝒰 is exhausted (line 4)");
     }
@@ -342,8 +248,12 @@ mod tests {
     #[test]
     fn zero_budget_selects_nothing() {
         let g = example_43();
-        let inst =
-            DiversificationInstance::from_schemes(&g, WeightScheme::LinearBySize, CovScheme::Single, 0);
+        let inst = DiversificationInstance::from_schemes(
+            &g,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            0,
+        );
         let sel = greedy_select(&inst, 0);
         assert!(sel.users.is_empty());
         assert_eq!(sel.score, 0.0);
@@ -352,8 +262,12 @@ mod tests {
     #[test]
     fn eligibility_filter_respected() {
         let g = example_43();
-        let inst =
-            DiversificationInstance::from_schemes(&g, WeightScheme::LinearBySize, CovScheme::Single, 2);
+        let inst = DiversificationInstance::from_schemes(
+            &g,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            2,
+        );
         // Exclude Alice: Eve must come first now.
         let eligible = vec![false, true, true, true, true];
         let sel = greedy_select_opts(&inst, 2, Some(&eligible), TieBreak::FirstUser);
@@ -365,10 +279,7 @@ mod tests {
     fn proportional_coverage_changes_updates() {
         // With cov=2 on a shared group, selecting one member must NOT remove
         // the group from the other members' marginals.
-        let g = GroupSet::from_memberships(
-            3,
-            vec![vec![UserId(0), UserId(1), UserId(2)]],
-        );
+        let g = GroupSet::from_memberships(3, vec![vec![UserId(0), UserId(1), UserId(2)]]);
         let inst = DiversificationInstance::new(&g, vec![1.0], vec![2]);
         let sel = greedy_select(&inst, 2);
         assert_eq!(sel.score, 2.0, "two representatives both rewarded");
@@ -388,8 +299,12 @@ mod tests {
     #[test]
     fn seeded_tie_break_is_reproducible_and_varies() {
         let g = example_43();
-        let inst =
-            DiversificationInstance::from_schemes(&g, WeightScheme::LinearBySize, CovScheme::Single, 2);
+        let inst = DiversificationInstance::from_schemes(
+            &g,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            2,
+        );
         let a = greedy_select_opts(&inst, 2, None, TieBreak::Seeded(7));
         let b = greedy_select_opts(&inst, 2, None, TieBreak::Seeded(7));
         assert_eq!(a.users, b.users, "same seed, same outcome");
@@ -403,7 +318,10 @@ mod tests {
                 saw_eve_first = true;
             }
         }
-        assert!(saw_eve_first, "random tie-breaking should sometimes pick Eve");
+        assert!(
+            saw_eve_first,
+            "random tie-breaking should sometimes pick Eve"
+        );
     }
 
     #[test]

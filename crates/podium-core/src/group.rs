@@ -300,12 +300,7 @@ impl GroupSet {
             .collect();
         if let Some(cap) = max_groups {
             if keep.len() > cap {
-                keep.sort_by_key(|&g| {
-                    (
-                        std::cmp::Reverse(self.groups[g.index()].size()),
-                        g,
-                    )
-                });
+                keep.sort_by_key(|&g| (std::cmp::Reverse(self.groups[g.index()].size()), g));
                 keep.truncate(cap);
                 keep.sort();
             }
@@ -341,9 +336,9 @@ impl GroupSet {
     /// `β(livesIn …)`), in bucket order.
     pub fn groups_of_property(&self, property: PropertyId) -> Vec<GroupId> {
         self.iter()
-            .filter(|(_, g)| {
-                matches!(g.kind, GroupKind::Simple { property: p, .. } if p == property)
-            })
+            .filter(
+                |(_, g)| matches!(g.kind, GroupKind::Simple { property: p, .. } if p == property),
+            )
             .map(|(id, _)| id)
             .collect()
     }
@@ -557,7 +552,10 @@ mod tests {
             3,
             vec![vec![UserId(2), UserId(0), UserId(2)], vec![UserId(1)]],
         );
-        assert_eq!(set.group(GroupId(0)).unwrap().members, vec![UserId(0), UserId(2)]);
+        assert_eq!(
+            set.group(GroupId(0)).unwrap().members,
+            vec![UserId(0), UserId(2)]
+        );
         assert_eq!(set.max_group_size(), 2);
         assert_eq!(set.max_groups_per_user(), 1);
     }

@@ -20,6 +20,7 @@
 //! when score distributions drift materially.
 
 use crate::bucket::PropertyBuckets;
+use crate::engine::CsrGraph;
 use crate::group::GroupSet;
 use crate::ids::{BucketIdx, PropertyId, UserId};
 use crate::profile::UserRepository;
@@ -43,8 +44,7 @@ impl IncrementalGroups {
         let mut slots: Vec<Vec<Vec<UserId>>> = (0..repo.property_count())
             .map(|p| vec![Vec::new(); buckets.of(PropertyId::from_index(p)).len()])
             .collect();
-        let mut current: Vec<Vec<(PropertyId, BucketIdx)>> =
-            vec![Vec::new(); repo.user_count()];
+        let mut current: Vec<Vec<(PropertyId, BucketIdx)>> = vec![Vec::new(); repo.user_count()];
         for (u, profile) in repo.iter() {
             for (p, s) in profile.iter() {
                 if let Some(b) = buckets.of(p).bucket_of(s) {
@@ -98,7 +98,10 @@ impl IncrementalGroups {
         assert!(u.index() < self.user_count, "unknown user {u}");
         assert!(p.index() < self.slots.len(), "unknown property {p}");
         if let Some(s) = score {
-            assert!((0.0..=1.0).contains(&s) && s.is_finite(), "score out of range");
+            assert!(
+                (0.0..=1.0).contains(&s) && s.is_finite(),
+                "score out of range"
+            );
         }
         let new_bucket = score.and_then(|s| self.buckets.of(p).bucket_of(s));
 
@@ -144,6 +147,22 @@ impl IncrementalGroups {
         }
         GroupSet::from_simple_memberships(self.user_count, triples, self.buckets.clone())
     }
+
+    /// Materializes the CSR adjacency of the current non-empty groups
+    /// directly from the maintained slots — same group ordering as
+    /// [`IncrementalGroups::snapshot`], without cloning the member lists
+    /// into an intermediate [`GroupSet`]. Pair it with a snapshot taken at
+    /// the same time when building a [`crate::engine::SelectionEngine`].
+    pub fn snapshot_csr(&self) -> CsrGraph {
+        let lists: Vec<&[UserId]> = self
+            .slots
+            .iter()
+            .flat_map(|buckets| buckets.iter())
+            .filter(|members| !members.is_empty())
+            .map(Vec::as_slice)
+            .collect();
+        CsrGraph::from_member_lists(self.user_count, &lists)
+    }
 }
 
 #[cfg(test)]
@@ -159,7 +178,11 @@ mod tests {
     }
 
     /// Snapshot after building must equal a from-scratch GroupSet.
-    fn assert_equivalent(inc: &IncrementalGroups, repo: &UserRepository, buckets: &PropertyBuckets) {
+    fn assert_equivalent(
+        inc: &IncrementalGroups,
+        repo: &UserRepository,
+        buckets: &PropertyBuckets,
+    ) {
         let snapshot = inc.snapshot();
         let rebuilt = GroupSet::build(repo, buckets);
         assert_eq!(snapshot.len(), rebuilt.len(), "group counts");
@@ -206,7 +229,7 @@ mod tests {
         let tokyo = repo.property_id("livesIn Tokyo").unwrap();
         inc.update_score(alice, tokyo, None);
         repo.profile(alice).unwrap(); // still exists
-        // Mirror in the repo:
+                                      // Mirror in the repo:
         let mut mirrored = repo.clone();
         {
             // remove via a fresh profile rebuild
@@ -216,9 +239,8 @@ mod tests {
             // rebuilding a repo copy.
             let mut rebuilt = UserRepository::new();
             for q in 0..mirrored.property_count() {
-                rebuilt.intern_property(
-                    mirrored.property_label(PropertyId::from_index(q)).unwrap(),
-                );
+                rebuilt
+                    .intern_property(mirrored.property_label(PropertyId::from_index(q)).unwrap());
             }
             for (u, prof) in mirrored.iter() {
                 let nu = rebuilt.add_user(mirrored.user_name(u).unwrap());
@@ -259,8 +281,9 @@ mod tests {
         // both the incremental structure and a mirrored repository, then
         // compare snapshots.
         let (mut repo, buckets, mut inc) = setup();
-        let props: Vec<PropertyId> =
-            (0..repo.property_count()).map(PropertyId::from_index).collect();
+        let props: Vec<PropertyId> = (0..repo.property_count())
+            .map(PropertyId::from_index)
+            .collect();
         let mut state = 0xFEED_u64;
         let mut next = move || {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -301,5 +324,18 @@ mod tests {
     fn invalid_score_panics() {
         let (_, _, mut inc) = setup();
         inc.update_score(UserId(0), PropertyId(0), Some(1.5));
+    }
+
+    #[test]
+    fn snapshot_csr_matches_snapshot_group_set() {
+        let (repo, _, mut inc) = setup();
+        let bob = repo.user_by_name("Bob").unwrap();
+        let mex = repo.property_id("avgRating Mexican").unwrap();
+        inc.update_score(bob, mex, Some(0.9));
+        let frank = inc.add_user();
+        inc.update_score(frank, mex, Some(0.2));
+        let direct = inc.snapshot_csr();
+        let via_set = CsrGraph::from_group_set(&inc.snapshot());
+        assert_eq!(direct, via_set);
     }
 }

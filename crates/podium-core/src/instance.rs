@@ -52,6 +52,19 @@ impl<'g, W: ScoreValue> DiversificationInstance<'g, W> {
         self.cov[g.index()]
     }
 
+    /// All group weights, indexed by [`GroupId`] — flat access for the
+    /// selection engine's hot loops.
+    #[inline]
+    pub fn weights(&self) -> &[W] {
+        &self.weights
+    }
+
+    /// All required coverages, indexed by [`GroupId`].
+    #[inline]
+    pub fn covs(&self) -> &[u32] {
+        &self.cov
+    }
+
     /// Number of candidate users.
     #[inline]
     pub fn user_count(&self) -> usize {

@@ -9,43 +9,16 @@
 //!
 //! Exposed as an ablation target: `benches/ablation.rs` compares it against
 //! the paper's eager update scheme.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! The heap loop itself lives in [`crate::engine`] (CSR traversal, optional
+//! multi-threaded marginal evaluation behind the `parallel` feature); this
+//! module keeps the stable sequential entry points. Under the `FirstUser`
+//! tie-break and exact score arithmetic the lazy selection is bit-identical
+//! to the eager one — same users, gains, score, and covered counts.
 
 use crate::greedy::Selection;
-use crate::ids::UserId;
 use crate::instance::DiversificationInstance;
 use crate::score::ScoreValue;
-
-struct HeapEntry<W> {
-    gain: W,
-    user: u32,
-    /// Selection round in which `gain` was computed.
-    round: u32,
-}
-
-impl<W: ScoreValue> PartialEq for HeapEntry<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl<W: ScoreValue> Eq for HeapEntry<W> {}
-impl<W: ScoreValue> PartialOrd for HeapEntry<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W: ScoreValue> Ord for HeapEntry<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.gain
-            .partial_cmp(&other.gain)
-            .expect("score values must be totally ordered (no NaN)")
-            // Tie-break toward the smaller user id, matching the eager
-            // algorithm's deterministic FirstUser policy.
-            .then_with(|| other.user.cmp(&self.user))
-    }
-}
 
 /// Runs lazy greedy selection of at most `b` users.
 pub fn lazy_greedy_select<W: ScoreValue>(
@@ -62,72 +35,7 @@ pub fn lazy_greedy_select_filtered<W: ScoreValue>(
     b: usize,
     eligible: Option<&[bool]>,
 ) -> Selection<W> {
-    let groups = inst.groups();
-    let n = groups.user_count();
-    if let Some(e) = eligible {
-        assert_eq!(e.len(), n, "one eligibility flag per user");
-    }
-    let mut cov_rem: Vec<u32> = groups.ids().map(|g| inst.cov(g)).collect();
-
-    // The current marginal of u given remaining coverages.
-    let fresh_gain = |u: usize, cov_rem: &[u32]| -> W {
-        let mut gain = W::zero();
-        for &g in groups.groups_of(UserId::from_index(u)) {
-            if cov_rem[g.index()] > 0 {
-                gain.add_assign(inst.weight(g));
-            }
-        }
-        gain
-    };
-
-    let mut heap: BinaryHeap<HeapEntry<W>> = (0..n)
-        .filter(|&u| eligible.is_none_or(|e| e[u]))
-        .map(|u| HeapEntry {
-            gain: fresh_gain(u, &cov_rem),
-            user: u as u32,
-            round: 0,
-        })
-        .collect();
-
-    let mut users = Vec::with_capacity(b.min(n));
-    let mut gains = Vec::with_capacity(b.min(n));
-    let mut score = W::zero();
-    let mut covered_counts = vec![0u32; groups.len()];
-    let mut round = 0u32;
-
-    while users.len() < b {
-        let Some(top) = heap.pop() else { break };
-        if top.round != round {
-            // Stale upper bound: refresh and reinsert.
-            let gain = fresh_gain(top.user as usize, &cov_rem);
-            heap.push(HeapEntry {
-                gain,
-                user: top.user,
-                round,
-            });
-            continue;
-        }
-        // Fresh top entry: by submodularity it is the true argmax.
-        let uid = UserId(top.user);
-        score.add_assign(&top.gain);
-        gains.push(top.gain);
-        users.push(uid);
-        for &g in groups.groups_of(uid) {
-            let gi = g.index();
-            covered_counts[gi] += 1;
-            if cov_rem[gi] > 0 {
-                cov_rem[gi] -= 1;
-            }
-        }
-        round += 1;
-    }
-
-    Selection {
-        users,
-        gains,
-        score,
-        covered_counts,
-    }
+    crate::engine::lazy_once(inst, b, eligible)
 }
 
 #[cfg(test)]
@@ -135,13 +43,16 @@ mod tests {
     use super::*;
     use crate::greedy::greedy_select;
     use crate::group::GroupSet;
+    use crate::ids::UserId;
     use crate::weights::{CovScheme, WeightScheme};
 
     fn random_instance(seed: u64, users: usize, groups: usize) -> GroupSet {
         // Tiny deterministic LCG so this test needs no RNG dependency.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let memberships: Vec<Vec<UserId>> = (0..groups)
@@ -182,11 +93,7 @@ mod tests {
     fn identical_selection_under_unique_maxima() {
         let g = GroupSet::from_memberships(
             3,
-            vec![
-                vec![UserId(0)],
-                vec![UserId(0), UserId(1)],
-                vec![UserId(2)],
-            ],
+            vec![vec![UserId(0)], vec![UserId(0), UserId(1)], vec![UserId(2)]],
         );
         let inst = DiversificationInstance::new(&g, vec![4.0, 2.0, 3.0], vec![1; 3]);
         let eager = greedy_select(&inst, 2);
@@ -214,10 +121,8 @@ mod tests {
 
     #[test]
     fn eligibility_filter() {
-        let g = GroupSet::from_memberships(
-            3,
-            vec![vec![UserId(0)], vec![UserId(1)], vec![UserId(2)]],
-        );
+        let g =
+            GroupSet::from_memberships(3, vec![vec![UserId(0)], vec![UserId(1)], vec![UserId(2)]]);
         let inst = DiversificationInstance::new(&g, vec![9.0, 1.0, 2.0], vec![1; 3]);
         let sel = lazy_greedy_select_filtered(&inst, 1, Some(&[false, true, true]));
         assert_eq!(sel.users, vec![UserId(2)]);
@@ -225,10 +130,7 @@ mod tests {
 
     #[test]
     fn proportional_coverage() {
-        let g = GroupSet::from_memberships(
-            3,
-            vec![vec![UserId(0), UserId(1), UserId(2)]],
-        );
+        let g = GroupSet::from_memberships(3, vec![vec![UserId(0), UserId(1), UserId(2)]]);
         let inst = DiversificationInstance::new(&g, vec![1.0], vec![2]);
         let sel = lazy_greedy_select(&inst, 3);
         assert_eq!(sel.score, 2.0);

@@ -57,6 +57,7 @@
 
 pub mod bucket;
 pub mod customize;
+pub mod engine;
 pub mod error;
 pub mod exact;
 pub mod explain;
@@ -80,11 +81,10 @@ pub mod weights;
 pub mod prelude {
     pub use crate::bucket::{Bucket, BucketSet, BucketStrategy, BucketingConfig};
     pub use crate::customize::{custom_select, CustomSelection, Feedback};
+    pub use crate::engine::{CsrGraph, EngineVariant, SelectionEngine};
     pub use crate::error::{CoreError, Result};
     pub use crate::exact::exact_select;
-    pub use crate::explain::{
-        explain_group, explain_subset_group, explain_user, SelectionReport,
-    };
+    pub use crate::explain::{explain_group, explain_subset_group, explain_user, SelectionReport};
     pub use crate::greedy::{greedy_select, Selection};
     pub use crate::group::{GroupExpr, GroupSet, SimpleGroup};
     pub use crate::ids::{BucketIdx, GroupId, PropertyId, UserId};

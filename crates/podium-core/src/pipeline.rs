@@ -177,7 +177,12 @@ impl<'r> FittedPodium<'r> {
     }
 
     /// Builds the explanation report for a selection (§5 / Figure 2).
-    pub fn explain(&self, budget: usize, selection: &Selection<f64>, top_k: usize) -> SelectionReport {
+    pub fn explain(
+        &self,
+        budget: usize,
+        selection: &Selection<f64>,
+        top_k: usize,
+    ) -> SelectionReport {
         let inst = self.instance(budget);
         SelectionReport::build(&inst, self.repo, selection, top_k)
     }

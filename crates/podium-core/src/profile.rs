@@ -224,7 +224,9 @@ impl UserRepository {
 
     /// Borrows a user's profile.
     pub fn profile(&self, u: UserId) -> Result<&Profile> {
-        self.profiles.get(u.index()).ok_or(CoreError::UnknownUser(u))
+        self.profiles
+            .get(u.index())
+            .ok_or(CoreError::UnknownUser(u))
     }
 
     /// Iterates over all user ids.
@@ -257,8 +259,7 @@ impl UserRepository {
         if self.profiles.is_empty() {
             return 0.0;
         }
-        self.profiles.iter().map(Profile::len).sum::<usize>() as f64
-            / self.profiles.len() as f64
+        self.profiles.iter().map(Profile::len).sum::<usize>() as f64 / self.profiles.len() as f64
     }
 
     /// Largest profile size `max_u |P_u|` (appears in the complexity bound of
@@ -463,7 +464,7 @@ mod tests {
         let mut update = UserRepository::new();
         let ua = update.add_user("Alice"); // existing user, updated score
         let uc = update.add_user("Carol"); // new user
-        // Different interning order on purpose.
+                                           // Different interning order on purpose.
         let new_prop = update.intern_property("visitFreq Thai");
         let mex = update.intern_property("avgRating Mexican");
         update.set_score(ua, mex, 0.5).unwrap();

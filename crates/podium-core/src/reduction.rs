@@ -11,8 +11,8 @@
 //! both validates the construction and exercises the scoring machinery on
 //! adversarial instances.
 
-use crate::exact::exact_select;
 use crate::error::Result;
+use crate::exact::exact_select;
 use crate::group::GroupSet;
 use crate::ids::UserId;
 use crate::instance::DiversificationInstance;
@@ -135,11 +135,7 @@ mod tests {
         let min = sc.brute_force_min_cover().unwrap();
         assert_eq!(min, 2, "{{0,1,2}} + {{3,4,5}}");
         for k in 1..=4 {
-            assert_eq!(
-                sc.has_cover_of_size(k).unwrap(),
-                k >= min,
-                "k = {k}"
-            );
+            assert_eq!(sc.has_cover_of_size(k).unwrap(), k >= min, "k = {k}");
         }
     }
 

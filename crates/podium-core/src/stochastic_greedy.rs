@@ -13,7 +13,6 @@
 //! per-round work.
 
 use crate::greedy::Selection;
-use crate::ids::UserId;
 use crate::instance::DiversificationInstance;
 use crate::score::ScoreValue;
 
@@ -21,102 +20,15 @@ use crate::score::ScoreValue;
 ///
 /// Smaller `epsilon` means larger per-round samples (more work, better
 /// score). `epsilon = 0` degenerates to full scans (exact greedy behavior
-/// up to tie-breaking).
+/// up to tie-breaking). The sampling loop runs in [`crate::engine`] over
+/// CSR adjacency; the RNG stream and hence the selections are unchanged.
 pub fn stochastic_greedy_select<W: ScoreValue>(
     inst: &DiversificationInstance<'_, W>,
     b: usize,
     epsilon: f64,
     seed: u64,
 ) -> Selection<W> {
-    let groups = inst.groups();
-    let n = groups.user_count();
-    let b_eff = b.min(n);
-    if b_eff == 0 {
-        return Selection {
-            users: Vec::new(),
-            gains: Vec::new(),
-            score: W::zero(),
-            covered_counts: vec![0; groups.len()],
-        };
-    }
-
-    // Sample size per round: ⌈(n/B) · ln(1/ε)⌉, clamped to [1, n].
-    let sample_size = if epsilon <= 0.0 {
-        n
-    } else {
-        let s = (n as f64 / b_eff as f64) * (1.0 / epsilon).ln();
-        (s.ceil() as usize).clamp(1, n)
-    };
-
-    let mut cov_rem: Vec<u32> = groups.ids().map(|g| inst.cov(g)).collect();
-    let mut available: Vec<u32> = (0..n as u32).collect();
-    let mut rng_state = seed ^ 0x5851_F42D_4C95_7F2D;
-    let mut next_u64 = move || {
-        rng_state = rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = rng_state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    };
-
-    let gain_of = |u: u32, cov_rem: &[u32]| -> W {
-        let mut gain = W::zero();
-        for &g in groups.groups_of(UserId(u)) {
-            if cov_rem[g.index()] > 0 {
-                gain.add_assign(inst.weight(g));
-            }
-        }
-        gain
-    };
-
-    let mut users = Vec::with_capacity(b_eff);
-    let mut gains = Vec::with_capacity(b_eff);
-    let mut score = W::zero();
-    let mut covered_counts = vec![0u32; groups.len()];
-
-    for _ in 0..b_eff {
-        if available.is_empty() {
-            break;
-        }
-        // Partial Fisher–Yates: move a fresh random sample to the front.
-        let k = sample_size.min(available.len());
-        for i in 0..k {
-            let j = i + (next_u64() as usize) % (available.len() - i);
-            available.swap(i, j);
-        }
-        // Best of the sample.
-        let mut best_idx = 0usize;
-        let mut best_gain = gain_of(available[0], &cov_rem);
-        for (i, &u) in available.iter().enumerate().take(k).skip(1) {
-            let gain = gain_of(u, &cov_rem);
-            if gain
-                .partial_cmp(&best_gain)
-                .is_some_and(|o| o == std::cmp::Ordering::Greater)
-            {
-                best_gain = gain;
-                best_idx = i;
-            }
-        }
-        let u = available.swap_remove(best_idx);
-        let uid = UserId(u);
-        score.add_assign(&best_gain);
-        gains.push(best_gain);
-        users.push(uid);
-        for &g in groups.groups_of(uid) {
-            let gi = g.index();
-            covered_counts[gi] += 1;
-            if cov_rem[gi] > 0 {
-                cov_rem[gi] -= 1;
-            }
-        }
-    }
-
-    Selection {
-        users,
-        gains,
-        score,
-        covered_counts,
-    }
+    crate::engine::stochastic_once(inst, b, epsilon, seed)
 }
 
 #[cfg(test)]
@@ -124,19 +36,25 @@ mod tests {
     use super::*;
     use crate::greedy::greedy_select;
     use crate::group::GroupSet;
+    use crate::ids::UserId;
     use crate::weights::{CovScheme, WeightScheme};
 
     fn random_instance(seed: u64, users: usize, groups: usize) -> GroupSet {
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let mut next = move || {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             (state >> 33) as usize
         };
         let memberships: Vec<Vec<UserId>> = (0..groups)
             .map(|_| {
                 let size = 1 + next() % (users / 2 + 1);
-                let mut m: Vec<UserId> =
-                    (0..size).map(|_| UserId::from_index(next() % users)).collect();
+                let mut m: Vec<UserId> = (0..size)
+                    .map(|_| UserId::from_index(next() % users))
+                    .collect();
                 m.sort();
                 m.dedup();
                 m

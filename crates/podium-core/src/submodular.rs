@@ -48,9 +48,7 @@ pub fn check_submodular_witness<W: ScoreValue>(
 
 /// Exhaustively checks submodularity over *all* `(U ⊆ U', u)` triples of a
 /// small instance. Exponential — intended for instances with ≤ ~12 users.
-pub fn check_submodular_exhaustive<W: ScoreValue>(
-    inst: &DiversificationInstance<'_, W>,
-) -> bool {
+pub fn check_submodular_exhaustive<W: ScoreValue>(inst: &DiversificationInstance<'_, W>) -> bool {
     let n = inst.user_count();
     assert!(n <= 16, "exhaustive check limited to small instances");
     let users: Vec<UserId> = (0..n).map(UserId::from_index).collect();

@@ -27,9 +27,7 @@ impl WeightScheme {
     pub fn weights(self, groups: &GroupSet) -> Vec<f64> {
         match self {
             WeightScheme::Identical => vec![1.0; groups.len()],
-            WeightScheme::LinearBySize => {
-                groups.iter().map(|(_, g)| g.size() as f64).collect()
-            }
+            WeightScheme::LinearBySize => groups.iter().map(|(_, g)| g.size() as f64).collect(),
         }
     }
 }
@@ -180,7 +178,7 @@ mod tests {
     #[test]
     fn proportional_cov_follows_definition() {
         let g = three_groups(); // |U| = 4, sizes 2,1,3
-        // B=4: floor(4*2/4)=2, floor(4*1/4)=1, floor(4*3/4)=3
+                                // B=4: floor(4*2/4)=2, floor(4*1/4)=1, floor(4*3/4)=3
         assert_eq!(CovScheme::Proportional.cov(&g, 4), vec![2, 1, 3]);
         // B=2: floor(2*2/4)=1, floor(2*1/4)=0 -> clamped to 1, floor(2*3/4)=1
         assert_eq!(CovScheme::Proportional.cov(&g, 2), vec![1, 1, 1]);

@@ -190,8 +190,7 @@ mod tests {
     #[test]
     fn scope_restricts_groups() {
         let repo = crate::table2::table2();
-        let buckets =
-            podium_core::bucket::BucketingConfig::paper_default().bucketize(&repo);
+        let buckets = podium_core::bucket::BucketingConfig::paper_default().bucketize(&repo);
         let cfg = SelectionConfig::from_json(SUMMER_PAVILION).unwrap();
         let resolved = cfg.resolve(&repo, &buckets).unwrap();
         // Only the Mexican-related properties form groups: avgRating (2
@@ -206,8 +205,7 @@ mod tests {
     #[test]
     fn resolved_config_drives_selection() {
         let repo = crate::table2::table2();
-        let buckets =
-            podium_core::bucket::BucketingConfig::paper_default().bucketize(&repo);
+        let buckets = podium_core::bucket::BucketingConfig::paper_default().bucketize(&repo);
         let cfg = SelectionConfig::from_json(SUMMER_PAVILION).unwrap();
         let resolved = cfg.resolve(&repo, &buckets).unwrap();
         let base = resolved.weights.weights(&resolved.groups);
@@ -233,8 +231,7 @@ mod tests {
     fn bad_inputs_are_errors() {
         assert!(SelectionConfig::from_json("{}").is_err(), "title required");
         let repo = crate::table2::table2();
-        let buckets =
-            podium_core::bucket::BucketingConfig::paper_default().bucketize(&repo);
+        let buckets = podium_core::bucket::BucketingConfig::paper_default().bucketize(&repo);
         let mut cfg = SelectionConfig::from_json(SUMMER_PAVILION).unwrap();
         cfg.weights = "nope".into();
         assert!(cfg.resolve(&repo, &buckets).is_err());
@@ -251,8 +248,7 @@ mod tests {
     #[test]
     fn empty_scope_means_all_properties() {
         let repo = crate::table2::table2();
-        let buckets =
-            podium_core::bucket::BucketingConfig::paper_default().bucketize(&repo);
+        let buckets = podium_core::bucket::BucketingConfig::paper_default().bucketize(&repo);
         let cfg = SelectionConfig::from_json(r#"{ "title": "all" }"#).unwrap();
         let resolved = cfg.resolve(&repo, &buckets).unwrap();
         assert_eq!(resolved.groups.len(), 16);

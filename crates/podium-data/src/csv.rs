@@ -123,7 +123,10 @@ fn quote(field: &str) -> String {
 
 /// Parses a repository from CSV text.
 pub fn profiles_from_csv(text: &str) -> Result<UserRepository, CsvError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (hline, header) = lines.next().ok_or(CsvError::Malformed {
         line: 1,
         message: "missing header row".into(),
@@ -146,11 +149,7 @@ pub fn profiles_from_csv(text: &str) -> Result<UserRepository, CsvError> {
         if fields.len() != header.len() {
             return Err(CsvError::Malformed {
                 line: line_no,
-                message: format!(
-                    "expected {} fields, found {}",
-                    header.len(),
-                    fields.len()
-                ),
+                message: format!("expected {} fields, found {}", header.len(), fields.len()),
             });
         }
         let u = repo.add_user(&fields[0]);
@@ -164,11 +163,12 @@ pub fn profiles_from_csv(text: &str) -> Result<UserRepository, CsvError> {
                 property: repo.property_label(p).unwrap_or("?").to_owned(),
                 cell: cell.to_owned(),
             })?;
-            repo.set_score(u, p, score).map_err(|_| CsvError::BadScore {
-                line: line_no,
-                property: repo.property_label(p).unwrap_or("?").to_owned(),
-                cell: cell.to_owned(),
-            })?;
+            repo.set_score(u, p, score)
+                .map_err(|_| CsvError::BadScore {
+                    line: line_no,
+                    property: repo.property_label(p).unwrap_or("?").to_owned(),
+                    cell: cell.to_owned(),
+                })?;
         }
     }
     Ok(repo)

@@ -177,8 +177,7 @@ pub fn derive_properties(
             }
             if options.kinds.visit_freq {
                 let p = repo.intern_property(format!("visitFreq {cat_name}"));
-                let score =
-                    (f64::from(acc.visits) / f64::from(totals[u].visits)).clamp(0.0, 1.0);
+                let score = (f64::from(acc.visits) / f64::from(totals[u].visits)).clamp(0.0, 1.0);
                 repo.set_score(uid, p, score).expect("score in [0,1]");
             }
             if options.kinds.enthusiasm && total_points > 0.0 {
@@ -196,8 +195,7 @@ pub fn derive_properties(
                 }
                 let cat_name = taxonomy.name(*cat);
                 let p = repo.intern_property(format!("visitFreq {cat_name}@city{city}"));
-                let score =
-                    (f64::from(visits) / f64::from(totals[u].visits)).clamp(0.0, 1.0);
+                let score = (f64::from(visits) / f64::from(totals[u].visits)).clamp(0.0, 1.0);
                 repo.set_score(uid, p, score).expect("score in [0,1]");
             }
         }

@@ -61,10 +61,7 @@ pub fn profiles_to_json(repo: &UserRepository) -> std::result::Result<String, Js
     for (u, profile) in repo.iter() {
         let mut properties = BTreeMap::new();
         for (p, s) in profile.iter() {
-            let label = repo
-                .property_label(p)
-                .map_err(JsonError::Core)?
-                .to_owned();
+            let label = repo.property_label(p).map_err(JsonError::Core)?.to_owned();
             properties.insert(label, s);
         }
         doc.users.push(JsonUser {
@@ -217,7 +214,9 @@ mod tests {
 
     #[test]
     fn corpus_roundtrip() {
-        use crate::reviews::{Destination, DestinationId, Review, ReviewCorpus, Sentiment, TopicId};
+        use crate::reviews::{
+            Destination, DestinationId, Review, ReviewCorpus, Sentiment, TopicId,
+        };
         use crate::taxonomy::CategoryId;
         use podium_core::ids::UserId;
         let corpus = ReviewCorpus {

@@ -41,7 +41,7 @@ pub mod taxonomy;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::config::{SelectionConfig, ResolvedConfig};
+    pub use crate::config::{ResolvedConfig, SelectionConfig};
     pub use crate::csv::{profiles_from_csv, profiles_to_csv};
     pub use crate::derive::{DeriveOptions, PropertyKinds};
     pub use crate::inference::{InferenceEngine, Rule};

@@ -46,8 +46,8 @@ pub fn holdout_split(dataset: &SynthDataset, count: usize, min_reviews: usize) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::synth::SynthConfig;
     use crate::derive::DeriveOptions;
+    use crate::synth::SynthConfig;
 
     fn dataset() -> SynthDataset {
         SynthConfig {
@@ -111,11 +111,7 @@ mod tests {
     fn selection_profiles_shrink() {
         let d = dataset();
         let split = holdout_split(&d, 10, 1);
-        let full: usize = d
-            .repo
-            .iter()
-            .map(|(_, p)| p.len())
-            .sum();
+        let full: usize = d.repo.iter().map(|(_, p)| p.len()).sum();
         let held: usize = split.selection_repo.iter().map(|(_, p)| p.len()).sum();
         assert!(held < full);
         assert_eq!(split.selection_repo.user_count(), d.repo.user_count());

@@ -21,7 +21,6 @@
 //! assert!((score - 0.7568).abs() < 1e-3);
 //! ```
 
-
 /// Computes CD-sim between a subset distribution and a population
 /// distribution over the same discrete domain.
 ///

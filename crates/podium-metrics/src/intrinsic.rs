@@ -238,10 +238,7 @@ mod tests {
         // Two disjoint groups: no intersections at threshold 2.
         let groups = GroupSet::from_memberships(
             4,
-            vec![
-                vec![UserId(0), UserId(1)],
-                vec![UserId(2), UserId(3)],
-            ],
+            vec![vec![UserId(0), UserId(1)], vec![UserId(2), UserId(3)]],
         );
         assert_eq!(intersected_coverage(&groups, &[UserId(0)], 2), 1.0);
     }
@@ -251,7 +248,10 @@ mod tests {
         let (_, groups) = table2_groups();
         let everyone: Vec<UserId> = (0..5).map(UserId::from_index).collect();
         let d = distribution_similarity(&groups, &everyone, 20);
-        assert!((d - 1.0).abs() < 1e-12, "full selection matches exactly: {d}");
+        assert!(
+            (d - 1.0).abs() < 1e-12,
+            "full selection matches exactly: {d}"
+        );
     }
 
     #[test]

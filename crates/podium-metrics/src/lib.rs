@@ -26,8 +26,8 @@ pub mod intrinsic;
 pub mod opinion;
 pub mod overlap;
 pub mod proportionate;
-pub mod significance;
 pub mod report;
+pub mod significance;
 
 /// Commonly used items.
 pub mod prelude {
@@ -38,6 +38,6 @@ pub mod prelude {
     pub use crate::opinion::{evaluate_destination, OpinionMetrics};
     pub use crate::overlap::{overlap_stats, OverlapStats};
     pub use crate::proportionate::{is_proportionate, mean_allocation_error};
-    pub use crate::significance::{paired_bootstrap, BootstrapResult};
     pub use crate::report::ComparisonTable;
+    pub use crate::significance::{paired_bootstrap, BootstrapResult};
 }

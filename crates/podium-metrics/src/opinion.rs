@@ -198,7 +198,10 @@ mod tests {
         // topic0: pos+neg; topic1: pos only -> 3 of 4 points.
         assert!((topic_sentiment_coverage(&all, &c.destinations[0].topics) - 0.75).abs() < 1e-12);
         let none: Vec<&Review> = vec![];
-        assert_eq!(topic_sentiment_coverage(&none, &c.destinations[0].topics), 0.0);
+        assert_eq!(
+            topic_sentiment_coverage(&none, &c.destinations[0].topics),
+            0.0
+        );
         assert_eq!(topic_sentiment_coverage(&all, &[]), 0.0);
     }
 

@@ -60,10 +60,8 @@ mod tests {
 
     #[test]
     fn full_selection_is_proportionate() {
-        let groups = GroupSet::from_memberships(
-            4,
-            vec![vec![UserId(0), UserId(1)], vec![UserId(2)]],
-        );
+        let groups =
+            GroupSet::from_memberships(4, vec![vec![UserId(0), UserId(1)], vec![UserId(2)]]);
         let everyone: Vec<UserId> = (0..4).map(UserId::from_index).collect();
         assert!(is_proportionate(&groups, &everyone, 1e-12));
         assert_eq!(mean_allocation_error(&groups, &everyone), 0.0);
@@ -74,17 +72,12 @@ mod tests {
         // Groups {0,1} and {2,3}; selecting one from each is proportionate.
         let groups = GroupSet::from_memberships(
             4,
-            vec![
-                vec![UserId(0), UserId(1)],
-                vec![UserId(2), UserId(3)],
-            ],
+            vec![vec![UserId(0), UserId(1)], vec![UserId(2), UserId(3)]],
         );
         assert!(is_proportionate(&groups, &[UserId(0), UserId(2)], 1e-12));
         // Both from one half: each group off by 1/2 - ... = |1 - 0.5| = 0.5.
         assert!(!is_proportionate(&groups, &[UserId(0), UserId(1)], 1e-12));
-        assert!(
-            (mean_allocation_error(&groups, &[UserId(0), UserId(1)]) - 0.5).abs() < 1e-12
-        );
+        assert!((mean_allocation_error(&groups, &[UserId(0), UserId(1)]) - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -94,10 +87,7 @@ mod tests {
         // For |U| = 1 the shares 2/3 cannot be matched by 0-or-1 counts.
         let groups = GroupSet::from_memberships(
             3,
-            vec![
-                vec![UserId(0), UserId(1)],
-                vec![UserId(0), UserId(2)],
-            ],
+            vec![vec![UserId(0), UserId(1)], vec![UserId(0), UserId(2)]],
         );
         for u in 0..3 {
             assert!(!is_proportionate(&groups, &[UserId(u)], 1e-9), "u={u}");

@@ -17,7 +17,6 @@
 //! assert!(r.mean_diff > 0.2);
 //! ```
 
-
 /// Result of a paired bootstrap comparison of `a` vs `b`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BootstrapResult {
@@ -133,7 +132,9 @@ mod tests {
     #[test]
     fn noisy_tie_is_not_significant() {
         // Alternating ±0.1 differences: mean 0, high variance.
-        let a: Vec<f64> = (0..40).map(|i| 0.5 + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        let a: Vec<f64> = (0..40)
+            .map(|i| 0.5 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
         let b = vec![0.5; 40];
         let r = paired_bootstrap(&a, &b, 0.95, 2000, 3);
         assert!(!r.significant(), "{r:?}");

@@ -8,11 +8,7 @@ use podium::core::greedy::greedy_select;
 use podium::core::incremental::IncrementalGroups;
 use podium::prelude::*;
 
-fn select_names(
-    repo: &UserRepository,
-    groups: &GroupSet,
-    budget: usize,
-) -> (Vec<String>, f64) {
+fn select_names(repo: &UserRepository, groups: &GroupSet, budget: usize) -> (Vec<String>, f64) {
     let inst = DiversificationInstance::from_schemes(
         groups,
         WeightScheme::LinearBySize,
@@ -80,7 +76,11 @@ fn main() {
                 .unwrap_or_else(|_| format!("user{}", u.0))
         })
         .collect();
-    println!("t2 selection (B=3): {{{}}} (score {})", names.join(", "), sel.score);
+    println!(
+        "t2 selection (B=3): {{{}}} (score {})",
+        names.join(", "),
+        sel.score
+    );
 
     // Sanity: the incremental snapshot equals a from-scratch rebuild.
     // (Property-tested in the suite; asserted here on the final state.)

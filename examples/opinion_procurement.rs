@@ -69,9 +69,7 @@ fn main() {
     );
     println!(
         "{:<22} {:>8.3} {:>8.3}",
-        "rating dist. sim.",
-        pm.rating_distribution_similarity,
-        rm.rating_distribution_similarity
+        "rating dist. sim.", pm.rating_distribution_similarity, rm.rating_distribution_similarity
     );
     println!(
         "{:<22} {:>8.3} {:>8.3}",

@@ -25,7 +25,11 @@ fn main() {
         .iter()
         .map(|&u| repo.user_name(u).unwrap())
         .collect();
-    println!("round 1 selection: {{{}}} (score {})", names.join(", "), sel.score);
+    println!(
+        "round 1 selection: {{{}}} (score {})",
+        names.join(", "),
+        sel.score
+    );
 
     // The client expected Bob. Why not Bob?
     let inst = fitted.instance(2);
@@ -95,6 +99,9 @@ fn main() {
             .collect();
         // Evaluate under the *unperturbed* objective for comparability.
         let eval = fitted.instance(2).score_of(&alt.users);
-        println!("  seed {seed}: {{{}}} (unperturbed score {eval})", names.join(", "));
+        println!(
+            "  seed {seed}: {{{}}} (unperturbed score {eval})",
+            names.join(", ")
+        );
     }
 }

@@ -248,14 +248,14 @@ pub fn run(
                     out,
                     "configuration: {} — {}",
                     cfg.title,
-                    if cfg.description.is_empty() { "(no description)" } else { &cfg.description }
+                    if cfg.description.is_empty() {
+                        "(no description)"
+                    } else {
+                        &cfg.description
+                    }
                 );
                 if !cfg.include_properties.is_empty() {
-                    let _ = writeln!(
-                        out,
-                        "property scope: {}",
-                        cfg.include_properties.join(", ")
-                    );
+                    let _ = writeln!(out, "property scope: {}", cfg.include_properties.join(", "));
                 }
                 eff.config_scope = cfg.include_properties.clone();
             }
@@ -270,7 +270,10 @@ pub fn run(
                 "prop" => CovScheme::Proportional,
                 other => return Err(format!("unknown coverage scheme '{other}'")),
             };
-            let mut pipeline = Podium::new().bucketing(bucketing).weights(weight).coverage(cov);
+            let mut pipeline = Podium::new()
+                .bucketing(bucketing)
+                .weights(weight)
+                .coverage(cov);
             if let Some(seed) = args.seed {
                 pipeline = pipeline.random_ties(seed);
             }
@@ -508,8 +511,10 @@ mod tests {
             "budget": 2,
             "must_have": ["avgRating Mexican"]
         }"#;
-        let a = parse_args(&argv("select --profiles x.json --strategy paper --config c.json"))
-            .unwrap();
+        let a = parse_args(&argv(
+            "select --profiles x.json --strategy paper --config c.json",
+        ))
+        .unwrap();
         assert_eq!(a.config.as_deref(), Some("c.json"));
         let out = run(&a, SAMPLE, Some(config)).unwrap();
         assert!(out.contains("configuration: Mexican focus"), "{out}");
@@ -531,7 +536,15 @@ mod tests {
 
     #[test]
     fn bucketing_names_resolve() {
-        for s in ["paper", "equal-width", "quantile", "jenks", "kmeans", "kde", "em"] {
+        for s in [
+            "paper",
+            "equal-width",
+            "quantile",
+            "jenks",
+            "kmeans",
+            "kde",
+            "em",
+        ] {
             let args = CliArgs {
                 command: "stats".into(),
                 profiles: "x".into(),

@@ -39,8 +39,16 @@ fn help_exits_0() {
 #[test]
 fn stats_runs_against_file() {
     let profiles = write_temp("stats.json", PROFILES);
-    let out = bin().args(["stats", "--profiles"]).arg(&profiles).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["stats", "--profiles"])
+        .arg(&profiles)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("users:              3"), "{text}");
 }
@@ -49,12 +57,23 @@ fn stats_runs_against_file() {
 fn select_with_flags_and_spaces_in_labels() {
     let profiles = write_temp("select.json", PROFILES);
     let out = bin()
-        .args(["select", "--strategy", "paper", "--budget", "2", "--profiles"])
+        .args([
+            "select",
+            "--strategy",
+            "paper",
+            "--budget",
+            "2",
+            "--profiles",
+        ])
         .arg(&profiles)
         .args(["--must-have", "avgRating Mexican"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("selected 2 users"), "{text}");
 }
@@ -63,13 +82,20 @@ fn select_with_flags_and_spaces_in_labels() {
 fn json_output_parses() {
     let profiles = write_temp("json.json", PROFILES);
     let out = bin()
-        .args(["select", "--strategy", "paper", "--budget", "2", "--json", "--profiles"])
+        .args([
+            "select",
+            "--strategy",
+            "paper",
+            "--budget",
+            "2",
+            "--json",
+            "--profiles",
+        ])
         .arg(&profiles)
         .output()
         .unwrap();
     assert!(out.status.success());
-    let v: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("stdout is valid JSON");
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("stdout is valid JSON");
     assert_eq!(v["users"].as_array().unwrap().len(), 2);
 }
 
@@ -87,7 +113,11 @@ fn config_file_applies() {
         .arg(&config)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("configuration: Mexican focus"), "{text}");
 }
@@ -105,7 +135,11 @@ fn missing_file_exits_1_with_message() {
 #[test]
 fn malformed_profiles_exit_1() {
     let profiles = write_temp("bad.json", "{ not json");
-    let out = bin().args(["stats", "--profiles"]).arg(&profiles).output().unwrap();
+    let out = bin()
+        .args(["stats", "--profiles"])
+        .arg(&profiles)
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
 }

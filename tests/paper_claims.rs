@@ -84,7 +84,10 @@ fn podium_leads_intrinsic_metrics() {
 fn diverse_profiles_give_diverse_opinions() {
     let dataset = podium::data::synth::yelp(0.006, 2020).generate();
     let split = holdout_split(&dataset, 12, 6);
-    assert!(split.eval_destinations.len() >= 8, "enough eval destinations");
+    assert!(
+        split.eval_destinations.len() >= 8,
+        "enough eval destinations"
+    );
 
     let run = |selector: &dyn Selector| -> OpinionMetrics {
         let per_dest: Vec<OpinionMetrics> = split
@@ -97,8 +100,7 @@ fn diverse_profiles_give_diverse_opinions() {
                 reviewers.dedup();
                 let pool = split.selection_repo.restrict(&reviewers);
                 let local = selector.select(&pool, 8);
-                let global: Vec<UserId> =
-                    local.iter().map(|u| reviewers[u.index()]).collect();
+                let global: Vec<UserId> = local.iter().map(|u| reviewers[u.index()]).collect();
                 evaluate_destination(&dataset.corpus, d, &global)
             })
             .collect();
@@ -124,11 +126,7 @@ fn podium_bench_free_podium() -> impl Selector {
         fn name(&self) -> &str {
             "Podium"
         }
-        fn select(
-            &self,
-            repo: &podium::core::profile::UserRepository,
-            b: usize,
-        ) -> Vec<UserId> {
+        fn select(&self, repo: &podium::core::profile::UserRepository, b: usize) -> Vec<UserId> {
             Podium::new().fit(repo).select(b).users
         }
     }

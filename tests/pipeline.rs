@@ -2,11 +2,11 @@
 //! bucket → group → select → explain → customize → evaluate.
 
 use podium::baselines::prelude::*;
+use podium::core::customize::{custom_select, Feedback};
 use podium::core::explain::SelectionReport;
 use podium::core::greedy::greedy_select;
-use podium::core::customize::{custom_select, Feedback};
-use podium::data::synth::SynthConfig;
 use podium::data::derive::DeriveOptions;
+use podium::data::synth::SynthConfig;
 use podium::metrics::intrinsic::IntrinsicMetrics;
 use podium::metrics::opinion::evaluate_destination;
 use podium::prelude::*;
@@ -53,11 +53,19 @@ fn full_pipeline_runs_and_is_consistent() {
     );
     let sel = greedy_select(&inst, 8);
     assert_eq!(sel.users.len(), 8);
-    assert_eq!(sel.score, inst.score_of(&sel.users), "reported = recomputed");
+    assert_eq!(
+        sel.score,
+        inst.score_of(&sel.users),
+        "reported = recomputed"
+    );
 
     // Greedy gains are non-increasing (submodularity in action).
     for w in sel.gains.windows(2) {
-        assert!(w[0] >= w[1] - 1e-9, "gains must be non-increasing: {:?}", sel.gains);
+        assert!(
+            w[0] >= w[1] - 1e-9,
+            "gains must be non-increasing: {:?}",
+            sel.gains
+        );
     }
 
     // Explanations cover every selected user and every group.
@@ -233,5 +241,9 @@ fn inference_rules_integrate_with_selection() {
     // Inferred falsehoods (score 0) must NOT create spurious memberships.
     let tokyo = repo.property_id("livesIn Tokyo").unwrap();
     let tg = groups.groups_of_property(tokyo);
-    assert_eq!(groups.group(tg[0]).unwrap().size(), 2, "still only residents");
+    assert_eq!(
+        groups.group(tg[0]).unwrap().size(),
+        2,
+        "still only residents"
+    );
 }

@@ -2,9 +2,9 @@
 //! selector, on any repository, must return within-budget, duplicate-free,
 //! in-range user sets — and must be deterministic for a fixed seed.
 
+use podium::baselines::prelude::*;
 use podium::baselines::selector::check_selection;
 use podium::baselines::stratified::Strata;
-use podium::baselines::prelude::*;
 use podium::core::bucket::BucketSet;
 use podium::prelude::*;
 use proptest::prelude::*;

@@ -1,0 +1,334 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Measures real wall-clock time with `std::time::Instant` and reports both
+//! a human-readable summary on stdout and machine-readable JSON lines, so
+//! per-PR performance trajectories stay comparable. Results append to
+//! `$PODIUM_BENCH_OUT` if set, otherwise to
+//! `<target>/podium-bench/results.jsonl` next to the bench executable.
+//!
+//! The measurement protocol is simpler than upstream criterion (no outlier
+//! rejection or bootstrap): per benchmark it warms up briefly, then records
+//! `sample_size` samples (time-capped), each sample timing a small batch of
+//! iterations, and reports the mean and minimum per-iteration time.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export for call sites using `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (stub of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: std::marker::PhantomData,
+            name: name.into(),
+            sample_size: self.sample_size,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(None, &id.into(), self.sample_size, f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(Some(&self.name), &id.into(), self.sample_size, f);
+    }
+
+    /// Runs one parameterized benchmark; the input is passed through to the
+    /// closure (matching criterion's signature — the parameter is already
+    /// captured in the `BenchmarkId`).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(Some(&self.name), &id.into(), self.sample_size, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark, optionally carrying a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id parameterized only by a value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: name.to_owned(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: name,
+            parameter: None,
+        }
+    }
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Passed to benchmark closures; records timing for the measured routine.
+pub struct Bencher {
+    /// Per-sample mean nanoseconds per iteration.
+    samples_ns: Vec<f64>,
+    target_samples: usize,
+}
+
+/// Per-sample iteration count: keep batches short so a full run stays fast
+/// while amortizing the `Instant` overhead for sub-microsecond routines.
+fn batch_iters(estimate_ns: f64) -> u32 {
+    if estimate_ns <= 0.0 {
+        return 10;
+    }
+    // Aim for ~2ms per sample, capped.
+    ((2_000_000.0 / estimate_ns).ceil() as u64).clamp(1, 10_000) as u32
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up & batch-size estimate from one untimed call.
+        let start = Instant::now();
+        black_box(routine());
+        let estimate = start.elapsed().as_secs_f64() * 1e9;
+        let iters = batch_iters(estimate);
+        let budget = Duration::from_millis(300);
+        let run_start = Instant::now();
+        for _ in 0..self.target_samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(iters);
+            self.samples_ns.push(ns);
+            if run_start.elapsed() > budget && self.samples_ns.len() >= 2 {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let estimate = start.elapsed().as_secs_f64() * 1e9;
+        let iters = batch_iters(estimate);
+        let budget = Duration::from_millis(300);
+        let run_start = Instant::now();
+        for _ in 0..self.target_samples {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(iters);
+            self.samples_ns.push(ns);
+            if run_start.elapsed() > budget && self.samples_ns.len() >= 2 {
+                break;
+            }
+        }
+    }
+}
+
+fn results_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("PODIUM_BENCH_OUT") {
+        return p.into();
+    }
+    // Walk up from the bench executable to the `target` dir.
+    if let Ok(exe) = std::env::current_exe() {
+        for anc in exe.ancestors() {
+            if anc.file_name().map(|n| n == "target").unwrap_or(false) {
+                return anc.join("podium-bench").join("results.jsonl");
+            }
+        }
+    }
+    "podium-bench-results.jsonl".into()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_benchmark<F>(group: Option<&str>, id: &BenchmarkId, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples_ns: Vec::new(),
+        target_samples: samples,
+    };
+    f(&mut bencher);
+    if bencher.samples_ns.is_empty() {
+        return;
+    }
+    let n = bencher.samples_ns.len() as f64;
+    let mean = bencher.samples_ns.iter().sum::<f64>() / n;
+    let min = bencher
+        .samples_ns
+        .iter()
+        .fold(f64::INFINITY, |a, &b| a.min(b));
+
+    let full_name = match group {
+        Some(g) => format!("{g}/{}", id.label()),
+        None => id.label(),
+    };
+    println!(
+        "bench {full_name:<48} mean {:>12}   min {:>12}   ({} samples)",
+        format_ns(mean),
+        format_ns(min),
+        bencher.samples_ns.len()
+    );
+
+    let path = results_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let line = format!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\"samples\":{}}}\n",
+        json_escape(group.unwrap_or("")),
+        json_escape(&id.label()),
+        bencher.samples_ns.len()
+    );
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = file.write_all(line.as_bytes());
+    }
+}
+
+/// Defines a benchmark-group entry point (stub of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,493 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! minimal serde-compatible facade: the same `Serialize` / `Deserialize`
+//! trait names and derive macros, backed by a single in-memory JSON value
+//! model ([`value::Value`]) instead of serde's visitor architecture. The
+//! sibling `serde_json` stub parses/prints that model, so every call site in
+//! the workspace (`#[derive(Serialize, Deserialize)]`, `serde_json::to_string*`,
+//! `serde_json::from_str`, `serde_json::Value`) works unchanged.
+//!
+//! Supported derive attributes (the only ones the workspace uses):
+//! `#[serde(transparent)]`, `#[serde(skip)]`, `#[serde(default)]`,
+//! `#[serde(default = "path")]`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The JSON data model shared by the `serde` and `serde_json` stubs.
+
+    /// A parsed/buildable JSON value (re-exported as `serde_json::Value`).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null`.
+        Null,
+        /// JSON boolean.
+        Bool(bool),
+        /// JSON number.
+        Number(Number),
+        /// JSON string.
+        String(String),
+        /// JSON array.
+        Array(Vec<Value>),
+        /// JSON object; insertion order is preserved.
+        Object(Vec<(String, Value)>),
+    }
+
+    /// A JSON number, keeping the integer/float distinction for faithful
+    /// round-trips.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub enum Number {
+        /// Non-negative integer.
+        PosInt(u64),
+        /// Negative integer.
+        NegInt(i64),
+        /// Floating-point number.
+        Float(f64),
+    }
+
+    impl Number {
+        /// The number as an `f64` (lossy for very large integers).
+        pub fn as_f64(self) -> f64 {
+            match self {
+                Number::PosInt(n) => n as f64,
+                Number::NegInt(n) => n as f64,
+                Number::Float(f) => f,
+            }
+        }
+
+        /// The number as a `u64`, if it is a non-negative integer.
+        pub fn as_u64(self) -> Option<u64> {
+            match self {
+                Number::PosInt(n) => Some(n),
+                Number::NegInt(_) => None,
+                Number::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                    Some(f as u64)
+                }
+                Number::Float(_) => None,
+            }
+        }
+
+        /// The number as an `i64`, if it fits.
+        pub fn as_i64(self) -> Option<i64> {
+            match self {
+                Number::PosInt(n) => i64::try_from(n).ok(),
+                Number::NegInt(n) => Some(n),
+                Number::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => {
+                    Some(f as i64)
+                }
+                Number::Float(_) => None,
+            }
+        }
+    }
+
+    static NULL: Value = Value::Null;
+
+    impl Value {
+        /// Member lookup on objects; `None` for other value kinds.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The value as an array, if it is one.
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// The value as object key/value pairs, if it is an object.
+        pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+            match self {
+                Value::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        /// The value as a string slice, if it is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as an `f64`, if it is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(n.as_f64()),
+                _ => None,
+            }
+        }
+
+        /// The value as a `u64`, if it is a non-negative integer.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Number(n) => n.as_u64(),
+                _ => None,
+            }
+        }
+
+        /// The value as an `i64`, if it is an integer.
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Number(n) => n.as_i64(),
+                _ => None,
+            }
+        }
+
+        /// The value as a boolean, if it is one.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// Whether the value is `null`.
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+
+        /// Whether the value is an array.
+        pub fn is_array(&self) -> bool {
+            matches!(self, Value::Array(_))
+        }
+
+        /// Whether the value is an object.
+        pub fn is_object(&self) -> bool {
+            matches!(self, Value::Object(_))
+        }
+
+        /// Whether the value is a string.
+        pub fn is_string(&self) -> bool {
+            matches!(self, Value::String(_))
+        }
+    }
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+        fn index(&self, key: &str) -> &Value {
+            self.get(key).unwrap_or(&NULL)
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+        fn index(&self, idx: usize) -> &Value {
+            match self {
+                Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+                _ => &NULL,
+            }
+        }
+    }
+}
+
+use value::{Number, Value};
+
+/// A value that can be converted into the JSON data model.
+pub trait Serialize {
+    /// Builds the JSON value representing `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+/// A value that can be reconstructed from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a JSON value.
+    fn from_json_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// A deserialization error with a human-readable message.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// An "expected X" error mentioning the offending value kind.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        DeError(format!("expected {what}, found {kind}"))
+    }
+
+    /// A "missing field" error.
+    pub fn missing_field(name: &str) -> Self {
+        DeError(format!("missing field `{name}`"))
+    }
+
+    /// An "unknown variant" error.
+    pub fn unknown_variant(name: &str) -> Self {
+        DeError(format!("unknown variant `{name}`"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| DeError::expected("unsigned integer", v))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::Number(Number::PosInt(n as u64))
+                } else {
+                    Value::Number(Number::NegInt(n))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| DeError::expected("integer", v))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::Float(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| DeError::expected("number", v))
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("boolean", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", v))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object", v))?
+            .iter()
+            .map(|(k, x)| Ok((k.clone(), V::from_json_value(x)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn to_json_value(&self) -> Value {
+        // Sort keys so serialization is deterministic regardless of hasher.
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object", v))?
+            .iter()
+            .map(|(k, x)| Ok((k.clone(), V::from_json_value(x)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+                let mut it = arr.iter();
+                Ok(($(
+                    $name::from_json_value(
+                        it.next().ok_or_else(|| DeError(format!(
+                            "tuple needs more than {} elements", arr.len()
+                        )))?,
+                    )?,
+                )+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_json_value(&42u32.to_json_value()).unwrap(), 42);
+        assert_eq!(
+            String::from_json_value(&"hi".to_string().to_json_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<f64>::from_json_value(&Value::Null).unwrap(),
+            None::<f64>
+        );
+    }
+
+    #[test]
+    fn index_missing_is_null() {
+        let v = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        assert!(v["missing"].is_null());
+        assert_eq!(v["a"].as_bool(), Some(true));
+    }
+}

@@ -1,0 +1,622 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` without syn
+//! or quote: the input item is tokenized with `proc_macro` alone, a small
+//! recursive parser extracts the shape (struct fields / enum variants plus
+//! the `#[serde(...)]` attributes the workspace uses), and the impl is
+//! emitted as a formatted string parsed back into a `TokenStream`.
+//!
+//! Supported attributes: `#[serde(transparent)]` (container),
+//! `#[serde(skip)]`, `#[serde(default)]`, `#[serde(default = "path")]`
+//! (fields). Enums use the externally-tagged JSON representation, matching
+//! real serde's default.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    /// `Some(None)` = `#[serde(default)]`, `Some(Some(path))` = `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<FieldAttrs>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// Generic parameter list with bounds kept, defaults stripped: `<'a, T: Clone>`.
+    impl_generics: String,
+    /// Generic argument list (names only): `<'a, T>`.
+    ty_generics: String,
+    /// Names of the type parameters (for added trait bounds).
+    type_params: Vec<String>,
+    transparent: bool,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Parses the tokens inside a `#[serde(...)]` attribute group into the
+/// container/field flags we understand; unknown entries are ignored.
+fn parse_serde_attr(group: &proc_macro::Group, attrs: &mut FieldAttrs, transparent: &mut bool) {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    // The attribute body is `serde ( ... )`.
+    if inner.len() != 2 || !is_ident(&inner[0], "serde") {
+        return;
+    }
+    let TokenTree::Group(args) = &inner[1] else {
+        return;
+    };
+    let toks: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        if let TokenTree::Ident(id) = &toks[i] {
+            match id.to_string().as_str() {
+                "transparent" => *transparent = true,
+                "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+                "default" => {
+                    if i + 2 < toks.len() && is_punct(&toks[i + 1], '=') {
+                        if let TokenTree::Literal(lit) = &toks[i + 2] {
+                            let s = lit.to_string();
+                            attrs.default = Some(Some(s.trim_matches('"').to_owned()));
+                            i += 2;
+                        }
+                    } else {
+                        attrs.default = Some(None);
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Consumes any leading `#[...]` attributes starting at `*i`, folding serde
+/// attributes into `attrs` / `transparent`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize, attrs: &mut FieldAttrs, transparent: &mut bool) {
+    while *i + 1 < toks.len() && is_punct(&toks[*i], '#') {
+        if let TokenTree::Group(g) = &toks[*i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                parse_serde_attr(g, attrs, transparent);
+                *i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if *i < toks.len() && is_ident(&toks[*i], "pub") {
+        *i += 1;
+        if *i < toks.len() {
+            if let TokenTree::Group(g) = &toks[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Splits a generic parameter list (tokens between the outer `<` `>`) on
+/// top-level commas.
+fn split_generic_params(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for tt in toks {
+        if is_punct(tt, '<') {
+            depth += 1;
+        } else if is_punct(tt, '>') {
+            depth -= 1;
+        } else if is_punct(tt, ',') && depth == 0 {
+            out.push(std::mem::take(&mut cur));
+            continue;
+        }
+        cur.push(tt.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn tokens_to_string(toks: &[TokenTree]) -> String {
+    let mut out = String::new();
+    for t in toks {
+        out.push_str(&t.to_string());
+        // No space after a lifetime quote, or `' a` would fail to re-lex.
+        if !is_punct(t, '\'') {
+            out.push(' ');
+        }
+    }
+    out.trim_end().to_owned()
+}
+
+/// Parses the generics that follow the type name. Returns
+/// `(impl_generics, ty_generics, type_param_names)` and advances `*i` past
+/// the closing `>`.
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> (String, String, Vec<String>) {
+    if *i >= toks.len() || !is_punct(&toks[*i], '<') {
+        return (String::new(), String::new(), Vec::new());
+    }
+    *i += 1; // past '<'
+    let mut depth = 1i32;
+    let mut inner = Vec::new();
+    while *i < toks.len() {
+        if is_punct(&toks[*i], '<') {
+            depth += 1;
+        } else if is_punct(&toks[*i], '>') {
+            depth -= 1;
+            if depth == 0 {
+                *i += 1;
+                break;
+            }
+        }
+        inner.push(toks[*i].clone());
+        *i += 1;
+    }
+    let mut impl_parts = Vec::new();
+    let mut ty_parts = Vec::new();
+    let mut type_params = Vec::new();
+    for param in split_generic_params(&inner) {
+        // Strip a trailing `= default` at top level.
+        let mut cut = param.len();
+        let mut depth = 0i32;
+        for (j, tt) in param.iter().enumerate() {
+            if is_punct(tt, '<') {
+                depth += 1;
+            } else if is_punct(tt, '>') {
+                depth -= 1;
+            } else if is_punct(tt, '=') && depth == 0 {
+                cut = j;
+                break;
+            }
+        }
+        let no_default = &param[..cut];
+        impl_parts.push(tokens_to_string(no_default));
+        if no_default
+            .first()
+            .map(|t| is_punct(t, '\''))
+            .unwrap_or(false)
+        {
+            // Lifetime: `'a` (possibly with bounds; name is the ident after `'`).
+            let name = format!("'{}", no_default[1]);
+            ty_parts.push(name);
+        } else if let Some(TokenTree::Ident(id)) = no_default.first() {
+            let name = id.to_string();
+            if name != "const" {
+                type_params.push(name.clone());
+                ty_parts.push(name);
+            } else if let Some(TokenTree::Ident(cn)) = no_default.get(1) {
+                ty_parts.push(cn.to_string());
+            }
+        }
+    }
+    (
+        format!("<{}>", impl_parts.join(", ")),
+        format!("<{}>", ty_parts.join(", ")),
+        type_params,
+    )
+}
+
+/// Parses `name: Type, ...` named fields from a brace group.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    let mut ignored = false;
+    while i < toks.len() {
+        let mut attrs = FieldAttrs::default();
+        skip_attrs(&toks, &mut i, &mut attrs, &mut ignored);
+        skip_vis(&toks, &mut i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1; // past name
+        i += 1; // past ':'
+                // Skip the type: everything up to a top-level comma.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if is_punct(&toks[i], '<') {
+                depth += 1;
+            } else if is_punct(&toks[i], '>') {
+                depth -= 1;
+            } else if is_punct(&toks[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Parses tuple-struct / tuple-variant fields from a paren group, returning
+/// per-field attributes in order.
+fn parse_tuple_fields(group: &proc_macro::Group) -> Vec<FieldAttrs> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut ignored = false;
+    while i < toks.len() {
+        let mut attrs = FieldAttrs::default();
+        skip_attrs(&toks, &mut i, &mut attrs, &mut ignored);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        // Skip the type up to a top-level comma.
+        let mut depth = 0i32;
+        let mut saw_any = false;
+        while i < toks.len() {
+            if is_punct(&toks[i], '<') {
+                depth += 1;
+            } else if is_punct(&toks[i], '>') {
+                depth -= 1;
+            } else if is_punct(&toks[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            saw_any = true;
+            i += 1;
+        }
+        if saw_any {
+            out.push(attrs);
+        }
+    }
+    out
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    let mut ignored_attrs = FieldAttrs::default();
+    let mut ignored = false;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i, &mut ignored_attrs, &mut ignored);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(parse_tuple_fields(g).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g).into_iter().map(|f| f.name).collect())
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut container_attrs = FieldAttrs::default();
+    let mut transparent = false;
+    skip_attrs(&toks, &mut i, &mut container_attrs, &mut transparent);
+    skip_vis(&toks, &mut i);
+    let is_enum = is_ident(&toks[i], "enum");
+    i += 1; // past `struct` / `enum`
+    let name = toks[i].to_string();
+    i += 1;
+    let (impl_generics, ty_generics, type_params) = parse_generics(&toks, &mut i);
+    // Skip an optional `where` clause (none in this workspace, but cheap).
+    while i < toks.len() {
+        if let TokenTree::Group(_) = &toks[i] {
+            break;
+        }
+        if is_punct(&toks[i], ';') {
+            break;
+        }
+        i += 1;
+    }
+    let shape = if is_enum {
+        let TokenTree::Group(g) = &toks[i] else {
+            panic!("enum body expected");
+        };
+        Shape::Enum(parse_variants(g))
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(parse_tuple_fields(g))
+            }
+            _ => Shape::UnitStruct,
+        }
+    };
+    Input {
+        name,
+        impl_generics,
+        ty_generics,
+        type_params,
+        transparent,
+        shape,
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn where_clause(input: &Input, bound: &str) -> String {
+    if input.type_params.is_empty() {
+        String::new()
+    } else {
+        let bounds: Vec<String> = input
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: {bound}"))
+            .collect();
+        format!("where {}", bounds.join(", "))
+    }
+}
+
+fn default_expr(attrs: &FieldAttrs) -> String {
+    match &attrs.default {
+        Some(Some(path)) => format!("{path}()"),
+        _ => "::std::default::Default::default()".to_owned(),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let ig = &input.impl_generics;
+    let tg = &input.ty_generics;
+    let wc = where_clause(&input, "::serde::Serialize");
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            if input.transparent {
+                let f = fields
+                    .iter()
+                    .find(|f| !f.attrs.skip)
+                    .expect("transparent struct needs a field");
+                format!("::serde::Serialize::to_json_value(&self.{})", f.name)
+            } else {
+                let mut pushes = String::new();
+                for f in fields.iter().filter(|f| !f.attrs.skip) {
+                    pushes.push_str(&format!(
+                        "pairs.push((\"{0}\".to_string(), ::serde::Serialize::to_json_value(&self.{0})));\n",
+                        f.name
+                    ));
+                }
+                format!(
+                    "let mut pairs: Vec<(String, ::serde::value::Value)> = Vec::new();\n{pushes}::serde::value::Value::Object(pairs)"
+                )
+            }
+        }
+        Shape::TupleStruct(fields) => {
+            if fields.len() == 1 {
+                "::serde::Serialize::to_json_value(&self.0)".to_owned()
+            } else {
+                let items: Vec<String> = (0..fields.len())
+                    .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                    .collect();
+                format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        Shape::UnitStruct => "::serde::value::Value::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::value::Value::String(\"{vn}\".to_string()),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(f0) => ::serde::value::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_json_value(f0))]),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({bl}) => ::serde::value::Value::Object(vec![(\"{vn}\".to_string(), ::serde::value::Value::Array(vec![{il}]))]),\n",
+                            bl = binds.join(", "),
+                            il = items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(field_names) => {
+                        let binds = field_names.join(", ");
+                        let items: Vec<String> = field_names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_json_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::value::Value::Object(vec![(\"{vn}\".to_string(), ::serde::value::Value::Object(vec![{il}]))]),\n",
+                            il = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl{ig} ::serde::Serialize for {name}{tg} {wc} {{\n\
+         fn to_json_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated code failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let ig = &input.impl_generics;
+    let tg = &input.ty_generics;
+    let wc = where_clause(&input, "::serde::Deserialize");
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            if input.transparent {
+                let f = fields
+                    .iter()
+                    .find(|f| !f.attrs.skip)
+                    .expect("transparent struct needs a field");
+                format!(
+                    "Ok({name} {{ {}: ::serde::Deserialize::from_json_value(v)? }})",
+                    f.name
+                )
+            } else {
+                let mut inits = String::new();
+                for f in fields {
+                    let fname = &f.name;
+                    if f.attrs.skip {
+                        inits.push_str(&format!("{fname}: {},\n", default_expr(&f.attrs)));
+                    } else if f.attrs.default.is_some() {
+                        inits.push_str(&format!(
+                            "{fname}: match v.get(\"{fname}\") {{ Some(x) if !x.is_null() => ::serde::Deserialize::from_json_value(x)?, _ => {} }},\n",
+                            default_expr(&f.attrs)
+                        ));
+                    } else {
+                        inits.push_str(&format!(
+                            "{fname}: ::serde::Deserialize::from_json_value(v.get(\"{fname}\").ok_or_else(|| ::serde::DeError::missing_field(\"{fname}\"))?)?,\n"
+                        ));
+                    }
+                }
+                format!(
+                    "if !v.is_object() {{ return Err(::serde::DeError::expected(\"object\", v)); }}\n\
+                     Ok({name} {{\n{inits}}})"
+                )
+            }
+        }
+        Shape::TupleStruct(fields) => {
+            if fields.len() == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_json_value(v)?))")
+            } else {
+                let items: Vec<String> = (0..fields.len())
+                    .map(|i| format!(
+                        "::serde::Deserialize::from_json_value(arr.get({i}).ok_or_else(|| ::serde::DeError(\"tuple struct too short\".to_string()))?)?"
+                    ))
+                    .collect();
+                format!(
+                    "let arr = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", v))?;\n\
+                     Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                        tagged_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantShape::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_json_value(inner)?)),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!(
+                                "::serde::Deserialize::from_json_value(arr.get({i}).ok_or_else(|| ::serde::DeError(\"variant tuple too short\".to_string()))?)?"
+                            ))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let arr = inner.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", inner))?; Ok({name}::{vn}({})) }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(field_names) => {
+                        let inits: Vec<String> = field_names
+                            .iter()
+                            .map(|f| format!(
+                                "{f}: ::serde::Deserialize::from_json_value(inner.get(\"{f}\").ok_or_else(|| ::serde::DeError::missing_field(\"{f}\"))?)?"
+                            ))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::value::Value::String(s) => match s.as_str() {{\n{unit_arms}other => Err(::serde::DeError::unknown_variant(other)),\n}},\n\
+                 ::serde::value::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = &pairs[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n{tagged_arms}other => Err(::serde::DeError::unknown_variant(other)),\n}}\n\
+                 }},\n\
+                 other => Err(::serde::DeError::expected(\"enum\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl{ig} ::serde::Deserialize for {name}{tg} {wc} {{\n\
+         fn from_json_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("derive(Deserialize): generated code failed to parse")
+}
