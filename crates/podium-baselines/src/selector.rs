@@ -19,6 +19,12 @@ pub trait Selector: Send + Sync {
     /// Like [`Self::select`] but asserts the [`check_selection`]
     /// postconditions in debug builds (zero cost in release). Harnesses
     /// should prefer this entry point when comparing selectors.
+    ///
+    /// Engine-backed selectors get instance- and CSR-level checks for free
+    /// on this path: building a `SelectionEngine` under debug assertions
+    /// runs `DiversificationInstance::validate()` and the CSR graph's
+    /// structural self-check, so `select_checked` vets both the input
+    /// instance and the output selection.
     fn select_checked(&self, repo: &UserRepository, b: usize) -> Vec<UserId> {
         let selection = self.select(repo, b);
         debug_assert!(

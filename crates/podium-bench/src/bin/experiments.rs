@@ -16,11 +16,38 @@ use podium_bench::{
     table2_exp,
 };
 
+use podium_bench::harness::{run_isolated, ExperimentStatus};
+use std::io::Write as _;
+use std::time::Duration;
+
+/// Experiment ids runnable by this driver, in `all` order. The two
+/// `selftest-*` ids exercise the isolation harness itself (a deliberate
+/// panic, a deliberate stall) and are therefore excluded from `all`.
+const EXPERIMENTS: &[(&str, bool)] = &[
+    ("table2", true),
+    ("fig3a", true),
+    ("fig3b", true),
+    ("fig3c", true),
+    ("fig3d", true),
+    ("fig4", true),
+    ("fig5", true),
+    ("fig6", true),
+    ("approx", true),
+    ("optscale", true),
+    ("bsweep", true),
+    ("ablation", true),
+    ("selftest-panic", false),
+    ("selftest-slow", false),
+];
+
+#[derive(Clone)]
 struct Args {
     experiment: String,
     scale: f64,
     budget: usize,
     seed: u64,
+    timeout_secs: u64,
+    status_file: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -29,6 +56,8 @@ fn parse_args() -> Args {
         scale: 1.0,
         budget: datasets::DEFAULT_BUDGET,
         seed: 2020,
+        timeout_secs: 0,
+        status_file: None,
     };
     let mut it = std::env::args().skip(1);
     let mut positional = Vec::new();
@@ -52,6 +81,19 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs an integer"));
             }
+            "--timeout-secs" => {
+                args.timeout_secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--timeout-secs needs an integer"));
+            }
+            "--status-file" => {
+                args.status_file = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--status-file needs a path"))
+                        .into(),
+                );
+            }
             "--help" | "-h" => usage(""),
             other => positional.push(other.to_owned()),
         }
@@ -67,8 +109,13 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: experiments <table2|fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|optscale|bsweep|ablation|all> \
-         [--scale X] [--budget B] [--seed S]"
+        "usage: experiments <id>[,<id>...] [--scale X] [--budget B] [--seed S] \
+         [--timeout-secs T] [--status-file PATH]\n\
+         ids: table2, fig3a, fig3b, fig3c, fig3d, fig4, fig5, fig6, approx, \
+         optscale, bsweep, ablation, selftest-panic, selftest-slow, all\n\
+         Each experiment runs panic-isolated: a failure is recorded in the \
+         status file (JSONL) and the run continues; the exit code is \
+         nonzero iff any experiment failed."
     );
     std::process::exit(2);
 }
@@ -120,174 +167,275 @@ fn print_overlap(dataset: &podium_data::synth::SynthDataset, budget: usize, seed
 
 fn main() {
     let args = parse_args();
-    let run = |name: &str| args.experiment == name || args.experiment == "all";
-    let mut matched = false;
 
-    if run("table2") {
-        matched = true;
-        header("Table 2 running example (Examples 3.5-6.4)");
-        print!("{}", table2_exp::run());
+    // Expand the comma-separated id list; `all` means every non-selftest
+    // experiment, in registry order.
+    let mut ids: Vec<String> = Vec::new();
+    for id in args.experiment.split(',').filter(|s| !s.is_empty()) {
+        if id == "all" {
+            ids.extend(
+                EXPERIMENTS
+                    .iter()
+                    .filter(|(_, in_all)| *in_all)
+                    .map(|(name, _)| (*name).to_owned()),
+            );
+        } else if EXPERIMENTS.iter().any(|(name, _)| *name == id) {
+            ids.push(id.to_owned());
+        } else {
+            usage(&format!("unknown experiment '{id}'"));
+        }
     }
-    if run("fig3a") {
-        matched = true;
-        header("Figure 3a: TripAdvisor-like intrinsic diversity (3-seed average)");
-        let tables: Vec<_> = (0..3)
-            .map(|i| {
-                let dataset = datasets::ta_dataset(args.scale, args.seed + i);
-                if i == 0 {
-                    println!(
-                        "dataset: {} users, {} properties (per seed)",
-                        dataset.repo.user_count(),
-                        dataset.repo.property_count()
-                    );
-                }
-                intrinsic_exp::run_intrinsic(&dataset, args.budget, datasets::TOP_K, args.seed + i)
-            })
-            .collect();
-        print!(
-            "{}",
-            podium_metrics::report::ComparisonTable::average(&tables).render()
-        );
-        print_overlap(
-            &datasets::ta_dataset(args.scale, args.seed),
-            args.budget,
-            args.seed,
-        );
-    }
-    if run("fig3b") {
-        matched = true;
-        header("Figure 3b: TripAdvisor-like opinion diversity");
-        let dataset = datasets::ta_dataset(args.scale, args.seed);
-        let (table, detailed) = opinion_exp::run_opinion_detailed(
-            &dataset,
-            OpinionConfig {
-                destinations: 50,
-                min_reviews: 8,
-                budget: args.budget,
-                with_usefulness: false,
-                seed: args.seed,
-            },
-        );
-        print!("{}", table.render());
-        print_significance(&detailed);
-    }
-    if run("fig3c") {
-        matched = true;
-        header("Figure 3c: Yelp-like intrinsic diversity (3-seed average)");
-        let tables: Vec<_> = (0..3)
-            .map(|i| {
-                let dataset = datasets::yelp_dataset(args.scale, args.seed + i);
-                if i == 0 {
-                    println!(
-                        "dataset: {} users, {} properties (per seed)",
-                        dataset.repo.user_count(),
-                        dataset.repo.property_count()
-                    );
-                }
-                intrinsic_exp::run_intrinsic(&dataset, args.budget, datasets::TOP_K, args.seed + i)
-            })
-            .collect();
-        print!(
-            "{}",
-            podium_metrics::report::ComparisonTable::average(&tables).render()
-        );
-        print_overlap(
-            &datasets::yelp_dataset(args.scale, args.seed),
-            args.budget,
-            args.seed,
-        );
-    }
-    if run("fig3d") {
-        matched = true;
-        header("Figure 3d: Yelp-like opinion diversity");
-        let dataset = datasets::yelp_dataset(args.scale, args.seed);
-        let (table, detailed) = opinion_exp::run_opinion_detailed(
-            &dataset,
-            OpinionConfig {
-                destinations: 130,
-                min_reviews: 10,
-                budget: args.budget,
-                with_usefulness: true,
-                seed: args.seed,
-            },
-        );
-        print!("{}", table.render());
-        print_significance(&detailed);
-    }
-    if run("fig4") {
-        matched = true;
-        header("Figure 4: Yelp-like intrinsic diversity with customization");
-        let dataset = datasets::yelp_dataset(args.scale, args.seed);
-        let rows = custom_exp::run_customization(
-            &dataset,
-            args.budget,
-            datasets::TOP_K,
-            &[0, 20, 40, 60, 80],
-            20,
-            args.seed,
-        );
-        print!("{}", custom_exp::render(&rows));
-    }
-    if run("fig5") {
-        matched = true;
-        header("Figure 5: execution time vs |U| (profiles capped ~200 properties)");
-        let counts: Vec<usize> = [1000, 2000, 4000, 8000]
-            .iter()
-            .map(|&n| ((n as f64 * args.scale) as usize).max(100))
-            .collect();
-        let rows = scalability_exp::run_user_sweep(&counts, args.budget, args.seed);
-        print!("{}", scalability_exp::render(&rows, "users"));
-        let x: Vec<f64> = rows.iter().map(|r| r.users as f64).collect();
-        let y: Vec<f64> = rows.iter().map(|r| r.podium_ms).collect();
-        println!(
-            "podium linearity R² = {:.4}",
-            scalability_exp::linear_r2(&x, &y)
-        );
-    }
-    if run("fig6") {
-        matched = true;
-        header("Figure 6: execution time vs profile size (|U| fixed)");
-        let users = ((8000.0 * args.scale) as usize).max(200);
-        let rows =
-            scalability_exp::run_profile_sweep(users, &[2, 4, 8, 16], args.budget, args.seed);
-        print!("{}", scalability_exp::render(&rows, "profile"));
-        let x: Vec<f64> = rows.iter().map(|r| r.mean_profile).collect();
-        let y: Vec<f64> = rows.iter().map(|r| r.podium_ms).collect();
-        println!(
-            "podium linearity R² = {:.4}",
-            scalability_exp::linear_r2(&x, &y)
-        );
-    }
-    if run("approx") {
-        matched = true;
-        header("§8.4: approximation ratio, greedy vs optimal (5 of 40 users)");
-        let dataset = datasets::ta_dataset(args.scale.max(0.1), args.seed);
-        let results = approx_exp::run_approx(&dataset, 40, 5, 5, args.seed);
-        print!("{}", approx_exp::render_approx(&results));
-    }
-    if run("optscale") {
-        matched = true;
-        header("§8.5: Optimal baseline runtime blow-up (B = 5)");
-        let dataset = datasets::ta_dataset(args.scale.max(0.1), args.seed);
-        let rows = approx_exp::run_optscale(&dataset, &[20, 30, 40], 5, args.seed);
-        print!("{}", approx_exp::render_optscale(&rows));
-    }
-    if run("bsweep") {
-        matched = true;
-        header("§8.4 budget sweep: quality vs B (top-k coverage, Podium gap)");
-        let dataset = datasets::yelp_dataset(args.scale, args.seed);
-        let rows =
-            budget_exp::run_budget_sweep(&dataset, &[2, 4, 8, 16, 32], datasets::TOP_K, args.seed);
-        print!("{}", budget_exp::render(&rows));
-    }
-    if run("ablation") {
-        matched = true;
-        header("Ablation: weight/coverage schemes, bucketing, eager vs lazy greedy");
-        run_ablation(args.scale, args.budget, args.seed);
+    if ids.is_empty() {
+        usage("no experiments requested");
     }
 
-    if !matched {
-        usage(&format!("unknown experiment '{}'", args.experiment));
+    let timeout = if args.timeout_secs == 0 {
+        // "No watchdog". recv_timeout overflows on Duration::MAX, so cap
+        // at a year.
+        Duration::from_secs(365 * 24 * 3600)
+    } else {
+        Duration::from_secs(args.timeout_secs)
+    };
+    let status_path = args
+        .status_file
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("target/experiments-status.jsonl"));
+    if let Some(dir) = status_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut status_file = std::fs::File::create(&status_path).unwrap_or_else(|e| {
+        eprintln!(
+            "error: cannot open status file {}: {e}",
+            status_path.display()
+        );
+        std::process::exit(2);
+    });
+
+    // Run every requested experiment, each isolated on its own thread:
+    // a panic or watchdog timeout becomes a JSONL status entry and the
+    // sweep continues with the next experiment.
+    let mut statuses: Vec<ExperimentStatus> = Vec::new();
+    for id in &ids {
+        let run = args.clone();
+        let name = id.clone();
+        let status = run_isolated(id, timeout, move || run_one(&name, &run));
+        match &status.outcome {
+            podium_bench::harness::Outcome::Ok => {}
+            podium_bench::harness::Outcome::Panicked(msg) => {
+                eprintln!("experiment '{id}' PANICKED: {msg}");
+            }
+            podium_bench::harness::Outcome::TimedOut => {
+                eprintln!(
+                    "experiment '{id}' TIMED OUT after {:.0}s (watchdog: {}s)",
+                    status.seconds, args.timeout_secs
+                );
+            }
+        }
+        let _ = writeln!(status_file, "{}", status.to_json());
+        let _ = status_file.flush();
+        statuses.push(status);
+    }
+
+    let failed: Vec<&ExperimentStatus> = statuses.iter().filter(|s| !s.is_ok()).collect();
+    println!(
+        "\n==== run summary: {}/{} ok ({}) ====",
+        statuses.len() - failed.len(),
+        statuses.len(),
+        status_path.display()
+    );
+    for s in &statuses {
+        println!(
+            "  {:<16} {:<9} {:>8.1}s",
+            s.name,
+            match &s.outcome {
+                podium_bench::harness::Outcome::Ok => "ok",
+                podium_bench::harness::Outcome::Panicked(_) => "panicked",
+                podium_bench::harness::Outcome::TimedOut => "timed-out",
+            },
+            s.seconds
+        );
+    }
+    if !failed.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// Runs one experiment body. Panics propagate to the isolation harness.
+fn run_one(id: &str, args: &Args) {
+    match id {
+        "table2" => {
+            header("Table 2 running example (Examples 3.5-6.4)");
+            print!("{}", table2_exp::run());
+        }
+        "fig3a" => {
+            header("Figure 3a: TripAdvisor-like intrinsic diversity (3-seed average)");
+            let tables: Vec<_> = (0..3)
+                .map(|i| {
+                    let dataset = datasets::ta_dataset(args.scale, args.seed + i);
+                    if i == 0 {
+                        println!(
+                            "dataset: {} users, {} properties (per seed)",
+                            dataset.repo.user_count(),
+                            dataset.repo.property_count()
+                        );
+                    }
+                    intrinsic_exp::run_intrinsic(
+                        &dataset,
+                        args.budget,
+                        datasets::TOP_K,
+                        args.seed + i,
+                    )
+                })
+                .collect();
+            print!(
+                "{}",
+                podium_metrics::report::ComparisonTable::average(&tables).render()
+            );
+            print_overlap(
+                &datasets::ta_dataset(args.scale, args.seed),
+                args.budget,
+                args.seed,
+            );
+        }
+        "fig3b" => {
+            header("Figure 3b: TripAdvisor-like opinion diversity");
+            let dataset = datasets::ta_dataset(args.scale, args.seed);
+            let (table, detailed) = opinion_exp::run_opinion_detailed(
+                &dataset,
+                OpinionConfig {
+                    destinations: 50,
+                    min_reviews: 8,
+                    budget: args.budget,
+                    with_usefulness: false,
+                    seed: args.seed,
+                },
+            );
+            print!("{}", table.render());
+            print_significance(&detailed);
+        }
+        "fig3c" => {
+            header("Figure 3c: Yelp-like intrinsic diversity (3-seed average)");
+            let tables: Vec<_> = (0..3)
+                .map(|i| {
+                    let dataset = datasets::yelp_dataset(args.scale, args.seed + i);
+                    if i == 0 {
+                        println!(
+                            "dataset: {} users, {} properties (per seed)",
+                            dataset.repo.user_count(),
+                            dataset.repo.property_count()
+                        );
+                    }
+                    intrinsic_exp::run_intrinsic(
+                        &dataset,
+                        args.budget,
+                        datasets::TOP_K,
+                        args.seed + i,
+                    )
+                })
+                .collect();
+            print!(
+                "{}",
+                podium_metrics::report::ComparisonTable::average(&tables).render()
+            );
+            print_overlap(
+                &datasets::yelp_dataset(args.scale, args.seed),
+                args.budget,
+                args.seed,
+            );
+        }
+        "fig3d" => {
+            header("Figure 3d: Yelp-like opinion diversity");
+            let dataset = datasets::yelp_dataset(args.scale, args.seed);
+            let (table, detailed) = opinion_exp::run_opinion_detailed(
+                &dataset,
+                OpinionConfig {
+                    destinations: 130,
+                    min_reviews: 10,
+                    budget: args.budget,
+                    with_usefulness: true,
+                    seed: args.seed,
+                },
+            );
+            print!("{}", table.render());
+            print_significance(&detailed);
+        }
+        "fig4" => {
+            header("Figure 4: Yelp-like intrinsic diversity with customization");
+            let dataset = datasets::yelp_dataset(args.scale, args.seed);
+            let rows = custom_exp::run_customization(
+                &dataset,
+                args.budget,
+                datasets::TOP_K,
+                &[0, 20, 40, 60, 80],
+                20,
+                args.seed,
+            );
+            print!("{}", custom_exp::render(&rows));
+        }
+        "fig5" => {
+            header("Figure 5: execution time vs |U| (profiles capped ~200 properties)");
+            let counts: Vec<usize> = [1000, 2000, 4000, 8000]
+                .iter()
+                .map(|&n| ((n as f64 * args.scale) as usize).max(100))
+                .collect();
+            let rows = scalability_exp::run_user_sweep(&counts, args.budget, args.seed);
+            print!("{}", scalability_exp::render(&rows, "users"));
+            let x: Vec<f64> = rows.iter().map(|r| r.users as f64).collect();
+            let y: Vec<f64> = rows.iter().map(|r| r.podium_ms).collect();
+            println!(
+                "podium linearity R\u{b2} = {:.4}",
+                scalability_exp::linear_r2(&x, &y)
+            );
+        }
+        "fig6" => {
+            header("Figure 6: execution time vs profile size (|U| fixed)");
+            let users = ((8000.0 * args.scale) as usize).max(200);
+            let rows =
+                scalability_exp::run_profile_sweep(users, &[2, 4, 8, 16], args.budget, args.seed);
+            print!("{}", scalability_exp::render(&rows, "profile"));
+            let x: Vec<f64> = rows.iter().map(|r| r.mean_profile).collect();
+            let y: Vec<f64> = rows.iter().map(|r| r.podium_ms).collect();
+            println!(
+                "podium linearity R\u{b2} = {:.4}",
+                scalability_exp::linear_r2(&x, &y)
+            );
+        }
+        "approx" => {
+            header("\u{a7}8.4: approximation ratio, greedy vs optimal (5 of 40 users)");
+            let dataset = datasets::ta_dataset(args.scale.max(0.1), args.seed);
+            let results = approx_exp::run_approx(&dataset, 40, 5, 5, args.seed);
+            print!("{}", approx_exp::render_approx(&results));
+        }
+        "optscale" => {
+            header("\u{a7}8.5: Optimal baseline runtime blow-up (B = 5)");
+            let dataset = datasets::ta_dataset(args.scale.max(0.1), args.seed);
+            let rows = approx_exp::run_optscale(&dataset, &[20, 30, 40], 5, args.seed);
+            print!("{}", approx_exp::render_optscale(&rows));
+        }
+        "bsweep" => {
+            header("\u{a7}8.4 budget sweep: quality vs B (top-k coverage, Podium gap)");
+            let dataset = datasets::yelp_dataset(args.scale, args.seed);
+            let rows = budget_exp::run_budget_sweep(
+                &dataset,
+                &[2, 4, 8, 16, 32],
+                datasets::TOP_K,
+                args.seed,
+            );
+            print!("{}", budget_exp::render(&rows));
+        }
+        "ablation" => {
+            header("Ablation: weight/coverage schemes, bucketing, eager vs lazy greedy");
+            run_ablation(args.scale, args.budget, args.seed);
+        }
+        "selftest-panic" => {
+            header("isolation self-test: deliberate panic");
+            panic!("selftest-panic: this experiment always panics");
+        }
+        "selftest-slow" => {
+            header("isolation self-test: deliberate stall");
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+        other => unreachable!("id '{other}' was validated against the registry"),
     }
 }
 

@@ -1,0 +1,189 @@
+//! Panic-isolated experiment execution.
+//!
+//! A multi-hour `experiments all` sweep must not lose every completed
+//! result because one experiment hits a corner-case panic or wedges on a
+//! pathological input. [`run_isolated`] runs each experiment on its own
+//! thread behind [`std::panic::catch_unwind`] and a wall-clock watchdog,
+//! turning "the process died at 3am" into a structured
+//! [`ExperimentStatus`] that the driver records as a JSONL entry and
+//! reports in its exit code.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// How an isolated experiment ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to completion.
+    Ok,
+    /// Panicked; carries the panic payload when it was a string.
+    Panicked(String),
+    /// Exceeded the watchdog timeout. The runaway thread is detached — it
+    /// keeps burning its CPU until the process exits, but the driver moves
+    /// on to the next experiment.
+    TimedOut,
+}
+
+/// The recorded result of one isolated experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentStatus {
+    /// Experiment id (e.g. `"fig3a"`).
+    pub name: String,
+    /// How it ended.
+    pub outcome: Outcome,
+    /// Wall-clock duration in seconds (time until the watchdog fired, for
+    /// timeouts).
+    pub seconds: f64,
+}
+
+impl ExperimentStatus {
+    /// Whether the experiment completed normally.
+    pub fn is_ok(&self) -> bool {
+        self.outcome == Outcome::Ok
+    }
+
+    /// One-line JSON rendering for the status file (JSONL, one experiment
+    /// per line).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"name\":\"{}\",\"outcome\":\"{}\",\"seconds\":{:.3}",
+            json_escape(&self.name),
+            match self.outcome {
+                Outcome::Ok => "ok",
+                Outcome::Panicked(_) => "panicked",
+                Outcome::TimedOut => "timed_out",
+            },
+            self.seconds
+        );
+        if let Outcome::Panicked(msg) = &self.outcome {
+            out.push_str(&format!(",\"message\":\"{}\"", json_escape(msg)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a caught panic payload (the `Box<dyn Any>` from
+/// [`catch_unwind`]) as a message string.
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs `f` on a dedicated thread, catching panics and enforcing
+/// `timeout` (pass [`Duration::MAX`] for no watchdog). Returns a status
+/// instead of propagating failure: a panic or timeout in one experiment
+/// must not abort the driver.
+///
+/// On timeout the worker thread is detached, not killed — Rust has no
+/// safe thread cancellation — so a truly wedged experiment still occupies
+/// a core until the process exits. The driver's job is to finish the
+/// remaining experiments and report, which this guarantees.
+pub fn run_isolated<F>(name: &str, timeout: Duration, f: F) -> ExperimentStatus
+where
+    F: FnOnce() + Send + 'static,
+{
+    let start = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    std::thread::Builder::new()
+        .name(format!("exp-{name}"))
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            // The receiver disappears after a timeout; a failed send just
+            // means nobody is listening anymore.
+            let _ = tx.send(result.map_err(payload_message));
+        })
+        .expect("spawn experiment thread");
+    let outcome = match rx.recv_timeout(timeout) {
+        Ok(Ok(())) => Outcome::Ok,
+        Ok(Err(msg)) => Outcome::Panicked(msg),
+        Err(mpsc::RecvTimeoutError::Timeout) => Outcome::TimedOut,
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The worker died without sending — only possible if the send
+            // itself panicked; treat as a panic with no message.
+            Outcome::Panicked("worker thread died".to_owned())
+        }
+    };
+    ExperimentStatus {
+        name: name.to_owned(),
+        outcome,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_run_is_ok() {
+        let s = run_isolated("fine", Duration::from_secs(10), || {});
+        assert!(s.is_ok());
+        assert_eq!(
+            s.to_json(),
+            format!(
+                "{{\"name\":\"fine\",\"outcome\":\"ok\",\"seconds\":{:.3}}}",
+                s.seconds
+            )
+        );
+    }
+
+    #[test]
+    fn panic_is_caught_with_message() {
+        let s = run_isolated("boom", Duration::from_secs(10), || {
+            panic!("deliberate \"failure\"");
+        });
+        match &s.outcome {
+            Outcome::Panicked(msg) => assert!(msg.contains("deliberate")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert!(s.to_json().contains("\\\"failure\\\""), "{}", s.to_json());
+    }
+
+    #[test]
+    fn watchdog_fires_on_slow_experiments() {
+        let s = run_isolated("slow", Duration::from_millis(50), || {
+            std::thread::sleep(Duration::from_secs(60));
+        });
+        assert_eq!(s.outcome, Outcome::TimedOut);
+        assert!(
+            s.seconds < 30.0,
+            "watchdog, not the sleep, bounded the wait"
+        );
+    }
+
+    #[test]
+    fn formatted_panics_are_rendered() {
+        let s = run_isolated("fmt", Duration::from_secs(10), || {
+            let x = 41;
+            assert_eq!(x, 42, "off by {}", 42 - x);
+        });
+        match &s.outcome {
+            Outcome::Panicked(msg) => assert!(msg.contains("off by 1"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+}

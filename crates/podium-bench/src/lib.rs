@@ -13,6 +13,7 @@ pub mod approx_exp;
 pub mod budget_exp;
 pub mod custom_exp;
 pub mod datasets;
+pub mod harness;
 pub mod intrinsic_exp;
 pub mod opinion_exp;
 pub mod scalability_exp;

@@ -212,6 +212,11 @@ pub fn custom_select_weighted<T: ScoreValue>(
 ) -> Result<(Selection<LexPair<T>>, usize, f64)> {
     assert_eq!(base_weights.len(), groups.len(), "one weight per group");
     assert_eq!(covs.len(), groups.len(), "one coverage size per group");
+    if budget == 0 {
+        // Surfaced as an error rather than an empty selection: a zero
+        // budget in a customization round is always a caller bug.
+        return Err(CoreError::ZeroBudget);
+    }
     let eligible = refine_pool(groups, feedback)?;
     let pool_size = eligible.iter().filter(|&&e| e).count();
 
@@ -342,6 +347,21 @@ mod tests {
             refine_pool(&groups, &feedback),
             Err(CoreError::ContradictoryFeedback(_))
         ));
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let (repo, groups) = table2_setup();
+        let err = custom_select(
+            &repo,
+            &groups,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            0,
+            &Feedback::none(),
+        )
+        .unwrap_err();
+        assert_eq!(err, CoreError::ZeroBudget);
     }
 
     #[test]

@@ -81,12 +81,84 @@ impl CsrGraph {
             }
         }
 
-        Self {
+        let csr = Self {
             user_offsets,
             user_adj,
             group_offsets,
             group_adj,
+        };
+        debug_assert!(
+            csr.validate().is_ok(),
+            "CSR construction violated its invariants: {}",
+            csr.validate().unwrap_err()
+        );
+        csr
+    }
+
+    /// Checks the structural invariants of the CSR representation: offset
+    /// arrays start at zero, are non-decreasing, and terminate at their
+    /// adjacency length; adjacency ids are in range; every row is strictly
+    /// ascending; and the two directions encode the same edge set.
+    ///
+    /// `O(|E| log deg)`. Construction `debug_assert!`s this, so building the
+    /// selection engine under `RUSTFLAGS="-C debug-assertions"` catches
+    /// corrupted group data (unsorted or duplicated member lists) before the
+    /// greedy loops consume it.
+    pub fn validate(&self) -> Result<(), String> {
+        let users = self.user_count();
+        let groups = self.group_count();
+        for (side, offsets, adj, fanout) in [
+            ("user", &self.user_offsets, &self.user_adj, groups),
+            ("group", &self.group_offsets, &self.group_adj, users),
+        ] {
+            if offsets.first() != Some(&0) {
+                return Err(format!("{side} offsets do not start at 0"));
+            }
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("{side} offsets are not non-decreasing"));
+            }
+            if *offsets.last().expect("offsets are non-empty") as usize != adj.len() {
+                return Err(format!(
+                    "{side} offsets end at {} but adjacency has {} edges",
+                    offsets.last().expect("offsets are non-empty"),
+                    adj.len()
+                ));
+            }
+            if let Some(&x) = adj.iter().find(|&&x| x as usize >= fanout) {
+                return Err(format!("{side} adjacency id {x} out of range ({fanout})"));
+            }
         }
+        if self.user_adj.len() != self.group_adj.len() {
+            return Err(format!(
+                "direction edge counts disagree: {} vs {}",
+                self.user_adj.len(),
+                self.group_adj.len()
+            ));
+        }
+        for u in 0..users {
+            if self.groups_of(u).windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("groups_of({u}) is not strictly ascending"));
+            }
+        }
+        for g in 0..groups {
+            let members = self.members_of(g);
+            if members.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("members_of({g}) is not strictly ascending"));
+            }
+            // Transpose consistency: every (g, u) edge must appear as g in
+            // u's (sorted) group row. Combined with equal edge counts this
+            // makes the directions encode identical edge sets.
+            for &u in members {
+                if self
+                    .groups_of(u as usize)
+                    .binary_search(&(g as u32))
+                    .is_err()
+                {
+                    return Err(format!("edge (g{g}, u{u}) missing from the user direction"));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of users (rows of the user → group direction).
@@ -196,6 +268,33 @@ mod tests {
         assert_eq!(csr.user_count(), 0);
         assert_eq!(csr.group_count(), 0);
         assert_eq!(csr.edge_count(), 0);
+    }
+
+    #[test]
+    fn validate_accepts_constructed_graphs() {
+        for groups in [demo(), GroupSet::from_memberships(0, vec![])] {
+            let csr = CsrGraph::from_group_set(&groups);
+            assert_eq!(csr.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_corrupted_graphs() {
+        let base = CsrGraph::from_group_set(&demo());
+        // Out-of-range adjacency id.
+        let mut bad = base.clone();
+        bad.group_adj[0] = 99;
+        assert!(bad.validate().unwrap_err().contains("out of range"));
+        // Unsorted member row (swap two members of G0 = {0, 1}).
+        let mut bad = base.clone();
+        bad.group_adj.swap(0, 1);
+        assert!(bad.validate().is_err());
+        // Offsets that no longer cover the adjacency.
+        let mut bad = base;
+        if let Some(o) = bad.user_offsets.last_mut() {
+            *o += 1;
+        }
+        assert!(bad.validate().unwrap_err().contains("offsets"));
     }
 
     #[test]

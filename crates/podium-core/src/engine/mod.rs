@@ -80,7 +80,18 @@ pub struct SelectionEngine<'i, W: ScoreValue> {
 
 impl<'i, W: ScoreValue> SelectionEngine<'i, W> {
     /// Builds the engine (and the CSR graph) for an instance.
+    ///
+    /// Under debug assertions the instance is structurally validated
+    /// ([`DiversificationInstance::validate`]) and the freshly built CSR
+    /// graph checks its own invariants — selector harnesses running with
+    /// `RUSTFLAGS="-C debug-assertions"` therefore vet every instance they
+    /// select from. Release builds skip both checks.
     pub fn new(inst: &'i DiversificationInstance<'i, W>) -> Self {
+        debug_assert!(
+            inst.validate().is_ok(),
+            "refusing to build engine: {}",
+            inst.validate().unwrap_err()
+        );
         let csr = CsrGraph::from_group_set(inst.groups());
         Self { inst, csr }
     }
@@ -139,6 +150,11 @@ pub(crate) fn eager_once<W: ScoreValue>(
     eligible: Option<&[bool]>,
     tie_break: TieBreak,
 ) -> Selection<W> {
+    debug_assert!(
+        inst.validate().is_ok(),
+        "invalid instance: {}",
+        inst.validate().unwrap_err()
+    );
     let csr = CsrGraph::from_group_set(inst.groups());
     eager::eager_select(inst, &csr, b, eligible, tie_break)
 }

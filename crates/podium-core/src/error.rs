@@ -30,6 +30,15 @@ pub enum CoreError {
     /// Customization feedback referenced groups inconsistently (e.g. the same
     /// group both "must have" and "must not").
     ContradictoryFeedback(GroupId),
+    /// A diversification instance failed structural validation — a
+    /// non-finite/negative weight or a malformed membership list (see
+    /// [`crate::instance::DiversificationInstance::validate`]).
+    InvalidInstance {
+        /// The first offending group, when the defect is group-local.
+        group: Option<GroupId>,
+        /// Which invariant was violated.
+        reason: String,
+    },
     /// The exhaustive optimal solver was asked for an instance too large to
     /// enumerate.
     InstanceTooLarge {
@@ -66,6 +75,10 @@ impl std::fmt::Display for CoreError {
                 f,
                 "customization feedback lists {g} as both required and forbidden"
             ),
+            CoreError::InvalidInstance { group, reason } => match group {
+                Some(g) => write!(f, "invalid diversification instance at {g}: {reason}"),
+                None => write!(f, "invalid diversification instance: {reason}"),
+            },
             CoreError::InstanceTooLarge {
                 users,
                 budget,

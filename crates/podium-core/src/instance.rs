@@ -71,6 +71,51 @@ impl<'g, W: ScoreValue> DiversificationInstance<'g, W> {
         self.groups.user_count()
     }
 
+    /// Structural validation for instances built from untrusted inputs:
+    /// every weight must be a well-formed score value
+    /// ([`ScoreValue::is_valid`] — finite and non-negative for floats) and
+    /// every group's member list must be strictly ascending (sorted,
+    /// duplicate-free) with all ids inside the repository's user range.
+    ///
+    /// The selection engine `debug_assert!`s this on construction, so
+    /// running the test suites with `RUSTFLAGS="-C debug-assertions"`
+    /// exercises it on every selection; production callers ingesting
+    /// external data should call it explicitly and surface the error.
+    pub fn validate(&self) -> crate::error::Result<()> {
+        use crate::error::CoreError;
+        let n = self.groups.user_count();
+        for (g, group) in self.groups.iter() {
+            let gi = g.index();
+            if !self.weights[gi].is_valid() {
+                return Err(CoreError::InvalidInstance {
+                    group: Some(g),
+                    reason: format!("weight {:?} is not a valid score value", self.weights[gi]),
+                });
+            }
+            let members = &group.members;
+            if let Some(w) = members.windows(2).find(|w| w[0] >= w[1]) {
+                let what = if w[0] == w[1] {
+                    "duplicate"
+                } else {
+                    "unsorted"
+                };
+                return Err(CoreError::InvalidInstance {
+                    group: Some(g),
+                    reason: format!("{what} member {} in group member list", w[1]),
+                });
+            }
+            if let Some(&u) = members.last() {
+                if u.index() >= n {
+                    return Err(CoreError::InvalidInstance {
+                        group: Some(g),
+                        reason: format!("member {u} out of range for {n} users"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// `score_𝒢(U) = Σ_G wei(G) · min{|U ∩ G|, cov(G)}` (Definition 3.3).
     ///
     /// Duplicate users in `subset` are counted once.
@@ -288,5 +333,29 @@ mod tests {
     fn mismatched_weights_panic() {
         let g = demo();
         let _ = DiversificationInstance::new(&g, vec![1.0], vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_instances() {
+        let g = demo();
+        let inst = DiversificationInstance::new(&g, vec![5.0, 3.0, 2.0], vec![1, 2, 1]);
+        assert!(inst.validate().is_ok());
+        let ebs = DiversificationInstance::ebs(&g, CovScheme::Single, 2);
+        assert!(ebs.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_and_negative_weights() {
+        use crate::error::CoreError;
+        let g = demo();
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let inst = DiversificationInstance::new(&g, vec![1.0, bad, 1.0], vec![1, 1, 1]);
+            match inst.validate() {
+                Err(CoreError::InvalidInstance { group, .. }) => {
+                    assert_eq!(group, Some(GroupId(1)), "weight {bad}");
+                }
+                other => panic!("expected InvalidInstance for weight {bad}, got {other:?}"),
+            }
+        }
     }
 }

@@ -20,7 +20,7 @@
 
 use crate::bucket::{BucketingConfig, PropertyBuckets};
 use crate::customize::{custom_select, CustomSelection, Feedback};
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use crate::explain::SelectionReport;
 use crate::greedy::{greedy_select_opts, Selection, TieBreak};
 use crate::group::GroupSet;
@@ -151,6 +151,11 @@ impl<'r> FittedPodium<'r> {
     }
 
     /// Selects at most `budget` users (BASE-DIVERSITY).
+    ///
+    /// Infallible convenience wrapper: a zero budget yields an empty
+    /// selection. Services that must distinguish "nothing to select" from
+    /// "caller passed a nonsensical budget" should use
+    /// [`FittedPodium::try_select`].
     pub fn select(&self, budget: usize) -> Selection<f64> {
         let inst = self.instance(budget);
         if self.config.lazy {
@@ -158,6 +163,24 @@ impl<'r> FittedPodium<'r> {
         } else {
             greedy_select_opts(&inst, budget, None, self.config.tie_break)
         }
+    }
+
+    /// Like [`FittedPodium::select`], but surfaces invalid requests instead
+    /// of clamping them: a zero budget is [`CoreError::ZeroBudget`] and a
+    /// structurally broken instance (non-finite weights injected through a
+    /// future weight override, corrupt group data) is
+    /// [`CoreError::InvalidInstance`].
+    pub fn try_select(&self, budget: usize) -> Result<Selection<f64>> {
+        if budget == 0 {
+            return Err(CoreError::ZeroBudget);
+        }
+        let inst = self.instance(budget);
+        inst.validate()?;
+        Ok(if self.config.lazy {
+            lazy_greedy_select(&inst, budget)
+        } else {
+            greedy_select_opts(&inst, budget, None, self.config.tie_break)
+        })
     }
 
     /// Selects with customization feedback (CUSTOM-DIVERSITY, §6).
@@ -247,6 +270,17 @@ mod tests {
                 .select(2);
             assert_eq!(sel.score, 17.0);
         }
+    }
+
+    #[test]
+    fn try_select_surfaces_zero_budget() {
+        let repo = repo();
+        let fitted = Podium::new()
+            .bucketing(BucketingConfig::paper_default())
+            .fit(&repo);
+        assert_eq!(fitted.try_select(0).unwrap_err(), CoreError::ZeroBudget);
+        let ok = fitted.try_select(2).unwrap();
+        assert_eq!(ok.users, fitted.select(2).users);
     }
 
     #[test]

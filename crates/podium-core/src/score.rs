@@ -38,6 +38,14 @@ pub trait ScoreValue: Clone + PartialOrd + std::fmt::Debug + Send + Sync {
     fn is_zero(&self) -> bool;
     /// A lossy scalar rendering for reports and explanations.
     fn as_f64(&self) -> f64;
+    /// Whether this value is a well-formed weight. Exact integer-like types
+    /// are always valid (the default); floating-point implementations must
+    /// reject non-finite and negative values, which would silently corrupt
+    /// greedy marginal arithmetic. Checked by
+    /// [`crate::instance::DiversificationInstance::validate`].
+    fn is_valid(&self) -> bool {
+        true
+    }
 }
 
 impl ScoreValue for f64 {
@@ -60,6 +68,10 @@ impl ScoreValue for f64 {
     #[inline]
     fn as_f64(&self) -> f64 {
         *self
+    }
+    #[inline]
+    fn is_valid(&self) -> bool {
+        self.is_finite() && *self >= 0.0
     }
 }
 
@@ -284,6 +296,9 @@ impl<T: ScoreValue> ScoreValue for LexPair<T> {
     }
     fn as_f64(&self) -> f64 {
         self.priority.as_f64() * 1e9 + self.standard.as_f64()
+    }
+    fn is_valid(&self) -> bool {
+        self.priority.is_valid() && self.standard.is_valid()
     }
 }
 

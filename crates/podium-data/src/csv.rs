@@ -19,8 +19,12 @@
 //! assert_eq!(back.user_count(), 2);
 //! ```
 
+use std::collections::HashSet;
+
 use podium_core::error::CoreError;
 use podium_core::profile::UserRepository;
+
+use crate::load::{DataError, DataErrorKind, LoadOptions, LoadReport, Provenance};
 
 /// Errors from CSV profile I/O.
 #[derive(Debug)]
@@ -174,6 +178,128 @@ pub fn profiles_from_csv(text: &str) -> Result<UserRepository, CsvError> {
     Ok(repo)
 }
 
+/// Source tag used in [`Provenance`] entries of this loader.
+const SOURCE: &str = "csv profiles";
+
+/// Parses a repository from CSV text with an explicit failure policy and
+/// full accounting.
+///
+/// Row-level defects — bad quoting, ragged arity, unparseable / non-finite
+/// / out-of-range scores, and names already used by an earlier row — are
+/// fatal under [`LoadOptions::Strict`] (with row and line provenance) and
+/// quarantined one entry per row under [`LoadOptions::Lenient`]; the first
+/// occurrence of a duplicated name wins. A missing or malformed header is a
+/// document-level fault and fails in both modes. Each row is validated in
+/// full before any of it is committed, so quarantined rows leave no partial
+/// users behind.
+pub fn profiles_from_csv_opts(
+    text: &str,
+    opts: LoadOptions,
+) -> Result<(UserRepository, LoadReport), DataError> {
+    let malformed = |line: usize, message: String| {
+        DataError::new(
+            DataErrorKind::Syntax { message },
+            Provenance::document(SOURCE).at_line(line),
+        )
+    };
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (hline, header) = lines
+        .next()
+        .ok_or_else(|| malformed(1, "missing header row".into()))?;
+    let header = match split_record(header, hline + 1) {
+        Ok(h) => h,
+        Err(CsvError::Malformed { line, message }) => return Err(malformed(line, message)),
+        Err(_) => unreachable!("split_record only yields Malformed"),
+    };
+    if header.is_empty() || header[0] != "user" {
+        return Err(malformed(hline + 1, "header must start with 'user'".into()));
+    }
+
+    let mut repo = UserRepository::new();
+    let props: Vec<_> = header[1..]
+        .iter()
+        .map(|label| repo.intern_property(label))
+        .collect();
+    let mut report = LoadReport::default();
+    let mut seen: HashSet<String> = HashSet::new();
+    for (row, (i, line)) in lines.enumerate() {
+        let line_no = i + 1;
+        let prov = Provenance::record(SOURCE, row).at_line(line_no);
+        // Validate the whole row before touching the repository.
+        let outcome: Result<(String, Vec<(usize, f64)>), DataError> = (|| {
+            let fields = match split_record(line, line_no) {
+                Ok(f) => f,
+                Err(CsvError::Malformed { message, .. }) => {
+                    return Err(DataError::new(
+                        DataErrorKind::Syntax { message },
+                        prov.clone(),
+                    ))
+                }
+                Err(_) => unreachable!("split_record only yields Malformed"),
+            };
+            if fields.len() != header.len() {
+                return Err(DataError::new(
+                    DataErrorKind::Schema {
+                        message: format!(
+                            "expected {} fields, found {}",
+                            header.len(),
+                            fields.len()
+                        ),
+                    },
+                    prov.clone(),
+                ));
+            }
+            let name = fields[0].clone();
+            if seen.contains(&name) {
+                return Err(DataError::new(
+                    DataErrorKind::Duplicate { name: name.clone() },
+                    prov.clone().named(&name),
+                ));
+            }
+            let mut scores = Vec::new();
+            for (col, cell) in fields[1..].iter().enumerate() {
+                let cell = cell.trim();
+                if cell.is_empty() {
+                    continue; // unknown (open world)
+                }
+                let bad = || {
+                    DataError::new(
+                        DataErrorKind::BadScore {
+                            property: header[col + 1].clone(),
+                            value: cell.to_owned(),
+                        },
+                        prov.clone().named(&name),
+                    )
+                };
+                let score: f64 = cell.parse().map_err(|_| bad())?;
+                if !score.is_finite() || !(0.0..=1.0).contains(&score) {
+                    return Err(bad());
+                }
+                scores.push((col, score));
+            }
+            Ok((name, scores))
+        })();
+        match outcome {
+            Ok((name, scores)) => {
+                let u = repo.add_user(&name);
+                for (col, score) in scores {
+                    repo.set_score(u, props[col], score).map_err(|e| {
+                        DataError::new(DataErrorKind::Core(e), prov.clone().named(&name))
+                    })?;
+                }
+                seen.insert(name);
+                report.accepted += 1;
+            }
+            Err(e) if opts.is_lenient() => report.quarantine(e, line),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((repo, report))
+}
+
 /// Serializes a repository to CSV text (all interned properties as columns,
 /// unknown scores as empty cells).
 pub fn profiles_to_csv(repo: &UserRepository) -> String {
@@ -291,5 +417,82 @@ Carol,,
     fn blank_lines_skipped() {
         let repo = profiles_from_csv("user,p\n\nA,0.5\n\n").unwrap();
         assert_eq!(repo.user_count(), 1);
+    }
+
+    #[test]
+    fn opts_loader_matches_plain_loader_on_clean_input() {
+        for opts in [LoadOptions::Strict, LoadOptions::Lenient] {
+            let (repo, report) = profiles_from_csv_opts(SAMPLE, opts).unwrap();
+            assert_eq!(repo.user_count(), 3, "{opts:?}");
+            assert_eq!(report.accepted, 3);
+            assert!(report.is_clean());
+        }
+    }
+
+    #[test]
+    fn lenient_quarantines_defective_rows() {
+        let csv = "\
+user,p,q
+A,0.5,0.5
+B,NaN,0.5
+C,0.5,7.7
+A,0.1,
+D,0.5
+E,,0.25
+";
+        let (repo, report) = profiles_from_csv_opts(csv, LoadOptions::Lenient).unwrap();
+        assert_eq!(repo.user_count(), 2, "A and E survive");
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.quarantined_count(), 4);
+        assert!(matches!(
+            report.quarantined[0].error.kind,
+            DataErrorKind::BadScore { .. }
+        ));
+        assert!(matches!(
+            report.quarantined[1].error.kind,
+            DataErrorKind::BadScore { .. }
+        ));
+        assert!(matches!(
+            report.quarantined[2].error.kind,
+            DataErrorKind::Duplicate { .. }
+        ));
+        assert!(matches!(
+            report.quarantined[3].error.kind,
+            DataErrorKind::Schema { .. }
+        ));
+        // First occurrence of A wins.
+        let a = repo.user_by_name("A").unwrap();
+        let p = repo.property_id("p").unwrap();
+        assert_eq!(repo.score(a, p), Some(0.5));
+    }
+
+    #[test]
+    fn strict_fails_with_row_provenance() {
+        let csv = "user,p\nA,0.5\nB,NaN\n";
+        let err = profiles_from_csv_opts(csv, LoadOptions::Strict).unwrap_err();
+        assert!(matches!(err.kind, DataErrorKind::BadScore { .. }));
+        assert_eq!(err.provenance.record, Some(1));
+        assert_eq!(err.provenance.line, Some(3));
+        assert_eq!(err.provenance.name.as_deref(), Some("B"));
+    }
+
+    #[test]
+    fn header_faults_fatal_in_both_modes() {
+        for opts in [LoadOptions::Strict, LoadOptions::Lenient] {
+            assert!(profiles_from_csv_opts("", opts).is_err());
+            assert!(profiles_from_csv_opts("name,p\nA,0.5\n", opts).is_err());
+        }
+    }
+
+    #[test]
+    fn lenient_quarantines_unterminated_quote_row() {
+        let csv = "user,p\nA,0.5\n\"B,0.5\n";
+        let (repo, report) = profiles_from_csv_opts(csv, LoadOptions::Lenient).unwrap();
+        assert_eq!(repo.user_count(), 1);
+        assert_eq!(report.quarantined_count(), 1);
+        assert!(matches!(
+            report.quarantined[0].error.kind,
+            DataErrorKind::Syntax { .. }
+        ));
     }
 }

@@ -18,8 +18,12 @@
 use podium_core::profile::UserRepository;
 use serde::{Deserialize, Serialize};
 
+use crate::load::{DataError, DataErrorKind, Provenance};
 use crate::reviews::ReviewCorpus;
 use crate::taxonomy::{CategoryId, Taxonomy};
+
+/// Provenance source tag for derivation errors.
+const SOURCE: &str = "review corpus";
 
 /// Which derived property kinds to emit. The Yelp-like preset uses fewer
 /// kinds than the TripAdvisor-like one ("less groups due to its simpler
@@ -103,13 +107,19 @@ pub fn normalize_rating_ratio(ratio: f64) -> f64 {
 /// Reviews of destinations listed in `exclude` are skipped — this is the
 /// holdout mechanism of §8.2 ("select users based on their profiles
 /// *excluding* the data related to some destination").
+///
+/// # Errors
+/// Returns [`DataErrorKind::UnknownReference`] when a review points at a
+/// destination outside the corpus or a destination's category is not in
+/// `taxonomy` — dangling references in hand-assembled or corrupted corpora
+/// used to panic here.
 pub fn derive_properties(
     repo: &mut UserRepository,
     corpus: &ReviewCorpus,
     taxonomy: &Taxonomy,
     options: &DeriveOptions,
     exclude: &dyn Fn(crate::reviews::DestinationId) -> bool,
-) {
+) -> Result<(), DataError> {
     let n = repo.user_count();
     // Per-user accumulators over categories. Dense per-user maps keyed by
     // category id keep this pass O(reviews × taxonomy depth).
@@ -125,7 +135,7 @@ pub fn derive_properties(
         vec![std::collections::HashMap::new(); n];
     let mut totals: Vec<Acc> = vec![Acc::default(); n];
 
-    for review in &corpus.reviews {
+    for (i, review) in corpus.reviews.iter().enumerate() {
         if exclude(review.destination) {
             continue;
         }
@@ -133,10 +143,28 @@ pub fn derive_properties(
         if u >= n {
             continue;
         }
+        let dest = corpus
+            .destinations
+            .get(review.destination.index())
+            .ok_or_else(|| {
+                DataError::new(
+                    DataErrorKind::UnknownReference {
+                        reference: format!("destination #{}", review.destination.index()),
+                    },
+                    Provenance::record(SOURCE, i),
+                )
+            })?;
+        if dest.category.index() >= taxonomy.len() {
+            return Err(DataError::new(
+                DataErrorKind::UnknownReference {
+                    reference: format!("category #{} of '{}'", dest.category.index(), dest.name),
+                },
+                Provenance::record(SOURCE, i),
+            ));
+        }
         let rating = f64::from(review.rating);
         totals[u].visits += 1;
         totals[u].rating_sum += rating;
-        let dest = &corpus.destinations[review.destination.index()];
         let leaf = dest.category;
         if options.city_properties {
             *per_user_city[u].entry((leaf, dest.city)).or_default() += 1;
@@ -173,17 +201,17 @@ pub fn derive_properties(
                 let mean = acc.rating_sum / f64::from(acc.visits);
                 let p = repo.intern_property(format!("avgRating {cat_name}"));
                 let score = normalize_rating_ratio(mean / overall_mean);
-                repo.set_score(uid, p, score).expect("score in [0,1]");
+                repo.set_score(uid, p, score)?;
             }
             if options.kinds.visit_freq {
                 let p = repo.intern_property(format!("visitFreq {cat_name}"));
                 let score = (f64::from(acc.visits) / f64::from(totals[u].visits)).clamp(0.0, 1.0);
-                repo.set_score(uid, p, score).expect("score in [0,1]");
+                repo.set_score(uid, p, score)?;
             }
             if options.kinds.enthusiasm && total_points > 0.0 {
                 let p = repo.intern_property(format!("enthusiasm {cat_name}"));
                 let score = (acc.rating_sum / total_points).clamp(0.0, 1.0);
-                repo.set_score(uid, p, score).expect("score in [0,1]");
+                repo.set_score(uid, p, score)?;
             }
         }
         if options.city_properties {
@@ -196,10 +224,11 @@ pub fn derive_properties(
                 let cat_name = taxonomy.name(*cat);
                 let p = repo.intern_property(format!("visitFreq {cat_name}@city{city}"));
                 let score = (f64::from(visits) / f64::from(totals[u].visits)).clamp(0.0, 1.0);
-                repo.set_score(uid, p, score).expect("score in [0,1]");
+                repo.set_score(uid, p, score)?;
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -269,7 +298,8 @@ mod tests {
             &taxonomy,
             &DeriveOptions::default(),
             &|_| false,
-        );
+        )
+        .unwrap();
         let u0 = UserId(0);
         // u0: ratings 5 (Mexican) and 3 (French); overall mean 4.
         let avg_mex = repo.property_id("avgRating Mexican").unwrap();
@@ -292,7 +322,8 @@ mod tests {
             &taxonomy,
             &DeriveOptions::default(),
             &|_| false,
-        );
+        )
+        .unwrap();
         let u0 = UserId(0);
         let avg_latin = repo.property_id("avgRating Latin").unwrap();
         let avg_mex = repo.property_id("avgRating Mexican").unwrap();
@@ -309,7 +340,7 @@ mod tests {
             generalize: false,
             ..DeriveOptions::default()
         };
-        derive_properties(&mut repo, &corpus, &taxonomy, &opts, &|_| false);
+        derive_properties(&mut repo, &corpus, &taxonomy, &opts, &|_| false).unwrap();
         assert!(repo.property_id("avgRating Latin").is_none());
         assert!(repo.property_id("avgRating Mexican").is_some());
     }
@@ -323,7 +354,8 @@ mod tests {
             &taxonomy,
             &DeriveOptions::default(),
             &|d| d == DestinationId(0),
-        );
+        )
+        .unwrap();
         // Only French reviews remain; Mexican properties must not exist.
         assert!(repo.property_id("avgRating Mexican").is_none());
         let u0 = UserId(0);
@@ -338,7 +370,7 @@ mod tests {
             min_visits: 2,
             ..DeriveOptions::default()
         };
-        derive_properties(&mut repo, &corpus, &taxonomy, &opts, &|_| false);
+        derive_properties(&mut repo, &corpus, &taxonomy, &opts, &|_| false).unwrap();
         // u0 visited each leaf once -> no leaf properties; but Food twice.
         assert!(repo.property_id("avgRating Mexican").is_none());
         let u0 = UserId(0);
@@ -353,7 +385,7 @@ mod tests {
             kinds: PropertyKinds::simple(),
             ..DeriveOptions::default()
         };
-        derive_properties(&mut repo, &corpus, &taxonomy, &opts, &|_| false);
+        derive_properties(&mut repo, &corpus, &taxonomy, &opts, &|_| false).unwrap();
         assert!(repo.property_id("enthusiasm Mexican").is_none());
         assert!(repo.property_id("avgRating Mexican").is_some());
     }
@@ -369,6 +401,41 @@ mod tests {
     }
 
     #[test]
+    fn dangling_destination_is_an_error_not_a_panic() {
+        let (mut repo, mut corpus, taxonomy) = fixture();
+        corpus.reviews.push(Review {
+            user: UserId(1),
+            destination: DestinationId(99),
+            rating: 2,
+            topics: vec![],
+            useful_votes: 0,
+        });
+        let err = derive_properties(
+            &mut repo,
+            &corpus,
+            &taxonomy,
+            &DeriveOptions::default(),
+            &|_| false,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            &err.kind,
+            crate::load::DataErrorKind::UnknownReference { reference }
+                if reference.contains("99")
+        ));
+        assert_eq!(err.provenance.record, Some(3), "points at the bad review");
+        // Excluding the dangling destination sidesteps the error.
+        derive_properties(
+            &mut repo,
+            &corpus,
+            &taxonomy,
+            &DeriveOptions::default(),
+            &|d| d == DestinationId(99),
+        )
+        .unwrap();
+    }
+
+    #[test]
     fn users_without_reviews_get_no_properties() {
         let (mut repo, corpus, taxonomy) = fixture();
         let lurker = repo.add_user("lurker");
@@ -378,7 +445,8 @@ mod tests {
             &taxonomy,
             &DeriveOptions::default(),
             &|_| false,
-        );
+        )
+        .unwrap();
         assert_eq!(repo.profile(lurker).unwrap().len(), 0);
     }
 }

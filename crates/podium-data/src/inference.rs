@@ -35,10 +35,15 @@
 //! assert_eq!(repo.score(u, japan), Some(1.0));
 //! ```
 
+use std::collections::HashMap;
+
 use podium_core::error::Result;
 use podium_core::ids::PropertyId;
 use podium_core::profile::UserRepository;
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
+
+use crate::load::{DataError, DataErrorKind, LoadOptions, LoadReport, Provenance};
 
 /// One inference rule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -162,6 +167,171 @@ impl InferenceEngine {
         }
         Ok(writes.len())
     }
+}
+
+/// Loader source tag for [`Provenance`].
+const SOURCE: &str = "inference rules";
+
+/// Whether adding the implication edge `premise -> conclusion` to the
+/// already-accepted implication edges closes a cycle (i.e. `conclusion`
+/// already reaches `premise`).
+fn closes_cycle(edges: &HashMap<String, Vec<String>>, premise: &str, conclusion: &str) -> bool {
+    if premise == conclusion {
+        return true;
+    }
+    let mut stack = vec![conclusion];
+    let mut seen: Vec<&str> = Vec::new();
+    while let Some(cur) = stack.pop() {
+        if cur == premise {
+            return true;
+        }
+        if seen.contains(&cur) {
+            continue;
+        }
+        seen.push(cur);
+        if let Some(nexts) = edges.get(cur) {
+            stack.extend(nexts.iter().map(String::as_str));
+        }
+    }
+    false
+}
+
+/// Loads inference rules from the JSON interchange format:
+///
+/// ```json
+/// { "rules": [
+///   { "type": "implies", "premise": "livesIn Tokyo",
+///     "conclusion": "livesIn Japan", "threshold": 1.0 },
+///   { "type": "functional", "prefix": "livesIn " }
+/// ] }
+/// ```
+///
+/// `threshold` is optional (default 1.0) but must be finite and in
+/// `[0, 1]`. An implication whose edge would close a cycle against the
+/// already-accepted implications (including self-loops) is defective:
+/// fixpoint application would still terminate, but a cyclic rule set is
+/// always an authoring error. Defective rules are fatal under
+/// [`LoadOptions::Strict`] and quarantined under [`LoadOptions::Lenient`];
+/// a missing or non-array `rules` key is fatal in both modes.
+pub fn rules_from_json(
+    text: &str,
+    opts: LoadOptions,
+) -> std::result::Result<(InferenceEngine, LoadReport), DataError> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| {
+        DataError::new(
+            DataErrorKind::Syntax {
+                message: e.to_string(),
+            },
+            Provenance::document(SOURCE).at_line(e.line()),
+        )
+    })?;
+    let records = doc.get("rules").and_then(Value::as_array).ok_or_else(|| {
+        DataError::new(
+            DataErrorKind::Schema {
+                message: "no \"rules\" array found in document".into(),
+            },
+            Provenance::document(SOURCE),
+        )
+    })?;
+
+    let mut engine = InferenceEngine::new();
+    let mut report = LoadReport::default();
+    let mut edges: HashMap<String, Vec<String>> = HashMap::new();
+    for (i, rec) in records.iter().enumerate() {
+        let raw = serde_json::to_string(rec).unwrap_or_default();
+        let prov = Provenance::record(SOURCE, i);
+        let schema = |message: &str| {
+            DataError::new(
+                DataErrorKind::Schema {
+                    message: message.into(),
+                },
+                Provenance::record(SOURCE, i),
+            )
+        };
+        let parsed = (|| {
+            let kind = rec
+                .get("type")
+                .and_then(Value::as_str)
+                .ok_or_else(|| schema("rule record needs a string \"type\""))?;
+            match kind {
+                "implies" => {
+                    let premise = rec
+                        .get("premise")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| schema("implies rule needs a string \"premise\""))?;
+                    let conclusion = rec
+                        .get("conclusion")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| schema("implies rule needs a string \"conclusion\""))?;
+                    let threshold = match rec.get("threshold") {
+                        None | Some(Value::Null) => 1.0,
+                        Some(t) => t
+                            .as_f64()
+                            .ok_or_else(|| schema("\"threshold\" must be a number"))?,
+                    };
+                    if !threshold.is_finite() || !(0.0..=1.0).contains(&threshold) {
+                        return Err(DataError::new(
+                            DataErrorKind::BadScore {
+                                property: format!("threshold of '{premise}'"),
+                                value: threshold.to_string(),
+                            },
+                            prov.clone(),
+                        ));
+                    }
+                    if closes_cycle(&edges, premise, conclusion) {
+                        return Err(DataError::new(
+                            DataErrorKind::Cycle {
+                                description: format!(
+                                    "implication '{premise}' => '{conclusion}' closes a cycle"
+                                ),
+                            },
+                            prov.clone(),
+                        ));
+                    }
+                    Ok(Rule::Implies {
+                        premise: premise.to_owned(),
+                        conclusion: conclusion.to_owned(),
+                        threshold,
+                    })
+                }
+                "functional" => {
+                    let prefix = rec
+                        .get("prefix")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| schema("functional rule needs a string \"prefix\""))?;
+                    if prefix.is_empty() {
+                        return Err(schema("functional \"prefix\" must be non-empty"));
+                    }
+                    Ok(Rule::Functional {
+                        prefix: prefix.to_owned(),
+                    })
+                }
+                other => Err(schema(&format!(
+                    "unknown rule type '{other}' (expected \"implies\" or \"functional\")"
+                ))),
+            }
+        })();
+        match parsed {
+            Ok(rule) => {
+                if let Rule::Implies {
+                    premise,
+                    conclusion,
+                    ..
+                } = &rule
+                {
+                    edges
+                        .entry(premise.clone())
+                        .or_default()
+                        .push(conclusion.clone());
+                }
+                engine = engine.with_rule(rule);
+                report.accepted += 1;
+            }
+            Err(e) if opts.is_lenient() => report.quarantine(e, &raw),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((engine, report))
 }
 
 #[cfg(test)]
@@ -289,5 +459,76 @@ mod tests {
             threshold: 1.0,
         });
         assert_eq!(engine.apply(&mut r).unwrap(), 0);
+    }
+
+    #[test]
+    fn rules_loader_accepts_clean_documents() {
+        let doc = r#"{ "rules": [
+            { "type": "implies", "premise": "livesIn Tokyo",
+              "conclusion": "livesIn Japan", "threshold": 1.0 },
+            { "type": "implies", "premise": "livesIn Japan",
+              "conclusion": "livesIn Asia" },
+            { "type": "functional", "prefix": "livesIn " }
+        ] }"#;
+        let (engine, report) = rules_from_json(doc, LoadOptions::Strict).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(engine.rules().len(), 3);
+        assert!(matches!(
+            &engine.rules()[1],
+            Rule::Implies { threshold, .. } if *threshold == 1.0
+        ));
+        let mut r = repo();
+        assert!(engine.apply(&mut r).unwrap() > 0, "loaded rules fire");
+    }
+
+    #[test]
+    fn rules_loader_rejects_cycles() {
+        let doc = r#"{ "rules": [
+            { "type": "implies", "premise": "a", "conclusion": "b" },
+            { "type": "implies", "premise": "b", "conclusion": "c" },
+            { "type": "implies", "premise": "c", "conclusion": "a" },
+            { "type": "implies", "premise": "d", "conclusion": "d" }
+        ] }"#;
+        let (engine, report) = rules_from_json(doc, LoadOptions::Lenient).unwrap();
+        assert_eq!(
+            report.accepted, 2,
+            "a=>b and b=>c stand; c=>a and d=>d close cycles"
+        );
+        assert_eq!(report.quarantined_count(), 2);
+        for q in &report.quarantined {
+            assert!(matches!(q.error.kind, DataErrorKind::Cycle { .. }));
+        }
+        assert_eq!(engine.rules().len(), 2);
+        let err = rules_from_json(doc, LoadOptions::Strict).unwrap_err();
+        assert!(matches!(err.kind, DataErrorKind::Cycle { .. }));
+        assert_eq!(err.provenance.record, Some(2));
+    }
+
+    #[test]
+    fn rules_loader_validates_thresholds_and_schema() {
+        let doc = r#"{ "rules": [
+            { "type": "implies", "premise": "a", "conclusion": "b", "threshold": 1.5 },
+            { "type": "implies", "premise": "a" },
+            { "type": "functional", "prefix": "" },
+            { "type": "teleport", "from": "a" },
+            { "type": "functional", "prefix": "livesIn " }
+        ] }"#;
+        let (engine, report) = rules_from_json(doc, LoadOptions::Lenient).unwrap();
+        assert_eq!(report.accepted, 1);
+        assert_eq!(report.quarantined_count(), 4);
+        assert!(matches!(
+            report.quarantined[0].error.kind,
+            DataErrorKind::BadScore { .. }
+        ));
+        assert_eq!(engine.rules().len(), 1);
+        assert!(rules_from_json(doc, LoadOptions::Strict).is_err());
+    }
+
+    #[test]
+    fn rules_loader_document_faults_fatal_in_both_modes() {
+        for doc in ["{}", "{ \"rules\": { } }", "not json at all"] {
+            assert!(rules_from_json(doc, LoadOptions::Strict).is_err());
+            assert!(rules_from_json(doc, LoadOptions::Lenient).is_err());
+        }
     }
 }

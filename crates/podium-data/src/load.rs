@@ -1,0 +1,323 @@
+//! Shared types of the fault-tolerant ingestion layer.
+//!
+//! Real opinion-procurement inputs are noisy: truncated uploads, NaN
+//! scores, duplicated user rows, dangling taxonomy references. A loader
+//! facing such data can either abort ([`LoadOptions::Strict`]) or salvage
+//! everything salvageable while setting aside the defective records
+//! ([`LoadOptions::Lenient`]). Every loader in this crate threads the same
+//! vocabulary: a [`DataError`] describes *what* broke and *where*
+//! ([`Provenance`]), and a [`LoadReport`] accounts for every record the
+//! lenient path accepted or quarantined.
+//!
+//! Two guarantees hold in both modes:
+//!
+//! * **Atomic record commit** — a record is validated in full before any of
+//!   it is written to the repository, so a quarantined record leaves no
+//!   partial state behind.
+//! * **Document-level faults stay fatal** — a file whose envelope is
+//!   unusable (no `users` array, missing CSV header) errors in Lenient mode
+//!   too; quarantining is a record-level policy, not error suppression.
+
+use podium_core::error::CoreError;
+
+/// How a loader reacts to defective records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadOptions {
+    /// Fail the whole load on the first defective record (the historical
+    /// behavior of the plain loaders).
+    #[default]
+    Strict,
+    /// Quarantine defective records into the [`LoadReport`] and keep
+    /// loading the rest.
+    Lenient,
+}
+
+impl LoadOptions {
+    /// Whether defective records are quarantined rather than fatal.
+    #[inline]
+    pub fn is_lenient(self) -> bool {
+        matches!(self, LoadOptions::Lenient)
+    }
+}
+
+/// Where a defective record came from — enough context to find it in the
+/// source document with a text editor.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Provenance {
+    /// Which loader produced the error (e.g. `"json profiles"`).
+    pub source: &'static str,
+    /// 0-based record index within the document, for record-shaped faults.
+    pub record: Option<usize>,
+    /// 1-based line number in the source text, when derivable.
+    pub line: Option<usize>,
+    /// The record's user/category/rule name, when one was parsed.
+    pub name: Option<String>,
+}
+
+impl Provenance {
+    /// A document-level provenance (no specific record).
+    pub fn document(source: &'static str) -> Self {
+        Self {
+            source,
+            ..Self::default()
+        }
+    }
+
+    /// Provenance for record `record` of `source`.
+    pub fn record(source: &'static str, record: usize) -> Self {
+        Self {
+            source,
+            record: Some(record),
+            ..Self::default()
+        }
+    }
+
+    /// Attaches a 1-based line number.
+    pub fn at_line(mut self, line: usize) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// Attaches the parsed record name.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.source)?;
+        if let Some(r) = self.record {
+            write!(f, ", record {r}")?;
+        }
+        if let Some(l) = self.line {
+            write!(f, ", line {l}")?;
+        }
+        if let Some(n) = &self.name {
+            write!(f, " ({n})")?;
+        }
+        Ok(())
+    }
+}
+
+/// What exactly went wrong with a document or record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataErrorKind {
+    /// The document or record is not syntactically parseable (malformed
+    /// JSON, unterminated CSV quote, truncated tail).
+    Syntax {
+        /// Parser message.
+        message: String,
+    },
+    /// The record parses but lacks a required field or has a wrongly-typed
+    /// one.
+    Schema {
+        /// What is missing or mistyped.
+        message: String,
+    },
+    /// A score cell failed validation: unparseable, non-finite, or outside
+    /// the normalized `[0, 1]` range.
+    BadScore {
+        /// Property label the score was destined for.
+        property: String,
+        /// The offending raw cell/value text.
+        value: String,
+    },
+    /// A record reuses an already-accepted user or category name. The first
+    /// occurrence wins; later ones are defective.
+    Duplicate {
+        /// The reused name.
+        name: String,
+    },
+    /// A record references an entity that does not resolve (a taxonomy
+    /// parent that is never defined, a review pointing at a destination
+    /// outside the corpus).
+    UnknownReference {
+        /// The dangling reference.
+        reference: String,
+    },
+    /// Accepting the record would close a cycle (taxonomy parent chains,
+    /// implication rules), making fixpoint semantics ill-defined.
+    Cycle {
+        /// A description of the cycle being closed.
+        description: String,
+    },
+    /// An error bubbled up from the core repository layer.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for DataErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataErrorKind::Syntax { message } => write!(f, "syntax error: {message}"),
+            DataErrorKind::Schema { message } => write!(f, "schema error: {message}"),
+            DataErrorKind::BadScore { property, value } => {
+                write!(f, "bad score '{value}' for '{property}'")
+            }
+            DataErrorKind::Duplicate { name } => write!(f, "duplicate name '{name}'"),
+            DataErrorKind::UnknownReference { reference } => {
+                write!(f, "unresolved reference '{reference}'")
+            }
+            DataErrorKind::Cycle { description } => write!(f, "cycle: {description}"),
+            DataErrorKind::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// A structured ingestion error: a defect kind plus the provenance needed
+/// to locate the offending record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataError {
+    /// What went wrong.
+    pub kind: DataErrorKind,
+    /// Where it came from.
+    pub provenance: Provenance,
+}
+
+impl DataError {
+    /// Builds an error from its parts.
+    pub fn new(kind: DataErrorKind, provenance: Provenance) -> Self {
+        Self { kind, provenance }
+    }
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]", self.kind, self.provenance)
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<CoreError> for DataError {
+    fn from(e: CoreError) -> Self {
+        DataError::new(DataErrorKind::Core(e), Provenance::default())
+    }
+}
+
+/// One record set aside by a lenient load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedRecord {
+    /// Why the record was rejected.
+    pub error: DataError,
+    /// A short excerpt of the raw record text (truncated), for debugging
+    /// without re-opening the source file.
+    pub snippet: String,
+}
+
+/// Maximum stored snippet length — quarantine entries must stay cheap even
+/// when a fault produces a megabyte-sized "record".
+const SNIPPET_MAX: usize = 120;
+
+impl QuarantinedRecord {
+    /// Builds an entry, truncating `raw` to a short snippet on a char
+    /// boundary.
+    pub fn new(error: DataError, raw: &str) -> Self {
+        let mut snippet: String = raw.trim().chars().take(SNIPPET_MAX).collect();
+        if snippet.len() < raw.trim().len() {
+            snippet.push('…');
+        }
+        Self { error, snippet }
+    }
+}
+
+/// The outcome accounting of a load: how many records were committed and
+/// which were quarantined. Strict loads that succeed return an empty
+/// quarantine by construction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadReport {
+    /// Number of records fully validated and committed.
+    pub accepted: usize,
+    /// Records set aside, in document order.
+    pub quarantined: Vec<QuarantinedRecord>,
+}
+
+impl LoadReport {
+    /// Whether every record was accepted.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// Number of quarantined records.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// Records a quarantined record.
+    pub(crate) fn quarantine(&mut self, error: DataError, raw: &str) {
+        self.quarantined.push(QuarantinedRecord::new(error, raw));
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} accepted, {} quarantined",
+            self.accepted,
+            self.quarantined.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provenance_display_is_complete() {
+        let p = Provenance::record("json profiles", 3)
+            .at_line(12)
+            .named("Eve");
+        let s = p.to_string();
+        assert!(s.contains("json profiles"));
+        assert!(s.contains("record 3"));
+        assert!(s.contains("line 12"));
+        assert!(s.contains("Eve"));
+    }
+
+    #[test]
+    fn data_error_display_includes_kind_and_provenance() {
+        let e = DataError::new(
+            DataErrorKind::BadScore {
+                property: "avgRating Thai".into(),
+                value: "NaN".into(),
+            },
+            Provenance::record("csv profiles", 0).at_line(2),
+        );
+        let s = e.to_string();
+        assert!(s.contains("NaN"), "{s}");
+        assert!(s.contains("line 2"), "{s}");
+    }
+
+    #[test]
+    fn snippets_are_truncated() {
+        let long = "x".repeat(500);
+        let q = QuarantinedRecord::new(
+            DataError::new(
+                DataErrorKind::Syntax {
+                    message: "bad".into(),
+                },
+                Provenance::document("json profiles"),
+            ),
+            &long,
+        );
+        assert!(q.snippet.chars().count() <= SNIPPET_MAX + 1);
+        assert!(q.snippet.ends_with('…'));
+    }
+
+    #[test]
+    fn report_summary_counts() {
+        let mut r = LoadReport::default();
+        assert!(r.is_clean());
+        r.accepted = 7;
+        r.quarantine(
+            DataError::new(
+                DataErrorKind::Duplicate { name: "Bob".into() },
+                Provenance::record("json profiles", 4),
+            ),
+            "{ \"name\": \"Bob\" }",
+        );
+        assert_eq!(r.quarantined_count(), 1);
+        assert_eq!(r.summary(), "7 accepted, 1 quarantined");
+    }
+}

@@ -296,7 +296,8 @@ impl SynthDataset {
             &self.taxonomy,
             &self.config.derive,
             exclude,
-        );
+        )
+        .expect("synthetic corpus is internally consistent");
         repo
     }
 

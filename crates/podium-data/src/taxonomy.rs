@@ -5,7 +5,12 @@
 //! counts toward *Latin* cuisine and any higher ancestor, which is how the
 //! dataset generators derive enriched aggregate properties.
 
+use std::collections::{HashMap, HashSet};
+
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
+
+use crate::load::{DataError, DataErrorKind, LoadOptions, LoadReport, Provenance};
 
 /// Identifier of a taxonomy category (dense index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -60,7 +65,21 @@ impl Taxonomy {
     /// # Panics
     /// Panics if `parent` does not exist.
     pub fn add_child(&mut self, parent: CategoryId, name: impl Into<String>) -> CategoryId {
-        assert!(parent.index() < self.nodes.len(), "unknown parent category");
+        self.try_add_child(parent, name)
+            .expect("unknown parent category")
+    }
+
+    /// Adds a child of `parent`, returning `None` instead of panicking when
+    /// `parent` does not exist. This is the ingestion-safe variant used by
+    /// [`taxonomy_from_json`].
+    pub fn try_add_child(
+        &mut self,
+        parent: CategoryId,
+        name: impl Into<String>,
+    ) -> Option<CategoryId> {
+        if parent.index() >= self.nodes.len() {
+            return None;
+        }
         let id = CategoryId::from_index(self.nodes.len());
         self.nodes.push(Node {
             name: name.into(),
@@ -68,7 +87,7 @@ impl Taxonomy {
             children: Vec::new(),
         });
         self.nodes[parent.index()].children.push(id);
-        id
+        Some(id)
     }
 
     /// Number of categories.
@@ -166,6 +185,234 @@ impl Taxonomy {
     }
 }
 
+/// Loader source tag for [`Provenance`].
+const SOURCE: &str = "taxonomy";
+
+/// One parsed-but-not-yet-committed category record.
+struct Candidate {
+    record: usize,
+    name: String,
+    parent: Option<String>,
+    raw: String,
+}
+
+/// How a candidate's parent chain resolves.
+#[derive(Clone, Copy, PartialEq)]
+enum Resolution {
+    Unvisited,
+    Rooted,
+    Unknown,
+    Cyclic,
+}
+
+/// Loads a taxonomy from the JSON interchange format:
+///
+/// ```json
+/// { "categories": [ { "name": "Latin", "parent": "Food" },
+///                   { "name": "Food" } ] }
+/// ```
+///
+/// Forward references are allowed — a child may appear before its parent.
+/// Defective records (missing `name`, duplicate names, parents that are
+/// never defined, parent chains that form a cycle) are fatal under
+/// [`LoadOptions::Strict`] and quarantined under [`LoadOptions::Lenient`].
+/// A record whose ancestry passes through a cyclic or undefined parent is
+/// itself unresolvable and is quarantined with the matching kind. A missing
+/// or non-array `categories` key is a document-level fault, fatal in both
+/// modes.
+pub fn taxonomy_from_json(
+    text: &str,
+    opts: LoadOptions,
+) -> Result<(Taxonomy, LoadReport), DataError> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| {
+        DataError::new(
+            DataErrorKind::Syntax {
+                message: e.to_string(),
+            },
+            Provenance::document(SOURCE).at_line(e.line()),
+        )
+    })?;
+    let records = doc
+        .get("categories")
+        .and_then(Value::as_array)
+        .ok_or_else(|| {
+            DataError::new(
+                DataErrorKind::Schema {
+                    message: "no \"categories\" array found in document".into(),
+                },
+                Provenance::document(SOURCE),
+            )
+        })?;
+
+    let mut report = LoadReport::default();
+    let mut defects: Vec<(DataError, String)> = Vec::new();
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    for (i, rec) in records.iter().enumerate() {
+        let raw = serde_json::to_string(rec).unwrap_or_default();
+        let prov = Provenance::record(SOURCE, i);
+        let parsed = (|| {
+            let obj_err = || {
+                DataError::new(
+                    DataErrorKind::Schema {
+                        message: "category record is not an object with a string \"name\"".into(),
+                    },
+                    prov.clone(),
+                )
+            };
+            if !rec.is_object() {
+                return Err(obj_err());
+            }
+            let name = rec
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(obj_err)?;
+            let parent = match rec.get("parent") {
+                None | Some(Value::Null) => None,
+                Some(p) => Some(
+                    p.as_str()
+                        .ok_or_else(|| {
+                            DataError::new(
+                                DataErrorKind::Schema {
+                                    message: "\"parent\" must be a string or null".into(),
+                                },
+                                prov.clone().named(name),
+                            )
+                        })?
+                        .to_owned(),
+                ),
+            };
+            if !seen.insert(name.to_owned()) {
+                return Err(DataError::new(
+                    DataErrorKind::Duplicate {
+                        name: name.to_owned(),
+                    },
+                    prov.clone().named(name),
+                ));
+            }
+            Ok(Candidate {
+                record: i,
+                name: name.to_owned(),
+                parent,
+                raw: raw.clone(),
+            })
+        })();
+        match parsed {
+            Ok(c) => candidates.push(c),
+            Err(e) => defects.push((e, raw)),
+        }
+    }
+
+    // Resolve every candidate's parent chain. Names may reference records
+    // in any order, so resolution is a memoized walk over the candidate
+    // set, flagging chains that leave it (Unknown) or revisit themselves
+    // (Cyclic).
+    let index: HashMap<&str, usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.name.as_str(), i))
+        .collect();
+    let mut state = vec![Resolution::Unvisited; candidates.len()];
+    for start in 0..candidates.len() {
+        if state[start] != Resolution::Unvisited {
+            continue;
+        }
+        let mut chain = vec![start];
+        let mut on_chain: HashSet<usize> = [start].into();
+        let outcome = loop {
+            let cur = *chain.last().expect("chain is non-empty");
+            match state[cur] {
+                Resolution::Rooted => break Resolution::Rooted,
+                Resolution::Unknown => break Resolution::Unknown,
+                Resolution::Cyclic => break Resolution::Cyclic,
+                Resolution::Unvisited => {}
+            }
+            match &candidates[cur].parent {
+                None => break Resolution::Rooted,
+                Some(p) => match index.get(p.as_str()) {
+                    None => break Resolution::Unknown,
+                    Some(&next) if on_chain.contains(&next) => break Resolution::Cyclic,
+                    Some(&next) => {
+                        chain.push(next);
+                        on_chain.insert(next);
+                    }
+                },
+            }
+        };
+        for &i in &chain {
+            if state[i] == Resolution::Unvisited {
+                state[i] = outcome;
+            }
+        }
+    }
+    for (i, c) in candidates.iter().enumerate() {
+        let error = match state[i] {
+            Resolution::Rooted | Resolution::Unvisited => continue,
+            Resolution::Unknown => DataError::new(
+                DataErrorKind::UnknownReference {
+                    reference: c.parent.clone().unwrap_or_default(),
+                },
+                Provenance::record(SOURCE, c.record).named(&c.name),
+            ),
+            Resolution::Cyclic => DataError::new(
+                DataErrorKind::Cycle {
+                    description: format!("parent chain of '{}' never reaches a root", c.name),
+                },
+                Provenance::record(SOURCE, c.record).named(&c.name),
+            ),
+        };
+        defects.push((error, c.raw.clone()));
+    }
+
+    if let Some((first, _)) = defects
+        .iter()
+        .min_by_key(|(e, _)| e.provenance.record.unwrap_or(usize::MAX))
+    {
+        if !opts.is_lenient() {
+            return Err(first.clone());
+        }
+    }
+    defects.sort_by_key(|(e, _)| e.provenance.record.unwrap_or(usize::MAX));
+    for (e, raw) in defects {
+        report.quarantine(e, &raw);
+    }
+
+    // Commit rooted candidates in topological order: roots first, then
+    // children whose parent is already in the taxonomy, until no progress.
+    let mut taxonomy = Taxonomy::new();
+    let mut pending: Vec<&Candidate> = candidates
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| state[*i] == Resolution::Rooted)
+        .map(|(_, c)| c)
+        .collect();
+    while !pending.is_empty() {
+        let before = pending.len();
+        pending.retain(|c| match &c.parent {
+            None => {
+                taxonomy.add_root(&c.name);
+                report.accepted += 1;
+                false
+            }
+            Some(p) => match taxonomy.find(p) {
+                Some(pid) => {
+                    taxonomy
+                        .try_add_child(pid, &c.name)
+                        .expect("parent id came from find()");
+                    report.accepted += 1;
+                    false
+                }
+                None => true,
+            },
+        });
+        assert!(
+            pending.len() < before,
+            "rooted candidates must make topological progress"
+        );
+    }
+    Ok((taxonomy, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,5 +476,101 @@ mod tests {
     fn add_child_of_missing_parent_panics() {
         let mut t = Taxonomy::new();
         t.add_child(CategoryId(5), "orphan");
+    }
+
+    #[test]
+    fn try_add_child_of_missing_parent_is_none() {
+        let mut t = Taxonomy::new();
+        assert!(t.try_add_child(CategoryId(5), "orphan").is_none());
+        assert!(t.is_empty(), "failed insert leaves no partial state");
+    }
+
+    #[test]
+    fn json_loader_accepts_forward_references() {
+        let doc = r#"{ "categories": [
+            { "name": "Mexican", "parent": "Latin" },
+            { "name": "Latin", "parent": "Food" },
+            { "name": "Food" }
+        ] }"#;
+        let (t, report) = taxonomy_from_json(doc, LoadOptions::Strict).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.accepted, 3);
+        let mexican = t.find("Mexican").unwrap();
+        let latin = t.find("Latin").unwrap();
+        assert_eq!(t.parent(mexican), Some(latin));
+    }
+
+    #[test]
+    fn json_loader_quarantines_unknown_parent_and_descendants() {
+        let doc = r#"{ "categories": [
+            { "name": "Food" },
+            { "name": "Latin", "parent": "Fodo" },
+            { "name": "Mexican", "parent": "Latin" },
+            { "name": "Thai", "parent": "Food" }
+        ] }"#;
+        let (t, report) = taxonomy_from_json(doc, LoadOptions::Lenient).unwrap();
+        assert_eq!(report.accepted, 2, "Food and Thai survive");
+        assert_eq!(report.quarantined_count(), 2);
+        assert!(matches!(
+            &report.quarantined[0].error.kind,
+            DataErrorKind::UnknownReference { reference } if reference == "Fodo"
+        ));
+        assert!(
+            matches!(
+                &report.quarantined[1].error.kind,
+                DataErrorKind::UnknownReference { .. }
+            ),
+            "Mexican's chain passes through the defective Latin"
+        );
+        assert!(t.find("Latin").is_none());
+        let err = taxonomy_from_json(doc, LoadOptions::Strict).unwrap_err();
+        assert_eq!(err.provenance.record, Some(1));
+    }
+
+    #[test]
+    fn json_loader_detects_parent_cycles() {
+        let doc = r#"{ "categories": [
+            { "name": "Food" },
+            { "name": "A", "parent": "B" },
+            { "name": "B", "parent": "A" }
+        ] }"#;
+        let (t, report) = taxonomy_from_json(doc, LoadOptions::Lenient).unwrap();
+        assert_eq!(report.accepted, 1);
+        assert_eq!(report.quarantined_count(), 2);
+        for q in &report.quarantined {
+            assert!(matches!(q.error.kind, DataErrorKind::Cycle { .. }));
+        }
+        assert_eq!(t.len(), 1);
+        assert!(taxonomy_from_json(doc, LoadOptions::Strict).is_err());
+    }
+
+    #[test]
+    fn json_loader_quarantines_duplicates_and_schema_faults() {
+        let doc = r#"{ "categories": [
+            { "name": "Food" },
+            { "name": "Food" },
+            { "parent": "Food" },
+            "just a string"
+        ] }"#;
+        let (t, report) = taxonomy_from_json(doc, LoadOptions::Lenient).unwrap();
+        assert_eq!(report.accepted, 1);
+        assert_eq!(report.quarantined_count(), 3);
+        assert!(matches!(
+            &report.quarantined[0].error.kind,
+            DataErrorKind::Duplicate { name } if name == "Food"
+        ));
+        assert!(matches!(
+            report.quarantined[1].error.kind,
+            DataErrorKind::Schema { .. }
+        ));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn json_loader_document_faults_fatal_in_both_modes() {
+        for doc in ["{ \"cats\": [] }", "{ \"categories\": [ { \"name\":"] {
+            assert!(taxonomy_from_json(doc, LoadOptions::Strict).is_err());
+            assert!(taxonomy_from_json(doc, LoadOptions::Lenient).is_err());
+        }
     }
 }

@@ -1,0 +1,192 @@
+//! Property tests for the fault-tolerant ingestion layer.
+//!
+//! Three contracts, checked against seeded corruption from
+//! [`FaultInjector`] and against arbitrary byte-level mutation:
+//!
+//! * loaders never panic, whatever the input;
+//! * a corpus corrupted with `k` record-level faults loads under
+//!   `Lenient` with exactly `k` quarantine entries and `n - k` accepted
+//!   records;
+//! * the same corpus is rejected under `Strict` with a [`DataError`]
+//!   carrying record or line provenance.
+
+use podium_core::profile::UserRepository;
+use podium_data::csv::{profiles_from_csv_opts, profiles_to_csv};
+use podium_data::fault::{FaultInjector, FaultKind};
+use podium_data::json::{profiles_from_json_opts, profiles_to_json};
+use podium_data::load::LoadOptions;
+use proptest::prelude::*;
+
+/// A clean repository: `users` users, each with at least one in-range
+/// score, unique names.
+fn clean_repo(users: usize) -> UserRepository {
+    let mut repo = UserRepository::new();
+    for i in 0..users {
+        let u = repo.add_user(format!("u{i}"));
+        for j in 0..1 + i % 3 {
+            let p = repo.intern_property(format!("p{j}"));
+            repo.set_score(u, p, (1 + i + j) as f64 / (users + 4) as f64)
+                .unwrap();
+        }
+    }
+    repo
+}
+
+/// Decodes a bitmask into a distinct fault subset.
+fn faults_from_mask(mask: u8) -> Vec<FaultKind> {
+    FaultKind::ALL
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, f)| *f)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn json_quarantine_accounting_is_exact(
+        seed in 0u64..u64::MAX,
+        mask in 1u8..64,
+        extra in 1usize..6,
+    ) {
+        let faults = faults_from_mask(mask);
+        let k = faults.len();
+        let n = k + 1 + extra;
+        let clean = profiles_to_json(&clean_repo(n)).unwrap();
+        let corrupted = FaultInjector::new(seed)
+            .corrupt_json(&clean, &faults)
+            .expect("n >= k + 2 records makes every fault applicable");
+
+        let (repo, report) = profiles_from_json_opts(&corrupted, LoadOptions::Lenient)
+            .expect("record-level faults are never fatal in lenient mode");
+        prop_assert_eq!(report.quarantined_count(), k, "faults: {:?}", faults);
+        prop_assert_eq!(report.accepted, n - k);
+        prop_assert_eq!(repo.user_count(), n - k);
+
+        let err = profiles_from_json_opts(&corrupted, LoadOptions::Strict)
+            .expect_err("strict mode must reject a corrupted document");
+        prop_assert!(
+            err.provenance.record.is_some() || err.provenance.line.is_some(),
+            "strict error must carry provenance: {}", err
+        );
+    }
+
+    #[test]
+    fn csv_quarantine_accounting_is_exact(
+        seed in 0u64..u64::MAX,
+        mask in 1u8..64,
+        extra in 1usize..6,
+    ) {
+        let faults = faults_from_mask(mask);
+        let k = faults.len();
+        let n = k + 1 + extra;
+        let clean = profiles_to_csv(&clean_repo(n));
+        let corrupted = FaultInjector::new(seed)
+            .corrupt_csv(&clean, &faults)
+            .expect("n >= k + 2 rows makes every fault applicable");
+
+        let (repo, report) = profiles_from_csv_opts(&corrupted, LoadOptions::Lenient)
+            .expect("record-level faults are never fatal in lenient mode");
+        prop_assert_eq!(report.quarantined_count(), k, "faults: {:?}\n{}", faults, corrupted);
+        prop_assert_eq!(report.accepted, n - k);
+        prop_assert_eq!(repo.user_count(), n - k);
+
+        let err = profiles_from_csv_opts(&corrupted, LoadOptions::Strict)
+            .expect_err("strict mode must reject a corrupted document");
+        prop_assert!(
+            err.provenance.record.is_some() || err.provenance.line.is_some(),
+            "strict error must carry provenance: {}", err
+        );
+    }
+
+    #[test]
+    fn loaders_never_panic_under_arbitrary_mutation(
+        users in 1usize..8,
+        edits in prop::collection::vec((0usize..100_000, 0u8..3, 0u8..=255), 1..12),
+    ) {
+        let json = profiles_to_json(&clean_repo(users)).unwrap();
+        let csv = profiles_to_csv(&clean_repo(users));
+        for base in [json, csv] {
+            let mut bytes = base.into_bytes();
+            for &(pos, op, byte) in &edits {
+                if bytes.is_empty() {
+                    break;
+                }
+                let at = pos % bytes.len();
+                match op {
+                    0 => bytes[at] = byte,
+                    1 => bytes.insert(at, byte),
+                    _ => {
+                        bytes.remove(at);
+                    }
+                }
+            }
+            let mutated = String::from_utf8_lossy(&bytes).into_owned();
+            // Feed each mutant to BOTH loaders in both modes: no outcome is
+            // asserted beyond "returns instead of panicking".
+            for opts in [LoadOptions::Strict, LoadOptions::Lenient] {
+                let _ = profiles_from_json_opts(&mutated, opts);
+                let _ = profiles_from_csv_opts(&mutated, opts);
+            }
+        }
+    }
+
+    #[test]
+    fn structured_loaders_never_panic_under_arbitrary_mutation(
+        pick in 0u8..2,
+        edits in prop::collection::vec((0usize..100_000, 0u8..3, 0u8..=255), 1..12),
+    ) {
+        let base = if pick == 0 {
+            r#"{ "categories": [ { "name": "Food" }, { "name": "Latin", "parent": "Food" },
+                                 { "name": "Mexican", "parent": "Latin" } ] }"#
+        } else {
+            r#"{ "rules": [ { "type": "implies", "premise": "a", "conclusion": "b", "threshold": 0.5 },
+                            { "type": "functional", "prefix": "livesIn " } ] }"#
+        };
+        let mut bytes = base.as_bytes().to_vec();
+        for &(pos, op, byte) in &edits {
+            if bytes.is_empty() {
+                break;
+            }
+            let at = pos % bytes.len();
+            match op {
+                0 => bytes[at] = byte,
+                1 => bytes.insert(at, byte),
+                _ => {
+                    bytes.remove(at);
+                }
+            }
+        }
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        for opts in [LoadOptions::Strict, LoadOptions::Lenient] {
+            let _ = podium_data::taxonomy::taxonomy_from_json(&mutated, opts);
+            let _ = podium_data::inference::rules_from_json(&mutated, opts);
+        }
+    }
+}
+
+/// Deterministic spot check outside the proptest harness: all six faults
+/// at once, on both formats.
+#[test]
+fn full_fault_battery_round_trips() {
+    let n = 10;
+    let clean_json = profiles_to_json(&clean_repo(n)).unwrap();
+    let clean_csv = profiles_to_csv(&clean_repo(n));
+    for seed in 0..16 {
+        let j = FaultInjector::new(seed)
+            .corrupt_json(&clean_json, &FaultKind::ALL)
+            .unwrap();
+        let (_, report) = profiles_from_json_opts(&j, LoadOptions::Lenient).unwrap();
+        assert_eq!(report.quarantined_count(), 6, "seed {seed}");
+        assert_eq!(report.accepted, 4, "seed {seed}");
+
+        let c = FaultInjector::new(seed)
+            .corrupt_csv(&clean_csv, &FaultKind::ALL)
+            .unwrap();
+        let (_, report) = profiles_from_csv_opts(&c, LoadOptions::Lenient).unwrap();
+        assert_eq!(report.quarantined_count(), 6, "seed {seed}");
+        assert_eq!(report.accepted, 4, "seed {seed}");
+    }
+}

@@ -82,6 +82,34 @@ fn main() {
     );
     assert!(refined.users().contains(&bob), "feedback surfaced Bob");
 
+    // Round 3: bad requests surface as typed errors instead of panics or
+    // silently-empty selections, so an interactive client can explain the
+    // problem and recover. Asking for "must have high CheapEats" while also
+    // forbidding it is contradictory; a zero budget is a caller bug.
+    let contradictory = Feedback {
+        must_have: feedback.priority.clone(),
+        must_not: feedback.priority.clone(),
+        ..Feedback::default()
+    };
+    match fitted.select_with_feedback(2, &contradictory) {
+        Err(CoreError::ContradictoryFeedback(g)) => println!(
+            "\nrejected contradictory feedback: {} is both required and forbidden",
+            fitted.groups().label(g, &repo)
+        ),
+        other => panic!("expected ContradictoryFeedback, got {other:?}"),
+    }
+    match fitted.try_select(0) {
+        Err(CoreError::ZeroBudget) => {
+            println!("rejected zero-budget request; falling back to budget 1");
+            let fallback = fitted.try_select(1).expect("budget 1 is valid");
+            println!(
+                "  fallback selection: {{{}}}",
+                repo.user_name(fallback.users[0]).unwrap()
+            );
+        }
+        other => panic!("expected ZeroBudget, got {other:?}"),
+    }
+
     // Alternative selections via randomized weights (§10): perturb the LBS
     // weights and watch the tie structure produce different, equally good
     // subsets.

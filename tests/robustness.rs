@@ -1,0 +1,144 @@
+//! End-to-end robustness tests over a checked-in corruption corpus
+//! (`tests/corpus/`): real defective documents, loaded through the public
+//! facade in both Strict and Lenient modes.
+//!
+//! Each corpus file carries one characteristic defect:
+//!
+//! * `truncated.json` — upload cut off mid-record;
+//! * `nan_score.csv` — a NaN score cell;
+//! * `duplicate_user.json` — the same user name twice;
+//! * `cyclic_rules.json` — an implication chain that closes on itself.
+
+use podium::data::csv::profiles_from_csv_opts;
+use podium::data::inference::rules_from_json;
+use podium::data::json::profiles_from_json_opts;
+use podium::data::load::{DataErrorKind, LoadOptions};
+
+fn corpus(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn truncated_json_salvages_complete_records() {
+    let text = corpus("truncated.json");
+
+    let err = profiles_from_json_opts(&text, LoadOptions::Strict).unwrap_err();
+    assert!(matches!(err.kind, DataErrorKind::Syntax { .. }), "{err}");
+    assert!(
+        err.provenance.line.is_some(),
+        "strict rejection points at the break: {err}"
+    );
+
+    let (repo, report) = profiles_from_json_opts(&text, LoadOptions::Lenient).unwrap();
+    assert_eq!(report.accepted, 2, "Alice and Bob are intact");
+    assert_eq!(report.quarantined_count(), 1);
+    assert!(repo.user_by_name("Alice").is_some());
+    assert!(repo.user_by_name("Bob").is_some());
+    assert!(repo.user_by_name("Carol").is_none(), "truncated record");
+    let q = &report.quarantined[0];
+    assert!(matches!(q.error.kind, DataErrorKind::Syntax { .. }));
+    assert_eq!(q.error.provenance.record, Some(2));
+    assert!(
+        q.snippet.contains("Carol"),
+        "snippet aids debugging: {}",
+        q.snippet
+    );
+}
+
+#[test]
+fn nan_score_csv_quarantines_the_row() {
+    let text = corpus("nan_score.csv");
+
+    let err = profiles_from_csv_opts(&text, LoadOptions::Strict).unwrap_err();
+    match &err.kind {
+        DataErrorKind::BadScore { value, .. } => assert_eq!(value, "NaN"),
+        other => panic!("expected BadScore, got {other:?}"),
+    }
+    assert_eq!(err.provenance.line, Some(3), "1-based line of Bob's row");
+    assert_eq!(err.provenance.name.as_deref(), Some("Bob"));
+
+    let (repo, report) = profiles_from_csv_opts(&text, LoadOptions::Lenient).unwrap();
+    assert_eq!(report.accepted, 2);
+    assert_eq!(report.quarantined_count(), 1);
+    assert!(
+        repo.user_by_name("Bob").is_none(),
+        "atomic commit: no partial Bob"
+    );
+    let carol = repo.user_by_name("Carol").unwrap();
+    assert_eq!(
+        repo.profile(carol).unwrap().len(),
+        1,
+        "Carol's empty trailing cell means unknown, not zero"
+    );
+}
+
+#[test]
+fn duplicate_user_json_keeps_first_occurrence() {
+    let text = corpus("duplicate_user.json");
+
+    let err = profiles_from_json_opts(&text, LoadOptions::Strict).unwrap_err();
+    assert!(
+        matches!(&err.kind, DataErrorKind::Duplicate { name } if name == "Alice"),
+        "{err}"
+    );
+    assert_eq!(err.provenance.record, Some(2));
+
+    let (repo, report) = profiles_from_json_opts(&text, LoadOptions::Lenient).unwrap();
+    assert_eq!(report.accepted, 3);
+    assert_eq!(report.quarantined_count(), 1);
+    let alice = repo.user_by_name("Alice").unwrap();
+    let mex = repo.property_id("avgRating Mexican").unwrap();
+    assert_eq!(
+        repo.score(alice, mex),
+        Some(0.9),
+        "first occurrence wins; the duplicate's scores are not merged"
+    );
+}
+
+#[test]
+fn cyclic_rules_are_rejected_with_the_cycle_named() {
+    let text = corpus("cyclic_rules.json");
+
+    let err = rules_from_json(&text, LoadOptions::Strict).unwrap_err();
+    match &err.kind {
+        DataErrorKind::Cycle { description } => {
+            assert!(description.contains("livesIn Asia"), "{description}")
+        }
+        other => panic!("expected Cycle, got {other:?}"),
+    }
+    assert_eq!(
+        err.provenance.record,
+        Some(2),
+        "the rule that closes the loop"
+    );
+
+    let (engine, report) = rules_from_json(&text, LoadOptions::Lenient).unwrap();
+    assert_eq!(
+        report.accepted, 3,
+        "two implications and the functional rule"
+    );
+    assert_eq!(report.quarantined_count(), 1);
+
+    // The salvaged acyclic engine still runs to fixpoint.
+    let mut repo = podium::core::profile::UserRepository::new();
+    let u = repo.add_user("u");
+    let p = repo.intern_property("livesIn Tokyo");
+    repo.set_score(u, p, 1.0).unwrap();
+    let written = engine.apply(&mut repo).unwrap();
+    assert!(written >= 2, "Tokyo => Japan => Asia chain fires");
+}
+
+#[test]
+fn quarantined_load_feeds_selection_end_to_end() {
+    // The point of lenient mode: a damaged upload still produces a usable
+    // repository for the selection pipeline.
+    let (repo, report) =
+        profiles_from_json_opts(&corpus("truncated.json"), LoadOptions::Lenient).unwrap();
+    assert!(!report.is_clean());
+    let fitted = podium::core::pipeline::Podium::new().fit(&repo);
+    let sel = fitted.try_select(1).unwrap();
+    assert_eq!(sel.users.len(), 1);
+}
