@@ -36,6 +36,7 @@ const EXPERIMENTS: &[(&str, bool)] = &[
     ("optscale", true),
     ("bsweep", true),
     ("ablation", true),
+    ("serving", true),
     ("selftest-panic", false),
     ("selftest-slow", false),
 ];
@@ -112,7 +113,7 @@ fn usage(msg: &str) -> ! {
         "usage: experiments <id>[,<id>...] [--scale X] [--budget B] [--seed S] \
          [--timeout-secs T] [--status-file PATH]\n\
          ids: table2, fig3a, fig3b, fig3c, fig3d, fig4, fig5, fig6, approx, \
-         optscale, bsweep, ablation, selftest-panic, selftest-slow, all\n\
+         optscale, bsweep, ablation, serving, selftest-panic, selftest-slow, all\n\
          Each experiment runs panic-isolated: a failure is recorded in the \
          status file (JSONL) and the run continues; the exit code is \
          nonzero iff any experiment failed."
@@ -426,6 +427,26 @@ fn run_one(id: &str, args: &Args) {
         "ablation" => {
             header("Ablation: weight/coverage schemes, bucketing, eager vs lazy greedy");
             run_ablation(args.scale, args.budget, args.seed);
+        }
+        "serving" => {
+            header("Serving: sustained select throughput under live updates (podium-service)");
+            let report = podium_bench::serving_exp::run(args.scale, args.seed);
+            print!("{}", podium_bench::serving_exp::render(&report));
+            let row_path = std::path::Path::new("target/bench-serve.jsonl");
+            if let Some(dir) = row_path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(row_path)
+                .and_then(|mut f| writeln!(f, "{}", report.to_json()));
+            match appended {
+                Ok(()) => println!("recorded: {}", row_path.display()),
+                Err(e) => println!("could not record {}: {e}", row_path.display()),
+            }
+            assert_eq!(report.failed, 0, "no failed responses under load");
+            assert_eq!(report.inconsistent, 0, "no inconsistent responses");
         }
         "selftest-panic" => {
             header("isolation self-test: deliberate panic");

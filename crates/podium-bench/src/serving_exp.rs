@@ -1,0 +1,88 @@
+//! Serving-throughput experiment: sustained `select` load against the
+//! `podium-service` worker pool while a background writer streams profile
+//! updates (the paper's "executed multiple times, e.g., to incorporate
+//! data updates" setting, §9, run as an online service).
+//!
+//! This wraps [`podium_service::bench`]'s closed-loop generator in the
+//! experiment-driver conventions: a scale knob, a rendered table, and a
+//! JSONL row appended next to the other benchmark artifacts.
+
+use std::time::Duration;
+
+use podium_service::bench::{run_bench, BenchConfig, BenchReport};
+
+/// The driver's scaled configuration: `scale = 1` is the acceptance
+/// setting (10^4 users, budget 64, updates at 10 Hz).
+pub fn config_for(scale: f64, seed: u64) -> BenchConfig {
+    let base = BenchConfig::default();
+    BenchConfig {
+        users: ((base.users as f64 * scale) as usize).max(200),
+        duration: Duration::from_secs_f64((2.0 * scale).clamp(0.5, 10.0)),
+        seed,
+        ..base
+    }
+}
+
+/// Runs the closed loop under `config_for(scale, seed)`.
+pub fn run(scale: f64, seed: u64) -> BenchReport {
+    run_bench(&config_for(scale, seed))
+}
+
+/// Renders the report in the driver's table style.
+pub fn render(report: &BenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "repository: {} users, budget {}; {} clients over {} workers, updates {} Hz",
+        report.users, report.budget, report.clients, report.workers, report.update_hz
+    );
+    let _ = writeln!(
+        out,
+        "{:>12} {:>10} {:>10} {:>10} {:>10}",
+        "served", "req/s", "p50 us", "p99 us", "max us"
+    );
+    let _ = writeln!(
+        out,
+        "{:>12} {:>10.1} {:>10} {:>10} {:>10}",
+        report.served, report.throughput_rps, report.p50_us, report.p99_us, report.max_us
+    );
+    let _ = writeln!(
+        out,
+        "failed {}, overloaded {}, inconsistent {}; {} updates applied (final epoch {})",
+        report.failed,
+        report.overloaded,
+        report.inconsistent,
+        report.updates_applied,
+        report.final_epoch
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_config_stays_sane() {
+        let tiny = config_for(0.01, 7);
+        assert_eq!(tiny.users, 200, "floor applies");
+        assert_eq!(tiny.duration, Duration::from_secs_f64(0.5));
+        assert_eq!(tiny.seed, 7);
+        let full = config_for(1.0, 2020);
+        assert_eq!(full.users, 10_000);
+        assert_eq!(full.budget, 64);
+        assert_eq!(full.update_hz, 10);
+    }
+
+    #[test]
+    fn tiny_run_renders_clean() {
+        let report = run(0.01, 11);
+        let text = render(&report);
+        assert!(text.contains("repository: 200 users"), "{text}");
+        assert!(text.contains("failed 0,"), "{text}");
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.inconsistent, 0);
+        assert!(report.served > 0);
+    }
+}

@@ -81,6 +81,31 @@ pub(super) fn lazy_select<W: ScoreValue>(
         |candidates: &[u32], eval: &(dyn Fn(u32) -> W + Sync)| {
             candidates.iter().map(|&u| eval(u)).collect()
         },
+        None,
+    )
+    .0
+}
+
+/// Sequential CELF with an interrupt hook polled between greedy rounds —
+/// the deadline mechanism of serving callers. See
+/// [`super::lazy_select_deadline`] for the contract.
+pub(super) fn lazy_select_interruptible<W: ScoreValue>(
+    inst: &DiversificationInstance<'_, W>,
+    csr: &CsrGraph,
+    b: usize,
+    eligible: Option<&[bool]>,
+    should_stop: &mut dyn FnMut(usize) -> bool,
+) -> (Selection<W>, bool) {
+    lazy_core(
+        inst,
+        csr,
+        b,
+        eligible,
+        1,
+        |candidates: &[u32], eval: &(dyn Fn(u32) -> W + Sync)| {
+            candidates.iter().map(|&u| eval(u)).collect()
+        },
+        Some(should_stop),
     )
 }
 
@@ -101,7 +126,9 @@ pub(super) fn lazy_select_parallel<W: ScoreValue>(
         eligible,
         par::refresh_burst_cap(),
         |ids: &[u32], eval: &(dyn Fn(u32) -> W + Sync)| par::map_gains(ids, eval),
+        None,
     )
+    .0
 }
 
 /// The shared CELF loop, generic over the batch evaluation strategy.
@@ -109,6 +136,12 @@ pub(super) fn lazy_select_parallel<W: ScoreValue>(
 /// `evaluate(candidates, eval)` must return `eval(u)` for every candidate
 /// in input order; the sequential and scoped-thread strategies only differ
 /// in scheduling.
+///
+/// `interrupt`, when present, is polled with the number of committed
+/// selections before the initial scan and after every committed round; a
+/// `true` return stops the loop. The second component of the return value
+/// is `false` iff the loop was stopped early this way — the partial
+/// selection is still exactly the greedy prefix of the full run.
 fn lazy_core<W, E>(
     inst: &DiversificationInstance<'_, W>,
     csr: &CsrGraph,
@@ -116,7 +149,8 @@ fn lazy_core<W, E>(
     eligible: Option<&[bool]>,
     burst_cap: usize,
     evaluate: E,
-) -> Selection<W>
+    mut interrupt: Option<&mut dyn FnMut(usize) -> bool>,
+) -> (Selection<W>, bool)
 where
     W: ScoreValue,
     E: Fn(&[u32], &(dyn Fn(u32) -> W + Sync)) -> Vec<W>,
@@ -124,6 +158,15 @@ where
     let n = csr.user_count();
     if let Some(e) = eligible {
         assert_eq!(e.len(), n, "one eligibility flag per user");
+    }
+    if interrupt.as_mut().is_some_and(|stop| stop(0)) {
+        let sel = Selection::from_parts(
+            Vec::new(),
+            Vec::new(),
+            W::zero(),
+            vec![0u32; csr.group_count()],
+        );
+        return (sel, false);
     }
     let weights = inst.weights();
     let mut cov_rem: Vec<u32> = inst.covs().to_vec();
@@ -164,6 +207,7 @@ where
     let mut score = W::zero();
     let mut covered_counts = vec![0u32; csr.group_count()];
     let mut round = 0u32;
+    let mut completed = true;
 
     while users.len() < b {
         let Some(top) = heap.pop() else { break };
@@ -180,6 +224,10 @@ where
                 }
             }
             round += 1;
+            if users.len() < b && interrupt.as_mut().is_some_and(|stop| stop(users.len())) {
+                completed = false;
+                break;
+            }
             continue;
         }
         // Stale upper bound: refresh and reinsert. The classic cap-1 CELF
@@ -215,7 +263,10 @@ where
         }
     }
 
-    Selection::from_parts(users, gains, score, covered_counts)
+    (
+        Selection::from_parts(users, gains, score, covered_counts),
+        completed,
+    )
 }
 
 #[cfg(test)]
@@ -254,13 +305,49 @@ mod tests {
         let seq = |ids: &[u32], eval: &(dyn Fn(u32) -> f64 + Sync)| -> Vec<f64> {
             ids.iter().map(|&u| eval(u)).collect()
         };
-        let reference = lazy_core(&inst, &csr, 10, None, 1, seq);
+        let reference = lazy_core(&inst, &csr, 10, None, 1, seq, None).0;
         for cap in [2usize, 3, 7, 64, 4096] {
-            let sel = lazy_core(&inst, &csr, 10, None, cap, seq);
+            let sel = lazy_core(&inst, &csr, 10, None, cap, seq, None).0;
             assert_eq!(sel.users, reference.users, "cap {cap}");
             assert_eq!(sel.gains, reference.gains, "cap {cap}");
             assert_eq!(sel.score, reference.score, "cap {cap}");
             assert_eq!(sel.covered_counts, reference.covered_counts, "cap {cap}");
         }
+    }
+
+    /// Interrupting after `k` committed rounds must yield exactly the
+    /// uninterrupted selection's length-`k` greedy prefix.
+    #[test]
+    fn interrupt_yields_exact_greedy_prefix() {
+        let users = 25;
+        let memberships: Vec<Vec<UserId>> = (0..30)
+            .map(|g| {
+                (0..users)
+                    .filter(|u| (u * 7 + g * 3) % 5 == 0)
+                    .map(|u| UserId(u as u32))
+                    .collect()
+            })
+            .collect();
+        let groups = GroupSet::from_memberships(users, memberships);
+        let inst = DiversificationInstance::from_schemes(
+            &groups,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            8,
+        );
+        let csr = CsrGraph::from_group_set(&groups);
+        let full = lazy_select(&inst, &csr, 8, None);
+        for k in 0..full.users.len() {
+            let (partial, completed) =
+                lazy_select_interruptible(&inst, &csr, 8, None, &mut |done| done >= k);
+            assert!(!completed, "stop at {k} must report incompletion");
+            assert_eq!(partial.users, full.users[..k], "prefix at {k}");
+            assert_eq!(partial.gains, full.gains[..k], "gains at {k}");
+        }
+        let (all, completed) = lazy_select_interruptible(&inst, &csr, 8, None, &mut |_| false);
+        assert!(completed);
+        assert_eq!(all.users, full.users);
+        assert_eq!(all.score, full.score);
+        assert_eq!(all.covered_counts, full.covered_counts);
     }
 }

@@ -142,6 +142,53 @@ impl<'i, W: ScoreValue> SelectionEngine<'i, W> {
     }
 }
 
+/// Sequential CELF lazy greedy against a caller-provided, prebuilt CSR
+/// graph — the entry point for serving layers that keep one [`CsrGraph`]
+/// per repository snapshot and select from it across many requests without
+/// paying the `O(|V| + |E|)` rebuild that [`SelectionEngine::new`] performs.
+///
+/// `csr` must have been built from `inst.groups()` (or an equivalent
+/// member-list ordering); this is checked under debug assertions.
+pub fn lazy_select_csr<W: ScoreValue>(
+    inst: &DiversificationInstance<'_, W>,
+    csr: &CsrGraph,
+    b: usize,
+    eligible: Option<&[bool]>,
+) -> Selection<W> {
+    debug_assert_eq!(csr.user_count(), inst.user_count(), "csr/instance users");
+    debug_assert_eq!(
+        csr.group_count(),
+        inst.groups().len(),
+        "csr/instance groups"
+    );
+    lazy::lazy_select(inst, csr, b, eligible)
+}
+
+/// [`lazy_select_csr`] with a deadline hook: `should_stop(selected)` is
+/// polled before the initial candidate scan and after every committed
+/// greedy round, with the number of users selected so far. Returning
+/// `true` stops the run; the returned flag is `false` iff that happened.
+///
+/// An interrupted selection is still exactly the greedy *prefix* of the
+/// full run — submodularity gives it the usual `(1 − 1/e)` guarantee for
+/// its own (smaller) budget — so serving callers can either return the
+/// partial result marked as truncated or map it to a deadline error.
+pub fn lazy_select_deadline<W: ScoreValue>(
+    inst: &DiversificationInstance<'_, W>,
+    csr: &CsrGraph,
+    b: usize,
+    eligible: Option<&[bool]>,
+    should_stop: &mut dyn FnMut(usize) -> bool,
+) -> (Selection<W>, bool) {
+    debug_assert_eq!(csr.user_count(), inst.user_count(), "csr/instance users");
+    debug_assert_eq!(
+        csr.group_count(),
+        inst.groups().len(),
+        "csr/instance groups"
+    );
+    lazy::lazy_select_interruptible(inst, csr, b, eligible, should_stop)
+}
+
 /// Crate-internal one-shot helpers for the delegating legacy entry points
 /// (they build the CSR graph per call; the engine type amortizes it).
 pub(crate) fn eager_once<W: ScoreValue>(
@@ -274,6 +321,28 @@ mod tests {
             assert!(!sel.contains(UserId(0)));
             assert!(!sel.contains(UserId(4)));
         }
+    }
+
+    #[test]
+    fn csr_reuse_entry_point_matches_engine() {
+        let g = random_groups(7, 25, 40);
+        let inst = DiversificationInstance::from_schemes(
+            &g,
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            6,
+        );
+        let engine = SelectionEngine::new(&inst);
+        let via_engine = engine.lazy(6, None);
+        let csr = CsrGraph::from_group_set(&g);
+        let via_csr = lazy_select_csr(&inst, &csr, 6, None);
+        assert_eq!(via_csr, via_engine);
+        let (complete, finished) = lazy_select_deadline(&inst, &csr, 6, None, &mut |_| false);
+        assert!(finished);
+        assert_eq!(complete, via_engine);
+        let (truncated, finished) = lazy_select_deadline(&inst, &csr, 6, None, &mut |k| k >= 2);
+        assert!(!finished);
+        assert_eq!(truncated.users, via_engine.users[..2]);
     }
 
     #[test]

@@ -159,6 +159,52 @@ impl GroupSet {
         }
     }
 
+    /// In-place counterpart of [`GroupSet::from_simple_memberships`]:
+    /// rebuilds `self` from borrowed `(property, bucket, members)` triples,
+    /// reusing the existing `groups` and `user_groups` allocations. The
+    /// same preconditions apply — ascending `(property, bucket)` order,
+    /// non-empty sorted deduplicated member lists.
+    ///
+    /// This is the allocation-churn fix for writers that materialize a
+    /// fresh snapshot per published epoch
+    /// ([`crate::incremental::IncrementalGroups::snapshot_into`]): member
+    /// vectors and reverse-link vectors retain their capacity across
+    /// epochs instead of being reallocated from scratch.
+    pub fn assign_simple_memberships<'m>(
+        &mut self,
+        user_count: usize,
+        triples: impl Iterator<Item = (PropertyId, BucketIdx, &'m [UserId])>,
+        buckets: &PropertyBuckets,
+    ) {
+        self.buckets.clone_from(buckets);
+        self.user_groups.truncate(user_count);
+        for links in &mut self.user_groups {
+            links.clear();
+        }
+        self.user_groups.resize_with(user_count, Vec::new);
+        let mut count = 0usize;
+        for (property, bucket, members) in triples {
+            debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+            debug_assert!(!members.is_empty(), "empty groups are dropped");
+            let gid = GroupId::from_index(count);
+            for &u in members {
+                self.user_groups[u.index()].push(gid);
+            }
+            if let Some(slot) = self.groups.get_mut(count) {
+                slot.kind = GroupKind::Simple { property, bucket };
+                slot.members.clear();
+                slot.members.extend_from_slice(members);
+            } else {
+                self.groups.push(SimpleGroup {
+                    kind: GroupKind::Simple { property, bucket },
+                    members: members.to_vec(),
+                });
+            }
+            count += 1;
+        }
+        self.groups.truncate(count);
+    }
+
     /// Builds a group set directly from member lists (tests, synthetic
     /// instances such as the Set-Cover reduction of Proposition 4.1).
     pub fn from_memberships(user_count: usize, memberships: Vec<Vec<UserId>>) -> Self {

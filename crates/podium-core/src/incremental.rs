@@ -148,6 +148,30 @@ impl IncrementalGroups {
         GroupSet::from_simple_memberships(self.user_count, triples, self.buckets.clone())
     }
 
+    /// In-place variant of [`IncrementalGroups::snapshot`]: rebuilds `out`
+    /// from the current slots, reusing its member-vector and reverse-link
+    /// allocations. A writer that publishes one snapshot per epoch calls
+    /// this with the group set it is about to publish (or a recycled
+    /// retired one) instead of paying a full from-scratch rebuild when only
+    /// a few slots changed. The result compares group-for-group equal to
+    /// what [`IncrementalGroups::snapshot`] returns.
+    pub fn snapshot_into(&self, out: &mut GroupSet) {
+        let triples = self.slots.iter().enumerate().flat_map(|(p, buckets)| {
+            buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, members)| !members.is_empty())
+                .map(move |(b, members)| {
+                    (
+                        PropertyId::from_index(p),
+                        BucketIdx::from_index(b),
+                        members.as_slice(),
+                    )
+                })
+        });
+        out.assign_simple_memberships(self.user_count, triples, &self.buckets);
+    }
+
     /// Materializes the CSR adjacency of the current non-empty groups
     /// directly from the maintained slots — same group ordering as
     /// [`IncrementalGroups::snapshot`], without cloning the member lists
@@ -324,6 +348,49 @@ mod tests {
     fn invalid_score_panics() {
         let (_, _, mut inc) = setup();
         inc.update_score(UserId(0), PropertyId(0), Some(1.5));
+    }
+
+    /// `snapshot_into` must agree with `snapshot` both on a fresh target
+    /// and when overwriting a stale, differently-shaped target.
+    #[test]
+    fn snapshot_into_matches_snapshot() {
+        let (repo, _, mut inc) = setup();
+        let assert_same = |inc: &IncrementalGroups, out: &GroupSet| {
+            let fresh = inc.snapshot();
+            assert_eq!(out.len(), fresh.len(), "group counts");
+            assert_eq!(out.user_count(), fresh.user_count());
+            for ((ga, a), (_, b)) in out.iter().zip(fresh.iter()) {
+                assert_eq!(a.kind, b.kind, "kind of {ga}");
+                assert_eq!(a.members, b.members, "members of {ga}");
+            }
+            for u in 0..fresh.user_count() {
+                let u = UserId::from_index(u);
+                assert_eq!(out.groups_of(u), fresh.groups_of(u), "links of {u}");
+            }
+        };
+
+        let mut out = GroupSet::default();
+        inc.snapshot_into(&mut out);
+        assert_same(&inc, &out);
+
+        // Mutate: move Bob between buckets, add a user, drop a score, and
+        // reuse the previously-populated target.
+        let bob = repo.user_by_name("Bob").unwrap();
+        let mex = repo.property_id("avgRating Mexican").unwrap();
+        inc.update_score(bob, mex, Some(0.9));
+        let alice = repo.user_by_name("Alice").unwrap();
+        let tokyo = repo.property_id("livesIn Tokyo").unwrap();
+        inc.update_score(alice, tokyo, None);
+        let frank = inc.add_user();
+        inc.update_score(frank, mex, Some(0.15));
+        inc.snapshot_into(&mut out);
+        assert_same(&inc, &out);
+
+        // Shrink back below the reused target's size.
+        inc.update_score(frank, mex, None);
+        inc.update_score(bob, mex, None);
+        inc.snapshot_into(&mut out);
+        assert_same(&inc, &out);
     }
 
     #[test]

@@ -217,6 +217,21 @@ impl UserRepository {
         profile.set(p, score)
     }
 
+    /// Removes a score from a user's profile, returning the previous value
+    /// if one was set. Removing an absent score is a no-op (`Ok(None)`) —
+    /// the counterpart of [`Profile::remove`] at the repository level, used
+    /// by update streams that retract opinions.
+    pub fn remove_score(&mut self, u: UserId, p: PropertyId) -> Result<Option<f64>> {
+        if p.index() >= self.property_names.len() {
+            return Err(CoreError::UnknownProperty(p));
+        }
+        let profile = self
+            .profiles
+            .get_mut(u.index())
+            .ok_or(CoreError::UnknownUser(u))?;
+        Ok(profile.remove(p))
+    }
+
     /// Reads a score, if the property is known for the user.
     pub fn score(&self, u: UserId, p: PropertyId) -> Option<f64> {
         self.profiles.get(u.index()).and_then(|pr| pr.score(p))

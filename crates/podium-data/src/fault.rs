@@ -241,6 +241,243 @@ impl FaultInjector {
     }
 }
 
+/// One class of corruption for the *structured* JSON documents (taxonomy
+/// and inference rules), applied by [`FaultInjector::corrupt_taxonomy`]
+/// and [`FaultInjector::corrupt_rules`]. Same one-fault / one-record
+/// contract as [`FaultKind`]: the corrupted document stays valid JSON and
+/// each fault defects exactly one record, so `k` faults quarantine
+/// exactly `k` records under Lenient and fail Strict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructuredFault {
+    /// Remove/mangle a required field (`name` for taxonomy records,
+    /// `premise`/`prefix` for rules).
+    MissingField,
+    /// Rename one taxonomy category to collide with the first record's
+    /// name. Taxonomy only.
+    DuplicateName,
+    /// Point one category's `parent` at a name defined nowhere. Taxonomy
+    /// only.
+    UnknownReference,
+    /// Close a cycle: a category becomes its own parent; an implication's
+    /// conclusion becomes its premise.
+    CycleEdge,
+    /// Set an implication's `threshold` far outside `[0, 1]`. Rules only.
+    BadThreshold,
+    /// Set a rule's `type` to an unknown discriminator. Rules only.
+    WrongType,
+}
+
+impl StructuredFault {
+    /// Faults applicable to taxonomy documents.
+    pub const TAXONOMY: [StructuredFault; 4] = [
+        StructuredFault::MissingField,
+        StructuredFault::DuplicateName,
+        StructuredFault::UnknownReference,
+        StructuredFault::CycleEdge,
+    ];
+    /// Faults applicable to inference-rule documents.
+    pub const RULES: [StructuredFault; 4] = [
+        StructuredFault::MissingField,
+        StructuredFault::BadThreshold,
+        StructuredFault::WrongType,
+        StructuredFault::CycleEdge,
+    ];
+}
+
+use serde::value::Value;
+
+/// Returns the string value of `key` in an object record.
+fn obj_str(rec: &Value, key: &str) -> Option<String> {
+    rec.get(key).and_then(Value::as_str).map(str::to_owned)
+}
+
+/// Sets (or inserts) `key` in an object record.
+fn obj_set(rec: &mut Value, key: &str, value: Value) -> Option<()> {
+    let Value::Object(pairs) = rec else {
+        return None;
+    };
+    match pairs.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = value,
+        None => pairs.push((key.to_owned(), value)),
+    }
+    Some(())
+}
+
+/// Renames `key` in an object record (making the original field missing).
+fn obj_rename_key(rec: &mut Value, key: &str, to: &str) -> Option<()> {
+    let Value::Object(pairs) = rec else {
+        return None;
+    };
+    let (k, _) = pairs.iter_mut().find(|(k, _)| k == key)?;
+    *k = to.to_owned();
+    Some(())
+}
+
+/// Removes `key` from an object record.
+fn obj_remove(rec: &mut Value, key: &str) -> Option<()> {
+    let Value::Object(pairs) = rec else {
+        return None;
+    };
+    let at = pairs.iter().position(|(k, _)| k == key)?;
+    pairs.remove(at);
+    Some(())
+}
+
+impl FaultInjector {
+    /// Corrupts a clean taxonomy JSON document (the format of
+    /// [`crate::taxonomy::taxonomy_from_json`]) with `faults`, one
+    /// distinct record per fault.
+    ///
+    /// Targets are restricted to records no other record references as a
+    /// parent — defecting a referenced category would cascade-quarantine
+    /// its whole subtree and break the `k` faults / `k` quarantines
+    /// contract. The first record is never targeted (it donates its name
+    /// for [`StructuredFault::DuplicateName`]). Returns `None` when the
+    /// document cannot honor the contract: a fault not in
+    /// [`StructuredFault::TAXONOMY`], or fewer unreferenced non-first
+    /// records than faults.
+    pub fn corrupt_taxonomy(&mut self, clean: &str, faults: &[StructuredFault]) -> Option<String> {
+        if faults
+            .iter()
+            .any(|f| !StructuredFault::TAXONOMY.contains(f))
+        {
+            return None;
+        }
+        let mut doc: Value = serde_json::from_str(clean).ok()?;
+        let records_ro = doc.get("categories")?.as_array()?;
+        let names: Vec<String> = records_ro
+            .iter()
+            .map(|r| obj_str(r, "name"))
+            .collect::<Option<_>>()?;
+        let referenced: Vec<String> = records_ro
+            .iter()
+            .filter_map(|r| obj_str(r, "parent"))
+            .collect();
+        let donor = names.first()?.clone();
+        // A parent name no record defines; lengthen until it cannot clash.
+        let mut missing = "__missing_parent__".to_owned();
+        while names.contains(&missing) {
+            missing.push('_');
+        }
+        let pool: Vec<usize> = (1..names.len())
+            .filter(|&i| !referenced.contains(&names[i]))
+            .collect();
+        let targets = self.pick_distinct(pool, faults.len())?;
+
+        let Value::Object(top) = &mut doc else {
+            return None;
+        };
+        let (_, Value::Array(records)) = top.iter_mut().find(|(k, _)| k == "categories")? else {
+            return None;
+        };
+        for (&fault, &t) in faults.iter().zip(&targets) {
+            let own_name = names[t].clone();
+            let rec = &mut records[t];
+            match fault {
+                StructuredFault::MissingField => obj_rename_key(rec, "name", "xame")?,
+                StructuredFault::DuplicateName => {
+                    obj_set(rec, "name", Value::String(donor.clone()))?
+                }
+                StructuredFault::UnknownReference => {
+                    obj_set(rec, "parent", Value::String(missing.clone()))?
+                }
+                StructuredFault::CycleEdge => obj_set(rec, "parent", Value::String(own_name))?,
+                _ => unreachable!("filtered above"),
+            }
+        }
+        serde_json::to_string_pretty(&doc).ok()
+    }
+
+    /// Corrupts a clean inference-rules JSON document (the format of
+    /// [`crate::inference::rules_from_json`]) with `faults`, one distinct
+    /// record per fault.
+    ///
+    /// Rules do not cascade (rejecting one rule never invalidates
+    /// another in a cycle-free document), so any record but the first is
+    /// a candidate; [`StructuredFault::BadThreshold`] and
+    /// [`StructuredFault::CycleEdge`] additionally need an `implies`
+    /// record. Constrained faults pick their targets first. Returns
+    /// `None` when a fault is not in [`StructuredFault::RULES`] or not
+    /// enough compatible records exist.
+    pub fn corrupt_rules(&mut self, clean: &str, faults: &[StructuredFault]) -> Option<String> {
+        if faults.iter().any(|f| !StructuredFault::RULES.contains(f)) {
+            return None;
+        }
+        let mut doc: Value = serde_json::from_str(clean).ok()?;
+        let records_ro = doc.get("rules")?.as_array()?;
+        let kinds: Vec<String> = records_ro
+            .iter()
+            .map(|r| obj_str(r, "type"))
+            .collect::<Option<_>>()?;
+        if faults.len() + 1 > kinds.len() {
+            return None;
+        }
+        // Assign implies-only faults first so unconstrained ones cannot
+        // starve them of targets.
+        let mut order: Vec<StructuredFault> = faults.to_vec();
+        order.sort_by_key(|f| {
+            !matches!(
+                f,
+                StructuredFault::BadThreshold | StructuredFault::CycleEdge
+            )
+        });
+        let mut free: Vec<usize> = (1..kinds.len()).collect();
+        let mut assignment: Vec<(usize, StructuredFault)> = Vec::with_capacity(order.len());
+        for fault in order {
+            let eligible: Vec<usize> = free
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    !matches!(
+                        fault,
+                        StructuredFault::BadThreshold | StructuredFault::CycleEdge
+                    ) || kinds[i] == "implies"
+                })
+                .collect();
+            if eligible.is_empty() {
+                return None;
+            }
+            let t = eligible[self.gen_range(eligible.len())];
+            free.retain(|&i| i != t);
+            assignment.push((t, fault));
+        }
+
+        let Value::Object(top) = &mut doc else {
+            return None;
+        };
+        let (_, Value::Array(records)) = top.iter_mut().find(|(k, _)| k == "rules")? else {
+            return None;
+        };
+        for (t, fault) in assignment {
+            let rec = &mut records[t];
+            match fault {
+                StructuredFault::MissingField => {
+                    let key = if kinds[t] == "implies" {
+                        "premise"
+                    } else {
+                        "prefix"
+                    };
+                    obj_remove(rec, key)?
+                }
+                StructuredFault::BadThreshold => obj_set(
+                    rec,
+                    "threshold",
+                    Value::Number(serde::value::Number::Float(42.5)),
+                )?,
+                StructuredFault::WrongType => {
+                    obj_set(rec, "type", Value::String("frobnicate".to_owned()))?
+                }
+                StructuredFault::CycleEdge => {
+                    let premise = obj_str(rec, "premise")?;
+                    obj_set(rec, "conclusion", Value::String(premise))?
+                }
+                _ => unreachable!("filtered above"),
+            }
+        }
+        serde_json::to_string_pretty(&doc).ok()
+    }
+}
+
 /// Extracts the value of the `"name"` field from a clean JSON record.
 fn json_name_value(record: &str) -> Option<String> {
     let (_, key_end) = find_string_token(record, "name")?;
@@ -427,5 +664,85 @@ mod tests {
         assert!(FaultInjector::new(0)
             .corrupt_json(&doc, &[FaultKind::NanScore, FaultKind::GarbageBytes])
             .is_none());
+    }
+
+    #[test]
+    fn each_taxonomy_fault_quarantines_exactly_one_record() {
+        let doc = crate::taxonomy::taxonomy_to_json(&crate::taxonomy::Taxonomy::generate(3, 3));
+        for fault in StructuredFault::TAXONOMY {
+            let corrupted = FaultInjector::new(5)
+                .corrupt_taxonomy(&doc, &[fault])
+                .unwrap_or_else(|| panic!("{fault:?} not applicable"));
+            let (_, report) = crate::taxonomy::taxonomy_from_json(&corrupted, LoadOptions::Lenient)
+                .unwrap_or_else(|e| panic!("{fault:?}: lenient load failed: {e}"));
+            assert_eq!(report.quarantined_count(), 1, "{fault:?}\n{corrupted}");
+            assert_eq!(report.accepted, 12, "{fault:?}");
+            assert!(
+                crate::taxonomy::taxonomy_from_json(&corrupted, LoadOptions::Strict).is_err(),
+                "{fault:?} must fail strict"
+            );
+        }
+    }
+
+    #[test]
+    fn each_rules_fault_quarantines_exactly_one_record() {
+        let mut engine = crate::inference::InferenceEngine::new();
+        for i in 0..6 {
+            engine = engine.with_rule(crate::inference::Rule::Implies {
+                premise: format!("p{i}"),
+                conclusion: format!("q{i}"),
+                threshold: 0.5,
+            });
+        }
+        engine = engine.with_rule(crate::inference::Rule::Functional {
+            prefix: "livesIn ".into(),
+        });
+        let doc = crate::inference::rules_to_json(&engine);
+        for fault in StructuredFault::RULES {
+            let corrupted = FaultInjector::new(5)
+                .corrupt_rules(&doc, &[fault])
+                .unwrap_or_else(|| panic!("{fault:?} not applicable"));
+            let (_, report) = crate::inference::rules_from_json(&corrupted, LoadOptions::Lenient)
+                .unwrap_or_else(|e| panic!("{fault:?}: lenient load failed: {e}"));
+            assert_eq!(report.quarantined_count(), 1, "{fault:?}\n{corrupted}");
+            assert_eq!(report.accepted, 6, "{fault:?}");
+            assert!(
+                crate::inference::rules_from_json(&corrupted, LoadOptions::Strict).is_err(),
+                "{fault:?} must fail strict"
+            );
+        }
+    }
+
+    #[test]
+    fn structured_faults_reject_wrong_document_kind() {
+        let taxonomy =
+            crate::taxonomy::taxonomy_to_json(&crate::taxonomy::Taxonomy::example_cuisines());
+        assert!(FaultInjector::new(0)
+            .corrupt_taxonomy(&taxonomy, &[StructuredFault::BadThreshold])
+            .is_none());
+        let rules = crate::inference::rules_to_json(
+            &crate::inference::InferenceEngine::new()
+                .with_rule(crate::inference::Rule::Functional { prefix: "x".into() }),
+        );
+        assert!(FaultInjector::new(0)
+            .corrupt_rules(&rules, &[StructuredFault::DuplicateName])
+            .is_none());
+        // Rules doc with no implies record cannot host an implies-only fault.
+        assert!(FaultInjector::new(0)
+            .corrupt_rules(&rules, &[StructuredFault::CycleEdge])
+            .is_none());
+    }
+
+    #[test]
+    fn structured_injection_is_deterministic() {
+        let doc = crate::taxonomy::taxonomy_to_json(&crate::taxonomy::Taxonomy::generate(4, 4));
+        let faults = [StructuredFault::CycleEdge, StructuredFault::MissingField];
+        let a = FaultInjector::new(3)
+            .corrupt_taxonomy(&doc, &faults)
+            .unwrap();
+        let b = FaultInjector::new(3)
+            .corrupt_taxonomy(&doc, &faults)
+            .unwrap();
+        assert_eq!(a, b);
     }
 }

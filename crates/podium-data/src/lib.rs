@@ -44,6 +44,7 @@ pub mod fault;
 pub mod inference;
 pub mod json;
 pub mod load;
+pub mod report;
 pub mod reviews;
 pub mod split;
 pub mod synth;
@@ -55,11 +56,14 @@ pub mod prelude {
     pub use crate::config::{ResolvedConfig, SelectionConfig};
     pub use crate::csv::{profiles_from_csv, profiles_from_csv_opts, profiles_to_csv};
     pub use crate::derive::{DeriveOptions, PropertyKinds};
-    pub use crate::fault::{FaultInjector, FaultKind};
+    pub use crate::fault::{FaultInjector, FaultKind, StructuredFault};
     pub use crate::inference::{rules_from_json, InferenceEngine, Rule};
     pub use crate::json::{profiles_from_json, profiles_from_json_opts, profiles_to_json};
     pub use crate::load::{
         DataError, DataErrorKind, LoadOptions, LoadReport, Provenance, QuarantinedRecord,
+    };
+    pub use crate::report::{
+        load_report, replay, save_report, ReplayFormat, ReplayOutcome, SavedReport,
     };
     pub use crate::reviews::{
         Destination, DestinationId, Review, ReviewCorpus, Sentiment, TopicId,

@@ -147,6 +147,23 @@ pub enum DataErrorKind {
     Core(CoreError),
 }
 
+impl DataErrorKind {
+    /// A stable machine-readable tag for the kind, used by persisted
+    /// quarantine reports ([`crate::report`]) and CLI output. These values
+    /// are part of the report format; do not repurpose them.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DataErrorKind::Syntax { .. } => "syntax",
+            DataErrorKind::Schema { .. } => "schema",
+            DataErrorKind::BadScore { .. } => "bad-score",
+            DataErrorKind::Duplicate { .. } => "duplicate",
+            DataErrorKind::UnknownReference { .. } => "unknown-reference",
+            DataErrorKind::Cycle { .. } => "cycle",
+            DataErrorKind::Core(_) => "core",
+        }
+    }
+}
+
 impl std::fmt::Display for DataErrorKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

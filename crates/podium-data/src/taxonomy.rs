@@ -413,9 +413,53 @@ pub fn taxonomy_from_json(
     Ok((taxonomy, report))
 }
 
+/// Writes a taxonomy to the JSON interchange format read by
+/// [`taxonomy_from_json`]. Categories are emitted in id order, which puts
+/// every parent before its children (construction order guarantees it),
+/// so the output round-trips under [`LoadOptions::Strict`].
+pub fn taxonomy_to_json(taxonomy: &Taxonomy) -> String {
+    let records: Vec<Value> = (0..taxonomy.len())
+        .map(CategoryId::from_index)
+        .map(|c| {
+            let mut pairs = vec![(
+                "name".to_owned(),
+                Value::String(taxonomy.name(c).to_owned()),
+            )];
+            if let Some(p) = taxonomy.parent(c) {
+                pairs.push((
+                    "parent".to_owned(),
+                    Value::String(taxonomy.name(p).to_owned()),
+                ));
+            }
+            Value::Object(pairs)
+        })
+        .collect();
+    let doc = Value::Object(vec![("categories".to_owned(), Value::Array(records))]);
+    serde_json::to_string_pretty(&doc).expect("taxonomy serialization is infallible")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn to_json_round_trips_strict() {
+        let t = Taxonomy::example_cuisines();
+        let doc = taxonomy_to_json(&t);
+        let (back, report) = taxonomy_from_json(&doc, LoadOptions::Strict).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(back.len(), t.len());
+        for i in 0..t.len() {
+            let c = CategoryId::from_index(i);
+            let b = back.find(t.name(c)).unwrap();
+            assert_eq!(
+                back.parent(b).map(|p| back.name(p)),
+                t.parent(c).map(|p| t.name(p)),
+                "parent of {}",
+                t.name(c)
+            );
+        }
+    }
 
     #[test]
     fn example_taxonomy_structure() {

@@ -12,9 +12,11 @@
 
 use podium_core::profile::UserRepository;
 use podium_data::csv::{profiles_from_csv_opts, profiles_to_csv};
-use podium_data::fault::{FaultInjector, FaultKind};
+use podium_data::fault::{FaultInjector, FaultKind, StructuredFault};
+use podium_data::inference::{rules_from_json, rules_to_json, InferenceEngine, Rule};
 use podium_data::json::{profiles_from_json_opts, profiles_to_json};
 use podium_data::load::LoadOptions;
+use podium_data::taxonomy::{taxonomy_from_json, taxonomy_to_json, Taxonomy};
 use proptest::prelude::*;
 
 /// A clean repository: `users` users, each with at least one in-range
@@ -40,6 +42,35 @@ fn faults_from_mask(mask: u8) -> Vec<FaultKind> {
         .filter(|(i, _)| mask & (1 << i) != 0)
         .map(|(_, f)| *f)
         .collect()
+}
+
+/// Decodes a bitmask into a distinct structured-fault subset.
+fn structured_from_mask(kinds: &[StructuredFault; 4], mask: u8) -> Vec<StructuredFault> {
+    kinds
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, f)| *f)
+        .collect()
+}
+
+/// A clean rules document: `implies` chain rules over disjoint labels (no
+/// cycles) plus `functional` family rules.
+fn clean_rules(implies: usize, functional: usize) -> String {
+    let mut engine = InferenceEngine::new();
+    for i in 0..implies {
+        engine = engine.with_rule(Rule::Implies {
+            premise: format!("p{i}"),
+            conclusion: format!("q{i}"),
+            threshold: 0.5,
+        });
+    }
+    for i in 0..functional {
+        engine = engine.with_rule(Rule::Functional {
+            prefix: format!("fam{i} "),
+        });
+    }
+    rules_to_json(&engine)
 }
 
 proptest! {
@@ -99,6 +130,90 @@ proptest! {
             err.provenance.record.is_some() || err.provenance.line.is_some(),
             "strict error must carry provenance: {}", err
         );
+    }
+
+    #[test]
+    fn taxonomy_quarantine_accounting_is_exact(
+        seed in 0u64..u64::MAX,
+        mask in 1u8..16,
+        regions in 2usize..5,
+        leaves in 2usize..5,
+    ) {
+        let faults = structured_from_mask(&StructuredFault::TAXONOMY, mask);
+        let k = faults.len();
+        let n = 1 + regions + regions * leaves;
+        let clean = taxonomy_to_json(&Taxonomy::generate(regions, leaves));
+        let corrupted = FaultInjector::new(seed)
+            .corrupt_taxonomy(&clean, &faults)
+            .expect("generate(2.., 2..) has >= 4 unreferenced leaf records");
+
+        let (taxonomy, report) = taxonomy_from_json(&corrupted, LoadOptions::Lenient)
+            .expect("record-level faults are never fatal in lenient mode");
+        prop_assert_eq!(report.quarantined_count(), k, "faults: {:?}\n{}", faults, corrupted);
+        prop_assert_eq!(report.accepted, n - k);
+        prop_assert_eq!(taxonomy.len(), n - k);
+
+        let err = taxonomy_from_json(&corrupted, LoadOptions::Strict)
+            .expect_err("strict mode must reject a corrupted document");
+        prop_assert!(
+            err.provenance.record.is_some() || err.provenance.line.is_some(),
+            "strict error must carry provenance: {}", err
+        );
+    }
+
+    #[test]
+    fn rules_quarantine_accounting_is_exact(
+        seed in 0u64..u64::MAX,
+        mask in 1u8..16,
+        implies in 4usize..8,
+        functional in 1usize..4,
+    ) {
+        let faults = structured_from_mask(&StructuredFault::RULES, mask);
+        let k = faults.len();
+        let n = implies + functional;
+        let clean = clean_rules(implies, functional);
+        let corrupted = FaultInjector::new(seed)
+            .corrupt_rules(&clean, &faults)
+            .expect("4+ implies records host every fault combination");
+
+        let (engine, report) = rules_from_json(&corrupted, LoadOptions::Lenient)
+            .expect("record-level faults are never fatal in lenient mode");
+        prop_assert_eq!(report.quarantined_count(), k, "faults: {:?}\n{}", faults, corrupted);
+        prop_assert_eq!(report.accepted, n - k);
+        prop_assert_eq!(engine.rules().len(), n - k);
+
+        let err = rules_from_json(&corrupted, LoadOptions::Strict)
+            .expect_err("strict mode must reject a corrupted document");
+        prop_assert!(err.provenance.record.is_some(), "{}", err);
+    }
+
+    #[test]
+    fn structured_corruption_never_panics_loaders(
+        seed in 0u64..u64::MAX,
+        tax_mask in 1u8..16,
+        rule_mask in 1u8..16,
+    ) {
+        // Belt and suspenders over the accounting tests: whatever the
+        // injector emits must never panic either loader in either mode.
+        let taxonomy = taxonomy_to_json(&Taxonomy::generate(3, 3));
+        let rules = clean_rules(5, 2);
+        let mut injector = FaultInjector::new(seed);
+        if let Some(doc) = injector
+            .corrupt_taxonomy(&taxonomy, &structured_from_mask(&StructuredFault::TAXONOMY, tax_mask))
+        {
+            for opts in [LoadOptions::Strict, LoadOptions::Lenient] {
+                let _ = taxonomy_from_json(&doc, opts);
+                let _ = rules_from_json(&doc, opts);
+            }
+        }
+        if let Some(doc) = injector
+            .corrupt_rules(&rules, &structured_from_mask(&StructuredFault::RULES, rule_mask))
+        {
+            for opts in [LoadOptions::Strict, LoadOptions::Lenient] {
+                let _ = taxonomy_from_json(&doc, opts);
+                let _ = rules_from_json(&doc, opts);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,395 @@
+//! Closed-loop serving benchmark: measures sustained `select` throughput
+//! and latency percentiles while a background writer publishes profile
+//! updates at a fixed rate.
+//!
+//! The benchmark is fully in-process (clients call
+//! [`PodiumService::handle_line`] directly), so it measures the serving
+//! subsystem — snapshot capture, queueing, selection — without socket
+//! noise. Every response is checked for consistency: it must be `ok`,
+//! return exactly `budget` users, and report an epoch no older than the
+//! last one that client observed (epochs are monotone per client).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use podium_core::bucket::BucketingConfig;
+use podium_core::profile::UserRepository;
+use serde_json::Value;
+
+use crate::service::{PodiumService, ServiceConfig};
+
+/// Load-generator knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchConfig {
+    /// Synthetic repository size (number of users).
+    pub users: usize,
+    /// Number of distinct properties in the synthetic repository.
+    pub properties: usize,
+    /// Scores per user (properties each user has an opinion on).
+    pub scores_per_user: usize,
+    /// Selection budget `b` per request.
+    pub budget: usize,
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Executor worker threads.
+    pub workers: usize,
+    /// Executor queue capacity.
+    pub queue_capacity: usize,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Background profile-update rate (updates per second); 0 disables
+    /// the writer.
+    pub update_hz: u64,
+    /// Per-request deadline in milliseconds.
+    pub deadline_ms: u64,
+    /// Seed of the synthetic repository and the update stream.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            users: 10_000,
+            properties: 32,
+            scores_per_user: 6,
+            budget: 64,
+            clients: 4,
+            workers: 4,
+            queue_capacity: 512,
+            duration: Duration::from_secs(5),
+            update_hz: 10,
+            deadline_ms: 2_000,
+            seed: 0x5EED_0001,
+        }
+    }
+}
+
+/// Benchmark outcome, one JSONL row via [`BenchReport::to_json`].
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Synthetic repository size.
+    pub users: usize,
+    /// Selection budget per request.
+    pub budget: usize,
+    /// Client threads.
+    pub clients: usize,
+    /// Executor workers.
+    pub workers: usize,
+    /// Configured background update rate (Hz).
+    pub update_hz: u64,
+    /// Wall-clock the measurement actually took.
+    pub duration_s: f64,
+    /// Successful, consistent select responses.
+    pub served: u64,
+    /// `ok:false` responses other than `overloaded`.
+    pub failed: u64,
+    /// Admission-control rejections observed by clients.
+    pub overloaded: u64,
+    /// `ok:true` responses violating a consistency check (wrong user
+    /// count or non-monotone epoch).
+    pub inconsistent: u64,
+    /// Profile updates the background writer applied.
+    pub updates_applied: u64,
+    /// Final published epoch.
+    pub final_epoch: u64,
+    /// Served requests per second.
+    pub throughput_rps: f64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+}
+
+impl BenchReport {
+    /// Serializes the report as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        use crate::protocol::{num_f64, num_u64};
+        let pairs = vec![
+            ("bench".to_owned(), Value::String("serve".to_owned())),
+            ("users".to_owned(), num_u64(self.users as u64)),
+            ("budget".to_owned(), num_u64(self.budget as u64)),
+            ("clients".to_owned(), num_u64(self.clients as u64)),
+            ("workers".to_owned(), num_u64(self.workers as u64)),
+            ("update_hz".to_owned(), num_u64(self.update_hz)),
+            ("duration_s".to_owned(), num_f64(self.duration_s)),
+            ("served".to_owned(), num_u64(self.served)),
+            ("failed".to_owned(), num_u64(self.failed)),
+            ("overloaded".to_owned(), num_u64(self.overloaded)),
+            ("inconsistent".to_owned(), num_u64(self.inconsistent)),
+            ("updates_applied".to_owned(), num_u64(self.updates_applied)),
+            ("final_epoch".to_owned(), num_u64(self.final_epoch)),
+            ("throughput_rps".to_owned(), num_f64(self.throughput_rps)),
+            ("p50_us".to_owned(), num_u64(self.p50_us)),
+            ("p90_us".to_owned(), num_u64(self.p90_us)),
+            ("p99_us".to_owned(), num_u64(self.p99_us)),
+            ("max_us".to_owned(), num_u64(self.max_us)),
+        ];
+        serde_json::to_string(&Value::Object(pairs)).expect("report serialization is infallible")
+    }
+}
+
+/// splitmix64: deterministic, dependency-free stream for synthetic data.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_float(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Builds the synthetic benchmark repository: `users` users, each with
+/// `scores_per_user` scores over `properties` properties, uniform in
+/// `[0, 1)`.
+pub fn synthetic_repository(
+    users: usize,
+    properties: usize,
+    scores_per_user: usize,
+    seed: u64,
+) -> UserRepository {
+    let mut repo = UserRepository::new();
+    let props: Vec<_> = (0..properties)
+        .map(|p| repo.intern_property(format!("topic-{p}")))
+        .collect();
+    let mut rng = seed;
+    for i in 0..users {
+        let u = repo.add_user(format!("user-{i}"));
+        for s in 0..scores_per_user.min(properties) {
+            // Rotate the property window per user so every property ends
+            // up populated.
+            let p = props[(i + s * (properties / scores_per_user.max(1)).max(1)) % properties];
+            repo.set_score(u, p, unit_float(&mut rng))
+                .expect("synthetic scores are in range");
+        }
+    }
+    repo
+}
+
+struct ClientTally {
+    served: u64,
+    failed: u64,
+    overloaded: u64,
+    inconsistent: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn client_loop(
+    service: &PodiumService,
+    budget: usize,
+    deadline_ms: u64,
+    stop: &AtomicBool,
+) -> ClientTally {
+    let request = format!(r#"{{"op":"select","budget":{budget},"deadline_ms":{deadline_ms}}}"#);
+    let mut tally = ClientTally {
+        served: 0,
+        failed: 0,
+        overloaded: 0,
+        inconsistent: 0,
+        latencies_us: Vec::new(),
+    };
+    let mut last_epoch = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let started = Instant::now();
+        let response = service.handle_line(&request);
+        let latency = started.elapsed().as_micros() as u64;
+        let value: Value = match serde_json::from_str(&response) {
+            Ok(v) => v,
+            Err(_) => {
+                tally.inconsistent += 1;
+                continue;
+            }
+        };
+        match value.get("ok").and_then(Value::as_bool) {
+            Some(true) => {
+                let epoch = value.get("epoch").and_then(Value::as_u64).unwrap_or(0);
+                let n_users = value
+                    .get("users")
+                    .and_then(Value::as_array)
+                    .map(Vec::len)
+                    .unwrap_or(0);
+                if n_users != budget || epoch < last_epoch {
+                    tally.inconsistent += 1;
+                } else {
+                    last_epoch = epoch;
+                    tally.served += 1;
+                    tally.latencies_us.push(latency);
+                }
+            }
+            _ => {
+                if value.get("error").and_then(Value::as_str) == Some("overloaded") {
+                    tally.overloaded += 1;
+                } else {
+                    tally.failed += 1;
+                }
+            }
+        }
+    }
+    tally
+}
+
+fn updater_loop(
+    service: &PodiumService,
+    config: &BenchConfig,
+    stop: &AtomicBool,
+    applied: &AtomicU64,
+) {
+    if config.update_hz == 0 {
+        return;
+    }
+    let tick = Duration::from_nanos(1_000_000_000 / config.update_hz);
+    let mut rng = config.seed ^ 0xDEAD_BEEF;
+    while !stop.load(Ordering::Relaxed) {
+        let user = (splitmix64(&mut rng) as usize) % config.users;
+        let prop = (splitmix64(&mut rng) as usize) % config.properties;
+        let score = unit_float(&mut rng);
+        let line = format!(
+            r#"{{"op":"update-profile","user":"user-{user}","property":"topic-{prop}","score":{score}}}"#
+        );
+        let response = service.handle_line(&line);
+        if response.contains("\"ok\":true") {
+            applied.fetch_add(1, Ordering::Relaxed);
+        }
+        std::thread::sleep(tick);
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Runs the closed-loop benchmark and returns the merged report.
+pub fn run_bench(config: &BenchConfig) -> BenchReport {
+    let repo = synthetic_repository(
+        config.users,
+        config.properties,
+        config.scores_per_user,
+        config.seed,
+    );
+    let buckets = BucketingConfig::paper_default().bucketize(&repo);
+    let service = Arc::new(PodiumService::new(
+        repo,
+        &buckets,
+        ServiceConfig {
+            workers: config.workers,
+            queue_capacity: config.queue_capacity,
+            default_deadline_ms: config.deadline_ms,
+        },
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let applied = Arc::new(AtomicU64::new(0));
+
+    let updater = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let applied = Arc::clone(&applied);
+        let config = *config;
+        std::thread::spawn(move || updater_loop(&service, &config, &stop, &applied))
+    };
+
+    let started = Instant::now();
+    let clients: Vec<_> = (0..config.clients.max(1))
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let budget = config.budget;
+            let deadline_ms = config.deadline_ms;
+            std::thread::spawn(move || client_loop(&service, budget, deadline_ms, &stop))
+        })
+        .collect();
+
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+
+    let mut served = 0;
+    let mut failed = 0;
+    let mut overloaded = 0;
+    let mut inconsistent = 0;
+    let mut latencies = Vec::new();
+    for client in clients {
+        let tally = client.join().expect("client thread panicked");
+        served += tally.served;
+        failed += tally.failed;
+        overloaded += tally.overloaded;
+        inconsistent += tally.inconsistent;
+        latencies.extend(tally.latencies_us);
+    }
+    let elapsed = started.elapsed();
+    updater.join().expect("updater thread panicked");
+    latencies.sort_unstable();
+
+    BenchReport {
+        users: config.users,
+        budget: config.budget,
+        clients: config.clients,
+        workers: config.workers,
+        update_hz: config.update_hz,
+        duration_s: elapsed.as_secs_f64(),
+        served,
+        failed,
+        overloaded,
+        inconsistent,
+        updates_applied: applied.load(Ordering::Relaxed),
+        final_epoch: service.store().epoch(),
+        throughput_rps: served as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile(&latencies, 0.50),
+        p90_us: percentile(&latencies, 0.90),
+        p99_us: percentile(&latencies, 0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_repository_is_deterministic() {
+        let a = synthetic_repository(50, 8, 3, 42);
+        let b = synthetic_repository(50, 8, 3, 42);
+        assert_eq!(a.user_count(), 50);
+        assert_eq!(a.property_count(), 8);
+        for u in a.users() {
+            assert_eq!(a.profile(u).unwrap(), b.profile(u).unwrap());
+        }
+    }
+
+    #[test]
+    fn short_bench_run_is_clean() {
+        let config = BenchConfig {
+            users: 200,
+            properties: 8,
+            scores_per_user: 3,
+            budget: 5,
+            clients: 2,
+            workers: 2,
+            queue_capacity: 64,
+            duration: Duration::from_millis(300),
+            update_hz: 20,
+            deadline_ms: 2_000,
+            seed: 7,
+        };
+        let report = run_bench(&config);
+        assert!(report.served > 0, "no requests served: {report:?}");
+        assert_eq!(report.failed, 0, "{report:?}");
+        assert_eq!(report.inconsistent, 0, "{report:?}");
+        assert!(report.updates_applied > 0, "{report:?}");
+        assert!(report.final_epoch > 0, "{report:?}");
+        assert!(report.p50_us <= report.p99_us);
+        let row = report.to_json();
+        let value: Value = serde_json::from_str(&row).unwrap();
+        assert_eq!(value.get("bench").and_then(Value::as_str), Some("serve"));
+        assert_eq!(value.get("inconsistent").and_then(Value::as_u64), Some(0));
+    }
+}

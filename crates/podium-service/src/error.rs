@@ -1,0 +1,79 @@
+//! Service-level errors and their stable wire codes.
+
+use podium_core::error::CoreError;
+
+/// Everything that can go wrong while serving a request. Each variant maps
+/// to a stable `code` string on the wire (see [`ServiceError::code`]);
+/// handlers distinguish load-shedding conditions ([`ServiceError::Overloaded`],
+/// [`ServiceError::DeadlineExceeded`]) from caller bugs
+/// ([`ServiceError::BadRequest`]) so clients can retry the former and fix
+/// the latter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The bounded request queue is full — admission control rejected the
+    /// request without queuing it. Retry with backoff.
+    Overloaded,
+    /// The request's deadline expired before the selection completed; any
+    /// partial work is discarded.
+    DeadlineExceeded,
+    /// The request is malformed or references unknown entities.
+    BadRequest(String),
+    /// The referenced session id is unknown (never opened or already
+    /// closed).
+    UnknownSession(u64),
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// An error surfaced from the core selection layer.
+    Core(CoreError),
+}
+
+impl ServiceError {
+    /// The stable wire code for the error (the `error` field of a failure
+    /// response).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::Overloaded => "overloaded",
+            ServiceError::DeadlineExceeded => "deadline_exceeded",
+            ServiceError::BadRequest(_) => "bad_request",
+            ServiceError::UnknownSession(_) => "unknown_session",
+            ServiceError::ShuttingDown => "shutting_down",
+            ServiceError::Core(_) => "core",
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overloaded => write!(f, "request queue full"),
+            ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServiceError::ShuttingDown => write!(f, "service shutting down"),
+            ServiceError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(ServiceError::Overloaded.code(), "overloaded");
+        assert_eq!(ServiceError::DeadlineExceeded.code(), "deadline_exceeded");
+        assert_eq!(ServiceError::BadRequest("x".into()).code(), "bad_request");
+        assert_eq!(ServiceError::UnknownSession(3).code(), "unknown_session");
+        assert_eq!(ServiceError::ShuttingDown.code(), "shutting_down");
+        assert_eq!(ServiceError::Core(CoreError::ZeroBudget).code(), "core");
+    }
+}

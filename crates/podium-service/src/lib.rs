@@ -1,0 +1,47 @@
+//! The Podium serving layer: long-lived, concurrent selection serving over
+//! a live user repository.
+//!
+//! The paper positions Podium as a system that "applies to a given user
+//! repository as-is and may be easily executed multiple times, e.g., to
+//! incorporate data updates" (§9), with grouping computed offline and
+//! selection queries arriving online (§7). This crate turns the batch
+//! library into that online system:
+//!
+//! * [`snapshot`] — epoch-numbered, immutable [`snapshot::Snapshot`]s
+//!   bundling the repository, its group set, and a prebuilt CSR graph,
+//!   published via atomic `Arc` swap by a single
+//!   [`snapshot::RepositoryWriter`] that applies profile updates through
+//!   [`podium_core::incremental::IncrementalGroups`];
+//! * [`executor`] — a fixed worker pool draining a bounded request queue
+//!   with reject-on-full admission control and per-request deadlines
+//!   checked between greedy rounds;
+//! * [`session`] — the paper's §6 customization loop: a session pins a
+//!   snapshot epoch and accumulates `G+`/`G-`/`Gd`/`Gd?` feedback across
+//!   refinement requests without re-ingesting;
+//! * [`protocol`] + [`server`] — a line-delimited JSON request/response
+//!   protocol (`select`, `explain`, `refine`, `update-profile`, `stats`,
+//!   plus session management) served over stdin/stdout or a Unix domain
+//!   socket using only `std`;
+//! * [`bench`] — a closed-loop load generator reporting sustained
+//!   throughput and latency percentiles while a background writer streams
+//!   profile updates.
+//!
+//! The crate is embeddable: [`service::PodiumService`] is an ordinary
+//! `Send + Sync` value; the binary front-end lives in the workspace's
+//! `podium-cli`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod error;
+pub mod executor;
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod session;
+pub mod snapshot;
+
+pub use error::ServiceError;
+pub use service::{PodiumService, ServiceConfig};
+pub use snapshot::{ProfileUpdate, RepositoryWriter, Snapshot, SnapshotStore};

@@ -1,0 +1,394 @@
+//! The line-delimited JSON protocol: one request object per line in, one
+//! response object per line out.
+//!
+//! Requests carry an `op` discriminator:
+//!
+//! | op               | fields                                                        |
+//! |------------------|---------------------------------------------------------------|
+//! | `select`         | `budget`, `weights?`, `cov?`, `deadline_ms?`                  |
+//! | `explain`        | `budget`, `weights?`, `cov?`, `top_k?`                        |
+//! | `open-session`   | —                                                             |
+//! | `refine`         | `session`, `budget`, `must_have?`, `must_not?`, `priority?`, `standard?`, `reset?`, `weights?`, `cov?` |
+//! | `close-session`  | `session`                                                     |
+//! | `update-profile` | `user`, `property`, `score` (number or `null` to retract)     |
+//! | `stats`          | —                                                             |
+//!
+//! Every response carries `ok` (boolean) and, on success, the `epoch` the
+//! request was served from. Failures carry a stable `error` code (see
+//! [`crate::error::ServiceError::code`]) and a human-readable `message`.
+//!
+//! The parser is hand-rolled over [`serde_json::Value`]: the vendored
+//! serde stand-in has no tagged-enum derive, and a by-hand reader keeps
+//! the error messages precise anyway.
+
+use serde_json::Value;
+
+use crate::error::ServiceError;
+use crate::session::FeedbackDelta;
+use crate::snapshot::{ProfileUpdate, SelectParams};
+use podium_core::weights::{CovScheme, WeightScheme};
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run BASE-DIVERSITY selection.
+    Select {
+        /// Scheme and budget.
+        params: SelectParams,
+        /// Per-request deadline override, in milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Run a selection and return the full explanation report.
+    Explain {
+        /// Scheme and budget.
+        params: SelectParams,
+        /// Top-k bound of the headline coverage statistic.
+        top_k: usize,
+    },
+    /// Open a customization session pinned to the current epoch.
+    OpenSession,
+    /// Merge feedback into a session and re-run CUSTOM-DIVERSITY.
+    Refine {
+        /// Session id from `open-session`.
+        session: u64,
+        /// Feedback delta to merge.
+        delta: FeedbackDelta,
+        /// Scheme and budget for the refined selection.
+        params: SelectParams,
+    },
+    /// Close a session.
+    CloseSession {
+        /// Session id to close.
+        session: u64,
+    },
+    /// Apply one profile update and publish a new epoch.
+    UpdateProfile {
+        /// The update.
+        update: ProfileUpdate,
+    },
+    /// Service counters and current epoch.
+    Stats,
+}
+
+fn bad(msg: impl Into<String>) -> ServiceError {
+    ServiceError::BadRequest(msg.into())
+}
+
+fn field<'v>(obj: &'v Value, name: &str) -> Result<&'v Value, ServiceError> {
+    obj.get(name)
+        .ok_or_else(|| bad(format!("missing field '{name}'")))
+}
+
+fn usize_field(obj: &Value, name: &str) -> Result<usize, ServiceError> {
+    field(obj, name)?
+        .as_u64()
+        .map(|n| n as usize)
+        .ok_or_else(|| bad(format!("field '{name}' must be a non-negative integer")))
+}
+
+fn u64_field(obj: &Value, name: &str) -> Result<u64, ServiceError> {
+    field(obj, name)?
+        .as_u64()
+        .ok_or_else(|| bad(format!("field '{name}' must be a non-negative integer")))
+}
+
+fn str_field<'v>(obj: &'v Value, name: &str) -> Result<&'v str, ServiceError> {
+    field(obj, name)?
+        .as_str()
+        .ok_or_else(|| bad(format!("field '{name}' must be a string")))
+}
+
+fn group_list(obj: &Value, name: &str) -> Result<Vec<u32>, ServiceError> {
+    match obj.get(name) {
+        None => Ok(Vec::new()),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| bad(format!("field '{name}' must be an array of group ids")))?
+            .iter()
+            .map(|e| {
+                e.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| bad(format!("field '{name}' holds a non-id element")))
+            })
+            .collect(),
+    }
+}
+
+fn parse_weights(obj: &Value) -> Result<WeightScheme, ServiceError> {
+    match obj.get("weights").and_then(Value::as_str) {
+        None => Ok(WeightScheme::LinearBySize),
+        Some("lbs") | Some("linear_by_size") => Ok(WeightScheme::LinearBySize),
+        Some("iden") | Some("identical") => Ok(WeightScheme::Identical),
+        Some(other) => Err(bad(format!(
+            "unknown weight scheme '{other}' (expected lbs|iden)"
+        ))),
+    }
+}
+
+fn parse_cov(obj: &Value) -> Result<CovScheme, ServiceError> {
+    match obj.get("cov").and_then(Value::as_str) {
+        None => Ok(CovScheme::Single),
+        Some("single") => Ok(CovScheme::Single),
+        Some("prop") | Some("proportional") => Ok(CovScheme::Proportional),
+        Some(other) => Err(bad(format!(
+            "unknown coverage scheme '{other}' (expected single|prop)"
+        ))),
+    }
+}
+
+fn parse_select_params(obj: &Value) -> Result<SelectParams, ServiceError> {
+    Ok(SelectParams {
+        budget: usize_field(obj, "budget")?,
+        weight: parse_weights(obj)?,
+        cov: parse_cov(obj)?,
+    })
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
+    let value: Value =
+        serde_json::from_str(line).map_err(|e| bad(format!("request is not valid JSON: {e}")))?;
+    if value.as_object().is_none() {
+        return Err(bad("request must be a JSON object"));
+    }
+    let op = str_field(&value, "op")?;
+    match op {
+        "select" => Ok(Request::Select {
+            params: parse_select_params(&value)?,
+            deadline_ms: match value.get("deadline_ms") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or_else(|| bad("field 'deadline_ms' must be a non-negative integer"))?,
+                ),
+            },
+        }),
+        "explain" => Ok(Request::Explain {
+            params: parse_select_params(&value)?,
+            top_k: match value.get("top_k") {
+                None => 10,
+                Some(v) => v
+                    .as_u64()
+                    .map(|n| n as usize)
+                    .ok_or_else(|| bad("field 'top_k' must be a non-negative integer"))?,
+            },
+        }),
+        "open-session" => Ok(Request::OpenSession),
+        "close-session" => Ok(Request::CloseSession {
+            session: u64_field(&value, "session")?,
+        }),
+        "refine" => Ok(Request::Refine {
+            session: u64_field(&value, "session")?,
+            delta: FeedbackDelta {
+                must_have: group_list(&value, "must_have")?,
+                must_not: group_list(&value, "must_not")?,
+                priority: group_list(&value, "priority")?,
+                standard: match value.get("standard") {
+                    None | Some(Value::Null) => None,
+                    Some(_) => Some(group_list(&value, "standard")?),
+                },
+                reset: value.get("reset").and_then(Value::as_bool).unwrap_or(false),
+            },
+            params: parse_select_params(&value)?,
+        }),
+        "update-profile" => {
+            let score = match field(&value, "score")? {
+                Value::Null => None,
+                v => Some(
+                    v.as_f64()
+                        .ok_or_else(|| bad("field 'score' must be a number or null"))?,
+                ),
+            };
+            Ok(Request::UpdateProfile {
+                update: ProfileUpdate {
+                    user: str_field(&value, "user")?.to_owned(),
+                    property: str_field(&value, "property")?.to_owned(),
+                    score,
+                },
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        other => Err(bad(format!("unknown op '{other}'"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response construction.
+
+/// Builds a success response line from `(key, value)` fields (prefixed
+/// with `"ok": true`).
+pub fn ok_response(fields: Vec<(&str, Value)>) -> String {
+    let mut pairs = vec![("ok".to_owned(), Value::Bool(true))];
+    pairs.extend(fields.into_iter().map(|(k, v)| (k.to_owned(), v)));
+    serde_json::to_string(&Value::Object(pairs)).expect("response serialization is infallible")
+}
+
+/// Builds the failure response line for an error.
+pub fn error_response(err: &ServiceError) -> String {
+    let pairs = vec![
+        ("ok".to_owned(), Value::Bool(false)),
+        ("error".to_owned(), Value::String(err.code().to_owned())),
+        ("message".to_owned(), Value::String(err.to_string())),
+    ];
+    serde_json::to_string(&Value::Object(pairs)).expect("response serialization is infallible")
+}
+
+/// A `u64` JSON number.
+pub fn num_u64(n: u64) -> Value {
+    Value::Number(serde_json::Number::PosInt(n))
+}
+
+/// An `f64` JSON number.
+pub fn num_f64(x: f64) -> Value {
+    Value::Number(serde_json::Number::Float(x))
+}
+
+/// A JSON string.
+pub fn string(s: impl Into<String>) -> Value {
+    Value::String(s.into())
+}
+
+/// A JSON array of strings.
+pub fn string_array<S: AsRef<str>>(items: &[S]) -> Value {
+    Value::Array(
+        items
+            .iter()
+            .map(|s| Value::String(s.as_ref().to_owned()))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_select() {
+        let req = parse_request(r#"{"op":"select","budget":5}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Select {
+                params: SelectParams {
+                    budget: 5,
+                    weight: WeightScheme::LinearBySize,
+                    cov: CovScheme::Single,
+                },
+                deadline_ms: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_full_select() {
+        let req = parse_request(
+            r#"{"op":"select","budget":8,"weights":"iden","cov":"prop","deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::Select {
+                params: SelectParams {
+                    budget: 8,
+                    weight: WeightScheme::Identical,
+                    cov: CovScheme::Proportional,
+                },
+                deadline_ms: Some(250),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_refine_with_feedback() {
+        let req = parse_request(
+            r#"{"op":"refine","session":3,"budget":4,"must_have":[1,2],"must_not":[7],"standard":[0],"reset":true}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Refine {
+                session,
+                delta,
+                params,
+            } => {
+                assert_eq!(session, 3);
+                assert_eq!(delta.must_have, vec![1, 2]);
+                assert_eq!(delta.must_not, vec![7]);
+                assert!(delta.priority.is_empty());
+                assert_eq!(delta.standard, Some(vec![0]));
+                assert!(delta.reset);
+                assert_eq!(params.budget, 4);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_update_profile_set_and_retract() {
+        let set = parse_request(
+            r#"{"op":"update-profile","user":"Ada","property":"avgRating Thai","score":0.8}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            set,
+            Request::UpdateProfile {
+                update: ProfileUpdate {
+                    user: "Ada".into(),
+                    property: "avgRating Thai".into(),
+                    score: Some(0.8),
+                },
+            }
+        );
+        let retract = parse_request(
+            r#"{"op":"update-profile","user":"Ada","property":"avgRating Thai","score":null}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            retract,
+            Request::UpdateProfile {
+                update: ProfileUpdate {
+                    user: "Ada".into(),
+                    property: "avgRating Thai".into(),
+                    score: None,
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (line, needle) in [
+            ("not json", "not valid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"budget":5}"#, "missing field 'op'"),
+            (r#"{"op":"frobnicate"}"#, "unknown op"),
+            (r#"{"op":"select"}"#, "missing field 'budget'"),
+            (r#"{"op":"select","budget":-3}"#, "non-negative"),
+            (
+                r#"{"op":"select","budget":3,"weights":"ebs"}"#,
+                "unknown weight scheme",
+            ),
+            (
+                r#"{"op":"update-profile","user":"a","property":"p"}"#,
+                "missing field 'score'",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "line {line}: {err} (wanted {needle})"
+            );
+            assert_eq!(err.code(), "bad_request", "line {line}");
+        }
+    }
+
+    #[test]
+    fn responses_have_stable_shape() {
+        let ok = ok_response(vec![("epoch", num_u64(4)), ("users", string_array(&["a"]))]);
+        let v: Value = serde_json::from_str(&ok).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("epoch").and_then(Value::as_u64), Some(4));
+        let err = error_response(&ServiceError::Overloaded);
+        let v: Value = serde_json::from_str(&err).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("error").and_then(Value::as_str), Some("overloaded"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Transport layer: the JSONL protocol over stdio or a Unix domain
+//! socket, using only `std`.
+//!
+//! Both transports frame one request per line and one response per line.
+//! Stdio serving is single-client by nature; the Unix socket accepts any
+//! number of concurrent connections, each drained by its own thread, all
+//! sharing one [`PodiumService`] behind an `Arc`.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::service::PodiumService;
+
+/// Serves requests from `reader`, writing one response line per request
+/// line to `writer`. Returns when the reader reaches EOF. Blank lines are
+/// skipped (convenient for interactive use).
+pub fn serve_lines<R: BufRead, W: Write>(
+    service: &PodiumService,
+    reader: R,
+    mut writer: W,
+) -> io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.handle_line(&line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Serves a single client over stdin/stdout until EOF.
+pub fn serve_stdio(service: &PodiumService) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_lines(service, stdin.lock(), stdout.lock())
+}
+
+fn handle_connection(service: &PodiumService, stream: UnixStream) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let writer = BufWriter::new(stream);
+    serve_lines(service, reader, writer)
+}
+
+/// Binds `path` and serves connections forever (one thread per client).
+/// A stale socket file at `path` is removed before binding. The listener
+/// never returns under normal operation; callers stop it by terminating
+/// the process (the CLI) or leaking the serving thread (tests).
+pub fn serve_unix(service: Arc<PodiumService>, path: &Path) -> io::Result<()> {
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            // A client hanging up mid-request surfaces as an io error
+            // here; that only ends this connection, not the server.
+            let _ = handle_connection(&service, stream);
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use podium_core::bucket::BucketingConfig;
+    use podium_core::profile::UserRepository;
+    use serde_json::Value;
+    use std::time::Duration;
+
+    fn service() -> Arc<PodiumService> {
+        let mut repo = UserRepository::new();
+        let p = repo.intern_property("topic");
+        for i in 0..10 {
+            let u = repo.add_user(format!("u{i}"));
+            repo.set_score(u, p, (i as f64) / 10.0).unwrap();
+        }
+        let buckets = BucketingConfig::paper_default().bucketize(&repo);
+        Arc::new(PodiumService::new(
+            repo,
+            &buckets,
+            ServiceConfig {
+                workers: 2,
+                queue_capacity: 16,
+                default_deadline_ms: 2000,
+            },
+        ))
+    }
+
+    #[test]
+    fn serve_lines_round_trips_and_skips_blanks() {
+        let svc = service();
+        let input = "\n{\"op\":\"select\",\"budget\":2}\nnot json\n{\"op\":\"stats\"}\n";
+        let mut output = Vec::new();
+        serve_lines(&svc, input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "blank line produced no response: {text}");
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.get("ok").and_then(Value::as_bool), Some(true));
+        let second: Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(second.get("ok").and_then(Value::as_bool), Some(false));
+        let third: Value = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(third.get("epoch").and_then(Value::as_u64), Some(0));
+    }
+
+    #[test]
+    fn unix_socket_serves_concurrent_clients() {
+        let svc = service();
+        let dir = std::env::temp_dir().join(format!("podium-service-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("server-test.sock");
+        {
+            let svc = Arc::clone(&svc);
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                let _ = serve_unix(svc, &sock);
+            });
+        }
+        // Wait for the listener to come up.
+        let mut tries = 0;
+        while !sock.exists() && tries < 200 {
+            std::thread::sleep(Duration::from_millis(10));
+            tries += 1;
+        }
+        let clients: Vec<_> = (0..3)
+            .map(|_| {
+                let sock = sock.clone();
+                std::thread::spawn(move || {
+                    let stream = UnixStream::connect(&sock).unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut stream = stream;
+                    for _ in 0..5 {
+                        stream
+                            .write_all(b"{\"op\":\"select\",\"budget\":2}\n")
+                            .unwrap();
+                        let mut line = String::new();
+                        reader.read_line(&mut line).unwrap();
+                        let v: Value = serde_json::from_str(&line).unwrap();
+                        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+                        assert_eq!(v.get("users").and_then(Value::as_array).unwrap().len(), 2);
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        let _ = std::fs::remove_file(&sock);
+    }
+}

@@ -1,0 +1,355 @@
+//! [`PodiumService`]: the embeddable facade tying the snapshot store,
+//! writer, executor, and session layer together behind the JSONL protocol.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use podium_core::bucket::PropertyBuckets;
+use podium_core::explain::SelectionReport;
+use podium_core::instance::DiversificationInstance;
+use podium_core::profile::UserRepository;
+use serde_json::Value;
+
+use crate::error::ServiceError;
+use crate::executor::{ExecutorConfig, QueryExecutor};
+use crate::protocol::{
+    self, error_response, num_f64, num_u64, ok_response, parse_request, string, string_array,
+    Request,
+};
+use crate::session::SessionManager;
+use crate::snapshot::{RepositoryWriter, SnapshotStore};
+
+/// Service sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads in the query executor.
+    pub workers: usize,
+    /// Bounded queue capacity (admission control threshold).
+    pub queue_capacity: usize,
+    /// Default per-request deadline in milliseconds, for requests that do
+    /// not carry a `deadline_ms`.
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let exec = ExecutorConfig::default();
+        Self {
+            workers: exec.workers,
+            queue_capacity: exec.queue_capacity,
+            default_deadline_ms: exec.default_deadline.as_millis() as u64,
+        }
+    }
+}
+
+/// The serving facade. `Send + Sync`; share it behind an `Arc` between
+/// connection handler threads.
+#[derive(Debug)]
+pub struct PodiumService {
+    store: Arc<SnapshotStore>,
+    writer: Mutex<RepositoryWriter>,
+    executor: QueryExecutor,
+    sessions: SessionManager,
+}
+
+impl PodiumService {
+    /// Builds the service: epoch-0 snapshot from `repo` under `buckets`,
+    /// then the worker pool.
+    pub fn new(repo: UserRepository, buckets: &PropertyBuckets, config: ServiceConfig) -> Self {
+        let (store, writer) = RepositoryWriter::new(repo, buckets);
+        let executor = QueryExecutor::new(
+            Arc::clone(&store),
+            ExecutorConfig {
+                workers: config.workers,
+                queue_capacity: config.queue_capacity,
+                default_deadline: Duration::from_millis(config.default_deadline_ms),
+            },
+        );
+        Self {
+            store,
+            writer: Mutex::new(writer),
+            executor,
+            sessions: SessionManager::new(),
+        }
+    }
+
+    /// The snapshot store (for embedding callers that read directly).
+    pub fn store(&self) -> &Arc<SnapshotStore> {
+        &self.store
+    }
+
+    /// The query executor.
+    pub fn executor(&self) -> &QueryExecutor {
+        &self.executor
+    }
+
+    /// Handles one raw request line, returning the response line (without
+    /// trailing newline). Never panics on malformed input — parse and
+    /// execution errors map to `{"ok":false,...}` responses.
+    pub fn handle_line(&self, line: &str) -> String {
+        match parse_request(line) {
+            Ok(req) => match self.handle(req) {
+                Ok(response) => response,
+                Err(e) => error_response(&e),
+            },
+            Err(e) => error_response(&e),
+        }
+    }
+
+    /// Handles a parsed request.
+    pub fn handle(&self, request: Request) -> Result<String, ServiceError> {
+        match request {
+            Request::Select {
+                params,
+                deadline_ms,
+            } => {
+                let started = Instant::now();
+                let outcome = self
+                    .executor
+                    .run_select(params, deadline_ms.map(Duration::from_millis))?;
+                let elapsed_us = started.elapsed().as_micros() as u64;
+                Ok(ok_response(vec![
+                    ("epoch", num_u64(outcome.epoch)),
+                    ("users", string_array(&outcome.names)),
+                    ("score", num_f64(outcome.selection.score)),
+                    ("elapsed_us", num_u64(elapsed_us)),
+                ]))
+            }
+            Request::Explain { params, top_k } => {
+                let report: Result<(u64, Value), ServiceError> =
+                    self.executor.run(move |snapshot| {
+                        let outcome = snapshot.select(&params, None)?;
+                        let weights = params.weight.weights(snapshot.groups());
+                        let covs = params.cov.cov(snapshot.groups(), params.budget);
+                        let inst = DiversificationInstance::new(snapshot.groups(), weights, covs);
+                        let report = SelectionReport::build(
+                            &inst,
+                            snapshot.repo(),
+                            &outcome.selection,
+                            top_k,
+                        );
+                        let value = serde_json::to_value(&report).map_err(|e| {
+                            ServiceError::BadRequest(format!("report serialization: {e}"))
+                        })?;
+                        Ok((outcome.epoch, value))
+                    })?;
+                let (epoch, report) = report?;
+                Ok(ok_response(vec![
+                    ("epoch", num_u64(epoch)),
+                    ("report", report),
+                ]))
+            }
+            Request::OpenSession => {
+                let (id, epoch) = self.sessions.open(&self.store);
+                Ok(ok_response(vec![
+                    ("session", num_u64(id)),
+                    ("epoch", num_u64(epoch)),
+                ]))
+            }
+            Request::CloseSession { session } => {
+                self.sessions.close(session)?;
+                Ok(ok_response(vec![("closed", num_u64(session))]))
+            }
+            Request::Refine {
+                session,
+                delta,
+                params,
+            } => self.sessions.with_session(session, |s| {
+                let custom = s.refine(&delta, params.weight, params.cov, params.budget)?;
+                let names = s.snapshot().user_names(custom.users());
+                Ok(ok_response(vec![
+                    ("epoch", num_u64(s.snapshot().epoch())),
+                    ("session", num_u64(session)),
+                    ("users", string_array(&names)),
+                    ("priority_score", num_f64(custom.priority_score())),
+                    ("standard_score", num_f64(custom.standard_score())),
+                    ("pool_size", num_u64(custom.pool_size as u64)),
+                    (
+                        "feedback_group_coverage",
+                        num_f64(custom.feedback_group_coverage),
+                    ),
+                ]))
+            }),
+            Request::UpdateProfile { update } => {
+                let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+                let outcome = writer.apply(&update)?;
+                let epoch = writer.publish();
+                Ok(ok_response(vec![
+                    ("epoch", num_u64(epoch)),
+                    ("user", string(update.user)),
+                    ("created_user", Value::Bool(outcome.created_user)),
+                    ("regrouped", Value::Bool(outcome.regrouped)),
+                ]))
+            }
+            Request::Stats => {
+                let snapshot = self.store.load();
+                let stats = self.executor.stats();
+                use std::sync::atomic::Ordering;
+                Ok(ok_response(vec![
+                    ("epoch", num_u64(snapshot.epoch())),
+                    ("users", num_u64(snapshot.repo().user_count() as u64)),
+                    ("groups", num_u64(snapshot.groups().len() as u64)),
+                    ("sessions", num_u64(self.sessions.len() as u64)),
+                    ("queue_depth", num_u64(self.executor.queue_depth() as u64)),
+                    (
+                        "submitted",
+                        num_u64(stats.submitted.load(Ordering::Relaxed)),
+                    ),
+                    ("rejected", num_u64(stats.rejected.load(Ordering::Relaxed))),
+                    (
+                        "completed",
+                        num_u64(stats.completed.load(Ordering::Relaxed)),
+                    ),
+                ]))
+            }
+        }
+    }
+}
+
+// Re-exported for front-ends that pretty-print protocol documentation.
+pub use protocol::Request as ProtocolRequest;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use podium_core::bucket::BucketingConfig;
+
+    fn service() -> PodiumService {
+        let mut repo = UserRepository::new();
+        let mex = repo.intern_property("avgRating Mexican");
+        let thai = repo.intern_property("avgRating Thai");
+        for i in 0..16 {
+            let u = repo.add_user(format!("u{i}"));
+            repo.set_score(u, mex, (i as f64) / 16.0).unwrap();
+            if i % 4 == 0 {
+                repo.set_score(u, thai, 0.85).unwrap();
+            }
+        }
+        let buckets = BucketingConfig::paper_default().bucketize(&repo);
+        PodiumService::new(
+            repo,
+            &buckets,
+            ServiceConfig {
+                workers: 2,
+                queue_capacity: 32,
+                default_deadline_ms: 2000,
+            },
+        )
+    }
+
+    fn parse(line: &str) -> Value {
+        serde_json::from_str(line).unwrap()
+    }
+
+    #[test]
+    fn select_round_trip() {
+        let svc = service();
+        let resp = parse(&svc.handle_line(r#"{"op":"select","budget":3}"#));
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(resp.get("epoch").and_then(Value::as_u64), Some(0));
+        assert_eq!(
+            resp.get("users").and_then(Value::as_array).unwrap().len(),
+            3
+        );
+        assert!(resp.get("score").and_then(Value::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn update_bumps_epoch_and_next_select_sees_it() {
+        let svc = service();
+        let resp = parse(&svc.handle_line(
+            r#"{"op":"update-profile","user":"u1","property":"avgRating Mexican","score":0.97}"#,
+        ));
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(resp.get("epoch").and_then(Value::as_u64), Some(1));
+        let resp = parse(&svc.handle_line(r#"{"op":"select","budget":3}"#));
+        assert_eq!(resp.get("epoch").and_then(Value::as_u64), Some(1));
+        // Creating a brand-new user works too.
+        let resp = parse(&svc.handle_line(
+            r#"{"op":"update-profile","user":"newcomer","property":"avgRating Thai","score":0.5}"#,
+        ));
+        assert_eq!(
+            resp.get("created_user").and_then(Value::as_bool),
+            Some(true)
+        );
+        let stats = parse(&svc.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(stats.get("users").and_then(Value::as_u64), Some(17));
+        assert_eq!(stats.get("epoch").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn session_refine_round_trip_is_pinned() {
+        let svc = service();
+        let open = parse(&svc.handle_line(r#"{"op":"open-session"}"#));
+        let session = open.get("session").and_then(Value::as_u64).unwrap();
+        assert_eq!(open.get("epoch").and_then(Value::as_u64), Some(0));
+        // Updates land while the session is open…
+        svc.handle_line(
+            r#"{"op":"update-profile","user":"u2","property":"avgRating Thai","score":0.9}"#,
+        );
+        // …but the session still refines against epoch 0.
+        let refine = parse(&svc.handle_line(&format!(
+            r#"{{"op":"refine","session":{session},"budget":3,"must_not":[0]}}"#
+        )));
+        assert_eq!(
+            refine.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{refine:?}"
+        );
+        assert_eq!(refine.get("epoch").and_then(Value::as_u64), Some(0));
+        assert_eq!(
+            refine.get("users").and_then(Value::as_array).unwrap().len(),
+            3
+        );
+        let close =
+            parse(&svc.handle_line(&format!(r#"{{"op":"close-session","session":{session}}}"#)));
+        assert_eq!(close.get("ok").and_then(Value::as_bool), Some(true));
+        let gone = parse(&svc.handle_line(&format!(
+            r#"{{"op":"refine","session":{session},"budget":3}}"#
+        )));
+        assert_eq!(
+            gone.get("error").and_then(Value::as_str),
+            Some("unknown_session")
+        );
+    }
+
+    #[test]
+    fn explain_reports_top_weight_coverage() {
+        let svc = service();
+        let resp = parse(&svc.handle_line(r#"{"op":"explain","budget":3,"top_k":5}"#));
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{resp:?}"
+        );
+        let report = resp.get("report").unwrap();
+        assert!(report
+            .get("top_weight_coverage")
+            .and_then(Value::as_f64)
+            .is_some());
+        assert_eq!(
+            report.get("users").and_then(Value::as_array).unwrap().len(),
+            3
+        );
+    }
+
+    #[test]
+    fn malformed_lines_never_panic() {
+        let svc = service();
+        for line in [
+            "",
+            "garbage",
+            r#"{"op":"select"}"#,
+            r#"{"op":"refine","session":99,"budget":3}"#,
+            r#"{"op":"update-profile","user":"u1","property":"nope","score":0.5}"#,
+            r#"{"op":"select","budget":0}"#,
+        ] {
+            let resp = parse(&svc.handle_line(line));
+            assert_eq!(
+                resp.get("ok").and_then(Value::as_bool),
+                Some(false),
+                "line {line}"
+            );
+        }
+    }
+}

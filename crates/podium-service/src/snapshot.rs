@@ -1,0 +1,697 @@
+//! Versioned repository snapshots: immutable epochs published by a single
+//! writer, read lock-free-ish by many selectors.
+//!
+//! A [`Snapshot`] freezes everything a selection needs — the repository
+//! (for names and explanations), the [`GroupSet`], and the prebuilt
+//! [`CsrGraph`] — under one epoch number. Readers clone an
+//! `Arc<Snapshot>` out of the [`SnapshotStore`] and work against it for
+//! the rest of the request, so a concurrently published epoch never
+//! changes data under a running selection.
+//!
+//! The [`RepositoryWriter`] is the only mutator. It applies profile
+//! updates through [`IncrementalGroups`] (point updates, §9's "incorporate
+//! data updates" scenario), then materializes the next snapshot with
+//! [`IncrementalGroups::snapshot_into`] — recycling the group-set
+//! allocations of retired epochs whose readers have all finished — and
+//! swaps it into the store. Selection hot paths never wait on the writer;
+//! the store's `RwLock` is held only for the duration of an `Arc` clone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use podium_core::bucket::PropertyBuckets;
+use podium_core::engine::{lazy_select_deadline, CsrGraph};
+use podium_core::greedy::Selection;
+use podium_core::group::GroupSet;
+use podium_core::ids::UserId;
+use podium_core::incremental::IncrementalGroups;
+use podium_core::instance::DiversificationInstance;
+use podium_core::profile::UserRepository;
+use podium_core::weights::{CovScheme, WeightScheme};
+
+use crate::error::ServiceError;
+
+/// Parameters of one `select` request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectParams {
+    /// Budget `B` — the number of users to select.
+    pub budget: usize,
+    /// Group weight scheme.
+    pub weight: WeightScheme,
+    /// Coverage scheme.
+    pub cov: CovScheme,
+}
+
+/// A completed selection together with the epoch it was computed against.
+#[derive(Debug, Clone)]
+pub struct SelectOutcome {
+    /// Epoch of the snapshot the selection ran on.
+    pub epoch: u64,
+    /// The greedy selection.
+    pub selection: Selection<f64>,
+    /// Selected user names, resolved against the same snapshot.
+    pub names: Vec<String>,
+}
+
+/// An immutable, epoch-numbered view of the repository and its derived
+/// selection structures.
+#[derive(Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    repo: UserRepository,
+    groups: GroupSet,
+    csr: CsrGraph,
+    /// Prebuilt LBS weight vector — the experimental default scheme, so
+    /// the per-request cost is one memcpy instead of a group scan.
+    lbs_weights: Vec<f64>,
+    /// Memoized select outcomes for this epoch, keyed by the full request
+    /// parameters. Sound because the snapshot is immutable and lazy greedy
+    /// is deterministic: identical parameters against the same epoch can
+    /// only ever produce the identical selection. Serving workloads repeat
+    /// a small set of parameter combinations, so after one computation per
+    /// epoch the hot path degenerates to a lookup + clone; publishing a new
+    /// epoch starts from an empty cache, which is exactly the invalidation
+    /// the versioning scheme exists to provide.
+    select_cache: Mutex<Vec<(SelectParams, SelectOutcome)>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// Cap on memoized outcomes per snapshot: parameter combinations are few
+/// (budget × weight × cov), so a short linear-scanned list suffices.
+const SELECT_CACHE_CAP: usize = 16;
+
+impl Snapshot {
+    fn assemble(epoch: u64, repo: UserRepository, groups: GroupSet, csr: CsrGraph) -> Self {
+        let lbs_weights = WeightScheme::LinearBySize.weights(&groups);
+        Self {
+            epoch,
+            repo,
+            groups,
+            csr,
+            lbs_weights,
+            select_cache: Mutex::new(Vec::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The snapshot's epoch: 0 for the initial load, incremented by one
+    /// per published update batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen repository.
+    pub fn repo(&self) -> &UserRepository {
+        &self.repo
+    }
+
+    /// The frozen group set.
+    pub fn groups(&self) -> &GroupSet {
+        &self.groups
+    }
+
+    /// The prebuilt CSR adjacency of [`Snapshot::groups`].
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// Builds the weight vector for `scheme` — prebuilt for LBS.
+    fn weights_for(&self, scheme: WeightScheme) -> Vec<f64> {
+        match scheme {
+            WeightScheme::LinearBySize => self.lbs_weights.clone(),
+            WeightScheme::Identical => vec![1.0; self.groups.len()],
+        }
+    }
+
+    /// Runs lazy greedy against the prebuilt CSR graph, checking `deadline`
+    /// between greedy rounds. A deadline hit maps to
+    /// [`ServiceError::DeadlineExceeded`]; the partial prefix is discarded.
+    pub fn select(
+        &self,
+        params: &SelectParams,
+        deadline: Option<Instant>,
+    ) -> Result<SelectOutcome, ServiceError> {
+        if params.budget == 0 {
+            return Err(ServiceError::Core(
+                podium_core::error::CoreError::ZeroBudget,
+            ));
+        }
+        // Memo hit: the result was already computed against this very
+        // epoch, so it is exact. Returned even past the deadline — the
+        // deadline bounds computation, and a hit costs none.
+        if let Some(hit) = self.cached(params) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let weights = self.weights_for(params.weight);
+        let covs = params.cov.cov(&self.groups, params.budget);
+        let inst = DiversificationInstance::new(&self.groups, weights, covs);
+        let (selection, completed) = match deadline {
+            Some(d) => lazy_select_deadline(&inst, &self.csr, params.budget, None, &mut |_| {
+                Instant::now() >= d
+            }),
+            None => (
+                podium_core::engine::lazy_select_csr(&inst, &self.csr, params.budget, None),
+                true,
+            ),
+        };
+        if !completed {
+            return Err(ServiceError::DeadlineExceeded);
+        }
+        let names = self.user_names(&selection.users);
+        let outcome = SelectOutcome {
+            epoch: self.epoch,
+            selection,
+            names,
+        };
+        self.memoize(params, &outcome);
+        Ok(outcome)
+    }
+
+    fn cached(&self, params: &SelectParams) -> Option<SelectOutcome> {
+        let cache = self.select_cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache
+            .iter()
+            .find(|(p, _)| p == params)
+            .map(|(_, outcome)| outcome.clone())
+    }
+
+    fn memoize(&self, params: &SelectParams, outcome: &SelectOutcome) {
+        let mut cache = self.select_cache.lock().unwrap_or_else(|e| e.into_inner());
+        if cache.iter().any(|(p, _)| p == params) {
+            return; // a concurrent worker raced us to the same miss
+        }
+        if cache.len() >= SELECT_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((*params, outcome.clone()));
+    }
+
+    /// `(hits, misses)` of the memoized select cache — one miss per
+    /// distinct parameter combination per epoch in the steady state.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Resolves user ids to names against this snapshot's repository.
+    pub fn user_names(&self, users: &[UserId]) -> Vec<String> {
+        users
+            .iter()
+            .map(|&u| {
+                self.repo
+                    .user_name(u)
+                    .map(str::to_owned)
+                    .unwrap_or_else(|_| format!("<user {u}>"))
+            })
+            .collect()
+    }
+}
+
+/// Holder of the current snapshot; cheap concurrent reads, swap-on-publish.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    current: RwLock<Arc<Snapshot>>,
+}
+
+impl SnapshotStore {
+    fn new(initial: Arc<Snapshot>) -> Self {
+        Self {
+            current: RwLock::new(initial),
+        }
+    }
+
+    /// Clones out the current snapshot. The read lock is held only for the
+    /// `Arc` clone; the caller then works against immutable data.
+    pub fn load(&self) -> Arc<Snapshot> {
+        self.current
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.load().epoch()
+    }
+
+    /// Swaps in a new snapshot, returning the previous one.
+    fn swap(&self, next: Arc<Snapshot>) -> Arc<Snapshot> {
+        let mut guard = self.current.write().unwrap_or_else(|e| e.into_inner());
+        std::mem::replace(&mut *guard, next)
+    }
+}
+
+/// One profile update: set (or retract, with `score: None`) the value of
+/// `property` in `user`'s profile. Unknown users are created when setting
+/// a score; unknown *properties* are rejected — the bucketing is fixed at
+/// fit time (grouping runs offline, §7), so a property that was never
+/// bucketed can form no groups. Re-fit and restart to add properties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileUpdate {
+    /// Target user name.
+    pub user: String,
+    /// Property label, e.g. `"avgRating Mexican"`.
+    pub property: String,
+    /// `Some(score)` sets; `None` retracts.
+    pub score: Option<f64>,
+}
+
+/// What applying one update did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// Whether a new user record was created for the update.
+    pub created_user: bool,
+    /// Whether the update changed the group structure (moved the user
+    /// between buckets) as opposed to a same-bucket score tweak.
+    pub regrouped: bool,
+}
+
+/// The single mutator of the repository: applies updates incrementally and
+/// publishes immutable snapshots.
+///
+/// Not `Sync` by design — wrap it in a `Mutex` (as
+/// [`crate::service::PodiumService`] does) if updates arrive from several
+/// connections; the point is that *publishing* is single-writer while
+/// reads scale out through the [`SnapshotStore`].
+#[derive(Debug)]
+pub struct RepositoryWriter {
+    store: Arc<SnapshotStore>,
+    repo: UserRepository,
+    inc: IncrementalGroups,
+    epoch: u64,
+    /// Whether changes have been applied since the last publish.
+    dirty: bool,
+    /// Retired epochs whose group sets we may reclaim once readers drop
+    /// their references.
+    retired: Vec<Arc<Snapshot>>,
+    /// Reclaimed group sets, reused via
+    /// [`IncrementalGroups::snapshot_into`] to avoid re-allocating the
+    /// full membership structure on every published epoch.
+    recycled: Vec<GroupSet>,
+}
+
+/// Cap on pooled group sets; beyond double buffering there is nothing to
+/// gain.
+const RECYCLE_CAP: usize = 2;
+
+impl RepositoryWriter {
+    /// Builds the initial epoch-0 snapshot from a loaded repository and a
+    /// fixed bucketing, returning the shared store and the writer.
+    pub fn new(repo: UserRepository, buckets: &PropertyBuckets) -> (Arc<SnapshotStore>, Self) {
+        let inc = IncrementalGroups::build(&repo, buckets);
+        let groups = inc.snapshot();
+        let csr = inc.snapshot_csr();
+        let snap = Arc::new(Snapshot::assemble(0, repo.clone(), groups, csr));
+        let store = Arc::new(SnapshotStore::new(snap));
+        let writer = Self {
+            store: Arc::clone(&store),
+            repo,
+            inc,
+            epoch: 0,
+            dirty: false,
+            retired: Vec::new(),
+            recycled: Vec::new(),
+        };
+        (store, writer)
+    }
+
+    /// The store this writer publishes to.
+    pub fn store(&self) -> &Arc<SnapshotStore> {
+        &self.store
+    }
+
+    /// The epoch of the last published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Applies one update to the writer's working state. Not visible to
+    /// readers until [`RepositoryWriter::publish`].
+    pub fn apply(&mut self, update: &ProfileUpdate) -> Result<ApplyOutcome, ServiceError> {
+        let Some(pid) = self.repo.property_id(&update.property) else {
+            return Err(ServiceError::BadRequest(format!(
+                "unknown property '{}' (bucketing is fixed at fit time; re-fit to add properties)",
+                update.property
+            )));
+        };
+        if let Some(s) = update.score {
+            if !s.is_finite() || !(0.0..=1.0).contains(&s) {
+                return Err(ServiceError::BadRequest(format!(
+                    "score {s} outside the normalized [0, 1] range"
+                )));
+            }
+        }
+        let (uid, created_user) = match self.repo.user_by_name(&update.user) {
+            Some(u) => (u, false),
+            None => {
+                if update.score.is_none() {
+                    return Err(ServiceError::BadRequest(format!(
+                        "cannot retract a score for unknown user '{}'",
+                        update.user
+                    )));
+                }
+                let u = self.repo.add_user(update.user.clone());
+                let mirrored = self.inc.add_user();
+                debug_assert_eq!(u, mirrored, "repo and incremental user ids in lockstep");
+                (u, true)
+            }
+        };
+        match update.score {
+            Some(s) => self
+                .repo
+                .set_score(uid, pid, s)
+                .map_err(ServiceError::Core)?,
+            None => {
+                self.repo
+                    .remove_score(uid, pid)
+                    .map_err(ServiceError::Core)?;
+            }
+        }
+        let (old, new) = self.inc.update_score(uid, pid, update.score);
+        self.dirty = true;
+        Ok(ApplyOutcome {
+            created_user,
+            regrouped: old != new,
+        })
+    }
+
+    /// Materializes the next snapshot from the applied updates and swaps it
+    /// into the store. Returns the new epoch. A publish with no pending
+    /// changes still bumps the epoch (callers use it as a sync barrier).
+    pub fn publish(&mut self) -> u64 {
+        self.epoch += 1;
+        let mut groups = self.recycled.pop().unwrap_or_default();
+        self.inc.snapshot_into(&mut groups);
+        let csr = self.inc.snapshot_csr();
+        let snap = Arc::new(Snapshot::assemble(
+            self.epoch,
+            self.repo.clone(),
+            groups,
+            csr,
+        ));
+        let prev = self.store.swap(snap);
+        self.retired.push(prev);
+        self.reclaim();
+        self.dirty = false;
+        self.epoch
+    }
+
+    /// Publishes only if updates were applied since the last publish.
+    pub fn publish_if_dirty(&mut self) -> Option<u64> {
+        self.dirty.then(|| self.publish())
+    }
+
+    /// Moves group sets of retired snapshots nobody references anymore
+    /// into the recycle pool.
+    fn reclaim(&mut self) {
+        let mut still_referenced = Vec::with_capacity(self.retired.len());
+        for snap in self.retired.drain(..) {
+            match Arc::try_unwrap(snap) {
+                Ok(owned) => {
+                    if self.recycled.len() < RECYCLE_CAP {
+                        self.recycled.push(owned.groups);
+                    }
+                }
+                Err(shared) => still_referenced.push(shared),
+            }
+        }
+        self.retired = still_referenced;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use podium_core::bucket::BucketingConfig;
+    use podium_core::engine::{EngineVariant, SelectionEngine};
+
+    fn seed_repo() -> UserRepository {
+        let mut repo = UserRepository::new();
+        let mex = repo.intern_property("avgRating Mexican");
+        let tokyo = repo.intern_property("livesIn Tokyo");
+        for (i, name) in ["Alice", "Bob", "Carol", "David", "Eve", "Frank"]
+            .iter()
+            .enumerate()
+        {
+            let u = repo.add_user(*name);
+            repo.set_score(u, mex, (i as f64) / 6.0).unwrap();
+            if i % 2 == 0 {
+                repo.set_score(u, tokyo, 1.0).unwrap();
+            }
+        }
+        repo
+    }
+
+    fn writer() -> (Arc<SnapshotStore>, RepositoryWriter) {
+        let repo = seed_repo();
+        let buckets = BucketingConfig::paper_default().bucketize(&repo);
+        RepositoryWriter::new(repo, &buckets)
+    }
+
+    #[test]
+    fn epoch_zero_matches_batch_build() {
+        let (store, _w) = writer();
+        let snap = store.load();
+        assert_eq!(snap.epoch(), 0);
+        let repo = seed_repo();
+        let buckets = BucketingConfig::paper_default().bucketize(&repo);
+        let batch = GroupSet::build(&repo, &buckets);
+        assert_eq!(snap.groups().len(), batch.len());
+        for ((_, a), (_, b)) in snap.groups().iter().zip(batch.iter()) {
+            assert_eq!(a.members, b.members);
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn snapshot_select_matches_engine() {
+        let (store, _w) = writer();
+        let snap = store.load();
+        let params = SelectParams {
+            budget: 3,
+            weight: WeightScheme::LinearBySize,
+            cov: CovScheme::Single,
+        };
+        let outcome = snap.select(&params, None).unwrap();
+        let inst = DiversificationInstance::from_schemes(
+            snap.groups(),
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            3,
+        );
+        let engine = SelectionEngine::new(&inst);
+        let reference = engine.select(EngineVariant::LazyHeap, 3);
+        assert_eq!(outcome.selection, reference);
+        assert_eq!(outcome.names.len(), 3);
+    }
+
+    #[test]
+    fn published_epochs_are_isolated_from_later_updates() {
+        let (store, mut w) = writer();
+        let before = store.load();
+        w.apply(&ProfileUpdate {
+            user: "Bob".into(),
+            property: "avgRating Mexican".into(),
+            score: Some(0.95),
+        })
+        .unwrap();
+        assert_eq!(
+            store.load().epoch(),
+            0,
+            "apply without publish stays invisible"
+        );
+        let e1 = w.publish();
+        assert_eq!(e1, 1);
+        let after = store.load();
+        assert_eq!(after.epoch(), 1);
+        // The pinned pre-update snapshot still shows the old score.
+        let bob = before.repo().user_by_name("Bob").unwrap();
+        let mex = before.repo().property_id("avgRating Mexican").unwrap();
+        assert_eq!(before.repo().score(bob, mex), Some(1.0 / 6.0));
+        assert_eq!(after.repo().score(bob, mex), Some(0.95));
+    }
+
+    #[test]
+    fn writer_snapshot_equals_from_scratch_rebuild() {
+        let (store, mut w) = writer();
+        for (i, (user, score)) in [
+            ("Bob", Some(0.95)),
+            ("Carol", Some(0.05)),
+            ("Grace", Some(0.5)),
+            ("Alice", None),
+            ("Grace", Some(0.92)),
+        ]
+        .iter()
+        .enumerate()
+        {
+            w.apply(&ProfileUpdate {
+                user: (*user).into(),
+                property: "avgRating Mexican".into(),
+                score: *score,
+            })
+            .unwrap();
+            let epoch = w.publish();
+            assert_eq!(epoch, i as u64 + 1);
+        }
+        let snap = store.load();
+        // Rebuild from the writer's own repository with the same (fixed)
+        // bucket boundaries: group sets must agree exactly.
+        let seed = seed_repo();
+        let buckets = BucketingConfig::paper_default().bucketize(&seed);
+        let batch = GroupSet::build(snap.repo(), &buckets);
+        assert_eq!(snap.groups().len(), batch.len());
+        for ((_, a), (_, b)) in snap.groups().iter().zip(batch.iter()) {
+            assert_eq!(a.members, b.members);
+            assert_eq!(a.kind, b.kind);
+        }
+        // CSR mirrors the group set.
+        assert_eq!(snap.csr().group_count(), snap.groups().len());
+        assert_eq!(snap.csr().user_count(), snap.groups().user_count());
+    }
+
+    #[test]
+    fn unknown_property_and_bad_scores_rejected() {
+        let (_store, mut w) = writer();
+        let err = w
+            .apply(&ProfileUpdate {
+                user: "Alice".into(),
+                property: "no such property".into(),
+                score: Some(0.4),
+            })
+            .unwrap_err();
+        assert_eq!(err.code(), "bad_request");
+        for bad in [f64::NAN, -0.1, 1.7] {
+            let err = w
+                .apply(&ProfileUpdate {
+                    user: "Alice".into(),
+                    property: "avgRating Mexican".into(),
+                    score: Some(bad),
+                })
+                .unwrap_err();
+            assert_eq!(err.code(), "bad_request", "score {bad}");
+        }
+        let err = w
+            .apply(&ProfileUpdate {
+                user: "Nobody".into(),
+                property: "avgRating Mexican".into(),
+                score: None,
+            })
+            .unwrap_err();
+        assert_eq!(err.code(), "bad_request");
+    }
+
+    #[test]
+    fn group_set_recycling_reclaims_unreferenced_epochs() {
+        let (store, mut w) = writer();
+        for i in 0..5 {
+            w.apply(&ProfileUpdate {
+                user: "Bob".into(),
+                property: "avgRating Mexican".into(),
+                score: Some(0.1 + 0.15 * i as f64),
+            })
+            .unwrap();
+            w.publish();
+        }
+        // No outstanding reader references except the current snapshot:
+        // the pool should have filled.
+        assert!(!w.recycled.is_empty(), "retired epochs were reclaimed");
+        assert!(w.recycled.len() <= RECYCLE_CAP);
+        assert_eq!(store.load().epoch(), 5);
+    }
+
+    #[test]
+    fn publish_if_dirty_skips_clean_publishes() {
+        let (_store, mut w) = writer();
+        assert_eq!(w.publish_if_dirty(), None);
+        w.apply(&ProfileUpdate {
+            user: "Bob".into(),
+            property: "avgRating Mexican".into(),
+            score: Some(0.9),
+        })
+        .unwrap();
+        assert_eq!(w.publish_if_dirty(), Some(1));
+        assert_eq!(w.publish_if_dirty(), None);
+    }
+
+    #[test]
+    fn repeated_selects_hit_the_memo_cache() {
+        let (store, _w) = writer();
+        let snap = store.load();
+        let params = SelectParams {
+            budget: 3,
+            weight: WeightScheme::LinearBySize,
+            cov: CovScheme::Single,
+        };
+        let first = snap.select(&params, None).unwrap();
+        let second = snap.select(&params, None).unwrap();
+        assert_eq!(first.names, second.names);
+        assert_eq!(first.selection, second.selection);
+        assert_eq!(snap.cache_stats(), (1, 1), "second call was a pure hit");
+        // Different parameters are separate entries, not collisions.
+        let other = SelectParams {
+            budget: 2,
+            weight: WeightScheme::Identical,
+            cov: CovScheme::Single,
+        };
+        let third = snap.select(&other, None).unwrap();
+        assert_eq!(third.selection.users.len(), 2);
+        assert_eq!(snap.cache_stats(), (1, 2));
+    }
+
+    #[test]
+    fn memo_cache_does_not_survive_a_publish() {
+        let (store, mut w) = writer();
+        let params = SelectParams {
+            budget: 2,
+            weight: WeightScheme::LinearBySize,
+            cov: CovScheme::Single,
+        };
+        let before = store.load().select(&params, None).unwrap();
+        assert_eq!(before.epoch, 0);
+        w.apply(&ProfileUpdate {
+            user: "Bob".into(),
+            property: "avgRating Mexican".into(),
+            score: Some(0.97),
+        })
+        .unwrap();
+        w.publish();
+        let snap = store.load();
+        let after = snap.select(&params, None).unwrap();
+        assert_eq!(after.epoch, 1);
+        assert_eq!(
+            snap.cache_stats(),
+            (0, 1),
+            "new epoch starts from an empty cache"
+        );
+        // And the fresh computation really ran against the new data.
+        let rebuilt = DiversificationInstance::from_schemes(
+            snap.groups(),
+            WeightScheme::LinearBySize,
+            CovScheme::Single,
+            2,
+        );
+        let engine = SelectionEngine::new(&rebuilt);
+        assert_eq!(after.selection, engine.select(EngineVariant::LazyHeap, 2));
+    }
+
+    #[test]
+    fn deadline_in_the_past_maps_to_deadline_exceeded() {
+        let (store, _w) = writer();
+        let snap = store.load();
+        let params = SelectParams {
+            budget: 3,
+            weight: WeightScheme::LinearBySize,
+            cov: CovScheme::Single,
+        };
+        let already_past = Instant::now() - std::time::Duration::from_millis(1);
+        let err = snap.select(&params, Some(already_past)).unwrap_err();
+        assert_eq!(err, ServiceError::DeadlineExceeded);
+    }
+}

@@ -1,43 +1,154 @@
-//! `podium-cli` — diverse user selection over JSON profile files.
+//! `podium-cli` — diverse user selection over JSON profile files, plus the
+//! serving-side front-end (`serve`, `bench-serve`, `quarantine`).
 //!
-//! See `podium::cli::USAGE` or run with `--help`.
+//! See `podium::cli::USAGE` / `podium::service_cli::SERVICE_USAGE` or run
+//! with `--help`.
+
+use std::io::Write as _;
+use std::sync::Arc;
+
+use podium::service_cli::{self, QuarantineCmd};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
-        eprint!("{}", podium::cli::USAGE);
+        eprint!("{}\n{}", podium::cli::USAGE, service_cli::SERVICE_USAGE);
         std::process::exit(if argv.is_empty() { 2 } else { 0 });
     }
-    let args = match podium::cli::parse_args(&argv) {
+    match argv[0].as_str() {
+        "serve" => run_serve(&argv[1..]),
+        "bench-serve" => run_bench_serve(&argv[1..]),
+        "quarantine" => run_quarantine(&argv[1..]),
+        _ => run_classic(&argv),
+    }
+}
+
+/// The original stats/groups/select path.
+fn run_classic(argv: &[String]) {
+    let args = match podium::cli::parse_args(argv) {
         Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}\n");
-            eprint!("{}", podium::cli::USAGE);
-            std::process::exit(2);
-        }
+        Err(e) => usage_error(&e),
     };
-    let profiles = match std::fs::read_to_string(&args.profiles) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: cannot read '{}': {e}", args.profiles);
-            std::process::exit(1);
-        }
-    };
-    let config = match args.config.as_deref() {
-        Some(path) => match std::fs::read_to_string(path) {
-            Ok(c) => Some(c),
-            Err(e) => {
-                eprintln!("error: cannot read '{path}': {e}");
-                std::process::exit(1);
-            }
-        },
-        None => None,
-    };
+    let profiles = read_file(&args.profiles);
+    let config = args.config.as_deref().map(read_file);
     match podium::cli::run(&args, &profiles, config.as_deref()) {
         Ok(out) => print!("{out}"),
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+        Err(e) => fail(&e),
+    }
+}
+
+fn run_serve(argv: &[String]) {
+    let args = match service_cli::parse_serve_args(argv) {
+        Ok(a) => a,
+        Err(e) => usage_error(&e),
+    };
+    let profiles = read_file(&args.profiles);
+    let service = match service_cli::build_service(&profiles, &args) {
+        Ok(s) => s,
+        Err(e) => fail(&e),
+    };
+    let result = match &args.socket {
+        Some(path) => {
+            eprintln!("podium-cli: serving on unix socket {path}");
+            podium::service::server::serve_unix(Arc::new(service), std::path::Path::new(path))
+        }
+        None => podium::service::server::serve_stdio(&service),
+    };
+    if let Err(e) = result {
+        fail(&format!("serve failed: {e}"));
+    }
+}
+
+fn run_bench_serve(argv: &[String]) {
+    let args = match service_cli::parse_bench_serve_args(argv) {
+        Ok(a) => a,
+        Err(e) => usage_error(&e),
+    };
+    let (human, row) = service_cli::run_bench_serve(&args);
+    print!("{human}");
+    let path = std::path::Path::new(&args.out);
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            fail(&format!("cannot create '{}': {e}", dir.display()));
         }
     }
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{row}"));
+    match appended {
+        Ok(()) => println!("recorded: {}", args.out),
+        Err(e) => fail(&format!("cannot write '{}': {e}", args.out)),
+    }
+}
+
+fn run_quarantine(argv: &[String]) {
+    let cmd = match service_cli::parse_quarantine_args(argv) {
+        Ok(c) => c,
+        Err(e) => usage_error(&e),
+    };
+    match cmd {
+        QuarantineCmd::Scan {
+            input,
+            format,
+            report_out,
+        } => {
+            let document = read_file(&input);
+            match service_cli::quarantine_scan(&document, format) {
+                Ok((human, report_json)) => {
+                    print!("{human}");
+                    if let Some(out) = report_out {
+                        if let Err(e) = std::fs::write(&out, report_json + "\n") {
+                            fail(&format!("cannot write '{out}': {e}"));
+                        }
+                        println!("report written: {out}");
+                    }
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        QuarantineCmd::Inspect { report } => {
+            let report_json = read_file(&report);
+            match service_cli::quarantine_inspect(&report_json) {
+                Ok(human) => print!("{human}"),
+                Err(e) => fail(&e),
+            }
+        }
+        QuarantineCmd::Replay { report, input } => {
+            let report_json = read_file(&report);
+            let document = read_file(&input);
+            match service_cli::quarantine_replay(&report_json, &document) {
+                Ok((human, clean)) => {
+                    print!("{human}");
+                    if !clean {
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => fail(&e),
+            }
+        }
+    }
+}
+
+fn read_file(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => fail(&format!("cannot read '{path}': {e}")),
+    }
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}\n");
+    eprint!(
+        "{}\n{}",
+        podium::cli::USAGE,
+        podium::service_cli::SERVICE_USAGE
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
 }

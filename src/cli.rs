@@ -17,9 +17,12 @@ use podium_core::customize::Feedback;
 use podium_core::pipeline::Podium;
 use podium_core::weights::{CovScheme, WeightScheme};
 
-/// CLI usage text.
+/// CLI usage text for the classic subcommands; the binary appends
+/// [`crate::service_cli::SERVICE_USAGE`] for `serve`, `bench-serve`, and
+/// `quarantine`.
 pub const USAGE: &str = "\
 usage: podium-cli <stats|groups|select> --profiles FILE [options]
+       podium-cli <serve|bench-serve|quarantine> [options]
 
 options (groups/select):
   --strategy paper|equal-width|quantile|jenks|kmeans|kde|em   bucketing (default quantile)
@@ -163,7 +166,13 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, String> {
 
 /// Resolves the bucketing configuration from CLI names.
 pub fn bucketing_of(args: &CliArgs) -> Result<BucketingConfig, String> {
-    let strategy = match args.strategy.as_str() {
+    bucketing_from(&args.strategy, args.buckets)
+}
+
+/// Resolves a bucketing configuration from a strategy name and bucket
+/// count (shared with the `serve` subcommand).
+pub fn bucketing_from(strategy: &str, buckets: usize) -> Result<BucketingConfig, String> {
+    let strategy = match strategy {
         "paper" => return Ok(BucketingConfig::paper_default()),
         "equal-width" => BucketStrategy::EqualWidth,
         "quantile" => BucketStrategy::Quantile,
@@ -175,7 +184,7 @@ pub fn bucketing_of(args: &CliArgs) -> Result<BucketingConfig, String> {
     };
     Ok(BucketingConfig {
         strategy,
-        buckets_per_property: args.buckets,
+        buckets_per_property: buckets,
         detect_boolean: true,
     })
 }

@@ -14,7 +14,10 @@
 //! * [`baselines`] — comparator selectors (random, k-means clustering,
 //!   distance-based S-Model, exhaustive optimal, stratified sampling, MMR);
 //! * [`metrics`] — the paper's evaluation metrics (CD-sim, coverage metrics,
-//!   opinion-diversity metrics).
+//!   opinion-diversity metrics);
+//! * [`service`] — the concurrent serving layer: versioned repository
+//!   snapshots, a bounded worker pool, sessions, and a line-delimited JSON
+//!   protocol over stdin/stdout or a Unix socket.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough of the paper's
 //! running example and `DESIGN.md` for the full system inventory.
@@ -26,8 +29,10 @@ pub use podium_baselines as baselines;
 pub use podium_core as core;
 pub use podium_data as data;
 pub use podium_metrics as metrics;
+pub use podium_service as service;
 
 pub mod cli;
+pub mod service_cli;
 
 /// One-stop prelude: the core prelude plus the most-used items of the other
 /// crates.

@@ -1,0 +1,542 @@
+//! The serving-side subcommands of `podium-cli`: `serve`, `bench-serve`,
+//! and the `quarantine` tool family.
+//!
+//! The classic subcommands (`stats`, `groups`, `select`) live in
+//! [`crate::cli`]; this module hosts the front-end for the
+//! [`podium_service`] subsystem plus the quarantine-report workflow of
+//! `podium_data::report`:
+//!
+//! * `serve` — load a profile file, build a [`PodiumService`], and serve
+//!   the line-delimited JSON protocol over stdin/stdout or a Unix socket;
+//! * `bench-serve` — closed-loop load generator against an in-process
+//!   service, reporting throughput and latency percentiles as one JSONL
+//!   row;
+//! * `quarantine scan` — lenient-load a document and persist its
+//!   quarantine report;
+//! * `quarantine inspect` — pretty-print a persisted report;
+//! * `quarantine replay` — re-attempt loading the quarantined records of
+//!   an (edited) document and classify each as fixed or still defective.
+//!
+//! Parsing and rendering are factored apart from file/socket I/O so the
+//! logic is testable on in-memory strings, mirroring [`crate::cli::run`].
+
+use std::time::Duration;
+
+use podium_data::report::{load_report, replay, save_report, ReplayFormat, ReplayStatus};
+use podium_service::bench::{run_bench, BenchConfig};
+use podium_service::{PodiumService, ServiceConfig};
+
+use crate::cli::bucketing_from;
+
+/// Usage text for the serving-side subcommands (appended to
+/// [`crate::cli::USAGE`] by the binary).
+pub const SERVICE_USAGE: &str = "\
+serving subcommands:
+  serve --profiles FILE [--strategy S] [--buckets K] [--socket PATH]
+        [--workers N] [--queue N] [--deadline-ms MS]
+      serve the line-delimited JSON protocol (select/explain/refine/
+      update-profile/stats) over stdin/stdout, or over a Unix domain
+      socket when --socket is given.
+  bench-serve [--users N] [--properties N] [--scores-per-user N]
+        [--budget B] [--clients N] [--workers N] [--queue N]
+        [--duration-s SECS] [--update-hz HZ] [--deadline-ms MS]
+        [--seed S] [--out FILE]
+      closed-loop load generator against an in-process service over a
+      synthetic repository; appends one JSONL row to --out
+      (default target/bench-serve.jsonl).
+  quarantine scan <document> [--format F] [--report FILE]
+      lenient-load the document, print its quarantine, and (with
+      --report) persist the report JSON for later replay.
+  quarantine inspect <report.json>
+      pretty-print a persisted quarantine report.
+  quarantine replay <report.json> <document>
+      re-attempt loading just the quarantined records against the
+      (edited) document; exits non-zero unless every defect is fixed
+      and no new ones appeared.
+
+  formats F: json-profiles | csv-profiles | taxonomy | rules
+";
+
+/// Parsed `serve` command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Path to the JSON profiles file.
+    pub profiles: String,
+    /// Bucketing strategy name (same vocabulary as `select`).
+    pub strategy: String,
+    /// Buckets per property.
+    pub buckets: usize,
+    /// Unix-socket path; `None` serves stdin/stdout.
+    pub socket: Option<String>,
+    /// Service sizing.
+    pub config: ServiceConfig,
+}
+
+/// Parses `serve` arguments (everything after the subcommand word).
+pub fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        profiles: String::new(),
+        strategy: "quantile".into(),
+        buckets: 3,
+        socket: None,
+        config: ServiceConfig::default(),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--profiles" => args.profiles = value("--profiles")?,
+            "--strategy" => args.strategy = value("--strategy")?,
+            "--buckets" => args.buckets = parse_num(&value("--buckets")?, "--buckets")?,
+            "--socket" => args.socket = Some(value("--socket")?),
+            "--workers" => args.config.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--queue" => args.config.queue_capacity = parse_num(&value("--queue")?, "--queue")?,
+            "--deadline-ms" => {
+                args.config.default_deadline_ms =
+                    parse_num(&value("--deadline-ms")?, "--deadline-ms")?
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.profiles.is_empty() {
+        return Err("--profiles is required".to_owned());
+    }
+    if args.config.workers == 0 {
+        return Err("--workers must be at least 1".to_owned());
+    }
+    Ok(args)
+}
+
+/// Builds the service from already-loaded profile JSON: parse, bucketize
+/// with the requested strategy, then stand up the worker pool.
+pub fn build_service(profiles_json: &str, args: &ServeArgs) -> Result<PodiumService, String> {
+    let repo = podium_data::json::profiles_from_json(profiles_json)
+        .map_err(|e| format!("cannot parse profiles: {e}"))?;
+    let bucketing = bucketing_from(&args.strategy, args.buckets)?;
+    let buckets = bucketing.bucketize(&repo);
+    Ok(PodiumService::new(repo, &buckets, args.config))
+}
+
+/// Parsed `bench-serve` command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchServeArgs {
+    /// Load-generator knobs.
+    pub config: BenchConfig,
+    /// JSONL output path the binary appends the report row to.
+    pub out: String,
+}
+
+/// Parses `bench-serve` arguments (everything after the subcommand word).
+pub fn parse_bench_serve_args(argv: &[String]) -> Result<BenchServeArgs, String> {
+    let mut config = BenchConfig::default();
+    let mut out = "target/bench-serve.jsonl".to_owned();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--users" => config.users = parse_num(&value("--users")?, "--users")?,
+            "--properties" => {
+                config.properties = parse_num(&value("--properties")?, "--properties")?
+            }
+            "--scores-per-user" => {
+                config.scores_per_user =
+                    parse_num(&value("--scores-per-user")?, "--scores-per-user")?
+            }
+            "--budget" => config.budget = parse_num(&value("--budget")?, "--budget")?,
+            "--clients" => config.clients = parse_num(&value("--clients")?, "--clients")?,
+            "--workers" => config.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--queue" => config.queue_capacity = parse_num(&value("--queue")?, "--queue")?,
+            "--duration-s" => {
+                let secs: f64 = value("--duration-s")?
+                    .parse()
+                    .map_err(|_| "--duration-s needs a number".to_owned())?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err("--duration-s must be positive".to_owned());
+                }
+                config.duration = Duration::from_secs_f64(secs);
+            }
+            "--update-hz" => config.update_hz = parse_num(&value("--update-hz")?, "--update-hz")?,
+            "--deadline-ms" => {
+                config.deadline_ms = parse_num(&value("--deadline-ms")?, "--deadline-ms")?
+            }
+            "--seed" => config.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--out" => out = value("--out")?,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if config.users == 0 || config.budget == 0 || config.clients == 0 || config.workers == 0 {
+        return Err("--users/--budget/--clients/--workers must be at least 1".to_owned());
+    }
+    Ok(BenchServeArgs { config, out })
+}
+
+/// Runs the load generator; returns the human-readable summary and the
+/// JSONL row the binary appends to `args.out`.
+pub fn run_bench_serve(args: &BenchServeArgs) -> (String, String) {
+    use std::fmt::Write as _;
+    let report = run_bench(&args.config);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench-serve: {} users, budget {}, {} clients / {} workers, updates {} Hz",
+        report.users, report.budget, report.clients, report.workers, report.update_hz
+    );
+    let _ = writeln!(
+        out,
+        "served {} requests in {:.2} s ({:.1} req/s)",
+        report.served, report.duration_s, report.throughput_rps
+    );
+    let _ = writeln!(
+        out,
+        "latency us: p50 {}  p90 {}  p99 {}  max {}",
+        report.p50_us, report.p90_us, report.p99_us, report.max_us
+    );
+    let _ = writeln!(
+        out,
+        "failed {}, overloaded {}, inconsistent {}; {} updates applied (final epoch {})",
+        report.failed,
+        report.overloaded,
+        report.inconsistent,
+        report.updates_applied,
+        report.final_epoch
+    );
+    (out, report.to_json())
+}
+
+/// Parsed `quarantine` command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuarantineCmd {
+    /// Lenient-load a document and report (optionally persist) its
+    /// quarantine.
+    Scan {
+        /// Path of the document to scan.
+        input: String,
+        /// Loader format.
+        format: ReplayFormat,
+        /// Where to persist the report JSON, if anywhere.
+        report_out: Option<String>,
+    },
+    /// Pretty-print a persisted report.
+    Inspect {
+        /// Path of the report JSON.
+        report: String,
+    },
+    /// Replay a persisted report against an (edited) document.
+    Replay {
+        /// Path of the report JSON.
+        report: String,
+        /// Path of the edited document.
+        input: String,
+    },
+}
+
+/// Parses `quarantine` arguments (everything after the `quarantine` word).
+pub fn parse_quarantine_args(argv: &[String]) -> Result<QuarantineCmd, String> {
+    let mode = argv
+        .first()
+        .ok_or_else(|| "quarantine needs a mode: scan | inspect | replay".to_owned())?;
+    let rest = &argv[1..];
+    match mode.as_str() {
+        "scan" => {
+            let mut input = None;
+            let mut format = ReplayFormat::JsonProfiles;
+            let mut report_out = None;
+            let mut it = rest.iter();
+            while let Some(word) = it.next() {
+                match word.as_str() {
+                    "--format" => {
+                        let tag = it
+                            .next()
+                            .ok_or_else(|| "--format needs a value".to_owned())?;
+                        format = ReplayFormat::from_tag(tag)
+                            .ok_or_else(|| format!("unknown format '{tag}'"))?;
+                    }
+                    "--report" => {
+                        report_out = Some(
+                            it.next()
+                                .cloned()
+                                .ok_or_else(|| "--report needs a value".to_owned())?,
+                        )
+                    }
+                    flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+                    path if input.is_none() => input = Some(path.to_owned()),
+                    extra => return Err(format!("unexpected argument '{extra}'")),
+                }
+            }
+            Ok(QuarantineCmd::Scan {
+                input: input.ok_or_else(|| "quarantine scan needs a document path".to_owned())?,
+                format,
+                report_out,
+            })
+        }
+        "inspect" => match rest {
+            [report] => Ok(QuarantineCmd::Inspect {
+                report: report.clone(),
+            }),
+            _ => Err("usage: quarantine inspect <report.json>".to_owned()),
+        },
+        "replay" => match rest {
+            [report, input] => Ok(QuarantineCmd::Replay {
+                report: report.clone(),
+                input: input.clone(),
+            }),
+            _ => Err("usage: quarantine replay <report.json> <document>".to_owned()),
+        },
+        other => Err(format!("unknown quarantine mode '{other}'")),
+    }
+}
+
+/// Lenient-loads `document` and renders its quarantine; returns the human
+/// summary and the persistable report JSON.
+pub fn quarantine_scan(document: &str, format: ReplayFormat) -> Result<(String, String), String> {
+    let report = format
+        .lenient_report(document)
+        .map_err(|e| format!("cannot load document: {e}"))?;
+    let json = save_report(&report, format);
+    // Round-trip through the persisted form so the rendering below is
+    // exactly what `inspect` will show later.
+    let human = quarantine_inspect(&json)?;
+    Ok((human, json))
+}
+
+/// Pretty-prints a persisted quarantine report.
+pub fn quarantine_inspect(report_json: &str) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let saved = load_report(report_json).map_err(|e| format!("cannot parse report: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "format {}: {} accepted, {} quarantined",
+        saved.format.tag(),
+        saved.accepted,
+        saved.entries.len()
+    );
+    for entry in &saved.entries {
+        let _ = writeln!(out, "  {}", entry.describe());
+        if !entry.snippet.is_empty() {
+            let _ = writeln!(out, "      {}", entry.snippet);
+        }
+    }
+    Ok(out)
+}
+
+/// Replays a persisted report against `document`; returns the human
+/// summary and whether the replay came back clean.
+pub fn quarantine_replay(report_json: &str, document: &str) -> Result<(String, bool), String> {
+    use std::fmt::Write as _;
+    let saved = load_report(report_json).map_err(|e| format!("cannot parse report: {e}"))?;
+    let outcome = replay(&saved, document).map_err(|e| format!("cannot re-load document: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replayed {} quarantined records against {} format: {} fixed, {} still defective, {} new",
+        saved.entries.len(),
+        saved.format.tag(),
+        outcome.fixed(),
+        outcome.still_defective(),
+        outcome.new_defects.len()
+    );
+    for entry in &outcome.entries {
+        match &entry.status {
+            ReplayStatus::Fixed => {
+                let _ = writeln!(out, "  fixed: {}", entry.saved.describe());
+            }
+            ReplayStatus::StillDefective { kind, message } => {
+                let _ = writeln!(out, "  still defective [{kind}]: {message}");
+            }
+        }
+    }
+    for fresh in &outcome.new_defects {
+        let _ = writeln!(out, "  new defect: {}", fresh.describe());
+    }
+    let _ = writeln!(out, "accepted {} records", outcome.accepted);
+    Ok((out, outcome.is_clean()))
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse().map_err(|_| format!("{flag} needs an integer"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use podium_data::fault::{FaultInjector, FaultKind};
+    use podium_data::json::profiles_to_json;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    const SAMPLE: &str = r#"{
+        "users": [
+            { "name": "Alice", "properties": { "livesIn Tokyo": 1.0, "avgRating Mexican": 0.95 } },
+            { "name": "Bob",   "properties": { "livesIn NYC": 1.0,   "avgRating Mexican": 0.3 } },
+            { "name": "Carol", "properties": { "livesIn Bali": 1.0 } }
+        ]
+    }"#;
+
+    #[test]
+    fn parse_serve_flags() {
+        let a = parse_serve_args(&argv(
+            "--profiles p.json --strategy paper --socket /tmp/s.sock \
+             --workers 2 --queue 16 --deadline-ms 500",
+        ))
+        .unwrap();
+        assert_eq!(a.profiles, "p.json");
+        assert_eq!(a.strategy, "paper");
+        assert_eq!(a.socket.as_deref(), Some("/tmp/s.sock"));
+        assert_eq!(a.config.workers, 2);
+        assert_eq!(a.config.queue_capacity, 16);
+        assert_eq!(a.config.default_deadline_ms, 500);
+
+        assert!(parse_serve_args(&argv("")).is_err(), "--profiles required");
+        assert!(parse_serve_args(&argv("--profiles p --workers 0")).is_err());
+        assert!(parse_serve_args(&argv("--profiles p --wat 1")).is_err());
+    }
+
+    #[test]
+    fn built_service_answers_the_protocol() {
+        let a = parse_serve_args(&argv("--profiles p.json --strategy paper --workers 1")).unwrap();
+        let service = build_service(SAMPLE, &a).unwrap();
+        let response = service.handle_line(r#"{"op":"select","budget":2}"#);
+        assert!(response.contains(r#""ok":true"#), "{response}");
+        assert!(
+            response.contains("Alice") || response.contains("Bob"),
+            "{response}"
+        );
+    }
+
+    #[test]
+    fn parse_bench_serve_flags() {
+        let a = parse_bench_serve_args(&argv(
+            "--users 500 --budget 8 --clients 2 --workers 2 --duration-s 0.25 \
+             --update-hz 5 --seed 7 --out /tmp/x.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(a.config.users, 500);
+        assert_eq!(a.config.budget, 8);
+        assert_eq!(a.config.duration, Duration::from_millis(250));
+        assert_eq!(a.config.update_hz, 5);
+        assert_eq!(a.config.seed, 7);
+        assert_eq!(a.out, "/tmp/x.jsonl");
+
+        assert!(parse_bench_serve_args(&argv("--users 0")).is_err());
+        assert!(parse_bench_serve_args(&argv("--duration-s -1")).is_err());
+    }
+
+    #[test]
+    fn bench_serve_summary_and_row_agree() {
+        let args = BenchServeArgs {
+            config: BenchConfig {
+                users: 150,
+                properties: 8,
+                scores_per_user: 3,
+                budget: 4,
+                clients: 2,
+                workers: 2,
+                queue_capacity: 32,
+                duration: Duration::from_millis(150),
+                update_hz: 20,
+                deadline_ms: 1_000,
+                seed: 11,
+            },
+            out: "unused".into(),
+        };
+        let (human, row) = run_bench_serve(&args);
+        assert!(human.contains("bench-serve: 150 users"), "{human}");
+        assert!(human.contains("failed 0,"), "{human}");
+        let v: serde_json::Value = serde_json::from_str(&row).unwrap();
+        assert_eq!(v["bench"].as_str(), Some("serve"));
+        assert_eq!(v["failed"].as_u64(), Some(0));
+        assert_eq!(v["inconsistent"].as_u64(), Some(0));
+        assert!(v["served"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn parse_quarantine_modes() {
+        assert_eq!(
+            parse_quarantine_args(&argv("scan d.json --format taxonomy --report r.json")).unwrap(),
+            QuarantineCmd::Scan {
+                input: "d.json".into(),
+                format: ReplayFormat::Taxonomy,
+                report_out: Some("r.json".into()),
+            }
+        );
+        assert_eq!(
+            parse_quarantine_args(&argv("inspect r.json")).unwrap(),
+            QuarantineCmd::Inspect {
+                report: "r.json".into()
+            }
+        );
+        assert_eq!(
+            parse_quarantine_args(&argv("replay r.json d.json")).unwrap(),
+            QuarantineCmd::Replay {
+                report: "r.json".into(),
+                input: "d.json".into(),
+            }
+        );
+        assert!(parse_quarantine_args(&argv("")).is_err());
+        assert!(parse_quarantine_args(&argv("scan")).is_err());
+        assert!(parse_quarantine_args(&argv("scan d --format wat")).is_err());
+        assert!(parse_quarantine_args(&argv("inspect a b")).is_err());
+        assert!(parse_quarantine_args(&argv("frobnicate x")).is_err());
+    }
+
+    /// End-to-end scan → inspect → replay over an actually corrupted
+    /// document, through the same string-level entry points the binary
+    /// uses.
+    #[test]
+    fn quarantine_workflow_round_trips() {
+        let mut repo = podium_core::profile::UserRepository::new();
+        for i in 0..6 {
+            let u = repo.add_user(format!("u{i}"));
+            let p = repo.intern_property("p0");
+            repo.set_score(u, p, 0.1 + 0.1 * i as f64).unwrap();
+        }
+        let clean = profiles_to_json(&repo).unwrap();
+        let corrupted = FaultInjector::new(3)
+            .corrupt_json(
+                &clean,
+                &[FaultKind::OutOfRangeScore, FaultKind::MissingField],
+            )
+            .unwrap();
+
+        let (human, report_json) = quarantine_scan(&corrupted, ReplayFormat::JsonProfiles).unwrap();
+        assert!(human.contains("4 accepted, 2 quarantined"), "{human}");
+
+        let inspected = quarantine_inspect(&report_json).unwrap();
+        assert_eq!(inspected, human, "scan shows what inspect will show");
+
+        // Replaying the still-broken document: nothing fixed, nothing new.
+        let (summary, clean_replay) = quarantine_replay(&report_json, &corrupted).unwrap();
+        assert!(!clean_replay);
+        assert!(
+            summary.contains("0 fixed, 2 still defective, 0 new"),
+            "{summary}"
+        );
+
+        // Replaying the original clean document: everything fixed.
+        let (summary, clean_replay) = quarantine_replay(&report_json, &clean).unwrap();
+        assert!(clean_replay, "{summary}");
+        assert!(
+            summary.contains("2 fixed, 0 still defective, 0 new"),
+            "{summary}"
+        );
+        assert!(summary.contains("accepted 6 records"), "{summary}");
+    }
+
+    #[test]
+    fn quarantine_errors_are_reported_not_panicked() {
+        assert!(quarantine_inspect("not json").is_err());
+        assert!(quarantine_scan("not json", ReplayFormat::JsonProfiles).is_err());
+        assert!(quarantine_replay("not json", "{}").is_err());
+    }
+}
