@@ -262,7 +262,10 @@ fn main() {
 }
 
 /// Runs one experiment body. Panics propagate to the isolation harness.
-fn run_one(id: &str, args: &Args) {
+/// Returns optional JSON metrics that the harness embeds as the status
+/// row's `details` field.
+fn run_one(id: &str, args: &Args) -> Option<String> {
+    let mut details = None;
     match id {
         "table2" => {
             header("Table 2 running example (Examples 3.5-6.4)");
@@ -447,6 +450,7 @@ fn run_one(id: &str, args: &Args) {
             }
             assert_eq!(report.failed, 0, "no failed responses under load");
             assert_eq!(report.inconsistent, 0, "no inconsistent responses");
+            details = Some(podium_bench::serving_exp::details_json(&report));
         }
         "selftest-panic" => {
             header("isolation self-test: deliberate panic");
@@ -458,6 +462,7 @@ fn run_one(id: &str, args: &Args) {
         }
         other => unreachable!("id '{other}' was validated against the registry"),
     }
+    details
 }
 
 /// Design-choice ablations called out in DESIGN.md: how the weight scheme,

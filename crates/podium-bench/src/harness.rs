@@ -35,6 +35,11 @@ pub struct ExperimentStatus {
     /// Wall-clock duration in seconds (time until the watchdog fired, for
     /// timeouts).
     pub seconds: f64,
+    /// Optional experiment-supplied metrics, already rendered as a JSON
+    /// value (object or scalar). Embedded verbatim in the status row as
+    /// the `details` field so the JSONL carries e.g. cache and queue
+    /// statistics without the harness knowing their shape.
+    pub details: Option<String>,
 }
 
 impl ExperimentStatus {
@@ -58,6 +63,10 @@ impl ExperimentStatus {
         );
         if let Outcome::Panicked(msg) = &self.outcome {
             out.push_str(&format!(",\"message\":\"{}\"", json_escape(msg)));
+        }
+        if let Some(details) = &self.details {
+            // Already-JSON by contract; embedded raw, not re-escaped.
+            out.push_str(&format!(",\"details\":{details}"));
         }
         out.push('}');
         out
@@ -98,13 +107,17 @@ fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// instead of propagating failure: a panic or timeout in one experiment
 /// must not abort the driver.
 ///
+/// `f` may return a JSON-rendered metrics value (`Some("{...}")`) that is
+/// carried into [`ExperimentStatus::details`]; experiments without
+/// metrics return `None`.
+///
 /// On timeout the worker thread is detached, not killed — Rust has no
 /// safe thread cancellation — so a truly wedged experiment still occupies
 /// a core until the process exits. The driver's job is to finish the
 /// remaining experiments and report, which this guarantees.
 pub fn run_isolated<F>(name: &str, timeout: Duration, f: F) -> ExperimentStatus
 where
-    F: FnOnce() + Send + 'static,
+    F: FnOnce() -> Option<String> + Send + 'static,
 {
     let start = Instant::now();
     let (tx, rx) = mpsc::channel();
@@ -117,20 +130,21 @@ where
             let _ = tx.send(result.map_err(payload_message));
         })
         .expect("spawn experiment thread");
-    let outcome = match rx.recv_timeout(timeout) {
-        Ok(Ok(())) => Outcome::Ok,
-        Ok(Err(msg)) => Outcome::Panicked(msg),
-        Err(mpsc::RecvTimeoutError::Timeout) => Outcome::TimedOut,
+    let (outcome, details) = match rx.recv_timeout(timeout) {
+        Ok(Ok(details)) => (Outcome::Ok, details),
+        Ok(Err(msg)) => (Outcome::Panicked(msg), None),
+        Err(mpsc::RecvTimeoutError::Timeout) => (Outcome::TimedOut, None),
         Err(mpsc::RecvTimeoutError::Disconnected) => {
             // The worker died without sending — only possible if the send
             // itself panicked; treat as a panic with no message.
-            Outcome::Panicked("worker thread died".to_owned())
+            (Outcome::Panicked("worker thread died".to_owned()), None)
         }
     };
     ExperimentStatus {
         name: name.to_owned(),
         outcome,
         seconds: start.elapsed().as_secs_f64(),
+        details,
     }
 }
 
@@ -140,7 +154,7 @@ mod tests {
 
     #[test]
     fn ok_run_is_ok() {
-        let s = run_isolated("fine", Duration::from_secs(10), || {});
+        let s = run_isolated("fine", Duration::from_secs(10), || None);
         assert!(s.is_ok());
         assert_eq!(
             s.to_json(),
@@ -152,8 +166,25 @@ mod tests {
     }
 
     #[test]
+    fn details_are_embedded_raw_in_the_status_row() {
+        let s = run_isolated("detailed", Duration::from_secs(10), || {
+            Some("{\"cache_hits\":3,\"queue_depth_max\":1}".to_owned())
+        });
+        assert!(s.is_ok());
+        assert_eq!(
+            s.details.as_deref(),
+            Some("{\"cache_hits\":3,\"queue_depth_max\":1}")
+        );
+        let row = s.to_json();
+        assert!(
+            row.contains(",\"details\":{\"cache_hits\":3,\"queue_depth_max\":1}}"),
+            "{row}"
+        );
+    }
+
+    #[test]
     fn panic_is_caught_with_message() {
-        let s = run_isolated("boom", Duration::from_secs(10), || {
+        let s = run_isolated("boom", Duration::from_secs(10), || -> Option<String> {
             panic!("deliberate \"failure\"");
         });
         match &s.outcome {
@@ -167,6 +198,7 @@ mod tests {
     fn watchdog_fires_on_slow_experiments() {
         let s = run_isolated("slow", Duration::from_millis(50), || {
             std::thread::sleep(Duration::from_secs(60));
+            None
         });
         assert_eq!(s.outcome, Outcome::TimedOut);
         assert!(
@@ -180,6 +212,7 @@ mod tests {
         let s = run_isolated("fmt", Duration::from_secs(10), || {
             let x = 41;
             assert_eq!(x, 42, "off by {}", 42 - x);
+            None
         });
         match &s.outcome {
             Outcome::Panicked(msg) => assert!(msg.contains("off by 1"), "{msg}"),

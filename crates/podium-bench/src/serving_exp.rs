@@ -49,14 +49,48 @@ pub fn render(report: &BenchReport) -> String {
     );
     let _ = writeln!(
         out,
-        "failed {}, overloaded {}, inconsistent {}; {} updates applied (final epoch {})",
+        "failed {} (deadline {}, transport {}, other {}), overloaded {}, inconsistent {}",
         report.failed,
+        report.failed_deadline,
+        report.failed_transport,
+        report.failed_other,
         report.overloaded,
         report.inconsistent,
+    );
+    let _ = writeln!(
+        out,
+        "{} updates applied (final epoch {}); cache {} hits / {} misses; max queue depth {}",
         report.updates_applied,
-        report.final_epoch
+        report.final_epoch,
+        report.cache_hits,
+        report.cache_misses,
+        report.queue_depth_max
     );
     out
+}
+
+/// Renders the metrics the status-file row carries as its `details`
+/// field: serving health plus the cache and queue-depth counters the
+/// `stats` op exposes, so a sweep's JSONL is greppable for cache
+/// regressions without rerunning anything.
+pub fn details_json(report: &BenchReport) -> String {
+    format!(
+        "{{\"transport\":\"{}\",\"served\":{},\"throughput_rps\":{:.1},\
+         \"failed\":{},\"failed_deadline\":{},\"failed_transport\":{},\
+         \"failed_other\":{},\"overloaded\":{},\"cache_hits\":{},\
+         \"cache_misses\":{},\"queue_depth_max\":{}}}",
+        report.transport,
+        report.served,
+        report.throughput_rps,
+        report.failed,
+        report.failed_deadline,
+        report.failed_transport,
+        report.failed_other,
+        report.overloaded,
+        report.cache_hits,
+        report.cache_misses,
+        report.queue_depth_max
+    )
 }
 
 #[cfg(test)]
@@ -80,9 +114,21 @@ mod tests {
         let report = run(0.01, 11);
         let text = render(&report);
         assert!(text.contains("repository: 200 users"), "{text}");
-        assert!(text.contains("failed 0,"), "{text}");
+        assert!(text.contains("failed 0 (deadline 0"), "{text}");
+        assert!(text.contains("cache"), "{text}");
         assert_eq!(report.failed, 0);
         assert_eq!(report.inconsistent, 0);
         assert!(report.served > 0);
+        // The details row is valid JSON carrying the stats-op metrics.
+        let details = details_json(&report);
+        for field in [
+            "\"served\":",
+            "\"cache_hits\":",
+            "\"cache_misses\":",
+            "\"queue_depth_max\":",
+            "\"failed_deadline\":",
+        ] {
+            assert!(details.contains(field), "missing {field}: {details}");
+        }
     }
 }

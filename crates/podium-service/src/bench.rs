@@ -2,12 +2,19 @@
 //! and latency percentiles while a background writer publishes profile
 //! updates at a fixed rate.
 //!
-//! The benchmark is fully in-process (clients call
-//! [`PodiumService::handle_line`] directly), so it measures the serving
+//! Two transports are supported. In-process clients call
+//! [`PodiumService::handle_line`] directly, measuring the serving
 //! subsystem — snapshot capture, queueing, selection — without socket
-//! noise. Every response is checked for consistency: it must be `ok`,
-//! return exactly `budget` users, and report an epoch no older than the
-//! last one that client observed (epochs are monotone per client).
+//! noise. TCP clients go through a real [`crate::tcp::TcpServer`] using
+//! the resilient [`crate::client::PodiumClient`], measuring the whole
+//! stack including framing and the client's retry machinery.
+//!
+//! Every response is checked for consistency: it must be `ok`, return
+//! exactly `budget` users, and report an epoch no older than the last one
+//! that client observed (epochs are monotone per client). Failures are
+//! recorded per cause — deadline, admission control, transport, other —
+//! so a regression in one layer is visible as such instead of vanishing
+//! into a single counter.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -17,7 +24,28 @@ use podium_core::bucket::BucketingConfig;
 use podium_core::profile::UserRepository;
 use serde_json::Value;
 
+use crate::client::{ClientConfig, ClientError, PodiumClient};
 use crate::service::{PodiumService, ServiceConfig};
+use crate::tcp::{TcpServer, TcpServerConfig};
+
+/// Which path benchmark clients use to reach the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchTransport {
+    /// Clients call [`PodiumService::handle_line`] directly.
+    InProcess,
+    /// Clients use [`PodiumClient`] against a loopback [`TcpServer`].
+    Tcp,
+}
+
+impl BenchTransport {
+    /// Stable name used in reports and CLI flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BenchTransport::InProcess => "inproc",
+            BenchTransport::Tcp => "tcp",
+        }
+    }
+}
 
 /// Load-generator knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +73,8 @@ pub struct BenchConfig {
     pub deadline_ms: u64,
     /// Seed of the synthetic repository and the update stream.
     pub seed: u64,
+    /// Transport clients use to reach the service.
+    pub transport: BenchTransport,
 }
 
 impl Default for BenchConfig {
@@ -61,6 +91,7 @@ impl Default for BenchConfig {
             update_hz: 10,
             deadline_ms: 2_000,
             seed: 0x5EED_0001,
+            transport: BenchTransport::InProcess,
         }
     }
 }
@@ -68,6 +99,8 @@ impl Default for BenchConfig {
 /// Benchmark outcome, one JSONL row via [`BenchReport::to_json`].
 #[derive(Debug, Clone)]
 pub struct BenchReport {
+    /// Transport the clients used (`inproc` or `tcp`).
+    pub transport: &'static str,
     /// Synthetic repository size.
     pub users: usize,
     /// Selection budget per request.
@@ -82,9 +115,21 @@ pub struct BenchReport {
     pub duration_s: f64,
     /// Successful, consistent select responses.
     pub served: u64,
-    /// `ok:false` responses other than `overloaded`.
+    /// Failed requests across all causes except admission control:
+    /// always equals `failed_deadline + failed_transport + failed_other`.
     pub failed: u64,
-    /// Admission-control rejections observed by clients.
+    /// Requests that missed their deadline (server `deadline_exceeded`
+    /// or client-side timeout).
+    pub failed_deadline: u64,
+    /// Requests lost to the transport (connect/read/write failures,
+    /// breaker fast-failures). Always zero in-process.
+    pub failed_transport: u64,
+    /// Failures not attributable to deadline, admission, or transport
+    /// (e.g. unexpected server error codes, unparseable responses).
+    pub failed_other: u64,
+    /// Admission-control rejections observed by clients. Tracked apart
+    /// from `failed`: shedding load under saturation is the configured
+    /// behaviour, not a fault.
     pub overloaded: u64,
     /// `ok:true` responses violating a consistency check (wrong user
     /// count or non-monotone epoch).
@@ -93,6 +138,12 @@ pub struct BenchReport {
     pub updates_applied: u64,
     /// Final published epoch.
     pub final_epoch: u64,
+    /// Select-cache hits across the run (service-level cumulative).
+    pub cache_hits: u64,
+    /// Select-cache misses across the run (service-level cumulative).
+    pub cache_misses: u64,
+    /// Deepest executor queue observed by the sampler.
+    pub queue_depth_max: usize,
     /// Served requests per second.
     pub throughput_rps: f64,
     /// Median latency, microseconds.
@@ -111,6 +162,10 @@ impl BenchReport {
         use crate::protocol::{num_f64, num_u64};
         let pairs = vec![
             ("bench".to_owned(), Value::String("serve".to_owned())),
+            (
+                "transport".to_owned(),
+                Value::String(self.transport.to_owned()),
+            ),
             ("users".to_owned(), num_u64(self.users as u64)),
             ("budget".to_owned(), num_u64(self.budget as u64)),
             ("clients".to_owned(), num_u64(self.clients as u64)),
@@ -119,10 +174,22 @@ impl BenchReport {
             ("duration_s".to_owned(), num_f64(self.duration_s)),
             ("served".to_owned(), num_u64(self.served)),
             ("failed".to_owned(), num_u64(self.failed)),
+            ("failed_deadline".to_owned(), num_u64(self.failed_deadline)),
+            (
+                "failed_transport".to_owned(),
+                num_u64(self.failed_transport),
+            ),
+            ("failed_other".to_owned(), num_u64(self.failed_other)),
             ("overloaded".to_owned(), num_u64(self.overloaded)),
             ("inconsistent".to_owned(), num_u64(self.inconsistent)),
             ("updates_applied".to_owned(), num_u64(self.updates_applied)),
             ("final_epoch".to_owned(), num_u64(self.final_epoch)),
+            ("cache_hits".to_owned(), num_u64(self.cache_hits)),
+            ("cache_misses".to_owned(), num_u64(self.cache_misses)),
+            (
+                "queue_depth_max".to_owned(),
+                num_u64(self.queue_depth_max as u64),
+            ),
             ("throughput_rps".to_owned(), num_f64(self.throughput_rps)),
             ("p50_us".to_owned(), num_u64(self.p50_us)),
             ("p90_us".to_owned(), num_u64(self.p90_us)),
@@ -173,12 +240,98 @@ pub fn synthetic_repository(
     repo
 }
 
+/// Where a failed request went wrong. Admission-control rejections get
+/// their own tally outside this enum (they are policy, not faults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailCause {
+    /// The executor (or the client's own clock) gave up on the deadline.
+    Deadline,
+    /// Admission control rejected the request before queuing it.
+    Admission,
+    /// Bytes did not make it to or from the server.
+    Transport,
+    /// Anything else: unexpected error codes, unparseable lines.
+    Other,
+}
+
+/// Maps a server error code to its failure cause.
+fn classify_error_code(code: &str) -> FailCause {
+    match code {
+        "deadline_exceeded" => FailCause::Deadline,
+        "overloaded" => FailCause::Admission,
+        _ => FailCause::Other,
+    }
+}
+
+/// Maps a client-side error to its failure cause.
+fn classify_client_error(error: &ClientError) -> FailCause {
+    match error {
+        ClientError::Timeout => FailCause::Deadline,
+        ClientError::Transport(_) | ClientError::BreakerOpen => FailCause::Transport,
+        ClientError::Protocol(_) => FailCause::Other,
+    }
+}
+
+#[derive(Default)]
 struct ClientTally {
     served: u64,
-    failed: u64,
+    failed_deadline: u64,
+    failed_transport: u64,
+    failed_other: u64,
     overloaded: u64,
     inconsistent: u64,
     latencies_us: Vec<u64>,
+}
+
+impl ClientTally {
+    fn record_failure(&mut self, cause: FailCause) {
+        match cause {
+            FailCause::Deadline => self.failed_deadline += 1,
+            FailCause::Admission => self.overloaded += 1,
+            FailCause::Transport => self.failed_transport += 1,
+            FailCause::Other => self.failed_other += 1,
+        }
+    }
+
+    /// All non-admission failures.
+    fn failed(&self) -> u64 {
+        self.failed_deadline + self.failed_transport + self.failed_other
+    }
+
+    /// Checks one `ok` response for budget and epoch consistency.
+    fn record_response(
+        &mut self,
+        value: &Value,
+        budget: usize,
+        last_epoch: &mut u64,
+        latency: u64,
+    ) {
+        match value.get("ok").and_then(Value::as_bool) {
+            Some(true) => {
+                let epoch = value.get("epoch").and_then(Value::as_u64).unwrap_or(0);
+                let n_users = value
+                    .get("users")
+                    .and_then(Value::as_array)
+                    .map(Vec::len)
+                    .unwrap_or(0);
+                if n_users != budget || epoch < *last_epoch {
+                    self.inconsistent += 1;
+                } else {
+                    *last_epoch = epoch;
+                    self.served += 1;
+                    self.latencies_us.push(latency);
+                }
+            }
+            _ => {
+                let cause = value
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .map(classify_error_code)
+                    .unwrap_or(FailCause::Other);
+                self.record_failure(cause);
+            }
+        }
+    }
 }
 
 fn client_loop(
@@ -188,48 +341,46 @@ fn client_loop(
     stop: &AtomicBool,
 ) -> ClientTally {
     let request = format!(r#"{{"op":"select","budget":{budget},"deadline_ms":{deadline_ms}}}"#);
-    let mut tally = ClientTally {
-        served: 0,
-        failed: 0,
-        overloaded: 0,
-        inconsistent: 0,
-        latencies_us: Vec::new(),
-    };
+    let mut tally = ClientTally::default();
     let mut last_epoch = 0u64;
     while !stop.load(Ordering::Relaxed) {
         let started = Instant::now();
         let response = service.handle_line(&request);
         let latency = started.elapsed().as_micros() as u64;
-        let value: Value = match serde_json::from_str(&response) {
-            Ok(v) => v,
-            Err(_) => {
-                tally.inconsistent += 1;
-                continue;
+        match serde_json::from_str::<Value>(&response) {
+            Ok(value) => tally.record_response(&value, budget, &mut last_epoch, latency),
+            Err(_) => tally.record_failure(FailCause::Other),
+        }
+    }
+    tally
+}
+
+fn tcp_client_loop(
+    addr: std::net::SocketAddr,
+    budget: usize,
+    deadline_ms: u64,
+    seed: u64,
+    stop: &AtomicBool,
+) -> ClientTally {
+    let request = format!(r#"{{"op":"select","budget":{budget},"deadline_ms":{deadline_ms}}}"#);
+    let mut client = PodiumClient::new(
+        addr,
+        ClientConfig {
+            request_timeout: Duration::from_millis(deadline_ms.max(100)),
+            seed,
+            ..ClientConfig::default()
+        },
+    );
+    let mut tally = ClientTally::default();
+    let mut last_epoch = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let started = Instant::now();
+        match client.call(&request) {
+            Ok(value) => {
+                let latency = started.elapsed().as_micros() as u64;
+                tally.record_response(&value, budget, &mut last_epoch, latency);
             }
-        };
-        match value.get("ok").and_then(Value::as_bool) {
-            Some(true) => {
-                let epoch = value.get("epoch").and_then(Value::as_u64).unwrap_or(0);
-                let n_users = value
-                    .get("users")
-                    .and_then(Value::as_array)
-                    .map(Vec::len)
-                    .unwrap_or(0);
-                if n_users != budget || epoch < last_epoch {
-                    tally.inconsistent += 1;
-                } else {
-                    last_epoch = epoch;
-                    tally.served += 1;
-                    tally.latencies_us.push(latency);
-                }
-            }
-            _ => {
-                if value.get("error").and_then(Value::as_str) == Some("overloaded") {
-                    tally.overloaded += 1;
-                } else {
-                    tally.failed += 1;
-                }
-            }
+            Err(error) => tally.record_failure(classify_client_error(&error)),
         }
     }
     tally
@@ -261,6 +412,15 @@ fn updater_loop(
     }
 }
 
+/// Polls the executor queue depth until stopped, remembering the max.
+fn queue_sampler(service: &PodiumService, stop: &AtomicBool, max_depth: &AtomicU64) {
+    while !stop.load(Ordering::Relaxed) {
+        let depth = service.executor().queue_depth() as u64;
+        max_depth.fetch_max(depth, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -285,10 +445,26 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
             workers: config.workers,
             queue_capacity: config.queue_capacity,
             default_deadline_ms: config.deadline_ms,
+            ..ServiceConfig::default()
         },
     ));
     let stop = Arc::new(AtomicBool::new(false));
     let applied = Arc::new(AtomicU64::new(0));
+    let max_depth = Arc::new(AtomicU64::new(0));
+
+    // A TCP bench stands up a real loopback server; clients get its
+    // address. The server must outlive the clients, hence the binding.
+    let tcp_server = match config.transport {
+        BenchTransport::InProcess => None,
+        BenchTransport::Tcp => Some(
+            TcpServer::bind(
+                Arc::clone(&service),
+                "127.0.0.1:0",
+                TcpServerConfig::default(),
+            )
+            .expect("loopback bind for bench"),
+        ),
+    };
 
     let updater = {
         let service = Arc::clone(&service);
@@ -297,56 +473,77 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
         let config = *config;
         std::thread::spawn(move || updater_loop(&service, &config, &stop, &applied))
     };
+    let sampler = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let max_depth = Arc::clone(&max_depth);
+        std::thread::spawn(move || queue_sampler(&service, &stop, &max_depth))
+    };
 
     let started = Instant::now();
     let clients: Vec<_> = (0..config.clients.max(1))
-        .map(|_| {
+        .map(|i| {
             let service = Arc::clone(&service);
             let stop = Arc::clone(&stop);
             let budget = config.budget;
             let deadline_ms = config.deadline_ms;
-            std::thread::spawn(move || client_loop(&service, budget, deadline_ms, &stop))
+            let seed = config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9);
+            let addr = tcp_server.as_ref().map(TcpServer::local_addr);
+            std::thread::spawn(move || match addr {
+                None => client_loop(&service, budget, deadline_ms, &stop),
+                Some(addr) => tcp_client_loop(addr, budget, deadline_ms, seed, &stop),
+            })
         })
         .collect();
 
     std::thread::sleep(config.duration);
     stop.store(true, Ordering::Relaxed);
 
-    let mut served = 0;
-    let mut failed = 0;
-    let mut overloaded = 0;
-    let mut inconsistent = 0;
-    let mut latencies = Vec::new();
+    let mut total = ClientTally::default();
     for client in clients {
         let tally = client.join().expect("client thread panicked");
-        served += tally.served;
-        failed += tally.failed;
-        overloaded += tally.overloaded;
-        inconsistent += tally.inconsistent;
-        latencies.extend(tally.latencies_us);
+        total.served += tally.served;
+        total.failed_deadline += tally.failed_deadline;
+        total.failed_transport += tally.failed_transport;
+        total.failed_other += tally.failed_other;
+        total.overloaded += tally.overloaded;
+        total.inconsistent += tally.inconsistent;
+        total.latencies_us.extend(tally.latencies_us);
     }
     let elapsed = started.elapsed();
     updater.join().expect("updater thread panicked");
-    latencies.sort_unstable();
+    sampler.join().expect("sampler thread panicked");
+    if let Some(server) = tcp_server {
+        server.shutdown();
+    }
+    total.latencies_us.sort_unstable();
+    let (cache_hits, cache_misses) = service.cache_counters().totals();
 
     BenchReport {
+        transport: config.transport.as_str(),
         users: config.users,
         budget: config.budget,
         clients: config.clients,
         workers: config.workers,
         update_hz: config.update_hz,
         duration_s: elapsed.as_secs_f64(),
-        served,
-        failed,
-        overloaded,
-        inconsistent,
+        served: total.served,
+        failed: total.failed(),
+        failed_deadline: total.failed_deadline,
+        failed_transport: total.failed_transport,
+        failed_other: total.failed_other,
+        overloaded: total.overloaded,
+        inconsistent: total.inconsistent,
         updates_applied: applied.load(Ordering::Relaxed),
         final_epoch: service.store().epoch(),
-        throughput_rps: served as f64 / elapsed.as_secs_f64(),
-        p50_us: percentile(&latencies, 0.50),
-        p90_us: percentile(&latencies, 0.90),
-        p99_us: percentile(&latencies, 0.99),
-        max_us: latencies.last().copied().unwrap_or(0),
+        cache_hits,
+        cache_misses,
+        queue_depth_max: max_depth.load(Ordering::Relaxed) as usize,
+        throughput_rps: total.served as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile(&total.latencies_us, 0.50),
+        p90_us: percentile(&total.latencies_us, 0.90),
+        p99_us: percentile(&total.latencies_us, 0.99),
+        max_us: total.latencies_us.last().copied().unwrap_or(0),
     }
 }
 
@@ -365,9 +562,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn short_bench_run_is_clean() {
-        let config = BenchConfig {
+    fn short_config() -> BenchConfig {
+        BenchConfig {
             users: 200,
             properties: 8,
             scores_per_user: 3,
@@ -379,17 +575,107 @@ mod tests {
             update_hz: 20,
             deadline_ms: 2_000,
             seed: 7,
-        };
-        let report = run_bench(&config);
+            transport: BenchTransport::InProcess,
+        }
+    }
+
+    #[test]
+    fn short_bench_run_is_clean() {
+        let report = run_bench(&short_config());
         assert!(report.served > 0, "no requests served: {report:?}");
         assert_eq!(report.failed, 0, "{report:?}");
         assert_eq!(report.inconsistent, 0, "{report:?}");
         assert!(report.updates_applied > 0, "{report:?}");
         assert!(report.final_epoch > 0, "{report:?}");
         assert!(report.p50_us <= report.p99_us);
+        assert!(
+            report.cache_hits + report.cache_misses >= report.served,
+            "every served select passed through the cache: {report:?}"
+        );
         let row = report.to_json();
         let value: Value = serde_json::from_str(&row).unwrap();
         assert_eq!(value.get("bench").and_then(Value::as_str), Some("serve"));
+        assert_eq!(
+            value.get("transport").and_then(Value::as_str),
+            Some("inproc")
+        );
         assert_eq!(value.get("inconsistent").and_then(Value::as_u64), Some(0));
+        for field in [
+            "failed_deadline",
+            "failed_transport",
+            "failed_other",
+            "cache_hits",
+            "cache_misses",
+            "queue_depth_max",
+        ] {
+            assert!(value.get(field).is_some(), "missing {field}: {row}");
+        }
+    }
+
+    #[test]
+    fn short_tcp_bench_run_is_clean() {
+        let config = BenchConfig {
+            transport: BenchTransport::Tcp,
+            ..short_config()
+        };
+        let report = run_bench(&config);
+        assert!(report.served > 0, "no requests served: {report:?}");
+        assert_eq!(report.failed, 0, "{report:?}");
+        assert_eq!(report.inconsistent, 0, "{report:?}");
+        assert_eq!(report.transport, "tcp");
+    }
+
+    #[test]
+    fn failure_breakdown_sums_to_failed() {
+        // Drive every cause through the tally and check the arithmetic
+        // invariant `failed == deadline + transport + other` with
+        // admission kept separate.
+        let mut tally = ClientTally::default();
+        for (cause, times) in [
+            (FailCause::Deadline, 3),
+            (FailCause::Admission, 5),
+            (FailCause::Transport, 2),
+            (FailCause::Other, 4),
+        ] {
+            for _ in 0..times {
+                tally.record_failure(cause);
+            }
+        }
+        assert_eq!(tally.failed_deadline, 3);
+        assert_eq!(tally.overloaded, 5);
+        assert_eq!(tally.failed_transport, 2);
+        assert_eq!(tally.failed_other, 4);
+        assert_eq!(
+            tally.failed(),
+            tally.failed_deadline + tally.failed_transport + tally.failed_other
+        );
+        assert_eq!(tally.failed(), 9, "admission is not a failure");
+    }
+
+    #[test]
+    fn error_codes_classify_by_cause() {
+        assert_eq!(
+            classify_error_code("deadline_exceeded"),
+            FailCause::Deadline
+        );
+        assert_eq!(classify_error_code("overloaded"), FailCause::Admission);
+        assert_eq!(classify_error_code("bad_request"), FailCause::Other);
+        assert_eq!(classify_error_code("core"), FailCause::Other);
+        assert_eq!(
+            classify_client_error(&ClientError::Timeout),
+            FailCause::Deadline
+        );
+        assert_eq!(
+            classify_client_error(&ClientError::BreakerOpen),
+            FailCause::Transport
+        );
+        assert_eq!(
+            classify_client_error(&ClientError::Transport("x".into())),
+            FailCause::Transport
+        );
+        assert_eq!(
+            classify_client_error(&ClientError::Protocol("x".into())),
+            FailCause::Other
+        );
     }
 }

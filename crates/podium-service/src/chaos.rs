@@ -1,0 +1,470 @@
+//! A deterministic in-process chaos proxy for TCP testing.
+//!
+//! [`ChaosProxy`] sits between a client and an upstream TCP server and
+//! forwards bytes in both directions while injecting faults drawn from a
+//! seeded splitmix64 stream:
+//!
+//! * **Write splits** — forwarded chunks are re-sliced into 1–7 byte
+//!   writes, exercising every partial-frame path in server and client.
+//! * **Mid-frame disconnects** — with probability
+//!   [`ChaosConfig::disconnect_per_chunk`], a chunk is truncated at a
+//!   random byte, forwarded, and then both directions are torn down —
+//!   the peer sees a broken frame followed by EOF.
+//! * **Stalls** — with probability [`ChaosConfig::stall_per_chunk`], the
+//!   pump sleeps [`ChaosConfig::stall`] before forwarding, long enough
+//!   (when configured past the client deadline) to force timeouts.
+//! * **Connection refusals** — with probability
+//!   [`ChaosConfig::refuse_per_conn`], an accepted connection is dropped
+//!   immediately without contacting upstream.
+//! * **Blackout** — [`ChaosProxy::set_blackout`] refuses all new
+//!   connections and severs existing ones until cleared; this is how the
+//!   harness drives the client's circuit breaker open and then lets it
+//!   recover.
+//!
+//! Determinism scope: each connection's fault decisions come from an RNG
+//! seeded `seed ^ connection_index`, so *which faults a given connection
+//! draws* is reproducible for a fixed seed and connection order. Chunk
+//! boundaries still depend on thread scheduling, so harnesses assert
+//! invariants (consistency, breaker behaviour, fault counters nonzero)
+//! rather than exact byte traces.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Fault probabilities and timings. All probabilities are per-chunk (or
+/// per-connection for refusals) in `[0.0, 1.0]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed for the fault stream; same seed ⇒ same per-connection fault
+    /// decisions.
+    pub seed: u64,
+    /// Re-slice forwarded chunks into tiny writes.
+    pub split_writes: bool,
+    /// Probability a chunk is truncated and the connection killed.
+    pub disconnect_per_chunk: f64,
+    /// Probability a chunk is delayed by [`ChaosConfig::stall`].
+    pub stall_per_chunk: f64,
+    /// Injected delay for stalled chunks.
+    pub stall: Duration,
+    /// Probability an accepted connection is dropped before contacting
+    /// upstream.
+    pub refuse_per_conn: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC4A05,
+            split_writes: true,
+            disconnect_per_chunk: 0.0,
+            stall_per_chunk: 0.0,
+            stall: Duration::from_millis(0),
+            refuse_per_conn: 0.0,
+        }
+    }
+}
+
+/// Counts of injected faults, for asserting the chaos actually happened.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Connections accepted (including refused ones).
+    pub connections: AtomicU64,
+    /// Connections dropped on accept (refusal fault or blackout).
+    pub refused: AtomicU64,
+    /// Mid-frame disconnects injected.
+    pub disconnects: AtomicU64,
+    /// Stalls injected.
+    pub stalls: AtomicU64,
+    /// Chunks forwarded as split writes.
+    pub splits: AtomicU64,
+}
+
+struct ChaosShared {
+    upstream: SocketAddr,
+    config: ChaosConfig,
+    shutdown: AtomicBool,
+    blackout: AtomicBool,
+    stats: ChaosStats,
+    /// Streams of live connections (client and upstream sides), kept so a
+    /// blackout can sever them.
+    live: Mutex<Vec<TcpStream>>,
+}
+
+/// The proxy handle. Dropping it shuts the proxy down.
+pub struct ChaosProxy {
+    local_addr: SocketAddr,
+    shared: Arc<ChaosShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ChaosProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosProxy")
+            .field("local_addr", &self.local_addr)
+            .field("upstream", &self.shared.upstream)
+            .finish()
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_float(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+const READ_TICK: Duration = Duration::from_millis(50);
+
+impl ChaosProxy {
+    /// Binds an ephemeral local port and starts proxying to `upstream`.
+    pub fn bind(upstream: SocketAddr, config: ChaosConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ChaosShared {
+            upstream,
+            config,
+            shutdown: AtomicBool::new(false),
+            blackout: AtomicBool::new(false),
+            stats: ChaosStats::default(),
+            live: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("chaos-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(Self {
+            local_addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Fault counters.
+    pub fn stats(&self) -> &ChaosStats {
+        &self.shared.stats
+    }
+
+    /// Enables or disables blackout mode. Enabling severs every live
+    /// connection and refuses all new ones until disabled.
+    pub fn set_blackout(&self, on: bool) {
+        self.shared.blackout.store(on, Ordering::SeqCst);
+        if on {
+            let mut live = self.shared.live.lock().unwrap_or_else(|e| e.into_inner());
+            for stream in live.drain(..) {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Stops the proxy, severing all connections.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let mut live = self.shared.live.lock().unwrap_or_else(|e| e.into_inner());
+        for stream in live.drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ChaosShared>) {
+    let mut index: u64 = 0;
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let client = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_seed = shared.config.seed ^ index;
+        index += 1;
+        let mut rng = conn_seed;
+        // Warm the stream so the first decision isn't the raw seed.
+        let _ = splitmix64(&mut rng);
+        let refuse = shared.blackout.load(Ordering::SeqCst)
+            || unit_float(&mut rng) < shared.config.refuse_per_conn;
+        if refuse {
+            shared.stats.refused.fetch_add(1, Ordering::Relaxed);
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        }
+        let upstream = match TcpStream::connect_timeout(&shared.upstream, Duration::from_secs(2)) {
+            Ok(s) => s,
+            Err(_) => {
+                shared.stats.refused.fetch_add(1, Ordering::Relaxed);
+                let _ = client.shutdown(Shutdown::Both);
+                continue;
+            }
+        };
+        let _ = client.set_nodelay(true);
+        let _ = upstream.set_nodelay(true);
+        {
+            let mut live = shared.live.lock().unwrap_or_else(|e| e.into_inner());
+            if let (Ok(c), Ok(u)) = (client.try_clone(), upstream.try_clone()) {
+                live.push(c);
+                live.push(u);
+            }
+        }
+        // Two pump threads per connection: client→upstream faults use the
+        // connection RNG directly; upstream→client gets an independent
+        // stream derived from it so the two directions don't interleave
+        // nondeterministically over one generator.
+        let mut down_rng = splitmix64(&mut rng);
+        let _ = splitmix64(&mut down_rng);
+        spawn_pump(shared, &client, &upstream, rng, "chaos-up");
+        spawn_pump(shared, &upstream, &client, down_rng, "chaos-down");
+    }
+}
+
+fn spawn_pump(shared: &Arc<ChaosShared>, from: &TcpStream, to: &TcpStream, rng: u64, name: &str) {
+    let (Ok(from), Ok(to)) = (from.try_clone(), to.try_clone()) else {
+        let _ = from.shutdown(Shutdown::Both);
+        let _ = to.shutdown(Shutdown::Both);
+        return;
+    };
+    let shared = Arc::clone(shared);
+    let _ = std::thread::Builder::new()
+        .name(name.to_owned())
+        .spawn(move || pump(&shared, from, to, rng));
+}
+
+/// Copies bytes `from` → `to`, injecting faults per the config. Exits on
+/// EOF, error, injected disconnect, or proxy shutdown; always severs both
+/// streams on the way out so the opposite pump exits too.
+fn pump(shared: &ChaosShared, mut from: TcpStream, mut to: TcpStream, mut rng: u64) {
+    let config = &shared.config;
+    if from.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let mut chunk = [0u8; 2048];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) || shared.blackout.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match from.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        if config.stall_per_chunk > 0.0 && unit_float(&mut rng) < config.stall_per_chunk {
+            shared.stats.stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(config.stall);
+        }
+        let mut payload = &chunk[..n];
+        let mut kill_after = false;
+        if config.disconnect_per_chunk > 0.0 && unit_float(&mut rng) < config.disconnect_per_chunk {
+            // Truncate at a random byte (possibly zero) and kill after
+            // forwarding — the peer sees a broken frame then EOF.
+            let cut = (splitmix64(&mut rng) % (n as u64 + 1)) as usize;
+            payload = &chunk[..cut];
+            kill_after = true;
+            shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        let write_ok = if config.split_writes && !payload.is_empty() {
+            shared.stats.splits.fetch_add(1, Ordering::Relaxed);
+            write_split(&mut to, payload, &mut rng)
+        } else {
+            to.write_all(payload).is_ok()
+        };
+        if kill_after || !write_ok {
+            break;
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+/// Writes `payload` in random 1–7 byte slices, flushing each.
+fn write_split(to: &mut TcpStream, payload: &[u8], rng: &mut u64) -> bool {
+    let mut offset = 0;
+    while offset < payload.len() {
+        let len = 1 + (splitmix64(rng) % 7) as usize;
+        let end = (offset + len).min(payload.len());
+        if to.write_all(&payload[offset..end]).is_err() || to.flush().is_err() {
+            return false;
+        }
+        offset = end;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    /// A trivial upstream echo-line server for proxy tests.
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            // Serve a bounded number of connections then exit.
+            for stream in listener.incoming().take(8) {
+                let Ok(stream) = stream else { continue };
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    while reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+                        if writer.write_all(line.as_bytes()).is_err() {
+                            break;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn proxy_forwards_lines_with_split_writes() {
+        let (upstream, _handle) = echo_server();
+        let proxy = ChaosProxy::bind(upstream, ChaosConfig::default()).unwrap();
+        let stream = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        for i in 0..20 {
+            let msg = format!("hello-{i}-{}\n", "x".repeat(i * 3));
+            writer.write_all(msg.as_bytes()).unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line, msg);
+        }
+        assert!(proxy.stats().splits.load(Ordering::Relaxed) > 0);
+        assert_eq!(proxy.stats().disconnects.load(Ordering::Relaxed), 0);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn refusal_probability_one_drops_every_connection() {
+        let (upstream, _handle) = echo_server();
+        let config = ChaosConfig {
+            refuse_per_conn: 1.0,
+            ..ChaosConfig::default()
+        };
+        let proxy = ChaosProxy::bind(upstream, config).unwrap();
+        for _ in 0..3 {
+            let stream = TcpStream::connect(proxy.local_addr()).unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            let n = reader.read_line(&mut line).unwrap_or(0);
+            assert_eq!(n, 0, "refused connection still delivered: {line}");
+        }
+        assert_eq!(proxy.stats().refused.load(Ordering::Relaxed), 3);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn blackout_severs_and_refuses_then_recovers() {
+        let (upstream, _handle) = echo_server();
+        let proxy = ChaosProxy::bind(upstream, ChaosConfig::default()).unwrap();
+        let stream = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"ping\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "ping\n");
+        proxy.set_blackout(true);
+        // The live connection is severed...
+        line.clear();
+        let n = reader.read_line(&mut line).unwrap_or(0);
+        assert_eq!(n, 0, "blackout did not sever: {line}");
+        // ...and new connections die immediately.
+        let stream = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut reader2 = BufReader::new(stream);
+        let mut line2 = String::new();
+        assert_eq!(reader2.read_line(&mut line2).unwrap_or(0), 0);
+        // Clearing the blackout restores service for fresh connections.
+        proxy.set_blackout(false);
+        let stream = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut reader3 = BufReader::new(stream.try_clone().unwrap());
+        let mut writer3 = stream;
+        writer3.write_all(b"pong\n").unwrap();
+        let mut line3 = String::new();
+        reader3.read_line(&mut line3).unwrap();
+        assert_eq!(line3, "pong\n");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn disconnect_probability_one_kills_the_first_exchange() {
+        let (upstream, _handle) = echo_server();
+        let config = ChaosConfig {
+            disconnect_per_chunk: 1.0,
+            split_writes: false,
+            ..ChaosConfig::default()
+        };
+        let proxy = ChaosProxy::bind(upstream, config).unwrap();
+        let stream = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        // The write may survive (truncation point can be the full chunk),
+        // but the connection must die afterwards.
+        let _ = writer.write_all(b"doomed\n");
+        let mut line = String::new();
+        // Either we get EOF directly, or a possibly-truncated echo then
+        // EOF; in all cases the connection ends.
+        let _first = reader.read_line(&mut line);
+        line.clear();
+        let n = reader.read_line(&mut line).unwrap_or(0);
+        assert_eq!(n, 0, "connection survived an injected disconnect");
+        assert!(proxy.stats().disconnects.load(Ordering::Relaxed) >= 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic_per_seed() {
+        // Two proxies with the same seed must refuse the same connection
+        // indices when refuse_per_conn is between 0 and 1.
+        let decisions = |seed: u64| -> Vec<bool> {
+            (0..32u64)
+                .map(|index| {
+                    let mut rng = seed ^ index;
+                    let _ = splitmix64(&mut rng);
+                    unit_float(&mut rng) < 0.3
+                })
+                .collect()
+        };
+        assert_eq!(decisions(99), decisions(99));
+        assert_ne!(decisions(99), decisions(100));
+    }
+}

@@ -21,6 +21,18 @@ pub enum ServiceError {
     /// The referenced session id is unknown (never opened or already
     /// closed).
     UnknownSession(u64),
+    /// The session's pinned epoch has fallen further behind the current
+    /// epoch than the service's `max_session_lag` allows. The session is
+    /// closed server-side; clients reopen and replay their feedback
+    /// against current group ids.
+    SessionRetired {
+        /// The session id whose pin expired.
+        session: u64,
+        /// The epoch the session was pinned to.
+        pinned: u64,
+        /// The epoch current when the request arrived.
+        current: u64,
+    },
     /// The service is shutting down and no longer accepts work.
     ShuttingDown,
     /// An error surfaced from the core selection layer.
@@ -36,6 +48,7 @@ impl ServiceError {
             ServiceError::DeadlineExceeded => "deadline_exceeded",
             ServiceError::BadRequest(_) => "bad_request",
             ServiceError::UnknownSession(_) => "unknown_session",
+            ServiceError::SessionRetired { .. } => "session_retired",
             ServiceError::ShuttingDown => "shutting_down",
             ServiceError::Core(_) => "core",
         }
@@ -49,6 +62,14 @@ impl std::fmt::Display for ServiceError {
             ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServiceError::SessionRetired {
+                session,
+                pinned,
+                current,
+            } => write!(
+                f,
+                "session {session} pinned to retired epoch {pinned} (current {current}); reopen the session"
+            ),
             ServiceError::ShuttingDown => write!(f, "service shutting down"),
             ServiceError::Core(e) => write!(f, "{e}"),
         }
@@ -73,6 +94,15 @@ mod tests {
         assert_eq!(ServiceError::DeadlineExceeded.code(), "deadline_exceeded");
         assert_eq!(ServiceError::BadRequest("x".into()).code(), "bad_request");
         assert_eq!(ServiceError::UnknownSession(3).code(), "unknown_session");
+        assert_eq!(
+            ServiceError::SessionRetired {
+                session: 3,
+                pinned: 1,
+                current: 9,
+            }
+            .code(),
+            "session_retired"
+        );
         assert_eq!(ServiceError::ShuttingDown.code(), "shutting_down");
         assert_eq!(ServiceError::Core(CoreError::ZeroBudget).code(), "core");
     }

@@ -18,13 +18,20 @@
 //! * [`session`] — the paper's §6 customization loop: a session pins a
 //!   snapshot epoch and accumulates `G+`/`G-`/`Gd`/`Gd?` feedback across
 //!   refinement requests without re-ingesting;
-//! * [`protocol`] + [`server`] — a line-delimited JSON request/response
-//!   protocol (`select`, `explain`, `refine`, `update-profile`, `stats`,
-//!   plus session management) served over stdin/stdout or a Unix domain
-//!   socket using only `std`;
+//! * [`protocol`] + [`server`] + [`tcp`] — a line-delimited JSON
+//!   request/response protocol (`select`, `explain`, `refine`,
+//!   `update-profile`, `stats`, plus session management) served over
+//!   stdin/stdout, a Unix domain socket, or TCP (with connection limits,
+//!   idle timeouts, and graceful drain) using only `std`;
+//! * [`client`] — a resilient TCP client with reconnection, jittered
+//!   exponential backoff, per-request deadlines, and a half-open circuit
+//!   breaker;
+//! * [`chaos`] — a deterministic in-process chaos proxy injecting write
+//!   splits, mid-frame disconnects, stalls, and refusals from a seeded
+//!   splitmix64 stream, for transport-resilience tests;
 //! * [`bench`] — a closed-loop load generator reporting sustained
 //!   throughput and latency percentiles while a background writer streams
-//!   profile updates.
+//!   profile updates, in-process or over TCP.
 //!
 //! The crate is embeddable: [`service::PodiumService`] is an ordinary
 //! `Send + Sync` value; the binary front-end lives in the workspace's
@@ -34,6 +41,8 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod chaos;
+pub mod client;
 pub mod error;
 pub mod executor;
 pub mod protocol;
@@ -41,7 +50,11 @@ pub mod server;
 pub mod service;
 pub mod session;
 pub mod snapshot;
+pub mod tcp;
 
+pub use chaos::{ChaosConfig, ChaosProxy};
+pub use client::{BreakerState, ClientConfig, ClientError, PodiumClient};
 pub use error::ServiceError;
 pub use service::{PodiumService, ServiceConfig};
 pub use snapshot::{ProfileUpdate, RepositoryWriter, Snapshot, SnapshotStore};
+pub use tcp::{TcpServer, TcpServerConfig};

@@ -213,6 +213,103 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
 }
 
 // ---------------------------------------------------------------------------
+// Request encoding (the client side of the wire).
+
+fn group_id_array(ids: &[u32]) -> Value {
+    Value::Array(ids.iter().map(|&g| num_u64(g as u64)).collect())
+}
+
+fn weights_tag(scheme: WeightScheme) -> &'static str {
+    match scheme {
+        WeightScheme::LinearBySize => "lbs",
+        WeightScheme::Identical => "iden",
+    }
+}
+
+fn cov_tag(scheme: CovScheme) -> &'static str {
+    match scheme {
+        CovScheme::Single => "single",
+        CovScheme::Proportional => "prop",
+    }
+}
+
+fn push_select_params(pairs: &mut Vec<(String, Value)>, params: &SelectParams) {
+    pairs.push(("budget".to_owned(), num_u64(params.budget as u64)));
+    pairs.push((
+        "weights".to_owned(),
+        Value::String(weights_tag(params.weight).to_owned()),
+    ));
+    pairs.push((
+        "cov".to_owned(),
+        Value::String(cov_tag(params.cov).to_owned()),
+    ));
+}
+
+/// Encodes a request as one protocol line (no trailing newline), the exact
+/// inverse of [`parse_request`]: `parse_request(&encode_request(r)) == r`
+/// for every well-formed request. This is what [`crate::client`] puts on
+/// the wire and what the round-trip proptests pivot on.
+pub fn encode_request(request: &Request) -> String {
+    let mut pairs: Vec<(String, Value)> = Vec::new();
+    let mut op = |tag: &str| pairs.push(("op".to_owned(), Value::String(tag.to_owned())));
+    match request {
+        Request::Select {
+            params,
+            deadline_ms,
+        } => {
+            op("select");
+            push_select_params(&mut pairs, params);
+            if let Some(ms) = deadline_ms {
+                pairs.push(("deadline_ms".to_owned(), num_u64(*ms)));
+            }
+        }
+        Request::Explain { params, top_k } => {
+            op("explain");
+            push_select_params(&mut pairs, params);
+            pairs.push(("top_k".to_owned(), num_u64(*top_k as u64)));
+        }
+        Request::OpenSession => op("open-session"),
+        Request::CloseSession { session } => {
+            op("close-session");
+            pairs.push(("session".to_owned(), num_u64(*session)));
+        }
+        Request::Refine {
+            session,
+            delta,
+            params,
+        } => {
+            op("refine");
+            pairs.push(("session".to_owned(), num_u64(*session)));
+            pairs.push(("must_have".to_owned(), group_id_array(&delta.must_have)));
+            pairs.push(("must_not".to_owned(), group_id_array(&delta.must_not)));
+            pairs.push(("priority".to_owned(), group_id_array(&delta.priority)));
+            if let Some(standard) = &delta.standard {
+                pairs.push(("standard".to_owned(), group_id_array(standard)));
+            }
+            pairs.push(("reset".to_owned(), Value::Bool(delta.reset)));
+            push_select_params(&mut pairs, params);
+        }
+        Request::UpdateProfile { update } => {
+            op("update-profile");
+            pairs.push(("user".to_owned(), Value::String(update.user.clone())));
+            pairs.push((
+                "property".to_owned(),
+                Value::String(update.property.clone()),
+            ));
+            pairs.push((
+                "score".to_owned(),
+                match update.score {
+                    Some(s) => num_f64(s),
+                    None => Value::Null,
+                },
+            ));
+        }
+        Request::Stats => op("stats"),
+    }
+    serde_json::to_string(&Value::Object(pairs)).expect("request serialization is infallible")
+}
+
+// ---------------------------------------------------------------------------
 // Response construction.
 
 /// Builds a success response line from `(key, value)` fields (prefixed
@@ -377,6 +474,73 @@ mod tests {
                 "line {line}: {err} (wanted {needle})"
             );
             assert_eq!(err.code(), "bad_request", "line {line}");
+        }
+    }
+
+    #[test]
+    fn encode_request_inverts_parse_request() {
+        let requests = vec![
+            Request::Select {
+                params: SelectParams {
+                    budget: 5,
+                    weight: WeightScheme::LinearBySize,
+                    cov: CovScheme::Single,
+                },
+                deadline_ms: None,
+            },
+            Request::Select {
+                params: SelectParams {
+                    budget: 8,
+                    weight: WeightScheme::Identical,
+                    cov: CovScheme::Proportional,
+                },
+                deadline_ms: Some(250),
+            },
+            Request::Explain {
+                params: SelectParams {
+                    budget: 3,
+                    weight: WeightScheme::LinearBySize,
+                    cov: CovScheme::Proportional,
+                },
+                top_k: 7,
+            },
+            Request::OpenSession,
+            Request::CloseSession { session: 42 },
+            Request::Refine {
+                session: 3,
+                delta: FeedbackDelta {
+                    must_have: vec![1, 2],
+                    must_not: vec![7],
+                    priority: vec![],
+                    standard: Some(vec![0]),
+                    reset: true,
+                },
+                params: SelectParams {
+                    budget: 4,
+                    weight: WeightScheme::LinearBySize,
+                    cov: CovScheme::Single,
+                },
+            },
+            Request::UpdateProfile {
+                update: ProfileUpdate {
+                    user: "Ada \"quoted\"".into(),
+                    property: "avgRating Thai".into(),
+                    score: Some(0.8),
+                },
+            },
+            Request::UpdateProfile {
+                update: ProfileUpdate {
+                    user: "Ada".into(),
+                    property: "avgRating Thai".into(),
+                    score: None,
+                },
+            },
+            Request::Stats,
+        ];
+        for request in requests {
+            let line = encode_request(&request);
+            let parsed = parse_request(&line).unwrap_or_else(|e| panic!("line {line}: {e}"));
+            assert_eq!(parsed, request, "round trip through {line}");
         }
     }
 

@@ -92,6 +92,7 @@ mod tests {
                 workers: 2,
                 queue_capacity: 16,
                 default_deadline_ms: 2000,
+                ..ServiceConfig::default()
             },
         ))
     }

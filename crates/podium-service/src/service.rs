@@ -1,6 +1,7 @@
 //! [`PodiumService`]: the embeddable facade tying the snapshot store,
 //! writer, executor, and session layer together behind the JSONL protocol.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -29,6 +30,11 @@ pub struct ServiceConfig {
     /// Default per-request deadline in milliseconds, for requests that do
     /// not carry a `deadline_ms`.
     pub default_deadline_ms: u64,
+    /// How many epochs a session's pinned snapshot may lag the current
+    /// epoch before `refine` rejects with `session_retired`. Keeping a
+    /// long-abandoned session's snapshot alive pins its whole repository
+    /// copy in memory; this bounds that. `u64::MAX` disables retirement.
+    pub max_session_lag: u64,
 }
 
 impl Default for ServiceConfig {
@@ -38,6 +44,35 @@ impl Default for ServiceConfig {
             workers: exec.workers,
             queue_capacity: exec.queue_capacity,
             default_deadline_ms: exec.default_deadline.as_millis() as u64,
+            max_session_lag: 1024,
+        }
+    }
+}
+
+/// Cumulative (monotone across epochs) memo-cache counters for the
+/// `select` path. Per-epoch counters live on each [`Snapshot`]; these
+/// accumulate over the service's lifetime so dashboards see totals that
+/// never reset when an epoch is published.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheCounters {
+    /// `(hits, misses)` so far.
+    pub fn totals(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn record(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -50,6 +85,8 @@ pub struct PodiumService {
     writer: Mutex<RepositoryWriter>,
     executor: QueryExecutor,
     sessions: SessionManager,
+    max_session_lag: u64,
+    cache_counters: CacheCounters,
 }
 
 impl PodiumService {
@@ -70,7 +107,14 @@ impl PodiumService {
             writer: Mutex::new(writer),
             executor,
             sessions: SessionManager::new(),
+            max_session_lag: config.max_session_lag,
+            cache_counters: CacheCounters::default(),
         }
+    }
+
+    /// Cumulative memo-cache counters (monotone across epochs).
+    pub fn cache_counters(&self) -> &CacheCounters {
+        &self.cache_counters
     }
 
     /// The snapshot store (for embedding callers that read directly).
@@ -107,6 +151,7 @@ impl PodiumService {
                 let outcome = self
                     .executor
                     .run_select(params, deadline_ms.map(Duration::from_millis))?;
+                self.cache_counters.record(outcome.cache_hit);
                 let elapsed_us = started.elapsed().as_micros() as u64;
                 Ok(ok_response(vec![
                     ("epoch", num_u64(outcome.epoch)),
@@ -154,22 +199,41 @@ impl PodiumService {
                 session,
                 delta,
                 params,
-            } => self.sessions.with_session(session, |s| {
-                let custom = s.refine(&delta, params.weight, params.cov, params.budget)?;
-                let names = s.snapshot().user_names(custom.users());
-                Ok(ok_response(vec![
-                    ("epoch", num_u64(s.snapshot().epoch())),
-                    ("session", num_u64(session)),
-                    ("users", string_array(&names)),
-                    ("priority_score", num_f64(custom.priority_score())),
-                    ("standard_score", num_f64(custom.standard_score())),
-                    ("pool_size", num_u64(custom.pool_size as u64)),
-                    (
-                        "feedback_group_coverage",
-                        num_f64(custom.feedback_group_coverage),
-                    ),
-                ]))
-            }),
+            } => {
+                // Retire sessions whose pinned epoch has fallen too far
+                // behind: the pinned snapshot holds a full repository copy
+                // alive, and after enough churn the client's group ids no
+                // longer describe the live data anyway.
+                let current = self.store.epoch();
+                if let Some(retired) = self.sessions.with_session(session, |s| {
+                    let pinned = s.snapshot().epoch();
+                    Ok(current.saturating_sub(pinned) > self.max_session_lag)
+                        .map(|r| r.then_some(pinned))
+                })? {
+                    self.sessions.close(session)?;
+                    return Err(ServiceError::SessionRetired {
+                        session,
+                        pinned: retired,
+                        current,
+                    });
+                }
+                self.sessions.with_session(session, |s| {
+                    let custom = s.refine(&delta, params.weight, params.cov, params.budget)?;
+                    let names = s.snapshot().user_names(custom.users());
+                    Ok(ok_response(vec![
+                        ("epoch", num_u64(s.snapshot().epoch())),
+                        ("session", num_u64(session)),
+                        ("users", string_array(&names)),
+                        ("priority_score", num_f64(custom.priority_score())),
+                        ("standard_score", num_f64(custom.standard_score())),
+                        ("pool_size", num_u64(custom.pool_size as u64)),
+                        (
+                            "feedback_group_coverage",
+                            num_f64(custom.feedback_group_coverage),
+                        ),
+                    ]))
+                })
+            }
             Request::UpdateProfile { update } => {
                 let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
                 let outcome = writer.apply(&update)?;
@@ -184,7 +248,8 @@ impl PodiumService {
             Request::Stats => {
                 let snapshot = self.store.load();
                 let stats = self.executor.stats();
-                use std::sync::atomic::Ordering;
+                let (epoch_hits, epoch_misses) = snapshot.cache_stats();
+                let (hits, misses) = self.cache_counters.totals();
                 Ok(ok_response(vec![
                     ("epoch", num_u64(snapshot.epoch())),
                     ("users", num_u64(snapshot.repo().user_count() as u64)),
@@ -200,6 +265,10 @@ impl PodiumService {
                         "completed",
                         num_u64(stats.completed.load(Ordering::Relaxed)),
                     ),
+                    ("cache_hits", num_u64(hits)),
+                    ("cache_misses", num_u64(misses)),
+                    ("epoch_cache_hits", num_u64(epoch_hits)),
+                    ("epoch_cache_misses", num_u64(epoch_misses)),
                 ]))
             }
         }
@@ -233,6 +302,7 @@ mod tests {
                 workers: 2,
                 queue_capacity: 32,
                 default_deadline_ms: 2000,
+                ..ServiceConfig::default()
             },
         )
     }
@@ -330,6 +400,107 @@ mod tests {
         assert_eq!(
             report.get("users").and_then(Value::as_array).unwrap().len(),
             3
+        );
+    }
+
+    #[test]
+    fn stats_expose_monotone_cache_counters_and_queue_depth() {
+        let svc = service();
+        let read = |svc: &PodiumService, field: &str| {
+            parse(&svc.handle_line(r#"{"op":"stats"}"#))
+                .get(field)
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| panic!("stats field '{field}' missing"))
+        };
+        // Presence, before any select ran.
+        for field in [
+            "cache_hits",
+            "cache_misses",
+            "epoch_cache_hits",
+            "epoch_cache_misses",
+            "queue_depth",
+        ] {
+            read(&svc, field);
+        }
+        let mut last_hits = 0;
+        let mut last_misses = 0;
+        for round in 0..4 {
+            svc.handle_line(r#"{"op":"select","budget":3}"#);
+            let hits = read(&svc, "cache_hits");
+            let misses = read(&svc, "cache_misses");
+            assert!(hits >= last_hits, "round {round}: hits went backwards");
+            assert!(
+                misses >= last_misses,
+                "round {round}: misses went backwards"
+            );
+            last_hits = hits;
+            last_misses = misses;
+        }
+        // Four identical selects against one epoch: one miss, three hits.
+        assert_eq!(last_misses, 1);
+        assert_eq!(last_hits, 3);
+        assert_eq!(read(&svc, "epoch_cache_hits"), 3);
+        assert_eq!(read(&svc, "epoch_cache_misses"), 1);
+        // Publishing resets the per-epoch counters but never the totals.
+        svc.handle_line(
+            r#"{"op":"update-profile","user":"u1","property":"avgRating Thai","score":0.4}"#,
+        );
+        assert_eq!(read(&svc, "epoch_cache_hits"), 0);
+        assert_eq!(read(&svc, "epoch_cache_misses"), 0);
+        assert_eq!(read(&svc, "cache_hits"), last_hits);
+        assert_eq!(read(&svc, "cache_misses"), last_misses);
+    }
+
+    #[test]
+    fn refine_on_a_retired_epoch_is_a_typed_error() {
+        let mut repo = UserRepository::new();
+        let mex = repo.intern_property("avgRating Mexican");
+        for i in 0..16 {
+            let u = repo.add_user(format!("u{i}"));
+            repo.set_score(u, mex, (i as f64) / 16.0).unwrap();
+        }
+        let buckets = podium_core::bucket::BucketingConfig::paper_default().bucketize(&repo);
+        let svc = PodiumService::new(
+            repo,
+            &buckets,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 8,
+                default_deadline_ms: 2000,
+                max_session_lag: 2,
+            },
+        );
+        let open = parse(&svc.handle_line(r#"{"op":"open-session"}"#));
+        let session = open.get("session").and_then(Value::as_u64).unwrap();
+        // Two epochs of lag: still within the allowance.
+        for _ in 0..2 {
+            svc.handle_line(
+                r#"{"op":"update-profile","user":"u1","property":"avgRating Mexican","score":0.5}"#,
+            );
+        }
+        let ok = parse(&svc.handle_line(&format!(
+            r#"{{"op":"refine","session":{session},"budget":3}}"#
+        )));
+        assert_eq!(ok.get("ok").and_then(Value::as_bool), Some(true), "{ok:?}");
+        // A third publish pushes the pin past the allowance.
+        svc.handle_line(
+            r#"{"op":"update-profile","user":"u2","property":"avgRating Mexican","score":0.6}"#,
+        );
+        let retired = parse(&svc.handle_line(&format!(
+            r#"{{"op":"refine","session":{session},"budget":3}}"#
+        )));
+        assert_eq!(
+            retired.get("error").and_then(Value::as_str),
+            Some("session_retired"),
+            "{retired:?}"
+        );
+        // The retirement closed the session server-side.
+        let gone =
+            parse(&svc.handle_line(&format!(r#"{{"op":"close-session","session":{session}}}"#)));
+        assert_eq!(
+            gone.get("error").and_then(Value::as_str),
+            Some("unknown_session"),
+            "{gone:?}"
         );
     }
 

@@ -52,6 +52,10 @@ pub struct SelectOutcome {
     pub selection: Selection<f64>,
     /// Selected user names, resolved against the same snapshot.
     pub names: Vec<String>,
+    /// Whether this outcome was served from the snapshot's memo cache
+    /// (`true`) or computed fresh (`false`). Service-level cumulative
+    /// cache counters are derived from this flag.
+    pub cache_hit: bool,
 }
 
 /// An immutable, epoch-numbered view of the repository and its derived
@@ -142,8 +146,9 @@ impl Snapshot {
         // Memo hit: the result was already computed against this very
         // epoch, so it is exact. Returned even past the deadline — the
         // deadline bounds computation, and a hit costs none.
-        if let Some(hit) = self.cached(params) {
+        if let Some(mut hit) = self.cached(params) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            hit.cache_hit = true;
             return Ok(hit);
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -167,6 +172,7 @@ impl Snapshot {
             epoch: self.epoch,
             selection,
             names,
+            cache_hit: false,
         };
         self.memoize(params, &outcome);
         Ok(outcome)

@@ -1,0 +1,255 @@
+//! Protocol round-trip and robustness property tests.
+//!
+//! Three contracts over the wire layer:
+//!
+//! * **Inversion** — for every request shape, `parse_request` is the
+//!   exact inverse of `encode_request`: randomly generated requests
+//!   survive encode → decode unchanged.
+//! * **Typed failure** — malformed input (truncation at any byte,
+//!   random byte mutation, arbitrary garbage) yields a
+//!   `ServiceError::BadRequest` (wire code `bad_request`), never a panic
+//!   and never a silently-misparsed request.
+//! * **Response validity** — success and error responses are valid
+//!   single-line JSON objects carrying `ok` and, for errors, the stable
+//!   code.
+
+use podium_core::weights::{CovScheme, WeightScheme};
+use podium_service::error::ServiceError;
+use podium_service::protocol::{
+    encode_request, error_response, ok_response, parse_request, Request,
+};
+use podium_service::session::FeedbackDelta;
+use podium_service::snapshot::{ProfileUpdate, SelectParams};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use serde_json::Value;
+
+/// Decodes draw primitives into `SelectParams`. Scores and budgets stay
+/// in ranges the parser accepts; scheme choice is a 2×2 grid.
+fn params_from(budget: usize, scheme_bits: u8) -> SelectParams {
+    SelectParams {
+        budget,
+        weight: if scheme_bits & 1 == 0 {
+            WeightScheme::LinearBySize
+        } else {
+            WeightScheme::Identical
+        },
+        cov: if scheme_bits & 2 == 0 {
+            CovScheme::Single
+        } else {
+            CovScheme::Proportional
+        },
+    }
+}
+
+/// Builds a name exercising JSON string escaping: a plain stem plus an
+/// optional nasty suffix (quotes, backslashes, control chars, unicode).
+fn name_from(stem: u64, nasty: u8) -> String {
+    let suffix = match nasty % 6 {
+        0 => "",
+        1 => " \"quoted\"",
+        2 => " back\\slash",
+        3 => "\ttabbed\n",
+        4 => " ünïcödé 東京",
+        _ => " sp ace",
+    };
+    format!("user-{stem}{suffix}")
+}
+
+/// Decodes a mask+values draw into a group-id list (possibly empty).
+fn groups_from(values: &[u32]) -> Vec<u32> {
+    values.to_vec()
+}
+
+/// One request of every shape, driven by drawn primitives. `shape` picks
+/// the variant; the rest parameterize it.
+#[allow(clippy::too_many_arguments)]
+fn request_from(
+    shape: u8,
+    budget: usize,
+    scheme_bits: u8,
+    session: u64,
+    deadline: u64,
+    groups: &[u32],
+    stem: u64,
+    nasty: u8,
+    score_grid: u16,
+) -> Request {
+    let params = params_from(budget, scheme_bits);
+    match shape % 7 {
+        0 => Request::Select {
+            params,
+            deadline_ms: if deadline == 0 { None } else { Some(deadline) },
+        },
+        1 => Request::Explain {
+            params,
+            top_k: (deadline as usize) % 100,
+        },
+        2 => Request::OpenSession,
+        3 => Request::Refine {
+            session,
+            delta: FeedbackDelta {
+                must_have: groups_from(groups),
+                must_not: groups.iter().map(|g| g ^ 1).collect(),
+                priority: groups.iter().rev().copied().collect(),
+                standard: if scheme_bits & 4 == 0 {
+                    None
+                } else {
+                    Some(groups_from(groups))
+                },
+                reset: scheme_bits & 8 != 0,
+            },
+            params,
+        },
+        4 => Request::CloseSession { session },
+        5 => Request::UpdateProfile {
+            update: ProfileUpdate {
+                user: name_from(stem, nasty),
+                property: name_from(stem ^ 0xFF, nasty.wrapping_add(1)),
+                // Scores on a dyadic grid round-trip exactly through
+                // decimal float formatting.
+                score: if score_grid == 0 {
+                    None
+                } else {
+                    Some((score_grid % 1024) as f64 / 1024.0)
+                },
+            },
+        },
+        _ => Request::Stats,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_request_shape_survives_encode_decode(
+        shape in 0u8..7,
+        budget in 0usize..10_000,
+        scheme_bits in 0u8..16,
+        session in 0u64..u64::MAX,
+        deadline in 0u64..100_000,
+        groups in prop::collection::vec(0u32..1_000_000, 0..8),
+        stem in 0u64..u64::MAX,
+        nasty in 0u8..u8::MAX,
+        score_grid in 0u16..u16::MAX,
+    ) {
+        let request = request_from(
+            shape, budget, scheme_bits, session, deadline, &groups, stem, nasty, score_grid,
+        );
+        let line = encode_request(&request);
+        prop_assert!(!line.contains('\n'), "encoded request must be one line: {line}");
+        let parsed = parse_request(&line);
+        prop_assert!(parsed.is_ok(), "decode failed for {line}: {parsed:?}");
+        prop_assert_eq!(parsed.unwrap(), request, "round trip changed the request: {}", line);
+    }
+
+    #[test]
+    fn truncated_requests_fail_typed_never_panic(
+        shape in 0u8..7,
+        budget in 0usize..10_000,
+        scheme_bits in 0u8..16,
+        session in 0u64..u64::MAX,
+        groups in prop::collection::vec(0u32..1_000_000, 0..8),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let request = request_from(shape, budget, scheme_bits, session, 7, &groups, 3, 0, 5);
+        let line = encode_request(&request);
+        // Any strict prefix of a minified JSON object is invalid JSON
+        // (the closing brace is the final byte), so the parser must
+        // return a typed error — and in no case panic.
+        let mut cut = (((line.len() as f64) * cut_frac) as usize).min(line.len() - 1);
+        while !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let prefix = &line[..cut];
+        match parse_request(prefix) {
+            Ok(req) => prop_assert!(false, "truncated line parsed as {req:?}: {prefix}"),
+            Err(e) => prop_assert_eq!(e.code(), "bad_request", "prefix: {}", prefix),
+        }
+    }
+
+    #[test]
+    fn mutated_requests_never_panic_and_errors_are_typed(
+        shape in 0u8..7,
+        budget in 0usize..10_000,
+        groups in prop::collection::vec(0u32..1_000_000, 0..8),
+        flip_at_frac in 0.0f64..1.0,
+        flip_to in 0u8..128,
+    ) {
+        let request = request_from(shape, budget, 0, 9, 7, &groups, 3, 0, 5);
+        let mut bytes = encode_request(&request).into_bytes();
+        let at = ((bytes.len() as f64) * flip_at_frac) as usize % bytes.len();
+        bytes[at] = flip_to;
+        // The mutation may still be valid JSON (and even a valid
+        // request); the contract is only: no panic, and failures carry
+        // the bad_request code.
+        if let Ok(text) = String::from_utf8(bytes) {
+            if let Err(e) = parse_request(&text) {
+                prop_assert_eq!(e.code(), "bad_request", "input: {}", text);
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_garbage_yields_bad_request(
+        garbage in prop::collection::vec(0u8..128, 0..64),
+    ) {
+        let text = String::from_utf8(garbage).expect("ascii range");
+        // Arbitrary short ASCII strings essentially never form a valid
+        // request object; whenever they fail, the failure is typed.
+        if let Err(e) = parse_request(&text) {
+            prop_assert_eq!(e.code(), "bad_request", "input: {}", text);
+        }
+    }
+
+    #[test]
+    fn error_responses_are_valid_json_with_stable_codes(
+        which in 0u8..7,
+        session in 0u64..u64::MAX,
+        msg_stem in 0u64..u64::MAX,
+        nasty in 0u8..u8::MAX,
+    ) {
+        let err = match which {
+            0 => ServiceError::Overloaded,
+            1 => ServiceError::DeadlineExceeded,
+            2 => ServiceError::BadRequest(name_from(msg_stem, nasty)),
+            3 => ServiceError::UnknownSession(session),
+            4 => ServiceError::SessionRetired {
+                session,
+                pinned: session / 2,
+                current: session,
+            },
+            5 => ServiceError::ShuttingDown,
+            _ => ServiceError::Core(podium_core::error::CoreError::ZeroBudget),
+        };
+        let line = error_response(&err);
+        prop_assert!(!line.contains('\n'));
+        let value: Value = serde_json::from_str(&line)
+            .map_err(|e| TestCaseError::fail(format!("error response is not JSON: {e}: {line}")))?;
+        prop_assert_eq!(value.get("ok").and_then(Value::as_bool), Some(false));
+        prop_assert_eq!(
+            value.get("error").and_then(Value::as_str),
+            Some(err.code()),
+            "{}", line
+        );
+        prop_assert!(
+            value.get("message").and_then(Value::as_str).is_some(),
+            "error responses carry a message: {}", line
+        );
+    }
+
+    #[test]
+    fn ok_responses_round_trip_their_fields(
+        epoch in 0u64..u64::MAX,
+        n in 0u64..1_000,
+    ) {
+        use podium_service::protocol::num_u64;
+        let line = ok_response(vec![("epoch", num_u64(epoch)), ("count", num_u64(n))]);
+        let value: Value = serde_json::from_str(&line)
+            .map_err(|e| TestCaseError::fail(format!("ok response is not JSON: {e}: {line}")))?;
+        prop_assert_eq!(value.get("ok").and_then(Value::as_bool), Some(true));
+        prop_assert_eq!(value.get("epoch").and_then(Value::as_u64), Some(epoch));
+        prop_assert_eq!(value.get("count").and_then(Value::as_u64), Some(n));
+    }
+}

@@ -47,6 +47,21 @@ fn run_serve(argv: &[String]) {
         Ok(s) => s,
         Err(e) => fail(&e),
     };
+    if let Some(addr) = &args.tcp {
+        // TCP serving: the listener runs on background threads, so this
+        // thread just parks; the process is stopped by signal.
+        let server =
+            match podium::service::tcp::TcpServer::bind(Arc::new(service), addr, args.tcp_config) {
+                Ok(s) => s,
+                Err(e) => fail(&format!("cannot bind tcp {addr}: {e}")),
+            };
+        // The actual bound address matters when ':0' asked for an
+        // ephemeral port; print it so clients (and tests) can connect.
+        eprintln!("podium-cli: serving on tcp {}", server.local_addr());
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
     let result = match &args.socket {
         Some(path) => {
             eprintln!("podium-cli: serving on unix socket {path}");

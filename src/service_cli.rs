@@ -23,8 +23,8 @@
 use std::time::Duration;
 
 use podium_data::report::{load_report, replay, save_report, ReplayFormat, ReplayStatus};
-use podium_service::bench::{run_bench, BenchConfig};
-use podium_service::{PodiumService, ServiceConfig};
+use podium_service::bench::{run_bench, BenchConfig, BenchTransport};
+use podium_service::{PodiumService, ServiceConfig, TcpServerConfig};
 
 use crate::cli::bucketing_from;
 
@@ -33,16 +33,20 @@ use crate::cli::bucketing_from;
 pub const SERVICE_USAGE: &str = "\
 serving subcommands:
   serve --profiles FILE [--strategy S] [--buckets K] [--socket PATH]
-        [--workers N] [--queue N] [--deadline-ms MS]
+        [--tcp ADDR] [--max-conns N] [--idle-timeout-ms MS]
+        [--session-lag N] [--workers N] [--queue N] [--deadline-ms MS]
       serve the line-delimited JSON protocol (select/explain/refine/
-      update-profile/stats) over stdin/stdout, or over a Unix domain
-      socket when --socket is given.
-  bench-serve [--users N] [--properties N] [--scores-per-user N]
-        [--budget B] [--clients N] [--workers N] [--queue N]
-        [--duration-s SECS] [--update-hz HZ] [--deadline-ms MS]
-        [--seed S] [--out FILE]
-      closed-loop load generator against an in-process service over a
-      synthetic repository; appends one JSONL row to --out
+      update-profile/stats) over stdin/stdout, over a Unix domain
+      socket when --socket is given, or over TCP when --tcp is given
+      (e.g. --tcp 127.0.0.1:7474; --max-conns and --idle-timeout-ms
+      bound the TCP listener).
+  bench-serve [--transport inproc|tcp] [--users N] [--properties N]
+        [--scores-per-user N] [--budget B] [--clients N] [--workers N]
+        [--queue N] [--duration-s SECS] [--update-hz HZ]
+        [--deadline-ms MS] [--seed S] [--out FILE]
+      closed-loop load generator over a synthetic repository, either
+      in-process or through a loopback TCP server with the resilient
+      client; appends one JSONL row to --out
       (default target/bench-serve.jsonl).
   quarantine scan <document> [--format F] [--report FILE]
       lenient-load the document, print its quarantine, and (with
@@ -68,6 +72,11 @@ pub struct ServeArgs {
     pub buckets: usize,
     /// Unix-socket path; `None` serves stdin/stdout.
     pub socket: Option<String>,
+    /// TCP listen address (e.g. `127.0.0.1:7474`); takes precedence over
+    /// `socket` when both are given.
+    pub tcp: Option<String>,
+    /// TCP listener sizing (connection limit, idle timeout).
+    pub tcp_config: TcpServerConfig,
     /// Service sizing.
     pub config: ServiceConfig,
 }
@@ -79,6 +88,8 @@ pub fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
         strategy: "quantile".into(),
         buckets: 3,
         socket: None,
+        tcp: None,
+        tcp_config: TcpServerConfig::default(),
         config: ServiceConfig::default(),
     };
     let mut it = argv.iter();
@@ -93,6 +104,19 @@ pub fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
             "--strategy" => args.strategy = value("--strategy")?,
             "--buckets" => args.buckets = parse_num(&value("--buckets")?, "--buckets")?,
             "--socket" => args.socket = Some(value("--socket")?),
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--max-conns" => {
+                args.tcp_config.max_connections = parse_num(&value("--max-conns")?, "--max-conns")?
+            }
+            "--idle-timeout-ms" => {
+                args.tcp_config.idle_timeout = Duration::from_millis(parse_num(
+                    &value("--idle-timeout-ms")?,
+                    "--idle-timeout-ms",
+                )?)
+            }
+            "--session-lag" => {
+                args.config.max_session_lag = parse_num(&value("--session-lag")?, "--session-lag")?
+            }
             "--workers" => args.config.workers = parse_num(&value("--workers")?, "--workers")?,
             "--queue" => args.config.queue_capacity = parse_num(&value("--queue")?, "--queue")?,
             "--deadline-ms" => {
@@ -107,6 +131,9 @@ pub fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
     }
     if args.config.workers == 0 {
         return Err("--workers must be at least 1".to_owned());
+    }
+    if args.tcp_config.max_connections == 0 {
+        return Err("--max-conns must be at least 1".to_owned());
     }
     Ok(args)
 }
@@ -142,6 +169,13 @@ pub fn parse_bench_serve_args(argv: &[String]) -> Result<BenchServeArgs, String>
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match flag.as_str() {
+            "--transport" => {
+                config.transport = match value("--transport")?.as_str() {
+                    "inproc" | "in-process" => BenchTransport::InProcess,
+                    "tcp" => BenchTransport::Tcp,
+                    other => return Err(format!("unknown transport '{other}' (inproc | tcp)")),
+                }
+            }
             "--users" => config.users = parse_num(&value("--users")?, "--users")?,
             "--properties" => {
                 config.properties = parse_num(&value("--properties")?, "--properties")?
@@ -191,8 +225,8 @@ pub fn run_bench_serve(args: &BenchServeArgs) -> (String, String) {
     );
     let _ = writeln!(
         out,
-        "served {} requests in {:.2} s ({:.1} req/s)",
-        report.served, report.duration_s, report.throughput_rps
+        "served {} requests in {:.2} s ({:.1} req/s) over {}",
+        report.served, report.duration_s, report.throughput_rps, report.transport
     );
     let _ = writeln!(
         out,
@@ -201,12 +235,22 @@ pub fn run_bench_serve(args: &BenchServeArgs) -> (String, String) {
     );
     let _ = writeln!(
         out,
-        "failed {}, overloaded {}, inconsistent {}; {} updates applied (final epoch {})",
+        "failed {} (deadline {}, transport {}, other {}), overloaded {}, inconsistent {}",
         report.failed,
+        report.failed_deadline,
+        report.failed_transport,
+        report.failed_other,
         report.overloaded,
         report.inconsistent,
+    );
+    let _ = writeln!(
+        out,
+        "{} updates applied (final epoch {}); cache {} hits / {} misses; max queue depth {}",
         report.updates_applied,
-        report.final_epoch
+        report.final_epoch,
+        report.cache_hits,
+        report.cache_misses,
+        report.queue_depth_max
     );
     (out, report.to_json())
 }
@@ -393,6 +437,7 @@ mod tests {
         assert_eq!(a.profiles, "p.json");
         assert_eq!(a.strategy, "paper");
         assert_eq!(a.socket.as_deref(), Some("/tmp/s.sock"));
+        assert_eq!(a.tcp, None);
         assert_eq!(a.config.workers, 2);
         assert_eq!(a.config.queue_capacity, 16);
         assert_eq!(a.config.default_deadline_ms, 500);
@@ -400,6 +445,22 @@ mod tests {
         assert!(parse_serve_args(&argv("")).is_err(), "--profiles required");
         assert!(parse_serve_args(&argv("--profiles p --workers 0")).is_err());
         assert!(parse_serve_args(&argv("--profiles p --wat 1")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_tcp_flags() {
+        let a = parse_serve_args(&argv(
+            "--profiles p.json --tcp 127.0.0.1:7474 --max-conns 32 \
+             --idle-timeout-ms 5000 --session-lag 16",
+        ))
+        .unwrap();
+        assert_eq!(a.tcp.as_deref(), Some("127.0.0.1:7474"));
+        assert_eq!(a.tcp_config.max_connections, 32);
+        assert_eq!(a.tcp_config.idle_timeout, Duration::from_secs(5));
+        assert_eq!(a.config.max_session_lag, 16);
+
+        assert!(parse_serve_args(&argv("--profiles p --max-conns 0")).is_err());
+        assert!(parse_serve_args(&argv("--profiles p --tcp")).is_err());
     }
 
     #[test]
@@ -426,10 +487,15 @@ mod tests {
         assert_eq!(a.config.duration, Duration::from_millis(250));
         assert_eq!(a.config.update_hz, 5);
         assert_eq!(a.config.seed, 7);
+        assert_eq!(a.config.transport, BenchTransport::InProcess);
         assert_eq!(a.out, "/tmp/x.jsonl");
+
+        let a = parse_bench_serve_args(&argv("--transport tcp")).unwrap();
+        assert_eq!(a.config.transport, BenchTransport::Tcp);
 
         assert!(parse_bench_serve_args(&argv("--users 0")).is_err());
         assert!(parse_bench_serve_args(&argv("--duration-s -1")).is_err());
+        assert!(parse_bench_serve_args(&argv("--transport carrier-pigeon")).is_err());
     }
 
     #[test]
@@ -447,17 +513,28 @@ mod tests {
                 update_hz: 20,
                 deadline_ms: 1_000,
                 seed: 11,
+                transport: BenchTransport::InProcess,
             },
             out: "unused".into(),
         };
         let (human, row) = run_bench_serve(&args);
         assert!(human.contains("bench-serve: 150 users"), "{human}");
-        assert!(human.contains("failed 0,"), "{human}");
+        assert!(
+            human.contains("failed 0 (deadline 0, transport 0, other 0)"),
+            "{human}"
+        );
         let v: serde_json::Value = serde_json::from_str(&row).unwrap();
         assert_eq!(v["bench"].as_str(), Some("serve"));
+        assert_eq!(v["transport"].as_str(), Some("inproc"));
         assert_eq!(v["failed"].as_u64(), Some(0));
         assert_eq!(v["inconsistent"].as_u64(), Some(0));
         assert!(v["served"].as_u64().unwrap() > 0);
+        assert_eq!(
+            v["failed"].as_u64().unwrap(),
+            v["failed_deadline"].as_u64().unwrap()
+                + v["failed_transport"].as_u64().unwrap()
+                + v["failed_other"].as_u64().unwrap()
+        );
     }
 
     #[test]

@@ -46,7 +46,12 @@ impl Drop for ServerGuard {
     }
 }
 
-fn spawn_server(profiles_path: &Path, socket_path: &Path, dir: PathBuf) -> ServerGuard {
+fn spawn_server_with(
+    profiles_path: &Path,
+    socket_path: &Path,
+    dir: PathBuf,
+    extra: &[&str],
+) -> ServerGuard {
     let child = Command::new(env!("CARGO_BIN_EXE_podium-cli"))
         .args([
             "serve",
@@ -61,9 +66,14 @@ fn spawn_server(profiles_path: &Path, socket_path: &Path, dir: PathBuf) -> Serve
             "--queue",
             "128",
         ])
+        .args(extra)
         .spawn()
         .expect("spawn podium-cli serve");
     ServerGuard { child, dir }
+}
+
+fn spawn_server(profiles_path: &Path, socket_path: &Path, dir: PathBuf) -> ServerGuard {
+    spawn_server_with(profiles_path, socket_path, dir, &[])
 }
 
 fn await_socket(path: &Path) {
@@ -223,4 +233,100 @@ fn served_selections_match_single_threaded_mirror_per_epoch() {
         !observations.is_empty() && !checked_epochs.is_empty(),
         "the load actually exercised the server"
     );
+}
+
+/// Writes a tiny profiles file and returns `(dir, profiles, socket)` for
+/// the lifecycle tests (they need a server, not a large repository).
+fn small_fixture(tag: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("podium-serve-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let repo = synthetic_repository(60, 6, 3, SEED);
+    let profiles_json = podium::data::json::profiles_to_json(&repo).unwrap();
+    let profiles_path = dir.join("profiles.json");
+    std::fs::write(&profiles_path, &profiles_json).unwrap();
+    let socket_path = dir.join("serve.sock");
+    (dir, profiles_path, socket_path)
+}
+
+/// Sessions live in server memory: a session id minted before a restart
+/// must be rejected with the typed `unknown_session` error afterwards —
+/// never silently re-created, never a crash.
+#[test]
+fn refine_after_server_restart_is_a_typed_unknown_session() {
+    let (dir, profiles_path, socket_path) = small_fixture("restart");
+
+    let mut first = spawn_server(&profiles_path, &socket_path, dir.clone());
+    await_socket(&socket_path);
+    let session = {
+        let (mut stream, mut reader) = connect(&socket_path);
+        let v = round_trip(&mut stream, &mut reader, r#"{"op":"open-session"}"#);
+        assert_eq!(v["ok"].as_bool(), Some(true), "{v:?}");
+        v["session"].as_u64().expect("session id")
+    };
+
+    // Restart: kill the first server, then bind a fresh one on the same
+    // socket path (the listener removes the stale socket file).
+    first.child.kill().expect("kill first server");
+    first.child.wait().expect("reap first server");
+    let _ = std::fs::remove_file(&socket_path);
+    let second = spawn_server(&profiles_path, &socket_path, dir.clone());
+    await_socket(&socket_path);
+
+    let (mut stream, mut reader) = connect(&socket_path);
+    let v = round_trip(
+        &mut stream,
+        &mut reader,
+        &format!(r#"{{"op":"refine","session":{session},"budget":3}}"#),
+    );
+    assert_eq!(v["ok"].as_bool(), Some(false), "{v:?}");
+    assert_eq!(v["error"].as_str(), Some("unknown_session"), "{v:?}");
+    drop(second);
+}
+
+/// Closing a session that never existed, and refining a session whose
+/// pinned epoch fell behind the configured `--session-lag`, both surface
+/// as typed errors over the wire.
+#[test]
+fn unknown_close_and_retired_refine_are_typed_errors() {
+    let (dir, profiles_path, socket_path) = small_fixture("retire");
+    let guard = spawn_server_with(&profiles_path, &socket_path, dir, &["--session-lag", "2"]);
+    await_socket(&socket_path);
+    let (mut stream, mut reader) = connect(&socket_path);
+
+    // Close of an unknown session: typed, not fatal.
+    let v = round_trip(
+        &mut stream,
+        &mut reader,
+        r#"{"op":"close-session","session":424242}"#,
+    );
+    assert_eq!(v["ok"].as_bool(), Some(false), "{v:?}");
+    assert_eq!(v["error"].as_str(), Some("unknown_session"), "{v:?}");
+
+    // Pin a session at epoch 0, then advance the store past the lag bound.
+    let opened = round_trip(&mut stream, &mut reader, r#"{"op":"open-session"}"#);
+    assert_eq!(opened["ok"].as_bool(), Some(true), "{opened:?}");
+    let session = opened["session"].as_u64().unwrap();
+    assert_eq!(opened["epoch"].as_u64(), Some(0));
+    for i in 0..3u64 {
+        let v = round_trip(
+            &mut stream,
+            &mut reader,
+            &format!(
+                r#"{{"op":"update-profile","user":"user-1","property":"topic-1","score":0.{i}1}}"#
+            ),
+        );
+        assert_eq!(v["ok"].as_bool(), Some(true), "update {i}: {v:?}");
+        assert_eq!(v["epoch"].as_u64(), Some(i + 1));
+    }
+
+    // Epoch 3, pinned 0, lag 2: the refine must report retirement (and
+    // retire the session — a second refine finds it gone).
+    let refine = format!(r#"{{"op":"refine","session":{session},"budget":3}}"#);
+    let v = round_trip(&mut stream, &mut reader, &refine);
+    assert_eq!(v["ok"].as_bool(), Some(false), "{v:?}");
+    assert_eq!(v["error"].as_str(), Some("session_retired"), "{v:?}");
+    let v = round_trip(&mut stream, &mut reader, &refine);
+    assert_eq!(v["ok"].as_bool(), Some(false), "{v:?}");
+    assert_eq!(v["error"].as_str(), Some("unknown_session"), "{v:?}");
+    drop(guard);
 }

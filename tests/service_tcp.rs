@@ -1,0 +1,441 @@
+//! TCP transport and chaos-resilience tests.
+//!
+//! The centerpiece is a deterministic soak: an in-process
+//! [`PodiumService`] behind a real [`TcpServer`], with every client
+//! connection routed through a seeded [`ChaosProxy`] that splits writes
+//! into tiny slices, kills connections mid-frame, and stalls chunks past
+//! the client deadline. A serial writer publishes profile updates while
+//! resilient [`PodiumClient`]s hammer `select` (and one pins a session).
+//! The assertions are the serving invariants, which no amount of
+//! injected transport chaos may violate:
+//!
+//! * every `ok` response returns exactly `budget` users and an epoch
+//!   that is monotone per client;
+//! * every `ok` response is **bit-identical** to a single-threaded
+//!   re-run against a mirror of that epoch's snapshot;
+//! * a session's pinned epoch never moves, across reconnects included;
+//! * failures only ever surface as typed client errors, never as wrong
+//!   answers.
+//!
+//! The whole suite runs for each seed in a fixed matrix (extendable via
+//! `PODIUM_CHAOS_SEED`), so a failure reproduces from the log line alone.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use podium::core::bucket::BucketingConfig;
+use podium::service::bench::synthetic_repository;
+use podium::service::chaos::{ChaosConfig, ChaosProxy};
+use podium::service::client::{BreakerState, ClientConfig, ClientError, PodiumClient};
+use podium::service::service::{PodiumService, ServiceConfig};
+use podium::service::snapshot::{ProfileUpdate, RepositoryWriter, SelectParams, Snapshot};
+use podium::service::tcp::{TcpServer, TcpServerConfig};
+use serde_json::Value;
+
+const USERS: usize = 300;
+const PROPERTIES: usize = 12;
+const SCORES_PER_USER: usize = 4;
+const BUDGET: usize = 6;
+const CLIENTS: usize = 3;
+const SELECTS_PER_CLIENT: usize = 25;
+const UPDATES: usize = 30;
+const REPO_SEED: u64 = 0xD1CE_2020;
+
+/// The fixed chaos-seed matrix. CI runs all of them; locally, set
+/// `PODIUM_CHAOS_SEED` to append one more for bisection.
+fn seed_matrix() -> Vec<u64> {
+    let mut seeds = vec![0xC4A0_0001, 0xC4A0_0002, 0xC4A0_0003];
+    if let Ok(extra) = std::env::var("PODIUM_CHAOS_SEED") {
+        if let Ok(seed) = extra.trim().parse() {
+            seeds.push(seed);
+        }
+    }
+    seeds
+}
+
+fn service() -> Arc<PodiumService> {
+    let repo = synthetic_repository(USERS, PROPERTIES, SCORES_PER_USER, REPO_SEED);
+    let buckets = BucketingConfig::paper_default().bucketize(&repo);
+    Arc::new(PodiumService::new(
+        repo,
+        &buckets,
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 128,
+            default_deadline_ms: 2_000,
+            ..ServiceConfig::default()
+        },
+    ))
+}
+
+/// The deterministic update stream (mirrors `tests/service_serve.rs`):
+/// each tick nudges one existing user's score on one existing property.
+fn update_stream() -> Vec<ProfileUpdate> {
+    (0..UPDATES)
+        .map(|i| ProfileUpdate {
+            user: format!("user-{}", (i * 37) % USERS),
+            property: format!("topic-{}", (i * 5) % PROPERTIES),
+            score: Some(((i * 13) % 97) as f64 / 100.0),
+        })
+        .collect()
+}
+
+/// Replays the update stream against a fresh mirror and returns the
+/// per-epoch snapshots: index `e` is the state the server served epoch
+/// `e` from (the writer publishes serially, one epoch per update).
+fn mirror_snapshots(updates: &[ProfileUpdate]) -> Vec<Arc<Snapshot>> {
+    let repo = synthetic_repository(USERS, PROPERTIES, SCORES_PER_USER, REPO_SEED);
+    let buckets = BucketingConfig::paper_default().bucketize(&repo);
+    let (store, mut writer) = RepositoryWriter::new(repo, &buckets);
+    let mut per_epoch = vec![store.load()];
+    for u in updates {
+        writer.apply(u).expect("mirror update applies");
+        writer.publish();
+        per_epoch.push(store.load());
+    }
+    per_epoch
+}
+
+fn chaos_client_config(seed: u64) -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        request_timeout: Duration::from_millis(1_500),
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(50),
+        max_attempts: 4,
+        breaker_threshold: 8,
+        breaker_cooldown: Duration::from_millis(150),
+        seed,
+    }
+}
+
+/// One seed's soak run. Returns (observations, failures) so the caller
+/// can both mirror-check and sanity-check volume.
+fn soak_one_seed(seed: u64) {
+    let service = service();
+    let server = TcpServer::bind(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        TcpServerConfig::default(),
+    )
+    .expect("bind tcp server");
+    let proxy = ChaosProxy::bind(
+        server.local_addr(),
+        ChaosConfig {
+            seed,
+            split_writes: true,
+            disconnect_per_chunk: 0.04,
+            stall_per_chunk: 0.01,
+            stall: Duration::from_millis(1_700), // past the client deadline
+            refuse_per_conn: 0.10,
+        },
+    )
+    .expect("bind chaos proxy");
+    let proxy_addr = proxy.local_addr();
+
+    // Serial writer, in-process: epoch e = initial repo + first e updates
+    // exactly, because only this thread publishes.
+    let updates = update_stream();
+    let writer_done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let service = Arc::clone(&service);
+        let updates = updates.clone();
+        let done = Arc::clone(&writer_done);
+        std::thread::spawn(move || {
+            for (i, u) in updates.iter().enumerate() {
+                let line = format!(
+                    r#"{{"op":"update-profile","user":"{}","property":"{}","score":{}}}"#,
+                    u.user,
+                    u.property,
+                    u.score.unwrap()
+                );
+                let v: Value = serde_json::from_str(&service.handle_line(&line)).unwrap();
+                assert_eq!(v["ok"].as_bool(), Some(true), "update {i}: {v:?}");
+                assert_eq!(v["epoch"].as_u64(), Some(i as u64 + 1));
+                std::thread::sleep(Duration::from_millis(4));
+            }
+            done.store(true, Ordering::Relaxed);
+        })
+    };
+
+    // Select clients, each through the chaos proxy with its own
+    // deterministic jitter stream.
+    let mut clients = Vec::new();
+    for c in 0..CLIENTS {
+        let client_seed = seed ^ (c as u64 + 1);
+        clients.push(std::thread::spawn(move || {
+            let mut client = PodiumClient::new(proxy_addr, chaos_client_config(client_seed));
+            let request = format!(r#"{{"op":"select","budget":{BUDGET}}}"#);
+            let mut observations: Vec<(u64, Vec<String>)> = Vec::new();
+            let mut failures = 0u64;
+            let mut last_epoch = 0u64;
+            let mut attempts = 0usize;
+            while observations.len() < SELECTS_PER_CLIENT && attempts < SELECTS_PER_CLIENT * 20 {
+                attempts += 1;
+                match client.call(&request) {
+                    Ok(v) => {
+                        assert_eq!(
+                            v.get("ok").and_then(Value::as_bool),
+                            Some(true),
+                            "client {c}: server rejected a well-formed select: {v:?}"
+                        );
+                        let epoch = v.get("epoch").and_then(Value::as_u64).expect("epoch");
+                        assert!(
+                            epoch >= last_epoch,
+                            "client {c}: epoch went backwards ({last_epoch} -> {epoch})"
+                        );
+                        last_epoch = epoch;
+                        let users: Vec<String> = v
+                            .get("users")
+                            .and_then(Value::as_array)
+                            .expect("users array")
+                            .iter()
+                            .map(|u| u.as_str().expect("user name").to_owned())
+                            .collect();
+                        assert_eq!(users.len(), BUDGET, "client {c}");
+                        observations.push((epoch, users));
+                    }
+                    Err(
+                        ClientError::Timeout | ClientError::Transport(_) | ClientError::BreakerOpen,
+                    ) => {
+                        // Injected chaos; wrong answers are forbidden,
+                        // typed failures are expected.
+                        failures += 1;
+                        if client.breaker_state() == BreakerState::Open {
+                            std::thread::sleep(Duration::from_millis(160));
+                        }
+                    }
+                    Err(ClientError::Protocol(m)) => {
+                        panic!("client {c}: protocol corruption reached the parser: {m}")
+                    }
+                }
+            }
+            (observations, failures, client.stats())
+        }));
+    }
+
+    // A session client: the pinned epoch must never move, even though the
+    // proxy keeps killing this client's connections (sessions live in the
+    // server, not the connection).
+    let session_client = std::thread::spawn(move || {
+        let mut client = PodiumClient::new(proxy_addr, chaos_client_config(seed ^ 0x5E55));
+        let opened = loop {
+            match client.call(r#"{"op":"open-session"}"#) {
+                Ok(v) => break v,
+                Err(ClientError::Protocol(m)) => panic!("open-session corrupted: {m}"),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        };
+        let session = opened.get("session").and_then(Value::as_u64).unwrap();
+        let pinned = opened.get("epoch").and_then(Value::as_u64).unwrap();
+        let refine =
+            format!(r#"{{"op":"refine","session":{session},"budget":{BUDGET},"priority":[0]}}"#);
+        let mut refined = 0;
+        let mut tries = 0;
+        while refined < 8 && tries < 160 {
+            tries += 1;
+            match client.call(&refine) {
+                Ok(v) => {
+                    assert_eq!(
+                        v.get("ok").and_then(Value::as_bool),
+                        Some(true),
+                        "session survived reconnects: {v:?}"
+                    );
+                    assert_eq!(
+                        v.get("epoch").and_then(Value::as_u64),
+                        Some(pinned),
+                        "session pinning: refine must keep serving the pinned epoch"
+                    );
+                    refined += 1;
+                }
+                Err(ClientError::Protocol(m)) => panic!("refine corrupted: {m}"),
+                Err(_) => std::thread::sleep(Duration::from_millis(30)),
+            }
+        }
+        assert!(refined > 0, "no refine ever got through the chaos");
+    });
+
+    let mut all_observations: Vec<(u64, Vec<String>)> = Vec::new();
+    let mut total_failures = 0u64;
+    let mut total_retries = 0u64;
+    for client in clients {
+        let (observations, failures, stats) = client.join().expect("select client panicked");
+        assert_eq!(
+            observations.len(),
+            SELECTS_PER_CLIENT,
+            "seed {seed:#x}: a client could not complete its quota through the chaos"
+        );
+        all_observations.extend(observations);
+        total_failures += failures;
+        total_retries += stats.retries;
+    }
+    session_client.join().expect("session client panicked");
+    writer.join().expect("writer panicked");
+    assert!(writer_done.load(Ordering::Relaxed));
+
+    // The chaos must actually have happened (the proxy is not a no-op)…
+    let stats = proxy.stats();
+    assert!(
+        stats.splits.load(Ordering::Relaxed) > 0,
+        "seed {seed:#x}: no split writes injected"
+    );
+    assert!(
+        stats.disconnects.load(Ordering::Relaxed) + stats.refused.load(Ordering::Relaxed) > 0,
+        "seed {seed:#x}: no disconnects or refusals injected"
+    );
+    assert!(
+        total_failures + total_retries > 0,
+        "seed {seed:#x}: clients never even noticed the chaos"
+    );
+
+    // …and despite it, every served answer matches the single-threaded
+    // mirror at its epoch. Zero tolerance: one divergent byte fails.
+    let per_epoch = mirror_snapshots(&updates);
+    let params = SelectParams {
+        budget: BUDGET,
+        weight: podium::core::weights::WeightScheme::LinearBySize,
+        cov: podium::core::weights::CovScheme::Single,
+    };
+    let mut checked = 0usize;
+    for (epoch, users) in &all_observations {
+        let snapshot = per_epoch
+            .get(*epoch as usize)
+            .unwrap_or_else(|| panic!("served epoch {epoch} beyond the update stream"));
+        let expected = snapshot.select(&params, None).expect("mirror select");
+        assert_eq!(
+            users, &expected.names,
+            "seed {seed:#x}, epoch {epoch}: selection diverged under chaos"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, CLIENTS * SELECTS_PER_CLIENT);
+
+    proxy.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn chaos_soak_is_consistent_for_every_seed_in_the_matrix() {
+    for seed in seed_matrix() {
+        soak_one_seed(seed);
+    }
+}
+
+/// Blackout drill: the proxy refuses everything, the client's breaker
+/// opens (observable fast-fail), service restores, the breaker half-opens
+/// and closes again — full recovery without a client restart.
+#[test]
+fn circuit_breaker_opens_under_blackout_and_recovers() {
+    let service = service();
+    let server = TcpServer::bind(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        TcpServerConfig::default(),
+    )
+    .unwrap();
+    let proxy = ChaosProxy::bind(server.local_addr(), ChaosConfig::default()).unwrap();
+    let config = ClientConfig {
+        connect_timeout: Duration::from_millis(300),
+        request_timeout: Duration::from_millis(800),
+        backoff_base: Duration::from_millis(2),
+        backoff_max: Duration::from_millis(20),
+        max_attempts: 2,
+        breaker_threshold: 4,
+        breaker_cooldown: Duration::from_millis(120),
+        seed: 0xB1AC_0075,
+    };
+    let mut client = PodiumClient::new(proxy.local_addr(), config);
+
+    // Healthy phase.
+    let v = client.call(r#"{"op":"stats"}"#).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(client.breaker_state(), BreakerState::Closed);
+
+    // Blackout: every call fails at the transport until the breaker opens.
+    proxy.set_blackout(true);
+    let mut opened = false;
+    for _ in 0..20 {
+        match client.call(r#"{"op":"stats"}"#) {
+            Err(ClientError::BreakerOpen) => {
+                opened = true;
+                break;
+            }
+            Err(_) => {}
+            Ok(v) => panic!("call succeeded through a blackout: {v:?}"),
+        }
+        if client.breaker_state() == BreakerState::Open {
+            // Next non-cooled-down call must fast-fail.
+            continue;
+        }
+    }
+    assert!(opened, "breaker never produced a fast failure");
+    assert_eq!(client.breaker_state(), BreakerState::Open);
+    assert!(client.stats().breaker_opens >= 1);
+    assert!(client.stats().fast_failures >= 1);
+
+    // Recovery: clear the blackout, wait out the cooldown, and the
+    // half-open probe closes the breaker again.
+    proxy.set_blackout(false);
+    std::thread::sleep(config.breaker_cooldown + Duration::from_millis(30));
+    let mut recovered = false;
+    for _ in 0..10 {
+        if let Ok(v) = client.call(r#"{"op":"select","budget":3}"#) {
+            assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v:?}");
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    assert!(
+        recovered,
+        "client never recovered after the blackout lifted"
+    );
+    assert_eq!(client.breaker_state(), BreakerState::Closed);
+
+    proxy.shutdown();
+    server.shutdown();
+}
+
+/// Stalls past the deadline surface as `Timeout`, not as hangs: the
+/// client bounds every call even when the proxy sits on the bytes.
+#[test]
+fn stalls_past_the_deadline_surface_as_timeouts() {
+    let service = service();
+    let server = TcpServer::bind(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        TcpServerConfig::default(),
+    )
+    .unwrap();
+    let proxy = ChaosProxy::bind(
+        server.local_addr(),
+        ChaosConfig {
+            seed: 0x57A11,
+            split_writes: false,
+            stall_per_chunk: 1.0,
+            stall: Duration::from_millis(900),
+            ..ChaosConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = PodiumClient::new(
+        proxy.local_addr(),
+        ClientConfig {
+            request_timeout: Duration::from_millis(400),
+            max_attempts: 1,
+            ..ClientConfig::default()
+        },
+    );
+    let started = std::time::Instant::now();
+    let err = client.call(r#"{"op":"stats"}"#).unwrap_err();
+    assert_eq!(err, ClientError::Timeout, "stall must become a timeout");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "timeout was not bounded: {:?}",
+        started.elapsed()
+    );
+    assert!(proxy.stats().stalls.load(Ordering::Relaxed) >= 1);
+    proxy.shutdown();
+    server.shutdown();
+}
