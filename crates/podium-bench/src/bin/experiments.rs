@@ -454,12 +454,14 @@ fn run_one(id: &str, args: &Args) -> Option<String> {
         }
         "selftest-panic" => {
             header("isolation self-test: deliberate panic");
+            // podium-lint: allow(panic) — deliberate: exercises the runner's catch_unwind isolation
             panic!("selftest-panic: this experiment always panics");
         }
         "selftest-slow" => {
             header("isolation self-test: deliberate stall");
             std::thread::sleep(Duration::from_secs(3600));
         }
+        // podium-lint: allow(unreachable) — experiment ids are validated against the registry before dispatch
         other => unreachable!("id '{other}' was validated against the registry"),
     }
     details

@@ -199,6 +199,7 @@ impl ScoreValue for EbsValue {
                     merged.push(d);
                     j += 1;
                 }
+                // podium-lint: allow(unreachable) — the merge loop runs only while either side has digits left
                 (None, None) => unreachable!(),
             }
         }
@@ -216,6 +217,7 @@ impl ScoreValue for EbsValue {
                         self.digits.remove(idx);
                     }
                 }
+                // podium-lint: allow(panic) — EBS underflow means corrupted marginal accounting; fail fast rather than serve wrong scores
                 Err(_) => panic!("EbsValue underflow: missing exponent {e}"),
             }
         }

@@ -212,6 +212,7 @@ pub fn profiles_from_csv_opts(
     let header = match split_record(header, hline + 1) {
         Ok(h) => h,
         Err(CsvError::Malformed { line, message }) => return Err(malformed(line, message)),
+        // podium-lint: allow(unreachable) — split_record's only error constructor is Malformed
         Err(_) => unreachable!("split_record only yields Malformed"),
     };
     if header.is_empty() || header[0] != "user" {
@@ -238,6 +239,7 @@ pub fn profiles_from_csv_opts(
                         prov.clone(),
                     ))
                 }
+                // podium-lint: allow(unreachable) — split_record's only error constructor is Malformed
                 Err(_) => unreachable!("split_record only yields Malformed"),
             };
             if fields.len() != header.len() {

@@ -169,6 +169,7 @@ impl FaultInjector {
                     s.insert_str(1, &garbage);
                     s
                 }
+                // podium-lint: allow(unreachable) — TruncateDocument is handled by the document-level branch, never per-record
                 FaultKind::TruncateDocument => unreachable!("handled below"),
             };
             text.replace_range(span.start..span.end, &patched);
@@ -226,6 +227,7 @@ impl FaultInjector {
                         return None;
                     }
                 }
+                // podium-lint: allow(unreachable) — TruncateDocument is handled by the document-level branch, never per-record
                 FaultKind::TruncateDocument => unreachable!("handled below"),
             }
             lines[1 + t] = fields.join(",");
@@ -382,6 +384,7 @@ impl FaultInjector {
                     obj_set(rec, "parent", Value::String(missing.clone()))?
                 }
                 StructuredFault::CycleEdge => obj_set(rec, "parent", Value::String(own_name))?,
+                // podium-lint: allow(unreachable) — the applicable-fault filter above admits only the matched kinds
                 _ => unreachable!("filtered above"),
             }
         }
@@ -471,6 +474,7 @@ impl FaultInjector {
                     let premise = obj_str(rec, "premise")?;
                     obj_set(rec, "conclusion", Value::String(premise))?
                 }
+                // podium-lint: allow(unreachable) — the applicable-fault filter above admits only the matched kinds
                 _ => unreachable!("filtered above"),
             }
         }

@@ -1,0 +1,295 @@
+//! Suppression machinery: inline allow comments and the checked-in
+//! allowlist. Every suppression must carry a written justification —
+//! an allow without one is itself a violation ([`crate::Rule::BadAllow`]).
+//!
+//! Inline grammar (line or block comment, anywhere in the comment
+//! text): the marker, then `allow(` + a comma-separated rule list +
+//! `)`, a separator, and a non-empty justification, e.g.
+//!
+//! ```text
+//! // podium-lint: allow(unwrap, index) — bounds established by the loop guard
+//! ```
+//!
+//! The separator before the justification may be an em dash `—`, `--`,
+//! or `:`. The comment suppresses matching violations on its own line
+//! (trailing form) and on the following line (standalone form).
+//!
+//! Allowlist file (default `podium-lint.allow` at the workspace root):
+//! one entry per line, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! <path-prefix> <rule[,rule]*|*> <justification…>
+//! ```
+//!
+//! A violation matches an entry when its workspace-relative path starts
+//! with `path-prefix` and its rule is listed (or the entry says `*`).
+
+use crate::lexer::TokenKind;
+use crate::scan::FileScan;
+use crate::{Rule, Violation};
+
+/// A parsed inline allow comment.
+#[derive(Debug, Clone)]
+pub struct AllowComment {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Rules it suppresses.
+    pub rules: Vec<Rule>,
+    /// The written justification.
+    pub justification: String,
+}
+
+/// The marker every allow comment must contain.
+const MARKER: &str = "podium-lint:";
+
+/// Extracts allow comments from a file's token stream. Malformed allows
+/// (unknown rule, missing justification) are returned as `bad-allow`
+/// violations instead.
+pub fn collect_allows(scan: &FileScan<'_>, file: &str) -> (Vec<AllowComment>, Vec<Violation>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for tok in &scan.tokens {
+        if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let text = String::from_utf8_lossy(tok.text(scan.src));
+        let Some(at) = text.find(MARKER) else {
+            continue;
+        };
+        let rest = text.get(at + MARKER.len()..).unwrap_or("").trim_start();
+        match parse_allow(rest) {
+            Ok((rules, justification)) => allows.push(AllowComment {
+                line: tok.line,
+                rules,
+                justification,
+            }),
+            Err(msg) => bad.push(Violation::new(file, tok.line, tok.col, Rule::BadAllow, msg)),
+        }
+    }
+    (allows, bad)
+}
+
+/// Parses `allow(rule, …) — justification` after the marker.
+fn parse_allow(rest: &str) -> Result<(Vec<Rule>, String), String> {
+    let body = rest.strip_prefix("allow(").ok_or_else(|| {
+        "allow comment must read `podium-lint: allow(<rules>) — <why>`".to_owned()
+    })?;
+    let close = body
+        .find(')')
+        .ok_or_else(|| "unclosed rule list in allow comment".to_owned())?;
+    let rule_list = body.get(..close).unwrap_or("");
+    let mut rules = Vec::new();
+    for name in rule_list.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            continue;
+        }
+        match Rule::from_name(name) {
+            Some(r) => rules.push(r),
+            None => return Err(format!("unknown rule '{name}' in allow comment")),
+        }
+    }
+    if rules.is_empty() {
+        return Err("allow comment names no rules".to_owned());
+    }
+    let mut tail = body.get(close + 1..).unwrap_or("").trim_start();
+    for sep in ["—", "--", ":", "-"] {
+        if let Some(stripped) = tail.strip_prefix(sep) {
+            tail = stripped;
+            break;
+        }
+    }
+    let justification = tail.trim().trim_end_matches("*/").trim();
+    if justification.is_empty() {
+        return Err(
+            "allow comment has no justification — write why the suppression is sound".to_owned(),
+        );
+    }
+    Ok((rules, justification.to_owned()))
+}
+
+/// One allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowlistEntry {
+    /// Workspace-relative path prefix.
+    pub prefix: String,
+    /// Rules covered; empty means `*` (all rules).
+    pub rules: Vec<Rule>,
+    /// Written justification.
+    pub reason: String,
+    /// Source line in the allowlist file (for diagnostics).
+    pub line: u32,
+}
+
+/// The parsed allowlist file.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order; first match wins.
+    pub entries: Vec<AllowlistEntry>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist text. Malformed lines become `bad-allow`
+    /// violations attributed to `file`.
+    pub fn parse(text: &str, file: &str) -> (Allowlist, Vec<Violation>) {
+        let mut entries = Vec::new();
+        let mut bad = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let prefix = parts.next().unwrap_or("").to_owned();
+            let rule_field = parts.next().unwrap_or("");
+            let reason = parts.next().unwrap_or("").trim().to_owned();
+            if prefix.is_empty() || rule_field.is_empty() || reason.is_empty() {
+                bad.push(Violation::new(
+                    file,
+                    line_no,
+                    1,
+                    Rule::BadAllow,
+                    "allowlist entries are `<path-prefix> <rules|*> <justification>`",
+                ));
+                continue;
+            }
+            let mut rules = Vec::new();
+            if rule_field != "*" {
+                let mut ok = true;
+                for name in rule_field.split(',') {
+                    match Rule::from_name(name.trim()) {
+                        Some(r) => rules.push(r),
+                        None => {
+                            bad.push(Violation::new(
+                                file,
+                                line_no,
+                                1,
+                                Rule::BadAllow,
+                                format!("unknown rule '{}' in allowlist", name.trim()),
+                            ));
+                            ok = false;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+            }
+            entries.push(AllowlistEntry {
+                prefix,
+                rules,
+                reason,
+                line: line_no,
+            });
+        }
+        (Allowlist { entries }, bad)
+    }
+
+    /// The justification suppressing `(file, rule)`, if any entry matches.
+    pub fn lookup(&self, file: &str, rule: Rule) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|e| {
+                file.starts_with(&e.prefix) && (e.rules.is_empty() || e.rules.contains(&rule))
+            })
+            .map(|e| e.reason.as_str())
+    }
+}
+
+/// Applies inline allows and the allowlist to raw pass findings:
+/// fills `allowed` with the justification where a suppression matches.
+pub fn apply_suppressions(
+    violations: &mut [Violation],
+    allows: &[AllowComment],
+    allowlist: &Allowlist,
+) {
+    for v in violations.iter_mut() {
+        if v.allowed.is_some() || v.rule == Rule::BadAllow {
+            continue;
+        }
+        let inline = allows
+            .iter()
+            .find(|a| a.rules.contains(&v.rule) && (a.line == v.line || a.line + 1 == v.line));
+        if let Some(a) = inline {
+            v.allowed = Some(a.justification.clone());
+        } else if let Some(reason) = allowlist.lookup(&v.file, v.rule) {
+            v.allowed = Some(reason.to_owned());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn allows_of(src: &str) -> (Vec<AllowComment>, Vec<Violation>) {
+        let scan = FileScan::new(src.as_bytes());
+        collect_allows(&scan, "f.rs")
+    }
+
+    #[test]
+    fn parses_trailing_allow_with_em_dash() {
+        let (allows, bad) =
+            allows_of("x.unwrap(); // podium-lint: allow(unwrap) — invariant: set in ctor");
+        assert!(bad.is_empty());
+        assert_eq!(allows.len(), 1);
+        let a = &allows[0];
+        assert_eq!(a.rules, vec![Rule::Unwrap]);
+        assert_eq!(a.justification, "invariant: set in ctor");
+    }
+
+    #[test]
+    fn multiple_rules_and_colon_separator() {
+        let (allows, bad) = allows_of("// podium-lint: allow(unwrap, index): bounds checked above");
+        assert!(bad.is_empty());
+        assert_eq!(allows[0].rules, vec![Rule::Unwrap, Rule::Index]);
+    }
+
+    #[test]
+    fn missing_justification_is_bad_allow() {
+        let (allows, bad) = allows_of("// podium-lint: allow(unwrap)");
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, Rule::BadAllow);
+    }
+
+    #[test]
+    fn unknown_rule_is_bad_allow() {
+        let (allows, bad) = allows_of("// podium-lint: allow(unwrappp) — whatever");
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn allowlist_prefix_and_rule_matching() {
+        let (list, bad) = Allowlist::parse(
+            "# comment\ncrates/podium-core/src/engine/ index CSR invariants checked at build\n\
+             src/bin/ * operator-facing CLI, exits on error\n",
+            "podium-lint.allow",
+        );
+        assert!(bad.is_empty());
+        assert!(list
+            .lookup("crates/podium-core/src/engine/csr.rs", Rule::Index)
+            .is_some());
+        assert!(list
+            .lookup("crates/podium-core/src/engine/csr.rs", Rule::Unwrap)
+            .is_none());
+        assert!(list.lookup("src/bin/podium-cli.rs", Rule::Panic).is_some());
+        assert!(list.lookup("src/cli.rs", Rule::Panic).is_none());
+    }
+
+    #[test]
+    fn suppression_applies_to_same_and_next_line() {
+        let src = "\n// podium-lint: allow(unwrap) — reason here\nfoo.unwrap();\n";
+        let scan = FileScan::new(src.as_bytes());
+        let (allows, _) = collect_allows(&scan, "f.rs");
+        let mut vs = vec![
+            Violation::new("f.rs", 3, 5, Rule::Unwrap, "x"),
+            Violation::new("f.rs", 9, 1, Rule::Unwrap, "x"),
+        ];
+        apply_suppressions(&mut vs, &allows, &Allowlist::default());
+        assert!(vs[0].allowed.is_some());
+        assert!(vs[1].allowed.is_none());
+    }
+}

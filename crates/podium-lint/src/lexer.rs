@@ -1,0 +1,423 @@
+//! A hand-written lexer for the subset of Rust surface syntax the lint
+//! passes need: it must never confuse code with comment or string
+//! contents, and it must carry byte positions and line numbers so
+//! violations are reportable and allow-comments attributable.
+//!
+//! It is deliberately *not* a full Rust lexer. Numeric literals are
+//! tokenized loosely (`1e-3` lexes as `1e`, `-`, `3`), shebangs and
+//! `cfg_attr` expansion are out of scope, and every byte it does not
+//! recognize becomes an [`TokenKind::Unknown`] token rather than an
+//! error. The invariants it *does* guarantee, and which the property
+//! tests in `tests/lexer_props.rs` enforce:
+//!
+//! 1. `lex` never panics, for arbitrary input bytes (valid UTF-8 or not);
+//! 2. tokens are in order, non-overlapping, non-empty, and within bounds;
+//! 3. every byte of the input is covered by exactly one token or is
+//!    ASCII whitespace (total coverage — nothing is silently dropped);
+//! 4. the comment/string/raw-string state machines are exact: a token of
+//!    kind `Str`/`RawStr`/`Char`/`LineComment`/`BlockComment` spans
+//!    precisely the literal, including its delimiters.
+
+/// What a token is. The passes mostly care about `Ident`, `Punct`, and
+/// the comment kinds; string-ish kinds exist so their *contents* can
+/// never be mistaken for code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#match`).
+    Ident,
+    /// Numeric literal (loose: digits plus trailing alphanumerics).
+    Number,
+    /// A single punctuation byte (`.`, `!`, `[`, `{`, …).
+    Punct,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nesting handled; unterminated comments run to EOF.
+    BlockComment,
+    /// `"…"`, `b"…"`, or `c"…"` with escapes.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br#"…"#` with any number of hashes.
+    RawStr,
+    /// `'x'`, `b'x'`, including escapes.
+    Char,
+    /// `'ident` (no closing quote).
+    Lifetime,
+    /// Any byte the lexer does not recognize (kept for total coverage).
+    Unknown,
+}
+
+/// One lexed token: kind plus byte span and 1-based line/column of its
+/// first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based byte column of `start` within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's bytes within `src` (empty if the span is out of
+    /// bounds, which the invariants rule out).
+    pub fn text<'a>(&self, src: &'a [u8]) -> &'a [u8] {
+        src.get(self.start..self.end).unwrap_or(b"")
+    }
+}
+
+/// True for bytes that may start an identifier. Non-ASCII bytes are
+/// treated as identifier characters so UTF-8 identifiers (and stray
+/// high bytes in garbage input) lex as single tokens instead of byte
+/// soup.
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+/// True for bytes that may continue an identifier.
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line = self.line.saturating_add(1);
+            self.line_start = self.pos + 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consumes bytes while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek(0) {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed), honoring
+    /// `\` escapes. Unterminated strings run to EOF.
+    fn eat_quoted(&mut self, quote: u8) {
+        while let Some(b) = self.peek(0) {
+            self.bump();
+            if b == b'\\' {
+                // Skip the escaped byte (may be the quote or another \).
+                if self.peek(0).is_some() {
+                    self.bump();
+                }
+            } else if b == quote {
+                return;
+            }
+        }
+    }
+
+    /// Consumes a raw-string body starting at the `#`* `"` part (after
+    /// the `r`/`br` prefix): `n` hashes, a quote, anything, a quote, `n`
+    /// hashes. Returns false if this is not actually a raw string here
+    /// (e.g. `r#foo` raw identifier), consuming nothing in that case.
+    fn eat_raw_string(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some(b'"') {
+            return false;
+        }
+        self.bump_n(hashes + 1);
+        // Scan for `"` followed by `hashes` hashes.
+        while let Some(b) = self.peek(0) {
+            self.bump();
+            if b == b'"' {
+                let mut k = 0usize;
+                while k < hashes && self.peek(k) == Some(b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    self.bump_n(hashes);
+                    return true;
+                }
+            }
+        }
+        true // unterminated: ran to EOF
+    }
+}
+
+/// Lexes `src` into a complete token stream. Never panics; see the
+/// module docs for the guaranteed invariants.
+pub fn lex(src: &[u8]) -> Vec<Token> {
+    let mut cur = Cursor {
+        src,
+        pos: 0,
+        line: 1,
+        line_start: 0,
+    };
+    let mut tokens = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let start = cur.pos;
+        let line = cur.line;
+        let col = (cur.pos - cur.line_start) as u32 + 1;
+        let kind = scan_token(&mut cur, b);
+        // Defensive: guarantee forward progress even if a scanner
+        // consumed nothing (should be unreachable by construction).
+        if cur.pos == start {
+            cur.bump();
+        }
+        tokens.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+fn scan_token(cur: &mut Cursor<'_>, b: u8) -> TokenKind {
+    match b {
+        b'/' if cur.peek(1) == Some(b'/') => {
+            cur.eat_while(|c| c != b'\n');
+            TokenKind::LineComment
+        }
+        b'/' if cur.peek(1) == Some(b'*') => {
+            cur.bump_n(2);
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some(b'*'), Some(b'/')) => {
+                        cur.bump_n(2);
+                        depth -= 1;
+                    }
+                    (Some(b'/'), Some(b'*')) => {
+                        cur.bump_n(2);
+                        depth += 1;
+                    }
+                    (Some(_), _) => cur.bump(),
+                    (None, _) => break,
+                }
+            }
+            TokenKind::BlockComment
+        }
+        b'"' => {
+            cur.bump();
+            cur.eat_quoted(b'"');
+            TokenKind::Str
+        }
+        b'\'' => scan_quote(cur),
+        _ if b.is_ascii_digit() => {
+            cur.eat_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+            // A fractional part only when a digit follows the dot, so
+            // ranges (`0..n`) and method calls stay separate tokens.
+            if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                cur.bump();
+                cur.eat_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+            }
+            TokenKind::Number
+        }
+        _ if is_ident_start(b) => scan_ident_or_prefixed(cur),
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// At a `'`: decide lifetime vs char literal.
+fn scan_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // the opening '
+    match cur.peek(0) {
+        Some(b'\\') => {
+            // Escape: consume `\x`, then everything up to the closing
+            // quote (covers \u{…} and malformed tails alike).
+            cur.bump();
+            if cur.peek(0).is_some() {
+                cur.bump();
+            }
+            cur.eat_while(|c| c != b'\'' && c != b'\n');
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+            }
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            // 'a could be a lifetime or the char 'a'.
+            cur.eat_while(is_ident_continue);
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+                TokenKind::Char
+            } else {
+                TokenKind::Lifetime
+            }
+        }
+        Some(b'\'') => {
+            // '' — not valid Rust; consume both quotes as one token.
+            cur.bump();
+            TokenKind::Unknown
+        }
+        Some(_) => {
+            // A punctuation char literal like '+' — char iff a quote
+            // follows.
+            if cur.peek(1) == Some(b'\'') {
+                cur.bump_n(2);
+                TokenKind::Char
+            } else {
+                TokenKind::Unknown
+            }
+        }
+        None => TokenKind::Unknown,
+    }
+}
+
+/// At an identifier-start byte: plain identifier, or one of the literal
+/// prefixes `r` / `b` / `br` / `c` / `cr` / `b'`.
+fn scan_ident_or_prefixed(cur: &mut Cursor<'_>) -> TokenKind {
+    let start = cur.pos;
+    cur.eat_while(is_ident_continue);
+    let ident = cur.src.get(start..cur.pos).unwrap_or(b"");
+    match (ident, cur.peek(0)) {
+        // Raw strings: r"…", r#"…"#, br#"…"#, cr"…".
+        (b"r" | b"br" | b"cr", Some(b'"' | b'#')) => {
+            if cur.eat_raw_string() {
+                TokenKind::RawStr
+            } else if cur.peek(0) == Some(b'#') && cur.peek(1).is_some_and(is_ident_start) {
+                // Raw identifier r#match.
+                cur.bump();
+                cur.eat_while(is_ident_continue);
+                TokenKind::Ident
+            } else {
+                TokenKind::Ident
+            }
+        }
+        // Byte / C strings: b"…", c"…".
+        (b"b" | b"c", Some(b'"')) => {
+            cur.bump();
+            cur.eat_quoted(b'"');
+            TokenKind::Str
+        }
+        // Byte char: b'x'.
+        (b"b", Some(b'\'')) => scan_quote(cur),
+        _ => TokenKind::Ident,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src.as_bytes())
+            .into_iter()
+            .map(|t| {
+                (
+                    t.kind,
+                    String::from_utf8_lossy(t.text(src.as_bytes())).into_owned(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = kinds(r#"let x = "a.unwrap()"; // .unwrap() here too"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("unwrap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; x.unwrap()"###);
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::RawStr));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let nl = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ ident");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks.first().map(|(k, _)| *k), Some(TokenKind::BlockComment));
+        assert_eq!(toks.get(1).map(|(k, _)| *k), Some(TokenKind::Ident));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_accurate() {
+        let toks = lex(b"a\nbb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+        assert_eq!(
+            toks.iter().map(|t| t.col).collect::<Vec<_>>(),
+            vec![1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn raw_identifier_is_ident() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("0..n; x.0.abs(); 1.5e3;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "1.5e3"));
+    }
+}

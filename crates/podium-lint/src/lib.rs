@@ -1,0 +1,165 @@
+//! `podium-lint` — workspace-native static analysis for the Podium
+//! serving system.
+//!
+//! Four passes run over every workspace crate's library source:
+//!
+//! 1. **panic-freedom** ([`passes::panic`]): `.unwrap()`, `.expect(…)`,
+//!    `panic!`, `todo!`, `unimplemented!`, `unreachable!`, and `[expr]`
+//!    indexing are violations in library code unless carried by an
+//!    inline allow comment or a checked-in allowlist entry with a
+//!    reason (grammar in [`allow`]).
+//! 2. **lock-discipline** ([`passes::locks`]): collects
+//!    `.lock()`/`.read()`/`.write()` acquisition sites per function,
+//!    infers the lock nesting-order graph per crate, flags cycles
+//!    (potential deadlock) and bare `.lock().unwrap()`
+//!    poison-propagation.
+//! 3. **protocol exhaustiveness** ([`passes::protocol`]): cross-checks
+//!    `ServiceError` / `DataErrorKind` variants against their wire
+//!    codes, the failure-cause classification in `bench-serve`, the
+//!    protocol module docs, and DESIGN.md.
+//! 4. **cfg/feature hygiene** ([`passes::cfg_features`]): every
+//!    `#[cfg(feature = "…")]` / `cfg!(feature = "…")` must name a
+//!    feature declared in the owning crate's `Cargo.toml`.
+//!
+//! The implementation is deliberately `syn`-free: a hand-written lexer
+//! ([`lexer`]) plus token-pattern matching. That keeps the crate at
+//! zero dependencies (it gates CI and must not share failure modes
+//! with the code it checks) at the cost of being a heuristic, not a
+//! semantic analysis — see DESIGN.md "Static analysis" for the known
+//! limitations.
+
+pub mod allow;
+pub mod lexer;
+pub mod passes;
+pub mod report;
+pub mod runner;
+pub mod scan;
+
+/// Every rule a pass can flag. Rule names are stable: they appear in
+/// allow comments, allowlist entries, JSONL output, and CI logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// `.unwrap()` in library code.
+    Unwrap,
+    /// `.expect(…)` in library code.
+    Expect,
+    /// `panic!(…)`.
+    Panic,
+    /// `todo!(…)`.
+    Todo,
+    /// `unimplemented!(…)`.
+    Unimplemented,
+    /// `unreachable!(…)`.
+    Unreachable,
+    /// `expr[index]` indexing or slicing (can panic on out-of-bounds).
+    Index,
+    /// Bare `.lock().unwrap()` / `.read().unwrap()` / `.write().unwrap()`
+    /// — propagates poison instead of applying an explicit policy.
+    LockPoison,
+    /// A cycle in the inferred lock nesting-order graph.
+    LockOrder,
+    /// An error variant with no wire mapping, or a wire code absent from
+    /// the protocol surface.
+    ProtocolUnmapped,
+    /// A wire code or quarantine tag not documented in DESIGN.md.
+    ProtocolUndocumented,
+    /// A string in a wire-code classifier that matches no known code.
+    ProtocolStale,
+    /// `feature = "…"` naming a feature the crate does not declare.
+    CfgFeature,
+    /// A malformed allow comment (unknown rule or missing
+    /// justification).
+    BadAllow,
+}
+
+impl Rule {
+    /// The stable name used in allow comments, the allowlist, and output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Unwrap => "unwrap",
+            Rule::Expect => "expect",
+            Rule::Panic => "panic",
+            Rule::Todo => "todo",
+            Rule::Unimplemented => "unimplemented",
+            Rule::Unreachable => "unreachable",
+            Rule::Index => "index",
+            Rule::LockPoison => "lock-poison",
+            Rule::LockOrder => "lock-order",
+            Rule::ProtocolUnmapped => "protocol-unmapped",
+            Rule::ProtocolUndocumented => "protocol-undocumented",
+            Rule::ProtocolStale => "protocol-stale",
+            Rule::CfgFeature => "cfg-feature",
+            Rule::BadAllow => "bad-allow",
+        }
+    }
+
+    /// Parses a rule name (as written in allow comments / the allowlist).
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// All rules, for `--help` and allow-comment validation.
+pub const ALL_RULES: [Rule; 14] = [
+    Rule::Unwrap,
+    Rule::Expect,
+    Rule::Panic,
+    Rule::Todo,
+    Rule::Unimplemented,
+    Rule::Unreachable,
+    Rule::Index,
+    Rule::LockPoison,
+    Rule::LockOrder,
+    Rule::ProtocolUnmapped,
+    Rule::ProtocolUndocumented,
+    Rule::ProtocolStale,
+    Rule::CfgFeature,
+    Rule::BadAllow,
+];
+
+/// One finding. `allowed` carries the justification when an inline
+/// allow comment or allowlist entry suppressed it; suppressed findings
+/// still appear in JSONL output (flagged) so dashboards can track the
+/// suppression debt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// The rule violated.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+    /// `Some(justification)` when suppressed.
+    pub allowed: Option<String>,
+}
+
+impl Violation {
+    /// Builds an unsuppressed violation.
+    pub fn new(file: &str, line: u32, col: u32, rule: Rule, message: impl Into<String>) -> Self {
+        Self {
+            file: file.to_owned(),
+            line,
+            col,
+            rule,
+            message: message.into(),
+            allowed: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in ALL_RULES {
+            assert_eq!(Rule::from_name(r.name()), Some(r), "{}", r.name());
+        }
+        assert_eq!(Rule::from_name("no-such-rule"), None);
+    }
+}

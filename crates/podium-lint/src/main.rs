@@ -1,0 +1,94 @@
+//! `podium-lint` CLI.
+//!
+//! ```text
+//! podium-lint --workspace --deny-all            # CI gate
+//! podium-lint crates/podium-core/src            # audit a subtree
+//! podium-lint --workspace --jsonl lint.jsonl    # machine-readable output
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations, 2 usage/environment error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use podium_lint::{report, runner};
+
+const USAGE: &str = "\
+podium-lint — workspace-native static analysis for Podium
+
+USAGE:
+    podium-lint [--workspace] [PATHS…] [OPTIONS]
+
+OPTIONS:
+    --workspace         lint every workspace crate's src/ (+ protocol pass)
+    --deny-all          deny advisory rules (index, expect) too — the CI gate
+    --jsonl <PATH>      also write one JSON object per finding to PATH
+    --allowlist <PATH>  allowlist file (default: <root>/podium-lint.allow)
+    --show-allowed      print suppressed findings with their justifications
+    --help              this text
+
+Passes: panic-freedom, lock discipline, protocol exhaustiveness
+(workspace mode only), cfg/feature hygiene. See DESIGN.md 'Static
+analysis' for rules and the allow-comment grammar.
+";
+
+fn main() -> ExitCode {
+    let mut opts = runner::Options::default();
+    let mut jsonl: Option<PathBuf> = None;
+    let mut show_allowed = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--deny-all" => opts.deny_all = true,
+            "--show-allowed" => show_allowed = true,
+            "--jsonl" => match args.next() {
+                Some(p) => jsonl = Some(PathBuf::from(p)),
+                None => return usage_error("--jsonl needs a path"),
+            },
+            "--allowlist" => match args.next() {
+                Some(p) => opts.allowlist = Some(PathBuf::from(p)),
+                None => return usage_error("--allowlist needs a path"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown flag {other}"));
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !opts.workspace && opts.paths.is_empty() {
+        return usage_error("pass --workspace or explicit paths");
+    }
+
+    let outcome = match runner::run(&opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("podium-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report::to_text(&outcome.violations, show_allowed));
+    if let Some(path) = jsonl {
+        if let Err(e) = std::fs::write(&path, report::to_jsonl(&outcome.violations)) {
+            eprintln!("podium-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if outcome.denied(opts.deny_all) > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("podium-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,192 @@
+//! Pass 1 — panic-freedom audit.
+//!
+//! Flags, in library code only (test regions are exempt):
+//! `.unwrap()`, `.expect(…)`, `panic!`, `todo!`, `unimplemented!`,
+//! `unreachable!`, and `expr[…]` index/slice expressions (which panic
+//! on out-of-bounds or invalid ranges).
+//!
+//! Indexing detection is a token heuristic: a `[` whose preceding
+//! significant token is an identifier (non-keyword), a closing `)`/`]`,
+//! a `?`, or a string literal is an index expression; array literals,
+//! attribute brackets, slice patterns, and types all start `[` after
+//! other token shapes. Known false negative: indexing a `.await`
+//! result. Known false positive: none observed in this workspace.
+
+use crate::lexer::TokenKind;
+use crate::scan::{is_keyword, FileScan};
+use crate::{Rule, Violation};
+
+/// The macro names flagged by this pass.
+const PANIC_MACROS: &[(&[u8], Rule)] = &[
+    (b"panic", Rule::Panic),
+    (b"todo", Rule::Todo),
+    (b"unimplemented", Rule::Unimplemented),
+    (b"unreachable", Rule::Unreachable),
+];
+
+/// Runs the pass over one file.
+pub fn run(scan: &FileScan<'_>, file: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for si in 0..scan.sig.len() {
+        if scan.in_test_region(si) {
+            continue;
+        }
+        let (line, col) = scan.pos(si);
+
+        // .unwrap() — the `()` requirement keeps unwrap_or / unwrap_or_else
+        // (distinct identifiers anyway) and user fns named unwrap with
+        // arguments out.
+        if scan.is_ident(si, b"unwrap")
+            && si > 0
+            && scan.is_punct(si - 1, b'.')
+            && scan.is_punct(si + 1, b'(')
+            && scan.is_punct(si + 2, b')')
+        {
+            out.push(Violation::new(
+                file,
+                line,
+                col,
+                Rule::Unwrap,
+                "`.unwrap()` in library code — return an error, use expect with an invariant message, or justify",
+            ));
+            continue;
+        }
+
+        // .expect(…)
+        if scan.is_ident(si, b"expect")
+            && si > 0
+            && scan.is_punct(si - 1, b'.')
+            && scan.is_punct(si + 1, b'(')
+        {
+            out.push(Violation::new(
+                file,
+                line,
+                col,
+                Rule::Expect,
+                "`.expect(…)` in library code — panics on failure; justify the invariant it documents",
+            ));
+            continue;
+        }
+
+        // panic-family macros.
+        if scan.is_punct(si + 1, b'!') {
+            if let Some(&(_, rule)) = PANIC_MACROS
+                .iter()
+                .find(|(name, _)| scan.is_ident(si, name))
+            {
+                out.push(Violation::new(
+                    file,
+                    line,
+                    col,
+                    rule,
+                    format!(
+                        "`{}!` in library code — unconditional panic path",
+                        String::from_utf8_lossy(scan.text(si))
+                    ),
+                ));
+                continue;
+            }
+        }
+
+        // expr[…] indexing.
+        if scan.is_punct(si, b'[') && si > 0 && is_index_receiver(scan, si - 1) {
+            out.push(Violation::new(
+                file,
+                line,
+                col,
+                Rule::Index,
+                "`[…]` index/slice expression — panics out of bounds; use get()/get_mut() or justify the bound",
+            ));
+        }
+    }
+    out
+}
+
+/// Whether the token at `si` can be the receiver of an index expression.
+fn is_index_receiver(scan: &FileScan<'_>, si: usize) -> bool {
+    let Some(tok) = scan.tok(si) else {
+        return false;
+    };
+    match tok.kind {
+        TokenKind::Ident => !is_keyword(scan.text(si)),
+        TokenKind::Str | TokenKind::RawStr => true,
+        TokenKind::Punct => matches!(scan.text(si), b")" | b"]" | b"?"),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(src: &str) -> Vec<Rule> {
+        let scan = FileScan::new(src.as_bytes());
+        run(&scan, "f.rs").into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn flags_the_panic_family() {
+        let src = r#"
+fn f() {
+    x.unwrap();
+    y.expect("msg");
+    panic!("boom");
+    todo!();
+    unimplemented!();
+    unreachable!();
+}
+"#;
+        assert_eq!(
+            rules_of(src),
+            vec![
+                Rule::Unwrap,
+                Rule::Expect,
+                Rule::Panic,
+                Rule::Todo,
+                Rule::Unimplemented,
+                Rule::Unreachable
+            ]
+        );
+    }
+
+    #[test]
+    fn indexing_heuristics() {
+        // Flagged: ident[, )[, ][, ?[ receivers.
+        assert_eq!(rules_of("fn f() { a[i]; }"), vec![Rule::Index]);
+        assert_eq!(rules_of("fn f() { g()[0]; }"), vec![Rule::Index]);
+        assert_eq!(
+            rules_of("fn f() { a[0][1]; }"),
+            vec![Rule::Index, Rule::Index]
+        );
+        // Not flagged: array literals, types, attributes, slice patterns,
+        // macro brackets.
+        assert!(rules_of("fn f() { let a = [1, 2]; }").is_empty());
+        assert!(rules_of("fn f(x: [u8; 4]) -> &[u8] { x }").is_empty());
+        assert!(rules_of("#[derive(Debug)] struct S;").is_empty());
+        assert!(rules_of("fn f() { let [a, b] = pair; }").is_empty());
+        assert!(rules_of("fn f() { vec![1, 2]; }").is_empty());
+        assert!(rules_of("fn f() { return [1, 2]; }").is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        assert!(rules_of("fn f() { m.lock().unwrap_or_else(|e| e.into_inner()); }").is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); a[0]; panic!("fine in tests"); }
+}
+"#;
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_flag() {
+        let src = r#"fn f() { let s = "a.unwrap() b[0]"; /* c.unwrap() */ }"#;
+        assert!(rules_of(src).is_empty());
+    }
+}

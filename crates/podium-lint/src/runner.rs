@@ -1,0 +1,278 @@
+//! Orchestration: file discovery, pass execution, suppression, and
+//! result assembly. The binary is a thin wrapper over [`run`]; the
+//! integration tests call it directly.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::allow::{self, Allowlist};
+use crate::passes::{cfg_features, locks, panic, protocol};
+use crate::scan::FileScan;
+use crate::{Rule, Violation};
+
+/// What to lint and how.
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Discover and lint every workspace crate (walks up from `cwd` to
+    /// the workspace root); also enables the cross-file protocol pass.
+    pub workspace: bool,
+    /// Explicit files/directories to lint (always treated as library
+    /// code — pointing the tool at a path means "audit this").
+    pub paths: Vec<PathBuf>,
+    /// Allowlist file; defaults to `<root>/podium-lint.allow` in
+    /// workspace mode.
+    pub allowlist: Option<PathBuf>,
+    /// Deny advisory rules (`index`, `expect`) too, not just the
+    /// default-deny set.
+    pub deny_all: bool,
+    /// Working directory to resolve the workspace from (defaults to the
+    /// process cwd).
+    pub cwd: Option<PathBuf>,
+}
+
+/// All findings plus the resolved root they are relative to.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Every violation, suppressed ones included (`allowed` set).
+    pub violations: Vec<Violation>,
+    /// Workspace root (or cwd for explicit-path runs).
+    pub root: PathBuf,
+}
+
+impl Outcome {
+    /// Unsuppressed violations that fail the run under the given
+    /// strictness.
+    pub fn denied(&self, deny_all: bool) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.allowed.is_none() && (deny_all || denied_by_default(v.rule)))
+            .count()
+    }
+}
+
+/// Advisory-by-default rules: high-volume, justified wholesale in hot
+/// numeric kernels. CI runs `--deny-all`, which promotes them.
+fn denied_by_default(rule: Rule) -> bool {
+    !matches!(rule, Rule::Index | Rule::Expect)
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for
+/// deterministic output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            rust_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// A file to lint: absolute path plus the stable relative name used in
+/// reports, and the crate directory owning it (for manifests and the
+/// per-crate lock graph).
+struct SourceFile {
+    abs: PathBuf,
+    rel: String,
+    crate_dir: PathBuf,
+}
+
+/// Relative path with forward slashes.
+fn rel_name(root: &Path, abs: &Path) -> String {
+    let rel = abs.strip_prefix(root).unwrap_or(abs);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Runs the configured lint. `Err` is an environment problem (missing
+/// workspace, unreadable path) rather than a lint finding.
+pub fn run(opts: &Options) -> Result<Outcome, String> {
+    let cwd = match &opts.cwd {
+        Some(d) => d.clone(),
+        None => std::env::current_dir().map_err(|e| format!("cannot determine cwd: {e}"))?,
+    };
+
+    let mut files: Vec<SourceFile> = Vec::new();
+    let root;
+    if opts.workspace {
+        root = find_workspace_root(&cwd)
+            .ok_or_else(|| "no workspace root ([workspace] in Cargo.toml) above cwd".to_owned())?;
+        // Library code: the root package's src/ plus every crates/*/src/.
+        let mut dirs = vec![(root.join("src"), root.clone())];
+        let crates_dir = root.join("crates");
+        if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+            let mut crate_dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+            crate_dirs.sort();
+            for c in crate_dirs {
+                if c.join("Cargo.toml").is_file() {
+                    dirs.push((c.join("src"), c.clone()));
+                }
+            }
+        }
+        for (src_dir, crate_dir) in dirs {
+            let mut found = Vec::new();
+            rust_files(&src_dir, &mut found);
+            for abs in found {
+                files.push(SourceFile {
+                    rel: rel_name(&root, &abs),
+                    abs,
+                    crate_dir: crate_dir.clone(),
+                });
+            }
+        }
+    } else {
+        root = cwd.clone();
+        for p in &opts.paths {
+            let abs = if p.is_absolute() {
+                p.clone()
+            } else {
+                cwd.join(p)
+            };
+            if abs.is_dir() {
+                let mut found = Vec::new();
+                rust_files(&abs, &mut found);
+                for f in found {
+                    files.push(SourceFile {
+                        rel: rel_name(&root, &f),
+                        crate_dir: nearest_manifest_dir(&f).unwrap_or_else(|| root.clone()),
+                        abs: f,
+                    });
+                }
+            } else if abs.is_file() {
+                files.push(SourceFile {
+                    rel: rel_name(&root, &abs),
+                    crate_dir: nearest_manifest_dir(&abs).unwrap_or_else(|| root.clone()),
+                    abs,
+                });
+            } else {
+                return Err(format!("no such path: {}", p.display()));
+            }
+        }
+    }
+    if files.is_empty() {
+        return Err("nothing to lint: pass --workspace or explicit paths".to_owned());
+    }
+
+    // Allowlist.
+    let allowlist_path = opts.allowlist.clone().or_else(|| {
+        let default = root.join("podium-lint.allow");
+        default.is_file().then_some(default)
+    });
+    let mut violations: Vec<Violation> = Vec::new();
+    let allowlist = match &allowlist_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read allowlist {}: {e}", p.display()))?;
+            let (list, bad) = Allowlist::parse(&text, &rel_name(&root, p));
+            violations.extend(bad);
+            list
+        }
+        None => Allowlist::default(),
+    };
+
+    // Manifest cache: crate dir → (manifest display name, features).
+    let mut manifests: BTreeMap<PathBuf, (String, Vec<String>)> = BTreeMap::new();
+
+    // Per-crate lock edges for the cross-file cycle check.
+    let mut lock_edges: BTreeMap<PathBuf, Vec<locks::LockEdge>> = BTreeMap::new();
+
+    for sf in &files {
+        let src =
+            std::fs::read(&sf.abs).map_err(|e| format!("cannot read {}: {e}", sf.abs.display()))?;
+        let scan = FileScan::new(&src);
+        let (allows, mut file_violations) = allow::collect_allows(&scan, &sf.rel);
+
+        file_violations.extend(panic::run(&scan, &sf.rel));
+
+        let fl = locks::collect(&scan, &sf.rel);
+        file_violations.extend(fl.violations);
+        lock_edges
+            .entry(sf.crate_dir.clone())
+            .or_default()
+            .extend(fl.edges);
+
+        let (manifest_name, features) = manifests
+            .entry(sf.crate_dir.clone())
+            .or_insert_with(|| load_manifest(&root, &sf.crate_dir));
+        file_violations.extend(cfg_features::run(&scan, &sf.rel, features, manifest_name));
+
+        allow::apply_suppressions(&mut file_violations, &allows, &allowlist);
+        violations.extend(file_violations);
+    }
+
+    // Cross-file checks: lock-order cycles per crate, protocol pass.
+    let mut cross: Vec<Violation> = Vec::new();
+    for edges in lock_edges.values() {
+        cross.extend(locks::cycle_violations(edges));
+    }
+    if opts.workspace {
+        cross.extend(protocol::run(&root));
+    }
+    allow::apply_suppressions(&mut cross, &[], &allowlist);
+    violations.extend(cross);
+
+    violations
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(Outcome { violations, root })
+}
+
+/// Nearest ancestor directory containing a `Cargo.toml`.
+fn nearest_manifest_dir(file: &Path) -> Option<PathBuf> {
+    let mut dir = file.parent();
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Loads a crate manifest's display name and declared features; a crate
+/// without a readable manifest gets no declared features (every cfg
+/// feature use there is flagged, loudly — that is the safe direction).
+fn load_manifest(root: &Path, crate_dir: &Path) -> (String, Vec<String>) {
+    let manifest = crate_dir.join("Cargo.toml");
+    let name = rel_name(root, &manifest);
+    match std::fs::read_to_string(&manifest) {
+        Ok(text) => {
+            let features = cfg_features::declared_features(&text);
+            (name, features)
+        }
+        Err(_) => (name, Vec::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denied_by_default_is_advisory_for_index_and_expect() {
+        assert!(!denied_by_default(Rule::Index));
+        assert!(!denied_by_default(Rule::Expect));
+        assert!(denied_by_default(Rule::Unwrap));
+        assert!(denied_by_default(Rule::LockOrder));
+        assert!(denied_by_default(Rule::BadAllow));
+    }
+}

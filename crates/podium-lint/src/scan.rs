@@ -1,0 +1,328 @@
+//! Shared per-file token machinery for the passes: significant-token
+//! views, balanced-delimiter matching, attribute scanning, and
+//! `#[cfg(test)]` region detection.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A lexed file plus the derived structure every pass needs. `sig`
+/// indexes the non-comment tokens; passes address tokens by
+/// *significant index* so comments never perturb pattern matching,
+/// while the comment tokens remain available for allow-comment
+/// extraction.
+pub struct FileScan<'a> {
+    /// Raw bytes.
+    pub src: &'a [u8],
+    /// The full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens.
+    pub sig: Vec<usize>,
+    /// Half-open ranges of significant indices that belong to test-only
+    /// code (`#[cfg(test)]` / `#[test]` / `#[bench]` items) and are
+    /// exempt from the panic-freedom and lock passes.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+/// Rust keywords that can legally precede `[` without it being an index
+/// expression (`return [1, 2]`, `in [a, b]`, …).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while", "yield",
+];
+
+/// True if `text` is a Rust keyword (receiver exclusion for indexing).
+pub fn is_keyword(text: &[u8]) -> bool {
+    KEYWORDS.iter().any(|k| k.as_bytes() == text)
+}
+
+impl<'a> FileScan<'a> {
+    /// Lexes and precomputes structure.
+    pub fn new(src: &'a [u8]) -> Self {
+        let tokens = lex(src);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let mut scan = FileScan {
+            src,
+            tokens,
+            sig,
+            test_regions: Vec::new(),
+        };
+        scan.test_regions = scan.compute_test_regions();
+        scan
+    }
+
+    /// The token at significant index `si`.
+    pub fn tok(&self, si: usize) -> Option<&Token> {
+        self.sig.get(si).and_then(|&i| self.tokens.get(i))
+    }
+
+    /// The bytes of the token at significant index `si`.
+    pub fn text(&self, si: usize) -> &'a [u8] {
+        match self.tok(si) {
+            Some(t) => self.src.get(t.start..t.end).unwrap_or(b""),
+            None => b"",
+        }
+    }
+
+    /// Is `si` a punctuation token equal to `b`?
+    pub fn is_punct(&self, si: usize, b: u8) -> bool {
+        self.tok(si)
+            .is_some_and(|t| t.kind == TokenKind::Punct && self.text(si) == [b])
+    }
+
+    /// Is `si` an identifier token equal to `name`?
+    pub fn is_ident(&self, si: usize, name: &[u8]) -> bool {
+        self.tok(si)
+            .is_some_and(|t| t.kind == TokenKind::Ident && self.text(si) == name)
+    }
+
+    /// Is `si` an identifier of any spelling?
+    pub fn is_any_ident(&self, si: usize) -> bool {
+        self.tok(si).is_some_and(|t| t.kind == TokenKind::Ident)
+    }
+
+    /// (line, col) of the token at `si`, or (0, 0) out of bounds.
+    pub fn pos(&self, si: usize) -> (u32, u32) {
+        self.tok(si).map(|t| (t.line, t.col)).unwrap_or((0, 0))
+    }
+
+    /// Given the significant index of an opening delimiter byte
+    /// (`{`/`(`/`[`), returns the index of its matching closer, or
+    /// `None` if the file ends first.
+    pub fn match_delim(&self, open_si: usize) -> Option<usize> {
+        let (open, close) = match self.text(open_si) {
+            b"{" => (b'{', b'}'),
+            b"(" => (b'(', b')'),
+            b"[" => (b'[', b']'),
+            _ => return None,
+        };
+        let mut depth = 0usize;
+        let mut si = open_si;
+        while si < self.sig.len() {
+            if self.is_punct(si, open) {
+                depth += 1;
+            } else if self.is_punct(si, close) {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(si);
+                }
+            }
+            si += 1;
+        }
+        None
+    }
+
+    /// If `si` starts an attribute (`#[…]` or `#![…]`), returns
+    /// `(bracket_open_si, bracket_close_si, inner)` where `inner` marks
+    /// the `#!` form. Otherwise `None`.
+    pub fn attr_at(&self, si: usize) -> Option<(usize, usize, bool)> {
+        if !self.is_punct(si, b'#') {
+            return None;
+        }
+        let (open, inner) = if self.is_punct(si + 1, b'!') {
+            (si + 2, true)
+        } else {
+            (si + 1, false)
+        };
+        if !self.is_punct(open, b'[') {
+            return None;
+        }
+        let close = self.match_delim(open)?;
+        Some((open, close, inner))
+    }
+
+    /// Whether the attribute spanning `(open, close)` gates test-only
+    /// code. `#[test]`, `#[bench]`, and any `cfg` mentioning `test` /
+    /// `doctest` outside a `not(…)` count. The `not(…)` check is
+    /// coarse (any `not` in the attribute disqualifies it), which
+    /// misclassifies `#[cfg(all(test, not(feature = "x")))]` as
+    /// non-test; that shape does not occur in this workspace.
+    fn attr_is_test(&self, open: usize, close: usize) -> bool {
+        let mut has_test = false;
+        let mut has_not = false;
+        let mut has_cfg = false;
+        let mut first_ident: Option<&[u8]> = None;
+        for si in open + 1..close {
+            if self.is_any_ident(si) {
+                let text = self.text(si);
+                if first_ident.is_none() {
+                    first_ident = Some(text);
+                }
+                match text {
+                    b"test" | b"doctest" => has_test = true,
+                    b"not" => has_not = true,
+                    b"cfg" => has_cfg = true,
+                    _ => {}
+                }
+            }
+        }
+        match first_ident {
+            Some(b"test") | Some(b"bench") => true,
+            _ => has_cfg && has_test && !has_not,
+        }
+    }
+
+    /// Computes the significant-index ranges of test-only items. After a
+    /// test-gating attribute, subsequent attributes are absorbed and the
+    /// item extends to its body's closing brace (or the terminating `;`
+    /// for bodiless items). An *inner* test attribute (`#![cfg(test)]`)
+    /// marks the whole file.
+    fn compute_test_regions(&self) -> Vec<(usize, usize)> {
+        let mut regions = Vec::new();
+        let mut si = 0usize;
+        while si < self.sig.len() {
+            let Some((open, close, inner)) = self.attr_at(si) else {
+                si += 1;
+                continue;
+            };
+            if !self.attr_is_test(open, close) {
+                si = close + 1;
+                continue;
+            }
+            if inner {
+                regions.push((0, self.sig.len()));
+                return regions;
+            }
+            let start = si;
+            let mut at = close + 1;
+            // Absorb any further attributes on the same item.
+            while let Some((_, c2, _)) = self.attr_at(at) {
+                at = c2 + 1;
+            }
+            let end = self.item_end(at);
+            regions.push((start, end));
+            si = end;
+        }
+        regions
+    }
+
+    /// The significant index one past the end of the item starting at
+    /// `at`: the matching `}` of the first body brace at bracket depth
+    /// zero, or the first `;` at depth zero for bodiless items.
+    fn item_end(&self, at: usize) -> usize {
+        let mut depth = 0usize;
+        let mut si = at;
+        while si < self.sig.len() {
+            let text = self.text(si);
+            match text {
+                b"(" | b"[" => depth += 1,
+                b")" | b"]" => depth = depth.saturating_sub(1),
+                b"{" if depth == 0 => {
+                    return self
+                        .match_delim(si)
+                        .map(|c| c + 1)
+                        .unwrap_or(self.sig.len());
+                }
+                b";" if depth == 0 => return si + 1,
+                _ => {}
+            }
+            si += 1;
+        }
+        self.sig.len()
+    }
+
+    /// Whether significant index `si` falls inside a test-only region.
+    pub fn in_test_region(&self, si: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| si >= s && si < e)
+    }
+
+    /// If `si` is the `fn` keyword of a function *with a body*, returns
+    /// `(name, body_open_si, body_close_si)`. Bodiless trait-method
+    /// declarations return `None`.
+    pub fn function_at(&self, si: usize) -> Option<(String, usize, usize)> {
+        if !self.is_ident(si, b"fn") {
+            return None;
+        }
+        let name = String::from_utf8_lossy(self.text(si + 1)).into_owned();
+        let mut depth = 0usize;
+        let mut at = si + 2;
+        while at < self.sig.len() {
+            match self.text(at) {
+                b"(" | b"[" => depth += 1,
+                b")" | b"]" => depth = depth.saturating_sub(1),
+                b"{" if depth == 0 => {
+                    let close = self.match_delim(at)?;
+                    return Some((name, at, close));
+                }
+                b";" if depth == 0 => return None,
+                _ => {}
+            }
+            at += 1;
+        }
+        None
+    }
+
+    /// Finds the body of the named function anywhere in the file.
+    pub fn find_function(&self, name: &[u8]) -> Option<(usize, usize)> {
+        (0..self.sig.len()).find_map(|si| {
+            if self.is_ident(si, b"fn") && self.is_ident(si + 1, name) {
+                self.function_at(si).map(|(_, o, c)| (o, c))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_region_covers_cfg_test_module() {
+        let src = br#"
+fn lib_code() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { y.unwrap(); }
+}
+fn more_lib() {}
+"#;
+        let scan = FileScan::new(src);
+        let unwraps: Vec<bool> = (0..scan.sig.len())
+            .filter(|&si| scan.is_ident(si, b"unwrap"))
+            .map(|si| scan.in_test_region(si))
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        // Code after the module is not exempt.
+        let more = (0..scan.sig.len())
+            .find(|&si| scan.is_ident(si, b"more_lib"))
+            .expect("more_lib token"); // podium-lint: allow(expect) — test fixture, token known present
+        assert!(!scan.in_test_region(more));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = b"#[cfg(not(test))]\nfn f() { x.unwrap(); }";
+        let scan = FileScan::new(src);
+        let si = (0..scan.sig.len())
+            .find(|&si| scan.is_ident(si, b"unwrap"))
+            .expect("unwrap token"); // podium-lint: allow(expect) — test fixture, token known present
+        assert!(!scan.in_test_region(si));
+    }
+
+    #[test]
+    fn bodiless_test_item_ends_at_semicolon() {
+        let src = b"#[cfg(test)]\nmod tests;\nfn g() {}";
+        let scan = FileScan::new(src);
+        let g = (0..scan.sig.len())
+            .find(|&si| scan.is_ident(si, b"g"))
+            .expect("g token"); // podium-lint: allow(expect) — test fixture, token known present
+        assert!(!scan.in_test_region(g));
+    }
+
+    #[test]
+    fn match_delim_handles_nesting() {
+        let src = b"{ a { b } c } d";
+        let scan = FileScan::new(src);
+        let close = scan.match_delim(0).expect("match"); // podium-lint: allow(expect) — test fixture, brace known balanced
+        assert_eq!(scan.text(close), b"}");
+        assert!(scan.is_ident(close + 1, b"d"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: cfg/feature hygiene — one declared feature use (clean) and
+//! one undeclared (violation).
+
+#[cfg(feature = "declared")]
+pub fn on() {}
+
+#[cfg(feature = "undeclared")]
+pub fn off() {}
+
+pub fn probe() -> bool {
+    cfg!(feature = "declared")
+}

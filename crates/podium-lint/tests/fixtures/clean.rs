@@ -1,0 +1,19 @@
+//! Fixture: lint-clean code — every pass must report zero violations.
+
+/// Sums the values without indexing.
+pub fn sum(values: &[u32]) -> u32 {
+    values.iter().copied().sum()
+}
+
+/// First element, defensively.
+pub fn first(values: &[u32]) -> Option<u32> {
+    values.first().copied()
+}
+
+/// Fallible instead of panicking.
+pub fn ratio(num: f64, den: f64) -> Result<f64, String> {
+    if den == 0.0 {
+        return Err("zero denominator".to_owned());
+    }
+    Ok(num / den)
+}

@@ -1,0 +1,36 @@
+//! Fixture: every panic-freedom rule fires here at a known line.
+//! `fixtures_test.rs` asserts the exact (line, rule) set — renumbering
+//! this file means renumbering those assertions.
+
+pub fn boom(v: Vec<u32>, o: Option<u32>) -> u32 {
+    let a = o.unwrap();
+    let b = v.first().expect("non-empty");
+    if a > 3 {
+        panic!("a too big");
+    }
+    if *b > 3 {
+        todo!();
+    }
+    if a == *b {
+        unimplemented!();
+    }
+    let c = v[0];
+    if c > 9 {
+        unreachable!();
+    }
+    // podium-lint: allow(unwrap) — fixture: a justified suppression stays visible in JSONL
+    let d = o.unwrap();
+    a + c + d
+}
+
+// podium-lint: allow(unwrap)
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = vec![1];
+        assert_eq!(v[0], 1);
+        let _ = Some(1).unwrap();
+    }
+}

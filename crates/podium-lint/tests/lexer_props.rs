@@ -1,0 +1,156 @@
+//! Property tests for the lexer, enforcing the invariants its module
+//! docs promise:
+//!
+//! 1. `lex` never panics on arbitrary bytes and yields in-order,
+//!    non-overlapping, non-empty, in-bounds tokens with total coverage
+//!    (every uncovered byte is ASCII whitespace);
+//! 2. generated token streams round-trip: rendering tokens to source
+//!    and lexing recovers exactly the same (kind, text) sequence —
+//!    comment and string state machines are exact;
+//! 3. comments are inert: interleaving comments into a stream does not
+//!    change the significant (non-comment) tokens.
+
+use podium_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_bytes_lex_without_panic_and_with_total_coverage(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let tokens = lex(&bytes);
+        let mut covered = vec![false; bytes.len()];
+        let mut prev_end = 0usize;
+        let mut prev_line = 1u32;
+        for t in &tokens {
+            prop_assert!(t.start < t.end, "empty token {t:?}");
+            prop_assert!(t.end <= bytes.len(), "out of bounds {t:?}");
+            prop_assert!(t.start >= prev_end, "overlap/regression {t:?}");
+            prop_assert!(t.line >= prev_line, "line went backwards {t:?}");
+            for flag in covered.get_mut(t.start..t.end).unwrap_or(&mut []) {
+                *flag = true;
+            }
+            prev_end = t.end;
+            prev_line = t.line;
+        }
+        for (i, was_covered) in covered.iter().enumerate() {
+            if !was_covered {
+                prop_assert!(
+                    bytes[i].is_ascii_whitespace(),
+                    "byte {i} ({:#x}) dropped without being whitespace",
+                    bytes[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generated_token_streams_round_trip(
+        specs in prop::collection::vec((0u8..8, prop::collection::vec(any::<u8>(), 0..8)), 0..40),
+    ) {
+        let expected: Vec<(TokenKind, String)> =
+            specs.iter().map(|(sel, payload)| render(*sel, payload)).collect();
+        let src = join(&expected);
+        let lexed: Vec<(TokenKind, String)> = lex(src.as_bytes())
+            .iter()
+            .map(|t| (t.kind, String::from_utf8_lossy(t.text(src.as_bytes())).into_owned()))
+            .collect();
+        prop_assert_eq!(lexed, expected, "source was: {:?}", src);
+    }
+
+    #[test]
+    fn comments_are_inert(
+        specs in prop::collection::vec((0u8..8, prop::collection::vec(any::<u8>(), 0..8)), 0..30),
+        gaps in prop::collection::vec(any::<bool>(), 30),
+    ) {
+        let stream: Vec<(TokenKind, String)> =
+            specs.iter().map(|(sel, payload)| render(*sel, payload)).collect();
+        let bare = join(&stream);
+        // Interleave a comment before every gap-selected token.
+        let mut noisy_stream = Vec::new();
+        for (i, tok) in stream.iter().enumerate() {
+            if gaps.get(i).copied().unwrap_or(false) {
+                noisy_stream.push((TokenKind::BlockComment, "/* noise */".to_owned()));
+            }
+            noisy_stream.push(tok.clone());
+        }
+        let noisy = join(&noisy_stream);
+        prop_assert_eq!(significant(&bare), significant(&noisy));
+    }
+}
+
+/// Renders one generated token: selector picks the kind, payload bytes
+/// deterministically pick the content from kind-safe alphabets.
+fn render(sel: u8, payload: &[u8]) -> (TokenKind, String) {
+    let letters = |alphabet: &[u8]| -> String {
+        payload
+            .iter()
+            .map(|&b| alphabet[b as usize % alphabet.len()] as char)
+            .collect()
+    };
+    match sel {
+        0 => (TokenKind::Ident, format!("w{}", letters(b"abz_09"))),
+        1 => (TokenKind::Number, format!("1{}", letters(b"0123456789"))),
+        2 => {
+            let puncts = b".!?;,[](){}=+-<>&|";
+            let b = puncts[payload.first().copied().unwrap_or(0) as usize % puncts.len()];
+            (TokenKind::Punct, (b as char).to_string())
+        }
+        3 => (TokenKind::LineComment, format!("// {}", letters(b"abc ._"))),
+        4 => (
+            TokenKind::BlockComment,
+            format!("/* {} */", letters(b"abc ._")),
+        ),
+        5 => {
+            // Escapes included: \" and \\ must not terminate the string.
+            let units = ["a", "b", " ", ".", "\\\"", "\\\\", "\\n"];
+            let content: String = payload
+                .iter()
+                .map(|&b| units[b as usize % units.len()])
+                .collect();
+            (TokenKind::Str, format!("\"{content}\""))
+        }
+        6 => {
+            let hashes = "#".repeat(payload.first().copied().unwrap_or(0) as usize % 3);
+            // `"` excluded from the alphabet, so the body can never
+            // close the literal early regardless of hash count.
+            let content = letters(b"abc #._");
+            (TokenKind::RawStr, format!("r{hashes}\"{content}\"{hashes}"))
+        }
+        _ => {
+            let c = b"abcxyz"[payload.first().copied().unwrap_or(0) as usize % 6] as char;
+            (TokenKind::Char, format!("'{c}'"))
+        }
+    }
+}
+
+/// Joins rendered tokens into source text: newline after line comments
+/// (anything else would be swallowed by them), spaces elsewhere.
+fn join(tokens: &[(TokenKind, String)]) -> String {
+    let mut out = String::new();
+    for (kind, text) in tokens {
+        out.push_str(text);
+        out.push(if *kind == TokenKind::LineComment {
+            '\n'
+        } else {
+            ' '
+        });
+    }
+    out
+}
+
+/// The non-comment (kind, text) sequence of a source string.
+fn significant(src: &str) -> Vec<(TokenKind, String)> {
+    lex(src.as_bytes())
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .map(|t| {
+            (
+                t.kind,
+                String::from_utf8_lossy(t.text(src.as_bytes())).into_owned(),
+            )
+        })
+        .collect()
+}

@@ -35,6 +35,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::poison;
+
 /// Fault probabilities and timings. All probabilities are per-chunk (or
 /// per-connection for refusals) in `[0.0, 1.0]`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -163,7 +165,7 @@ impl ChaosProxy {
     pub fn set_blackout(&self, on: bool) {
         self.shared.blackout.store(on, Ordering::SeqCst);
         if on {
-            let mut live = self.shared.live.lock().unwrap_or_else(|e| e.into_inner());
+            let mut live = poison::recover(self.shared.live.lock());
             for stream in live.drain(..) {
                 let _ = stream.shutdown(Shutdown::Both);
             }
@@ -183,7 +185,7 @@ impl ChaosProxy {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        let mut live = self.shared.live.lock().unwrap_or_else(|e| e.into_inner());
+        let mut live = poison::recover(self.shared.live.lock());
         for stream in live.drain(..) {
             let _ = stream.shutdown(Shutdown::Both);
         }
@@ -230,7 +232,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ChaosShared>) {
         let _ = client.set_nodelay(true);
         let _ = upstream.set_nodelay(true);
         {
-            let mut live = shared.live.lock().unwrap_or_else(|e| e.into_inner());
+            let mut live = poison::recover(shared.live.lock());
             if let (Ok(c), Ok(u)) = (client.try_clone(), upstream.try_clone()) {
                 live.push(c);
                 live.push(u);

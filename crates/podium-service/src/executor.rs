@@ -22,6 +22,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::error::ServiceError;
+use crate::poison;
 use crate::snapshot::{SelectOutcome, SelectParams, Snapshot, SnapshotStore};
 
 /// Sizing and timing knobs of the executor.
@@ -126,12 +127,7 @@ impl QueryExecutor {
 
     /// Requests currently waiting in the queue.
     pub fn queue_depth(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .jobs
-            .len()
+        poison::recover(self.shared.state.lock()).jobs.len()
     }
 
     /// Enqueues `job`, rejecting with [`ServiceError::Overloaded`] when the
@@ -142,7 +138,7 @@ impl QueryExecutor {
         job: impl FnOnce(Arc<Snapshot>) + Send + 'static,
     ) -> Result<(), ServiceError> {
         {
-            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            let mut state = poison::recover(self.shared.state.lock());
             if state.shutdown {
                 return Err(ServiceError::ShuttingDown);
             }
@@ -194,7 +190,7 @@ impl QueryExecutor {
 impl Drop for QueryExecutor {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            let mut state = poison::recover(self.shared.state.lock());
             state.shutdown = true;
         }
         self.shared.available.notify_all();
@@ -207,7 +203,7 @@ impl Drop for QueryExecutor {
 fn worker_loop(shared: &Shared, store: &SnapshotStore, stats: &ExecutorStats) {
     loop {
         let job = {
-            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            let mut state = poison::recover(shared.state.lock());
             loop {
                 if let Some(job) = state.jobs.pop_front() {
                     break job;
@@ -215,10 +211,7 @@ fn worker_loop(shared: &Shared, store: &SnapshotStore, stats: &ExecutorStats) {
                 if state.shutdown {
                     return;
                 }
-                state = shared
-                    .available
-                    .wait(state)
-                    .unwrap_or_else(|e| e.into_inner());
+                state = poison::recover(shared.available.wait(state));
             }
         };
         // Capture the snapshot *after* dequeue: the request runs against

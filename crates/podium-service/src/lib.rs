@@ -45,6 +45,7 @@ pub mod chaos;
 pub mod client;
 pub mod error;
 pub mod executor;
+pub mod poison;
 pub mod protocol;
 pub mod server;
 pub mod service;

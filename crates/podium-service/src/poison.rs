@@ -1,0 +1,92 @@
+//! Explicit lock-poison policy for the serving layer.
+//!
+//! `std` mutexes poison when a holder panics, and every subsequent
+//! `.lock().unwrap()` then propagates that panic — one crashed worker
+//! takes the whole service down thread by thread. Podium's locks all
+//! guard state whose invariants are re-established on every operation,
+//! so the service-wide policy is *recover and continue*:
+//!
+//! * **Queues and registries** (executor job queue, session table,
+//!   connection sets): entries are self-contained; a panic mid-push at
+//!   worst loses the panicking request's own entry.
+//! * **Caches** (snapshot select cache): contents are advisory; a
+//!   half-written entry is at worst a wasted recomputation.
+//! * **Epoch counters and connection stats**: plain scalar updates.
+//!
+//! The one exception is the [`RepositoryWriter`] mutex: a panic inside
+//! `apply` can leave the incremental grouping state half-updated, and
+//! silently publishing from it would serve wrong groups forever. That
+//! path uses [`checked`], which maps poisoning to
+//! [`ServiceError::ShuttingDown`] so writes fail loudly while the
+//! (immutable, last-published) snapshots keep serving reads.
+//!
+//! Call sites go through [`recover`] / [`checked`] rather than inlining
+//! `unwrap_or_else(|e| e.into_inner())` so the policy has one home, one
+//! justification, and one place to change — and so `podium-lint`'s
+//! `lock-poison` rule can flag any bare `.lock().unwrap()` that
+//! bypasses it.
+//!
+//! [`RepositoryWriter`]: crate::snapshot::RepositoryWriter
+
+use std::sync::{LockResult, PoisonError};
+
+use crate::error::ServiceError;
+
+/// Recovers the guard from a possibly-poisoned lock acquisition.
+///
+/// Use for locks whose protected state stays valid across a holder's
+/// panic (see the module docs for the per-lock inventory).
+pub fn recover<T>(result: LockResult<T>) -> T {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Converts a poisoned acquisition into a typed
+/// [`ServiceError::ShuttingDown`] instead of recovering.
+///
+/// Use for locks where a holder's panic may leave the protected state
+/// inconsistent and continuing would corrupt published data.
+pub fn checked<T>(result: LockResult<T>) -> Result<T, ServiceError> {
+    result.map_err(|_| ServiceError::ShuttingDown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    fn poisoned(value: i32) -> Arc<Mutex<i32>> {
+        let m = Arc::new(Mutex::new(value));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        m
+    }
+
+    #[test]
+    fn recover_returns_the_guard_after_poison() {
+        let m = poisoned(7);
+        assert_eq!(*recover(m.lock()), 7);
+    }
+
+    #[test]
+    fn checked_maps_poison_to_shutting_down() {
+        let m = poisoned(7);
+        let outcome = checked(m.lock());
+        match outcome {
+            Err(ServiceError::ShuttingDown) => {}
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        };
+    }
+
+    #[test]
+    fn both_are_transparent_on_healthy_locks() {
+        let m = Mutex::new(3);
+        assert_eq!(*recover(m.lock()), 3);
+        let guard = checked(m.lock()).unwrap();
+        assert_eq!(*guard, 3);
+    }
+}

@@ -16,6 +16,18 @@
 //! Every response carries `ok` (boolean) and, on success, the `epoch` the
 //! request was served from. Failures carry a stable `error` code (see
 //! [`crate::error::ServiceError::code`]) and a human-readable `message`.
+//! The full code set — clients branch on these strings, so they are part
+//! of the wire contract:
+//!
+//! | `error`             | meaning                                        | client action          |
+//! |---------------------|------------------------------------------------|------------------------|
+//! | `overloaded`        | admission control rejected: queue full         | retry with backoff     |
+//! | `deadline_exceeded` | deadline expired before selection completed    | retry or relax deadline|
+//! | `bad_request`       | malformed request or unknown entity            | fix the request        |
+//! | `unknown_session`   | session id never opened or already closed      | reopen a session       |
+//! | `session_retired`   | pinned epoch fell behind `max_session_lag`     | reopen and replay      |
+//! | `shutting_down`     | service is draining; no new work accepted      | fail over              |
+//! | `core`              | selection-layer error (e.g. zero budget)       | fix the request        |
 //!
 //! The parser is hand-rolled over [`serde_json::Value`]: the vendored
 //! serde stand-in has no tagged-enum derive, and a by-hand reader keeps
@@ -306,6 +318,7 @@ pub fn encode_request(request: &Request) -> String {
         }
         Request::Stats => op("stats"),
     }
+    // podium-lint: allow(expect) — value trees built from plain strings/numbers/bools cannot fail to serialize
     serde_json::to_string(&Value::Object(pairs)).expect("request serialization is infallible")
 }
 
@@ -317,6 +330,7 @@ pub fn encode_request(request: &Request) -> String {
 pub fn ok_response(fields: Vec<(&str, Value)>) -> String {
     let mut pairs = vec![("ok".to_owned(), Value::Bool(true))];
     pairs.extend(fields.into_iter().map(|(k, v)| (k.to_owned(), v)));
+    // podium-lint: allow(expect) — value trees built from plain strings/numbers/bools cannot fail to serialize
     serde_json::to_string(&Value::Object(pairs)).expect("response serialization is infallible")
 }
 
@@ -327,6 +341,7 @@ pub fn error_response(err: &ServiceError) -> String {
         ("error".to_owned(), Value::String(err.code().to_owned())),
         ("message".to_owned(), Value::String(err.to_string())),
     ];
+    // podium-lint: allow(expect) — value trees built from plain strings/numbers/bools cannot fail to serialize
     serde_json::to_string(&Value::Object(pairs)).expect("response serialization is infallible")
 }
 

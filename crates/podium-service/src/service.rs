@@ -13,6 +13,7 @@ use serde_json::Value;
 
 use crate::error::ServiceError;
 use crate::executor::{ExecutorConfig, QueryExecutor};
+use crate::poison;
 use crate::protocol::{
     self, error_response, num_f64, num_u64, ok_response, parse_request, string, string_array,
     Request,
@@ -235,7 +236,10 @@ impl PodiumService {
                 })
             }
             Request::UpdateProfile { update } => {
-                let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+                // A panic mid-`apply` can leave the writer's incremental
+                // state inconsistent; refuse further writes rather than
+                // publish from it (reads keep serving the last snapshot).
+                let mut writer = poison::checked(self.writer.lock())?;
                 let outcome = writer.apply(&update)?;
                 let epoch = writer.publish();
                 Ok(ok_response(vec![

@@ -18,6 +18,7 @@ use podium_core::ids::GroupId;
 use podium_core::weights::{CovScheme, WeightScheme};
 
 use crate::error::ServiceError;
+use crate::poison;
 use crate::snapshot::{Snapshot, SnapshotStore};
 
 /// A feedback delta carried by one `refine` request; merged into the
@@ -150,7 +151,7 @@ impl SessionManager {
     pub fn open(&self, store: &SnapshotStore) -> (u64, u64) {
         let snapshot = store.load();
         let epoch = snapshot.epoch();
-        let mut table = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut table = poison::recover(self.inner.lock());
         let id = table.next_id;
         table.next_id += 1;
         table.sessions.insert(
@@ -165,7 +166,7 @@ impl SessionManager {
 
     /// Closes a session, releasing its pinned snapshot.
     pub fn close(&self, id: u64) -> Result<(), ServiceError> {
-        let mut table = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut table = poison::recover(self.inner.lock());
         table
             .sessions
             .remove(&id)
@@ -175,11 +176,7 @@ impl SessionManager {
 
     /// Number of live sessions.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .sessions
-            .len()
+        poison::recover(self.inner.lock()).sessions.len()
     }
 
     /// Whether no sessions are live.
@@ -195,7 +192,7 @@ impl SessionManager {
         id: u64,
         f: impl FnOnce(&mut Session) -> Result<T, ServiceError>,
     ) -> Result<T, ServiceError> {
-        let mut table = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut table = poison::recover(self.inner.lock());
         let session = table
             .sessions
             .get_mut(&id)

@@ -31,6 +31,7 @@ use podium_core::profile::UserRepository;
 use podium_core::weights::{CovScheme, WeightScheme};
 
 use crate::error::ServiceError;
+use crate::poison;
 
 /// Parameters of one `select` request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -179,7 +180,7 @@ impl Snapshot {
     }
 
     fn cached(&self, params: &SelectParams) -> Option<SelectOutcome> {
-        let cache = self.select_cache.lock().unwrap_or_else(|e| e.into_inner());
+        let cache = poison::recover(self.select_cache.lock());
         cache
             .iter()
             .find(|(p, _)| p == params)
@@ -187,7 +188,7 @@ impl Snapshot {
     }
 
     fn memoize(&self, params: &SelectParams, outcome: &SelectOutcome) {
-        let mut cache = self.select_cache.lock().unwrap_or_else(|e| e.into_inner());
+        let mut cache = poison::recover(self.select_cache.lock());
         if cache.iter().any(|(p, _)| p == params) {
             return; // a concurrent worker raced us to the same miss
         }
@@ -236,10 +237,7 @@ impl SnapshotStore {
     /// Clones out the current snapshot. The read lock is held only for the
     /// `Arc` clone; the caller then works against immutable data.
     pub fn load(&self) -> Arc<Snapshot> {
-        self.current
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
+        poison::recover(self.current.read()).clone()
     }
 
     /// The current epoch.
@@ -249,7 +247,7 @@ impl SnapshotStore {
 
     /// Swaps in a new snapshot, returning the previous one.
     fn swap(&self, next: Arc<Snapshot>) -> Arc<Snapshot> {
-        let mut guard = self.current.write().unwrap_or_else(|e| e.into_inner());
+        let mut guard = poison::recover(self.current.write());
         std::mem::replace(&mut *guard, next)
     }
 }

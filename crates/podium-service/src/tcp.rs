@@ -28,6 +28,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::poison;
 use crate::service::PodiumService;
 
 /// Sizing and timing knobs of the TCP transport.
@@ -137,7 +138,7 @@ impl TcpServer {
 
     /// Connections currently being served.
     pub fn active_connections(&self) -> usize {
-        *self.shared.active.lock().unwrap_or_else(|e| e.into_inner())
+        *poison::recover(self.shared.active.lock())
     }
 
     /// Stops accepting, drains in-flight requests (each connection
@@ -159,13 +160,13 @@ impl TcpServer {
         }
         // Connection threads notice the flag within one read tick once
         // their in-flight request (if any) completes.
-        let mut active = self.shared.active.lock().unwrap_or_else(|e| e.into_inner());
+        let mut active = poison::recover(self.shared.active.lock());
         while *active > 0 {
-            let (guard, _timeout) = self
-                .shared
-                .drained
-                .wait_timeout(active, Duration::from_millis(100))
-                .unwrap_or_else(|e| e.into_inner());
+            let (guard, _timeout) = poison::recover(
+                self.shared
+                    .drained
+                    .wait_timeout(active, Duration::from_millis(100)),
+            );
             active = guard;
         }
     }
@@ -189,7 +190,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<TcpShared>) {
             Err(_) => continue,
         };
         let admitted = {
-            let mut active = shared.active.lock().unwrap_or_else(|e| e.into_inner());
+            let mut active = poison::recover(shared.active.lock());
             if *active >= shared.config.max_connections {
                 false
             } else {
@@ -208,13 +209,13 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<TcpShared>) {
             .name("podium-tcp-conn".to_owned())
             .spawn(move || {
                 serve_connection(&conn_shared, stream);
-                let mut active = conn_shared.active.lock().unwrap_or_else(|e| e.into_inner());
+                let mut active = poison::recover(conn_shared.active.lock());
                 *active -= 1;
                 conn_shared.drained.notify_all();
             });
         if spawned.is_err() {
             // Thread spawn failed: undo the admission.
-            let mut active = shared.active.lock().unwrap_or_else(|e| e.into_inner());
+            let mut active = poison::recover(shared.active.lock());
             *active -= 1;
             shared.drained.notify_all();
         }
@@ -248,6 +249,7 @@ fn serve_connection(shared: &TcpShared, mut stream: TcpStream) {
         // Drain every complete frame already buffered before reading more.
         while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
             let frame: Vec<u8> = pending.drain(..=pos).collect();
+            // podium-lint: allow(index) — drain(..=pos) always includes the newline, so the frame is non-empty
             let line = String::from_utf8_lossy(&frame[..frame.len() - 1]);
             let line = line.trim();
             last_request = Instant::now();
@@ -265,6 +267,7 @@ fn serve_connection(shared: &TcpShared, mut stream: TcpStream) {
         }
         match stream.read(&mut chunk) {
             Ok(0) => return, // EOF
+            // podium-lint: allow(index) — read never returns more than the buffer length
             Ok(n) => pending.extend_from_slice(&chunk[..n]),
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
@@ -432,7 +435,10 @@ mod tests {
         writeln!(stream, r#"{{"op":"select","budget":3}}"#).unwrap();
         let deadline = Instant::now() + Duration::from_secs(5);
         while server.stats().requests.load(Ordering::Relaxed) == 0 {
-            assert!(Instant::now() < deadline, "request never reached the server");
+            assert!(
+                Instant::now() < deadline,
+                "request never reached the server"
+            );
             std::thread::sleep(Duration::from_millis(1));
         }
         let shutdown = std::thread::spawn(move || server.shutdown());

@@ -15,11 +15,13 @@ fn main() {
         eprint!("{}\n{}", podium::cli::USAGE, service_cli::SERVICE_USAGE);
         std::process::exit(if argv.is_empty() { 2 } else { 0 });
     }
-    match argv[0].as_str() {
-        "serve" => run_serve(&argv[1..]),
-        "bench-serve" => run_bench_serve(&argv[1..]),
-        "quarantine" => run_quarantine(&argv[1..]),
-        _ => run_classic(&argv),
+    if let Some((cmd, rest)) = argv.split_first() {
+        match cmd.as_str() {
+            "serve" => run_serve(rest),
+            "bench-serve" => run_bench_serve(rest),
+            "quarantine" => run_quarantine(rest),
+            _ => run_classic(&argv),
+        }
     }
 }
 

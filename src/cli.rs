@@ -382,6 +382,7 @@ pub fn run(
                 );
             }
         }
+        // podium-lint: allow(unreachable) — the subcommand string was validated in parse_args
         _ => unreachable!("validated in parse_args"),
     }
     Ok(out)

@@ -284,10 +284,9 @@ pub enum QuarantineCmd {
 
 /// Parses `quarantine` arguments (everything after the `quarantine` word).
 pub fn parse_quarantine_args(argv: &[String]) -> Result<QuarantineCmd, String> {
-    let mode = argv
-        .first()
+    let (mode, rest) = argv
+        .split_first()
         .ok_or_else(|| "quarantine needs a mode: scan | inspect | replay".to_owned())?;
-    let rest = &argv[1..];
     match mode.as_str() {
         "scan" => {
             let mut input = None;
