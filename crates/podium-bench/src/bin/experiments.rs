@@ -37,6 +37,7 @@ const EXPERIMENTS: &[(&str, bool)] = &[
     ("bsweep", true),
     ("ablation", true),
     ("serving", true),
+    ("drift", true),
     ("selftest-panic", false),
     ("selftest-slow", false),
 ];
@@ -113,7 +114,8 @@ fn usage(msg: &str) -> ! {
         "usage: experiments <id>[,<id>...] [--scale X] [--budget B] [--seed S] \
          [--timeout-secs T] [--status-file PATH]\n\
          ids: table2, fig3a, fig3b, fig3c, fig3d, fig4, fig5, fig6, approx, \
-         optscale, bsweep, ablation, serving, selftest-panic, selftest-slow, all\n\
+         optscale, bsweep, ablation, serving, drift, selftest-panic, \
+         selftest-slow, all\n\
          Each experiment runs panic-isolated: a failure is recorded in the \
          status file (JSONL) and the run continues; the exit code is \
          nonzero iff any experiment failed."
@@ -451,6 +453,37 @@ fn run_one(id: &str, args: &Args) -> Option<String> {
             assert_eq!(report.failed, 0, "no failed responses under load");
             assert_eq!(report.inconsistent, 0, "no inconsistent responses");
             details = Some(podium_bench::serving_exp::details_json(&report));
+        }
+        "drift" => {
+            header("Drift: publish latency and memo retention under profile drift");
+            let reports = podium_bench::serving_exp::run_drift(args.scale, args.seed);
+            print!("{}", podium_bench::serving_exp::render_drift(&reports));
+            // Each cell is also one bench-serve JSONL row.
+            let row_path = std::path::Path::new("target/bench-serve.jsonl");
+            if let Some(dir) = row_path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(row_path)
+            {
+                for report in &reports {
+                    let _ = writeln!(f, "{}", report.to_json());
+                }
+                println!("recorded: {}", row_path.display());
+            }
+            // The checked-in artifact: measured numbers for this PR.
+            let artifact = podium_bench::serving_exp::bench6_json(&reports);
+            match std::fs::write("BENCH_6.json", &artifact) {
+                Ok(()) => println!("wrote BENCH_6.json"),
+                Err(e) => println!("could not write BENCH_6.json: {e}"),
+            }
+            for report in &reports {
+                assert_eq!(report.failed, 0, "no failed responses under drift");
+                assert_eq!(report.inconsistent, 0, "no inconsistent responses");
+            }
+            details = Some(podium_bench::serving_exp::drift_details_json(&reports));
         }
         "selftest-panic" => {
             header("isolation self-test: deliberate panic");

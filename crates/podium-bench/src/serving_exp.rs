@@ -10,12 +10,16 @@
 use std::time::Duration;
 
 use podium_service::bench::{run_bench, BenchConfig, BenchReport};
+use podium_service::snapshot::PublishMode;
+use serde_json::Value;
 
 /// The driver's scaled configuration: `scale = 1` is the acceptance
 /// setting (10^4 users, budget 64, updates at 10 Hz).
 pub fn config_for(scale: f64, seed: u64) -> BenchConfig {
     let base = BenchConfig::default();
     BenchConfig {
+        // podium-lint: allow(as-cast) — base.users is 10⁴ (exact in f64) and a
+        // positive scale truncates to the intended smoke-sized count
         users: ((base.users as f64 * scale) as usize).max(200),
         duration: Duration::from_secs_f64((2.0 * scale).clamp(0.5, 10.0)),
         seed,
@@ -93,6 +97,151 @@ pub fn details_json(report: &BenchReport) -> String {
     )
 }
 
+/// Profile-drift rates (updates/second) the drift matrix sweeps. Under
+/// the immediate publish policy each update is one epoch, so the rate is
+/// also the publish rate.
+pub const DRIFT_RATES: [u64; 3] = [10, 100, 500];
+
+/// One cell of the drift matrix: the serving config at `drift_hz`
+/// updates/second under `mode`.
+pub fn drift_config_for(scale: f64, seed: u64, drift_hz: u64, mode: PublishMode) -> BenchConfig {
+    BenchConfig {
+        update_hz: drift_hz,
+        publish_mode: mode,
+        duration: Duration::from_secs_f64((1.5 * scale).clamp(0.4, 6.0)),
+        ..config_for(scale, seed)
+    }
+}
+
+/// Runs the full drift matrix: every rate in [`DRIFT_RATES`] under both
+/// publish modes (full rebuild first, its incremental counterpart next,
+/// so adjacent rows compare directly).
+pub fn run_drift(scale: f64, seed: u64) -> Vec<BenchReport> {
+    let mut reports = Vec::new();
+    for &hz in &DRIFT_RATES {
+        for mode in [PublishMode::FullRebuild, PublishMode::Incremental] {
+            reports.push(run_bench(&drift_config_for(scale, seed, hz, mode)));
+        }
+    }
+    reports
+}
+
+/// Renders the drift matrix in the driver's table style.
+pub fn render_drift(reports: &[BenchReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if let Some(first) = reports.first() {
+        let _ = writeln!(
+            out,
+            "repository: {} users, budget {}; {} clients over {} workers",
+            first.users, first.budget, first.clients, first.workers
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:>13} {:>9} {:>10} {:>12} {:>13} {:>13} {:>10}",
+        "mode", "drift Hz", "req/s", "select p99", "publish p50", "publish p99", "memo hit"
+    );
+    for r in reports {
+        let _ = writeln!(
+            out,
+            "{:>13} {:>9} {:>10.1} {:>9} us {:>10} us {:>10} us {:>9.1}%",
+            r.publish_mode,
+            r.update_hz,
+            r.throughput_rps,
+            r.p99_us,
+            r.publish_p50_us,
+            r.publish_p99_us,
+            100.0 * r.memo_hit_rate
+        );
+    }
+    for &hz in &DRIFT_RATES {
+        if let Some(speedup) = publish_speedup(reports, hz) {
+            let _ = writeln!(
+                out,
+                "publish p50 speedup at {hz} Hz: {speedup:.1}x (incremental over full rebuild)"
+            );
+        }
+    }
+    out
+}
+
+/// Median-publish-latency speedup of incremental over full rebuild at
+/// drift rate `hz`; `None` unless the matrix holds both modes at that
+/// rate with nonzero incremental latency.
+pub fn publish_speedup(reports: &[BenchReport], hz: u64) -> Option<f64> {
+    let p50 = |mode: &str| {
+        reports
+            .iter()
+            .find(|r| r.update_hz == hz && r.publish_mode == mode)
+            .map(|r| r.publish_p50_us)
+    };
+    match (p50("full_rebuild"), p50("incremental")) {
+        // podium-lint: allow(as-cast) — publish p50s are microsecond counts far
+        // below 2⁵³, exact in f64
+        (Some(full), Some(inc)) if inc > 0 && full > 0 => Some(full as f64 / inc as f64),
+        _ => None,
+    }
+}
+
+/// Serializes the drift matrix as the `BENCH_6.json` artifact: one row
+/// per cell plus the per-rate publish-latency speedups.
+pub fn bench6_json(reports: &[BenchReport]) -> String {
+    use podium_service::protocol::{num_f64, num_u64};
+    let points: Vec<Value> = reports
+        .iter()
+        .map(|r| serde_json::from_str(&r.to_json()).expect("report rows are valid JSON"))
+        .collect();
+    let speedups: Vec<Value> = DRIFT_RATES
+        .iter()
+        .filter_map(|&hz| {
+            publish_speedup(reports, hz).map(|s| {
+                Value::Object(vec![
+                    ("drift_hz".to_owned(), num_u64(hz)),
+                    ("publish_p50_speedup".to_owned(), num_f64(s)),
+                ])
+            })
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("bench".to_owned(), Value::String("drift".to_owned())),
+        (
+            "drift_rates_hz".to_owned(),
+            Value::Array(DRIFT_RATES.iter().map(|&hz| num_u64(hz)).collect()),
+        ),
+        ("points".to_owned(), Value::Array(points)),
+        ("publish_speedups".to_owned(), Value::Array(speedups)),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("artifact serialization is infallible")
+}
+
+/// The status-row `details` for the drift matrix: per-cell serving and
+/// publish health, compact enough to grep.
+pub fn drift_details_json(reports: &[BenchReport]) -> String {
+    use podium_service::protocol::{num_f64, num_u64};
+    let cells: Vec<Value> = reports
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("mode".to_owned(), Value::String(r.publish_mode.to_owned())),
+                ("drift_hz".to_owned(), num_u64(r.update_hz)),
+                ("throughput_rps".to_owned(), num_f64(r.throughput_rps)),
+                ("p99_us".to_owned(), num_u64(r.p99_us)),
+                ("publish_p50_us".to_owned(), num_u64(r.publish_p50_us)),
+                ("publish_p99_us".to_owned(), num_u64(r.publish_p99_us)),
+                ("memo_hit_rate".to_owned(), num_f64(r.memo_hit_rate)),
+                ("failed".to_owned(), num_u64(r.failed)),
+                ("inconsistent".to_owned(), num_u64(r.inconsistent)),
+            ])
+        })
+        .collect();
+    serde_json::to_string(&Value::Object(vec![(
+        "cells".to_owned(),
+        Value::Array(cells),
+    )]))
+    .expect("details serialization is infallible")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +279,45 @@ mod tests {
         ] {
             assert!(details.contains(field), "missing {field}: {details}");
         }
+    }
+
+    #[test]
+    fn drift_config_sweeps_mode_and_rate() {
+        let cell = drift_config_for(0.01, 7, 500, PublishMode::FullRebuild);
+        assert_eq!(cell.update_hz, 500);
+        assert_eq!(cell.publish_mode, PublishMode::FullRebuild);
+        assert_eq!(cell.users, 200, "scale floor applies to drift cells too");
+    }
+
+    #[test]
+    fn tiny_drift_matrix_renders_and_serializes() {
+        // One rate, both modes, very short cells: the full matrix shape
+        // without the full runtime.
+        let mut reports = Vec::new();
+        for mode in [PublishMode::FullRebuild, PublishMode::Incremental] {
+            let mut cfg = drift_config_for(0.01, 11, DRIFT_RATES[0], mode);
+            cfg.duration = Duration::from_millis(250);
+            reports.push(run_bench(&cfg));
+        }
+        for r in &reports {
+            assert_eq!(r.failed, 0, "{r:?}");
+            assert_eq!(r.inconsistent, 0, "{r:?}");
+        }
+        let table = render_drift(&reports);
+        assert!(table.contains("full_rebuild"), "{table}");
+        assert!(table.contains("incremental"), "{table}");
+        let artifact = bench6_json(&reports);
+        let doc: Value = serde_json::from_str(&artifact).unwrap();
+        assert_eq!(doc.get("bench").and_then(Value::as_str), Some("drift"));
+        assert_eq!(
+            doc.get("points").and_then(Value::as_array).map(Vec::len),
+            Some(2)
+        );
+        let details = drift_details_json(&reports);
+        let doc: Value = serde_json::from_str(&details).unwrap();
+        assert_eq!(
+            doc.get("cells").and_then(Value::as_array).map(Vec::len),
+            Some(2)
+        );
     }
 }

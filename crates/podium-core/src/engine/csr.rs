@@ -28,6 +28,18 @@ pub struct CsrGraph {
     group_adj: Vec<u32>,
 }
 
+impl Default for CsrGraph {
+    /// The empty graph: no users, no groups, no edges.
+    fn default() -> Self {
+        Self {
+            user_offsets: vec![0],
+            user_adj: Vec::new(),
+            group_offsets: vec![0],
+            group_adj: Vec::new(),
+        }
+    }
+}
+
 impl CsrGraph {
     /// Builds the CSR graph of a group set.
     pub fn from_group_set(groups: &GroupSet) -> Self {
@@ -39,6 +51,17 @@ impl CsrGraph {
     /// id order) — the shared back-end of [`CsrGraph::from_group_set`] and
     /// [`crate::incremental::IncrementalGroups::snapshot_csr`].
     pub fn from_member_lists(user_count: usize, lists: &[&[UserId]]) -> Self {
+        let mut csr = Self::default();
+        csr.assign_from_member_lists(user_count, lists);
+        csr
+    }
+
+    /// In-place variant of [`CsrGraph::from_member_lists`]: overwrites `self`
+    /// with the CSR of `lists`, reusing all four buffers. A writer that
+    /// publishes one snapshot per epoch calls this on a recycled graph
+    /// instead of allocating a fresh one. The result is exactly what
+    /// `from_member_lists(user_count, lists)` returns.
+    pub fn assign_from_member_lists(&mut self, user_count: usize, lists: &[&[UserId]]) {
         let edges: usize = lists.iter().map(|m| m.len()).sum();
         assert!(
             user_count < u32::MAX as usize,
@@ -50,49 +73,138 @@ impl CsrGraph {
         );
         assert!(edges < u32::MAX as usize, "edge count exceeds u32 range");
 
-        // Group side: concatenation of the member lists.
-        let mut group_offsets = Vec::with_capacity(lists.len() + 1);
-        let mut group_adj = Vec::with_capacity(edges);
-        group_offsets.push(0u32);
-        let mut degree = vec![0u32; user_count];
+        // Group side: concatenation of the member lists. Degrees accumulate
+        // into `user_offsets[u + 1]` so no scratch vector is needed.
+        self.group_offsets.clear();
+        self.group_offsets.reserve(lists.len() + 1);
+        self.group_offsets.push(0u32);
+        self.group_adj.clear();
+        self.group_adj.reserve(edges);
+        self.user_offsets.clear();
+        self.user_offsets.resize(user_count + 1, 0u32);
         for members in lists {
             for &u in *members {
-                group_adj.push(u.index() as u32);
-                degree[u.index()] += 1;
+                self.group_adj.push(u.index() as u32);
+                self.user_offsets[u.index() + 1] += 1;
             }
-            group_offsets.push(group_adj.len() as u32);
+            self.group_offsets.push(self.group_adj.len() as u32);
+        }
+        for i in 1..=user_count {
+            self.user_offsets[i] += self.user_offsets[i - 1];
         }
 
-        // User side: counting sort by user. Groups are appended in ascending
-        // id order, so each user's slice comes out ascending as well.
-        let mut user_offsets = Vec::with_capacity(user_count + 1);
-        user_offsets.push(0u32);
-        for d in &degree {
-            let last = *user_offsets.last().expect("seeded with 0");
-            user_offsets.push(last + d);
-        }
-        let mut cursor: Vec<u32> = user_offsets[..user_count].to_vec();
-        let mut user_adj = vec![0u32; edges];
+        // User side: counting sort by user, using the offsets themselves as
+        // write cursors. Groups are appended in ascending id order, so each
+        // user's slice comes out ascending as well.
+        self.user_adj.clear();
+        self.user_adj.resize(edges, 0u32);
         for (g, members) in lists.iter().enumerate() {
             for &u in *members {
-                let c = &mut cursor[u.index()];
-                user_adj[*c as usize] = g as u32;
+                let c = &mut self.user_offsets[u.index()];
+                self.user_adj[*c as usize] = g as u32;
                 *c += 1;
             }
         }
+        // Each cursor has advanced to the start of the next row; shift the
+        // array right by one to restore the offset invariant.
+        self.user_offsets.copy_within(0..user_count, 1);
+        self.user_offsets[0] = 0;
 
-        let csr = Self {
-            user_offsets,
-            user_adj,
-            group_offsets,
-            group_adj,
-        };
         debug_assert!(
-            csr.validate().is_ok(),
+            self.validate().is_ok(),
             "CSR construction violated its invariants: {}",
-            csr.validate().unwrap_err()
+            self.validate().unwrap_err()
         );
-        csr
+    }
+
+    /// Patches `self` into the CSR of `lists` (the new epoch), using `base`
+    /// — the CSR of the previous epoch over the *same* group universe and
+    /// user count — to skip per-edge work for untouched users.
+    ///
+    /// `changed` names, in ascending user order, every user whose group row
+    /// differs from `base`, paired with their new (strictly ascending) group
+    /// row; users not listed must have rows identical to `base`. The group
+    /// side is a bulk copy of `lists`; the user side splices the changed
+    /// rows between `memcpy`s of the unchanged spans of `base`. The result
+    /// is bit-identical to `from_member_lists(base.user_count(), lists)`.
+    ///
+    /// # Panics
+    /// Panics if `lists` does not have exactly `base.group_count()` groups
+    /// or the changed rows disagree with the member lists on the edge count.
+    pub fn patch_from(
+        &mut self,
+        base: &CsrGraph,
+        lists: &[&[UserId]],
+        changed: &[(u32, Vec<u32>)],
+    ) {
+        let user_count = base.user_count();
+        assert_eq!(
+            lists.len(),
+            base.group_count(),
+            "CSR patch requires an unchanged group universe"
+        );
+        let edges: usize = lists.iter().map(|m| m.len()).sum();
+        assert!(edges < u32::MAX as usize, "edge count exceeds u32 range");
+        debug_assert!(
+            changed.windows(2).all(|w| w[0].0 < w[1].0),
+            "changed rows must be strictly ascending by user"
+        );
+
+        // Group side: bulk copy of the new member lists.
+        self.group_offsets.clear();
+        self.group_offsets.reserve(lists.len() + 1);
+        self.group_offsets.push(0u32);
+        self.group_adj.clear();
+        self.group_adj.reserve(edges);
+        for members in lists {
+            for &u in *members {
+                self.group_adj.push(u.index() as u32);
+            }
+            self.group_offsets.push(self.group_adj.len() as u32);
+        }
+
+        // User offsets: degrees change only for the changed users.
+        self.user_offsets.clear();
+        self.user_offsets.reserve(user_count + 1);
+        self.user_offsets.push(0u32);
+        let mut ci = 0usize;
+        let mut running = 0u32;
+        for u in 0..user_count {
+            let deg = match changed.get(ci) {
+                Some(&(cu, ref row)) if cu as usize == u => {
+                    ci += 1;
+                    row.len() as u32
+                }
+                _ => base.user_degree(u) as u32,
+            };
+            running += deg;
+            self.user_offsets.push(running);
+        }
+        assert_eq!(
+            running as usize, edges,
+            "changed rows disagree with the member lists on the edge count"
+        );
+
+        // User adjacency: memcpy the unchanged spans, splice changed rows.
+        self.user_adj.clear();
+        self.user_adj.reserve(edges);
+        let mut next_unchanged = 0usize;
+        for &(u, ref row) in changed {
+            let u = u as usize;
+            let lo = base.user_offsets[next_unchanged] as usize;
+            let hi = base.user_offsets[u] as usize;
+            self.user_adj.extend_from_slice(&base.user_adj[lo..hi]);
+            self.user_adj.extend_from_slice(row);
+            next_unchanged = u + 1;
+        }
+        let lo = base.user_offsets[next_unchanged] as usize;
+        self.user_adj.extend_from_slice(&base.user_adj[lo..]);
+
+        debug_assert!(
+            self.validate().is_ok(),
+            "CSR patch violated the invariants: {}",
+            self.validate().unwrap_err()
+        );
     }
 
     /// Checks the structural invariants of the CSR representation: offset
@@ -295,6 +407,64 @@ mod tests {
             *o += 1;
         }
         assert!(bad.validate().unwrap_err().contains("offsets"));
+    }
+
+    #[test]
+    fn default_is_the_valid_empty_graph() {
+        let csr = CsrGraph::default();
+        assert_eq!(csr.user_count(), 0);
+        assert_eq!(csr.group_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+        assert_eq!(csr.validate(), Ok(()));
+        assert_eq!(csr, CsrGraph::from_member_lists(0, &[]));
+    }
+
+    #[test]
+    fn assign_into_reused_buffer_matches_fresh_build() {
+        let big = demo();
+        let small =
+            GroupSet::from_memberships(2, vec![vec![UserId(0)], vec![UserId(0), UserId(1)]]);
+        let mut out = CsrGraph::from_group_set(&big);
+        // Overwrite a larger graph with a smaller one and vice versa.
+        let small_lists: Vec<&[UserId]> = small.iter().map(|(_, g)| g.members.as_slice()).collect();
+        out.assign_from_member_lists(small.user_count(), &small_lists);
+        assert_eq!(out, CsrGraph::from_group_set(&small));
+        let big_lists: Vec<&[UserId]> = big.iter().map(|(_, g)| g.members.as_slice()).collect();
+        out.assign_from_member_lists(big.user_count(), &big_lists);
+        assert_eq!(out, CsrGraph::from_group_set(&big));
+    }
+
+    #[test]
+    fn patch_from_matches_fresh_build() {
+        // Base: G0 = {0,1}, G1 = {1,2}, G2 = {3} over 5 users.
+        let base = CsrGraph::from_group_set(&demo());
+        // New epoch, same universe: user 1 leaves G1, user 4 joins G1 and
+        // G2. Changed rows: user 1 -> [0], user 4 -> [1, 2].
+        let g0 = [UserId(0), UserId(1)];
+        let g1 = [UserId(2), UserId(4)];
+        let g2 = [UserId(3), UserId(4)];
+        let lists: Vec<&[UserId]> = vec![&g0, &g1, &g2];
+        let mut patched = CsrGraph::default();
+        patched.patch_from(&base, &lists, &[(1, vec![0]), (4, vec![1, 2])]);
+        assert_eq!(patched, CsrGraph::from_member_lists(5, &lists));
+
+        // An empty delta is the identity.
+        let b0 = [UserId(0), UserId(1)];
+        let b1 = [UserId(1), UserId(2)];
+        let b2 = [UserId(3)];
+        let base_lists: Vec<&[UserId]> = vec![&b0, &b1, &b2];
+        let mut same = CsrGraph::default();
+        same.patch_from(&base, &base_lists, &[]);
+        assert_eq!(same, base);
+    }
+
+    #[test]
+    #[should_panic(expected = "unchanged group universe")]
+    fn patch_from_rejects_a_changed_universe() {
+        let base = CsrGraph::from_group_set(&demo());
+        let g0 = [UserId(0)];
+        let lists: Vec<&[UserId]> = vec![&g0];
+        CsrGraph::default().patch_from(&base, &lists, &[]);
     }
 
     #[test]

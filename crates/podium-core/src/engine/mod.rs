@@ -189,6 +189,38 @@ pub fn lazy_select_deadline<W: ScoreValue>(
     lazy::lazy_select_interruptible(inst, csr, b, eligible, should_stop)
 }
 
+/// [`lazy_select_deadline`] with a warm-started CELF heap for incremental
+/// serving: instead of the `O(|E|)` round-0 candidate scan, the heap is
+/// seeded from `seeds` — one `(user, bound)` pair per candidate, where
+/// each bound is an *upper bound* on that user's round-0 marginal gain
+/// (for the schemes shipped in [`crate::weights`], the round-0 gain is
+/// `Σ_{G ∋ u} w_G`, since every group starts with positive remaining
+/// coverage). Writers that maintain these bounds across epochs — exact
+/// re-computation for users whose memberships changed, monotone slack for
+/// the rest — make the first selection on a freshly published epoch skip
+/// the full scan.
+///
+/// Every seed enters the heap permanently stale, so it is re-evaluated to
+/// its exact marginal before it can be committed: for any valid bounds the
+/// selection is **bit-identical** to [`lazy_select_csr`] (same users,
+/// gains, score, and covered counts, under the `FirstUser` tie-break). A
+/// bound *below* the true round-0 gain voids that guarantee.
+pub fn lazy_select_seeded_deadline<W: ScoreValue>(
+    inst: &DiversificationInstance<'_, W>,
+    csr: &CsrGraph,
+    b: usize,
+    seeds: &[(u32, W)],
+    should_stop: &mut dyn FnMut(usize) -> bool,
+) -> (Selection<W>, bool) {
+    debug_assert_eq!(csr.user_count(), inst.user_count(), "csr/instance users");
+    debug_assert_eq!(
+        csr.group_count(),
+        inst.groups().len(),
+        "csr/instance groups"
+    );
+    lazy::lazy_select_seeded_interruptible(inst, csr, b, seeds, should_stop)
+}
+
 /// Crate-internal one-shot helpers for the delegating legacy entry points
 /// (they build the CSR graph per call; the engine type amortizes it).
 pub(crate) fn eager_once<W: ScoreValue>(

@@ -205,6 +205,37 @@ impl GroupSet {
         self.groups.truncate(count);
     }
 
+    /// Patches `self` — a group set materialized from an **earlier epoch
+    /// of the same published group universe** — up to the current state:
+    /// `dirty` replaces the member lists of the named group indices and
+    /// `relink` replaces the reverse-link rows of the affected users.
+    /// Everything else (group count, kinds, ordering, unaffected rows,
+    /// bucket definitions) is untouched, which is exactly what makes this
+    /// O(|changed|) where [`GroupSet::assign_simple_memberships`] is
+    /// O(|edges|).
+    ///
+    /// The caller ([`crate::incremental::IncrementalGroups::patch_groups_into`])
+    /// guarantees the universe match; indices out of range panic.
+    pub fn patch_simple_memberships<'m>(
+        &mut self,
+        dirty: impl Iterator<Item = (usize, &'m [UserId])>,
+        relink: impl Iterator<Item = (UserId, Vec<GroupId>)>,
+    ) {
+        for (g, members) in dirty {
+            debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+            debug_assert!(!members.is_empty(), "empty groups are dropped");
+            let slot = &mut self.groups[g].members;
+            slot.clear();
+            slot.extend_from_slice(members);
+        }
+        for (u, links) in relink {
+            debug_assert!(links.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+            let row = &mut self.user_groups[u.index()];
+            row.clear();
+            row.extend_from_slice(&links);
+        }
+    }
+
     /// Builds a group set directly from member lists (tests, synthetic
     /// instances such as the Set-Cover reduction of Proposition 4.1).
     pub fn from_memberships(user_count: usize, memberships: Vec<Vec<UserId>>) -> Self {

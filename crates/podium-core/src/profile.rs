@@ -133,6 +133,28 @@ impl UserRepository {
         Self::default()
     }
 
+    /// Overwrites `target` with a copy of `self`, reusing `target`'s
+    /// allocations (strings, profile entry vectors, index capacity) where
+    /// sizes allow. A single-writer publish loop that snapshots the
+    /// repository every epoch calls this with a recycled retired copy: in
+    /// the steady state (stable user set, bounded profile churn) the copy
+    /// degenerates to memcpys with no allocator traffic, where
+    /// `target = self.clone()` would reallocate every string and vector.
+    pub fn clone_into_repo(&self, target: &mut UserRepository) {
+        target.property_names.clone_from(&self.property_names);
+        target.property_index.clone_from(&self.property_index);
+        target.user_names.clone_from(&self.user_names);
+        // `Profile`'s derived `Clone` has no allocation-reusing
+        // `clone_from`, so the entry vectors are recycled by hand.
+        target.profiles.truncate(self.profiles.len());
+        for (i, profile) in self.profiles.iter().enumerate() {
+            match target.profiles.get_mut(i) {
+                Some(slot) => slot.entries.clone_from(&profile.entries),
+                None => target.profiles.push(profile.clone()),
+            }
+        }
+    }
+
     /// Rebuilds the label → id index (needed after deserialization).
     pub fn rebuild_index(&mut self) {
         self.property_index = self
@@ -515,5 +537,30 @@ mod tests {
         dst.merge(&src);
         assert_eq!(dst.user_count(), src.user_count());
         assert_eq!(dst.property_count(), src.property_count());
+    }
+
+    #[test]
+    fn clone_into_repo_matches_clone() {
+        let (src, _, _, _, mex) = small_repo();
+        // Recycle a target that is both bigger and smaller than the source
+        // in different dimensions to exercise truncate and extend.
+        let mut target = UserRepository::new();
+        let extra = target.intern_property("extra");
+        for i in 0..10 {
+            let u = target.add_user(format!("old-user-with-a-long-name-{i}"));
+            target.set_score(u, extra, 0.5).unwrap();
+        }
+        src.clone_into_repo(&mut target);
+        assert_eq!(target.user_count(), src.user_count());
+        assert_eq!(target.property_count(), src.property_count());
+        assert_eq!(target.property_id("avgRating Mexican"), Some(mex));
+        for (u, p) in src.iter() {
+            assert_eq!(target.profile(u).unwrap(), p);
+            assert_eq!(target.user_name(u).unwrap(), src.user_name(u).unwrap());
+        }
+        // And growing from empty works too.
+        let mut empty = UserRepository::new();
+        src.clone_into_repo(&mut empty);
+        assert_eq!(empty.user_count(), src.user_count());
     }
 }

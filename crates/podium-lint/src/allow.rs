@@ -135,7 +135,7 @@ impl Allowlist {
         let mut entries = Vec::new();
         let mut bad = Vec::new();
         for (idx, raw) in text.lines().enumerate() {
-            let line_no = idx as u32 + 1;
+            let line_no = u32::try_from(idx).unwrap_or(u32::MAX).saturating_add(1);
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;

@@ -184,7 +184,9 @@ pub fn lex(src: &[u8]) -> Vec<Token> {
         }
         let start = cur.pos;
         let line = cur.line;
-        let col = (cur.pos - cur.line_start) as u32 + 1;
+        let col = u32::try_from(cur.pos - cur.line_start)
+            .unwrap_or(u32::MAX)
+            .saturating_add(1);
         let kind = scan_token(&mut cur, b);
         // Defensive: guarantee forward progress even if a scanner
         // consumed nothing (should be unreachable by construction).

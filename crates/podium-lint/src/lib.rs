@@ -1,7 +1,7 @@
 //! `podium-lint` — workspace-native static analysis for the Podium
 //! serving system.
 //!
-//! Four passes run over every workspace crate's library source:
+//! Five passes run over every workspace crate's library source:
 //!
 //! 1. **panic-freedom** ([`passes::panic`]): `.unwrap()`, `.expect(…)`,
 //!    `panic!`, `todo!`, `unimplemented!`, `unreachable!`, and `[expr]`
@@ -20,6 +20,11 @@
 //! 4. **cfg/feature hygiene** ([`passes::cfg_features`]): every
 //!    `#[cfg(feature = "…")]` / `cfg!(feature = "…")` must name a
 //!    feature declared in the owning crate's `Cargo.toml`.
+//! 5. **numeric `as`-cast audit** ([`passes::casts`]): every `as` cast
+//!    to a numeric primitive is flagged (advisory by default, denied in
+//!    CI) — it truncates, wraps, or rounds silently, so each site must
+//!    be rewritten with `From`/`TryFrom` or carry a justified
+//!    suppression.
 //!
 //! The implementation is deliberately `syn`-free: a hand-written lexer
 //! ([`lexer`]) plus token-pattern matching. That keeps the crate at
@@ -70,6 +75,9 @@ pub enum Rule {
     /// A malformed allow comment (unknown rule or missing
     /// justification).
     BadAllow,
+    /// A numeric `as` cast (`expr as u32`, `expr as f64`, …) — converts
+    /// silently, truncating, wrapping, or rounding out of range.
+    AsCast,
 }
 
 impl Rule {
@@ -90,6 +98,7 @@ impl Rule {
             Rule::ProtocolStale => "protocol-stale",
             Rule::CfgFeature => "cfg-feature",
             Rule::BadAllow => "bad-allow",
+            Rule::AsCast => "as-cast",
         }
     }
 
@@ -100,7 +109,7 @@ impl Rule {
 }
 
 /// All rules, for `--help` and allow-comment validation.
-pub const ALL_RULES: [Rule; 14] = [
+pub const ALL_RULES: [Rule; 15] = [
     Rule::Unwrap,
     Rule::Expect,
     Rule::Panic,
@@ -115,6 +124,7 @@ pub const ALL_RULES: [Rule; 14] = [
     Rule::ProtocolStale,
     Rule::CfgFeature,
     Rule::BadAllow,
+    Rule::AsCast,
 ];
 
 /// One finding. `allowed` carries the justification when an inline

@@ -1,0 +1,118 @@
+//! Pass 5 — numeric `as`-cast audit.
+//!
+//! Flags, in library code only (test regions are exempt), every `as`
+//! cast whose target is a numeric primitive (`u8`…`u128`, `i8`…`i128`,
+//! `usize`/`isize`, `f32`/`f64`). `as` is the one numeric conversion in
+//! Rust that never fails and never complains: it truncates integers,
+//! saturates floats, wraps signs, and rounds silently — which is exactly
+//! why a serving system that mixes `u64` epoch counters, `u128`
+//! durations, and `f64` scores wants every such site either rewritten
+//! with `From`/`TryFrom` or carrying a written justification of the
+//! range argument.
+//!
+//! The rule is advisory by default (like `index` and `expect`) and
+//! promoted under `--deny-all`, the CI gate: hits must be burned down or
+//! suppressed with a reason via an inline
+//! `// podium-lint: allow(as-cast) — why` comment or an allowlist
+//! entry.
+//!
+//! Detection is token-level: the keyword `as` followed by a numeric
+//! primitive identifier. Pointer casts (`as *const T`), trait-object
+//! casts, and `use … as name` renames all have non-primitive right-hand
+//! sides and are skipped.
+
+use crate::lexer::TokenKind;
+use crate::scan::FileScan;
+use crate::{Rule, Violation};
+
+/// Cast targets the pass flags.
+const NUMERIC_PRIMITIVES: &[&[u8]] = &[
+    b"u8", b"u16", b"u32", b"u64", b"u128", b"usize", b"i8", b"i16", b"i32", b"i64", b"i128",
+    b"isize", b"f32", b"f64",
+];
+
+/// Runs the pass over one file.
+pub fn run(scan: &FileScan<'_>, file: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for si in 0..scan.sig.len() {
+        if scan.in_test_region(si) {
+            continue;
+        }
+        if !scan.is_ident(si, b"as") {
+            continue;
+        }
+        let Some(next) = scan.tok(si + 1) else {
+            continue;
+        };
+        if next.kind != TokenKind::Ident {
+            continue;
+        }
+        let Some(target) = NUMERIC_PRIMITIVES.iter().find(|t| scan.is_ident(si + 1, t)) else {
+            continue;
+        };
+        let (line, col) = scan.pos(si);
+        out.push(Violation::new(
+            file,
+            line,
+            col,
+            Rule::AsCast,
+            format!(
+                "`as {}` numeric cast — truncates, wraps, or rounds silently; use From/TryFrom or justify the range",
+                String::from_utf8_lossy(target)
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(src: &str) -> Vec<Rule> {
+        let scan = FileScan::new(src.as_bytes());
+        run(&scan, "f.rs").into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn flags_numeric_casts_of_every_width() {
+        assert_eq!(rules_of("fn f(x: u64) { x as u32; }"), vec![Rule::AsCast]);
+        assert_eq!(rules_of("fn f(x: f64) { x as f32; }"), vec![Rule::AsCast]);
+        assert_eq!(rules_of("fn f(x: i8) { x as usize; }"), vec![Rule::AsCast]);
+        assert_eq!(
+            rules_of("fn f(d: std::time::Duration) { d.as_micros() as u64; }"),
+            vec![Rule::AsCast]
+        );
+        assert_eq!(
+            rules_of("fn f(n: usize) { n as f64 / 2.0; n as u128; }"),
+            vec![Rule::AsCast, Rule::AsCast]
+        );
+    }
+
+    #[test]
+    fn non_numeric_as_is_not_flagged() {
+        // Imports, pointer casts, and trait-object coercions.
+        assert!(rules_of("use std::io::Result as IoResult;").is_empty());
+        assert!(rules_of("fn f(p: &u8) { p as *const u8; }").is_empty());
+        assert!(rules_of("fn f(e: E) { Box::new(e) as Box<dyn Error>; }").is_empty());
+        // Identifiers merely *containing* `as`.
+        assert!(rules_of("fn f() { let asu32 = 1; cast_u64(); }").is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn t(x: u64) { x as u32; }
+}
+"#;
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_flag() {
+        let src = r#"fn f() { let s = "x as u64"; /* y as f64 */ }"#;
+        assert!(rules_of(src).is_empty());
+    }
+}

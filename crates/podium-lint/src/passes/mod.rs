@@ -1,8 +1,9 @@
-//! The four analysis passes. Each pass takes a [`crate::scan::FileScan`]
+//! The analysis passes. Each pass takes a [`crate::scan::FileScan`]
 //! (or, for the cross-file protocol pass, the workspace root) and
 //! returns raw [`crate::Violation`]s; suppression is applied afterwards
 //! by [`crate::allow::apply_suppressions`].
 
+pub mod casts;
 pub mod cfg_features;
 pub mod locks;
 pub mod panic;

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use crate::allow::{self, Allowlist};
-use crate::passes::{cfg_features, locks, panic, protocol};
+use crate::passes::{casts, cfg_features, locks, panic, protocol};
 use crate::scan::FileScan;
 use crate::{Rule, Violation};
 
@@ -53,7 +53,7 @@ impl Outcome {
 /// Advisory-by-default rules: high-volume, justified wholesale in hot
 /// numeric kernels. CI runs `--deny-all`, which promotes them.
 fn denied_by_default(rule: Rule) -> bool {
-    !matches!(rule, Rule::Index | Rule::Expect)
+    !matches!(rule, Rule::Index | Rule::Expect | Rule::AsCast)
 }
 
 /// Walks up from `start` to the directory whose `Cargo.toml` declares
@@ -203,6 +203,7 @@ pub fn run(opts: &Options) -> Result<Outcome, String> {
         let (allows, mut file_violations) = allow::collect_allows(&scan, &sf.rel);
 
         file_violations.extend(panic::run(&scan, &sf.rel));
+        file_violations.extend(casts::run(&scan, &sf.rel));
 
         let fl = locks::collect(&scan, &sf.rel);
         file_violations.extend(fl.violations);
@@ -271,6 +272,7 @@ mod tests {
     fn denied_by_default_is_advisory_for_index_and_expect() {
         assert!(!denied_by_default(Rule::Index));
         assert!(!denied_by_default(Rule::Expect));
+        assert!(!denied_by_default(Rule::AsCast));
         assert!(denied_by_default(Rule::Unwrap));
         assert!(denied_by_default(Rule::LockOrder));
         assert!(denied_by_default(Rule::BadAllow));

@@ -26,6 +26,7 @@ use serde_json::Value;
 
 use crate::client::{ClientConfig, ClientError, PodiumClient};
 use crate::service::{PodiumService, ServiceConfig};
+use crate::snapshot::PublishMode;
 use crate::tcp::{TcpServer, TcpServerConfig};
 
 /// Which path benchmark clients use to reach the service.
@@ -75,6 +76,9 @@ pub struct BenchConfig {
     pub seed: u64,
     /// Transport clients use to reach the service.
     pub transport: BenchTransport,
+    /// How the writer materializes epochs (incremental CSR patching vs
+    /// full rebuild) — the axis the drift benchmark compares.
+    pub publish_mode: PublishMode,
 }
 
 impl Default for BenchConfig {
@@ -92,6 +96,7 @@ impl Default for BenchConfig {
             deadline_ms: 2_000,
             seed: 0x5EED_0001,
             transport: BenchTransport::InProcess,
+            publish_mode: PublishMode::default(),
         }
     }
 }
@@ -144,6 +149,23 @@ pub struct BenchReport {
     pub cache_misses: u64,
     /// Deepest executor queue observed by the sampler.
     pub queue_depth_max: usize,
+    /// Publish mode the writer ran under (`incremental` or
+    /// `full_rebuild`).
+    pub publish_mode: &'static str,
+    /// Epochs published during the run.
+    pub publishes: u64,
+    /// Publishes that took the CSR patch path.
+    pub patched_publishes: u64,
+    /// Median publish latency over the recent-latency ring, microseconds.
+    pub publish_p50_us: u64,
+    /// 99th-percentile publish latency, microseconds.
+    pub publish_p99_us: u64,
+    /// Memoized selects carried across epochs, cumulative.
+    pub memos_carried: u64,
+    /// Memoized selects invalidated by deltas, cumulative.
+    pub memos_invalidated: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`, 0 when no selects ran.
+    pub memo_hit_rate: f64,
     /// Served requests per second.
     pub throughput_rps: f64,
     /// Median latency, microseconds.
@@ -190,6 +212,23 @@ impl BenchReport {
                 "queue_depth_max".to_owned(),
                 num_u64(self.queue_depth_max as u64),
             ),
+            (
+                "publish_mode".to_owned(),
+                Value::String(self.publish_mode.to_owned()),
+            ),
+            ("publishes".to_owned(), num_u64(self.publishes)),
+            (
+                "patched_publishes".to_owned(),
+                num_u64(self.patched_publishes),
+            ),
+            ("publish_p50_us".to_owned(), num_u64(self.publish_p50_us)),
+            ("publish_p99_us".to_owned(), num_u64(self.publish_p99_us)),
+            ("memos_carried".to_owned(), num_u64(self.memos_carried)),
+            (
+                "memos_invalidated".to_owned(),
+                num_u64(self.memos_invalidated),
+            ),
+            ("memo_hit_rate".to_owned(), num_f64(self.memo_hit_rate)),
             ("throughput_rps".to_owned(), num_f64(self.throughput_rps)),
             ("p50_us".to_owned(), num_u64(self.p50_us)),
             ("p90_us".to_owned(), num_u64(self.p90_us)),
@@ -445,6 +484,7 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
             workers: config.workers,
             queue_capacity: config.queue_capacity,
             default_deadline_ms: config.deadline_ms,
+            publish_mode: config.publish_mode,
             ..ServiceConfig::default()
         },
     ));
@@ -518,6 +558,10 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
     }
     total.latencies_us.sort_unstable();
     let (cache_hits, cache_misses) = service.cache_counters().totals();
+    // The epoch-build breakdown rides the `stats` op, same as clients see.
+    let stats_value: Value =
+        serde_json::from_str(&service.handle_line(r#"{"op":"stats"}"#)).unwrap_or(Value::Null);
+    let stat = |field: &str| stats_value.get(field).and_then(Value::as_u64).unwrap_or(0);
 
     BenchReport {
         transport: config.transport.as_str(),
@@ -539,6 +583,21 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
         cache_hits,
         cache_misses,
         queue_depth_max: max_depth.load(Ordering::Relaxed) as usize,
+        publish_mode: match config.publish_mode {
+            PublishMode::Incremental => "incremental",
+            PublishMode::FullRebuild => "full_rebuild",
+        },
+        publishes: stat("publishes"),
+        patched_publishes: stat("patched_publishes"),
+        publish_p50_us: stat("publish_p50_micros"),
+        publish_p99_us: stat("publish_p99_micros"),
+        memos_carried: stat("memos_carried"),
+        memos_invalidated: stat("memos_invalidated"),
+        memo_hit_rate: if cache_hits + cache_misses > 0 {
+            cache_hits as f64 / (cache_hits + cache_misses) as f64
+        } else {
+            0.0
+        },
         throughput_rps: total.served as f64 / elapsed.as_secs_f64(),
         p50_us: percentile(&total.latencies_us, 0.50),
         p90_us: percentile(&total.latencies_us, 0.90),
@@ -576,6 +635,7 @@ mod tests {
             deadline_ms: 2_000,
             seed: 7,
             transport: BenchTransport::InProcess,
+            publish_mode: PublishMode::Incremental,
         }
     }
 

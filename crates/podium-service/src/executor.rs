@@ -156,16 +156,19 @@ impl QueryExecutor {
     /// Runs a `select` through the pool, blocking the calling thread until
     /// the response arrives. `deadline` defaults to
     /// [`ExecutorConfig::default_deadline`] from *now*; queue wait counts
-    /// against it.
+    /// against it. `stale_ok` opts into the bounded-staleness read mode
+    /// (see [`Snapshot::select_with`]); pass `false` for the default
+    /// always-fresh behavior.
     pub fn run_select(
         &self,
         params: SelectParams,
         deadline: Option<Duration>,
+        stale_ok: bool,
     ) -> Result<SelectOutcome, ServiceError> {
         let absolute = Instant::now() + deadline.unwrap_or(self.config.default_deadline);
         let (tx, rx) = mpsc::channel();
         self.submit(move |snapshot| {
-            let _ = tx.send(snapshot.select(&params, Some(absolute)));
+            let _ = tx.send(snapshot.select_with(&params, Some(absolute), stale_ok));
         })?;
         rx.recv()
             .map_err(|_| ServiceError::BadRequest("worker dropped the response channel".into()))?
@@ -260,7 +263,7 @@ mod tests {
                 default_deadline: Duration::from_secs(2),
             },
         );
-        let outcome = exec.run_select(params(), None).unwrap();
+        let outcome = exec.run_select(params(), None, false).unwrap();
         assert_eq!(outcome.selection.users.len(), 4);
         assert_eq!(outcome.epoch, 0);
         // The worker bumps `completed` after delivering the response, so
@@ -317,7 +320,7 @@ mod tests {
         .unwrap();
         w.publish();
         let exec = QueryExecutor::new(Arc::clone(&store), ExecutorConfig::default());
-        let outcome = exec.run_select(params(), None).unwrap();
+        let outcome = exec.run_select(params(), None, false).unwrap();
         assert_eq!(outcome.epoch, 1, "request sees the published epoch");
     }
 
@@ -326,7 +329,7 @@ mod tests {
         let (store, _w) = service_parts();
         let exec = QueryExecutor::new(store, ExecutorConfig::default());
         let err = exec
-            .run_select(params(), Some(Duration::from_nanos(0)))
+            .run_select(params(), Some(Duration::from_nanos(0)), false)
             .unwrap_err();
         assert_eq!(err, ServiceError::DeadlineExceeded);
     }
@@ -335,7 +338,7 @@ mod tests {
     fn shutdown_rejects_new_work_and_joins() {
         let (store, _w) = service_parts();
         let exec = QueryExecutor::new(store, ExecutorConfig::default());
-        exec.run_select(params(), None).unwrap();
+        exec.run_select(params(), None, false).unwrap();
         drop(exec); // must not hang
     }
 }

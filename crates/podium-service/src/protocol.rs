@@ -5,7 +5,7 @@
 //!
 //! | op               | fields                                                        |
 //! |------------------|---------------------------------------------------------------|
-//! | `select`         | `budget`, `weights?`, `cov?`, `deadline_ms?`                  |
+//! | `select`         | `budget`, `weights?`, `cov?`, `deadline_ms?`, `stale_ok?`     |
 //! | `explain`        | `budget`, `weights?`, `cov?`, `top_k?`                        |
 //! | `open-session`   | —                                                             |
 //! | `refine`         | `session`, `budget`, `must_have?`, `must_not?`, `priority?`, `standard?`, `reset?`, `weights?`, `cov?` |
@@ -29,6 +29,12 @@
 //! | `shutting_down`     | service is draining; no new work accepted      | fail over              |
 //! | `core`              | selection-layer error (e.g. zero budget)       | fix the request        |
 //!
+//! Wire flags — optional request booleans that change serving semantics:
+//!
+//! | flag       | op       | meaning                                                        |
+//! |------------|----------|----------------------------------------------------------------|
+//! | `stale_ok` | `select` | bounded-staleness read mode: the response may carry a selection computed on an earlier epoch (fields `stale: true`, `epoch` = compute epoch, `certified_score_lb`) instead of recomputing against the current one. Omitted or `false`: always fresh — the default behavior is unchanged. |
+//!
 //! The parser is hand-rolled over [`serde_json::Value`]: the vendored
 //! serde stand-in has no tagged-enum derive, and a by-hand reader keeps
 //! the error messages precise anyway.
@@ -49,6 +55,10 @@ pub enum Request {
         params: SelectParams,
         /// Per-request deadline override, in milliseconds.
         deadline_ms: Option<u64>,
+        /// Bounded-staleness read mode: permit serving a carried-forward
+        /// selection from an earlier epoch (tagged `stale` with a
+        /// certified score lower bound) instead of recomputing.
+        stale_ok: bool,
     },
     /// Run a selection and return the full explanation report.
     Explain {
@@ -174,6 +184,12 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
                         .ok_or_else(|| bad("field 'deadline_ms' must be a non-negative integer"))?,
                 ),
             },
+            stale_ok: match value.get("stale_ok") {
+                None | Some(Value::Null) => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| bad("field 'stale_ok' must be a boolean"))?,
+            },
         }),
         "explain" => Ok(Request::Explain {
             params: parse_select_params(&value)?,
@@ -268,11 +284,15 @@ pub fn encode_request(request: &Request) -> String {
         Request::Select {
             params,
             deadline_ms,
+            stale_ok,
         } => {
             op("select");
             push_select_params(&mut pairs, params);
             if let Some(ms) = deadline_ms {
                 pairs.push(("deadline_ms".to_owned(), num_u64(*ms)));
+            }
+            if *stale_ok {
+                pairs.push(("stale_ok".to_owned(), Value::Bool(true)));
             }
         }
         Request::Explain { params, top_k } => {
@@ -386,6 +406,7 @@ mod tests {
                     cov: CovScheme::Single,
                 },
                 deadline_ms: None,
+                stale_ok: false,
             }
         );
     }
@@ -405,6 +426,7 @@ mod tests {
                     cov: CovScheme::Proportional,
                 },
                 deadline_ms: Some(250),
+                stale_ok: false,
             }
         );
     }
@@ -502,6 +524,7 @@ mod tests {
                     cov: CovScheme::Single,
                 },
                 deadline_ms: None,
+                stale_ok: false,
             },
             Request::Select {
                 params: SelectParams {
@@ -510,6 +533,7 @@ mod tests {
                     cov: CovScheme::Proportional,
                 },
                 deadline_ms: Some(250),
+                stale_ok: true,
             },
             Request::Explain {
                 params: SelectParams {

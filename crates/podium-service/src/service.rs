@@ -2,13 +2,15 @@
 //! writer, executor, and session layer together behind the JSONL protocol.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use podium_core::bucket::PropertyBuckets;
 use podium_core::explain::SelectionReport;
 use podium_core::instance::DiversificationInstance;
 use podium_core::profile::UserRepository;
+use podium_core::weights::{CovScheme, WeightScheme};
 use serde_json::Value;
 
 use crate::error::ServiceError;
@@ -19,7 +21,29 @@ use crate::protocol::{
     Request,
 };
 use crate::session::SessionManager;
-use crate::snapshot::{RepositoryWriter, SnapshotStore};
+use crate::snapshot::{PublishMode, RepositoryWriter, SelectParams, SnapshotStore};
+
+/// When each applied update becomes visible to readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PublishPolicy {
+    /// Publish a new epoch on every `update-profile` — one epoch per
+    /// update, the original (and default) behavior.
+    #[default]
+    Immediate,
+    /// Queue updates and let a background flusher publish the batch as
+    /// one epoch every `interval_ms` milliseconds. `update-profile`
+    /// responses carry `queued: true` and the last *published* epoch.
+    /// After each batched publish the flusher warms the new epoch's memo
+    /// cache with the configured warm select.
+    Batched {
+        /// Flush interval in milliseconds.
+        interval_ms: u64,
+    },
+}
+
+/// Budget of the publish-time cache-warming select (scheme defaults:
+/// LBS weights, Single coverage — the serving defaults).
+pub const DEFAULT_WARM_BUDGET: usize = 10;
 
 /// Service sizing knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +60,16 @@ pub struct ServiceConfig {
     /// long-abandoned session's snapshot alive pins its whole repository
     /// copy in memory; this bounds that. `u64::MAX` disables retirement.
     pub max_session_lag: u64,
+    /// How published epochs are materialized (incremental delta patching
+    /// vs full rebuild).
+    pub publish_mode: PublishMode,
+    /// When applied updates become visible.
+    pub publish_policy: PublishPolicy,
+    /// Budget of the warming select run after each *batched* publish
+    /// (`None` disables warming). Ignored under
+    /// [`PublishPolicy::Immediate`], whose publish latency stays
+    /// warming-free.
+    pub warm_budget: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -46,6 +80,9 @@ impl Default for ServiceConfig {
             queue_capacity: exec.queue_capacity,
             default_deadline_ms: exec.default_deadline.as_millis() as u64,
             max_session_lag: 1024,
+            publish_mode: PublishMode::default(),
+            publish_policy: PublishPolicy::default(),
+            warm_budget: Some(DEFAULT_WARM_BUDGET),
         }
     }
 }
@@ -58,6 +95,7 @@ impl Default for ServiceConfig {
 pub struct CacheCounters {
     hits: AtomicU64,
     misses: AtomicU64,
+    stale_served: AtomicU64,
 }
 
 impl CacheCounters {
@@ -69,11 +107,39 @@ impl CacheCounters {
         )
     }
 
-    fn record(&self, hit: bool) {
+    /// Selects served from a carried-forward (stale) memo so far.
+    pub fn stale_served(&self) -> u64 {
+        self.stale_served.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, hit: bool, stale: bool) {
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if stale {
+            self.stale_served.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Shutdown signal + join handle of the batched-publish flusher thread.
+#[derive(Debug)]
+struct Flusher {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        {
+            let (lock, cv) = &*self.stop;
+            *poison::recover(lock.lock()) = true;
+            cv.notify_all();
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
         }
     }
 }
@@ -83,18 +149,35 @@ impl CacheCounters {
 #[derive(Debug)]
 pub struct PodiumService {
     store: Arc<SnapshotStore>,
-    writer: Mutex<RepositoryWriter>,
+    writer: Arc<Mutex<RepositoryWriter>>,
     executor: QueryExecutor,
     sessions: SessionManager,
     max_session_lag: u64,
+    publish_policy: PublishPolicy,
+    warm_budget: Option<usize>,
     cache_counters: CacheCounters,
+    /// Joined (and thereby stopped) on drop; `None` under
+    /// [`PublishPolicy::Immediate`].
+    _flusher: Option<Flusher>,
+}
+
+/// The select parameters the publish-time warming pass pre-computes.
+fn warm_params(budget: usize) -> SelectParams {
+    SelectParams {
+        budget,
+        weight: WeightScheme::LinearBySize,
+        cov: CovScheme::Single,
+    }
 }
 
 impl PodiumService {
     /// Builds the service: epoch-0 snapshot from `repo` under `buckets`,
-    /// then the worker pool.
+    /// then the worker pool, and — under [`PublishPolicy::Batched`] — the
+    /// background flusher that publishes one epoch per batch and warms
+    /// the new epoch's memo cache.
     pub fn new(repo: UserRepository, buckets: &PropertyBuckets, config: ServiceConfig) -> Self {
-        let (store, writer) = RepositoryWriter::new(repo, buckets);
+        let (store, writer) = RepositoryWriter::with_mode(repo, buckets, config.publish_mode);
+        let writer = Arc::new(Mutex::new(writer));
         let executor = QueryExecutor::new(
             Arc::clone(&store),
             ExecutorConfig {
@@ -103,14 +186,42 @@ impl PodiumService {
                 default_deadline: Duration::from_millis(config.default_deadline_ms),
             },
         );
+        let flusher = match config.publish_policy {
+            PublishPolicy::Immediate => None,
+            PublishPolicy::Batched { interval_ms } => Some(spawn_flusher(
+                Arc::clone(&writer),
+                Arc::clone(&store),
+                Duration::from_millis(interval_ms.max(1)),
+                config.warm_budget,
+            )),
+        };
         Self {
             store,
-            writer: Mutex::new(writer),
+            writer,
             executor,
             sessions: SessionManager::new(),
             max_session_lag: config.max_session_lag,
+            publish_policy: config.publish_policy,
+            warm_budget: config.warm_budget,
             cache_counters: CacheCounters::default(),
+            _flusher: flusher,
         }
+    }
+
+    /// Publishes any queued updates right now (one epoch for the whole
+    /// batch) and runs the warming select, regardless of policy. Returns
+    /// the published epoch, or `None` when nothing was pending.
+    pub fn flush(&self) -> Result<Option<u64>, ServiceError> {
+        let published = {
+            let mut writer = poison::checked(self.writer.lock())?;
+            writer.publish_if_dirty()
+        };
+        if published.is_some() {
+            if let Some(budget) = self.warm_budget {
+                let _ = self.store.load().select(&warm_params(budget), None);
+            }
+        }
+        Ok(published)
     }
 
     /// Cumulative memo-cache counters (monotone across epochs).
@@ -147,19 +258,29 @@ impl PodiumService {
             Request::Select {
                 params,
                 deadline_ms,
+                stale_ok,
             } => {
                 let started = Instant::now();
-                let outcome = self
-                    .executor
-                    .run_select(params, deadline_ms.map(Duration::from_millis))?;
-                self.cache_counters.record(outcome.cache_hit);
+                let outcome = self.executor.run_select(
+                    params,
+                    deadline_ms.map(Duration::from_millis),
+                    stale_ok,
+                )?;
+                self.cache_counters.record(outcome.cache_hit, outcome.stale);
                 let elapsed_us = started.elapsed().as_micros() as u64;
-                Ok(ok_response(vec![
+                let mut fields = vec![
                     ("epoch", num_u64(outcome.epoch)),
                     ("users", string_array(&outcome.names)),
                     ("score", num_f64(outcome.selection.score)),
                     ("elapsed_us", num_u64(elapsed_us)),
-                ]))
+                ];
+                if stale_ok {
+                    // Only opted-in clients see the staleness contract
+                    // fields; the default response shape is unchanged.
+                    fields.push(("stale", Value::Bool(outcome.stale)));
+                    fields.push(("certified_score_lb", num_f64(outcome.certified_score_lb)));
+                }
+                Ok(ok_response(fields))
             }
             Request::Explain { params, top_k } => {
                 let report: Result<(u64, Value), ServiceError> =
@@ -241,19 +362,44 @@ impl PodiumService {
                 // publish from it (reads keep serving the last snapshot).
                 let mut writer = poison::checked(self.writer.lock())?;
                 let outcome = writer.apply(&update)?;
-                let epoch = writer.publish();
-                Ok(ok_response(vec![
+                let (epoch, queued) = match self.publish_policy {
+                    // One epoch per update: the original behavior.
+                    PublishPolicy::Immediate => (writer.publish(), false),
+                    // The flusher publishes the whole batch as one epoch;
+                    // report the last *published* epoch so clients can
+                    // poll for visibility.
+                    PublishPolicy::Batched { .. } => (self.store.epoch(), true),
+                };
+                let mut fields = vec![
                     ("epoch", num_u64(epoch)),
                     ("user", string(update.user)),
                     ("created_user", Value::Bool(outcome.created_user)),
                     ("regrouped", Value::Bool(outcome.regrouped)),
-                ]))
+                ];
+                if queued {
+                    fields.push(("queued", Value::Bool(true)));
+                }
+                Ok(ok_response(fields))
             }
             Request::Stats => {
                 let snapshot = self.store.load();
                 let stats = self.executor.stats();
                 let (epoch_hits, epoch_misses) = snapshot.cache_stats();
                 let (hits, misses) = self.cache_counters.totals();
+                // The epoch-build breakdown lives on the writer; a
+                // poisoned writer degrades stats rather than failing them.
+                let (publish, mode) = match self.writer.lock() {
+                    Ok(w) => (w.publish_stats().clone(), w.mode()),
+                    Err(e) => {
+                        let w = e.into_inner();
+                        (w.publish_stats().clone(), w.mode())
+                    }
+                };
+                let (publish_p50, publish_p99) = publish.latency_percentiles();
+                let mode_name = match mode {
+                    PublishMode::Incremental => "incremental",
+                    PublishMode::FullRebuild => "full_rebuild",
+                };
                 Ok(ok_response(vec![
                     ("epoch", num_u64(snapshot.epoch())),
                     ("users", num_u64(snapshot.repo().user_count() as u64)),
@@ -273,9 +419,72 @@ impl PodiumService {
                     ("cache_misses", num_u64(misses)),
                     ("epoch_cache_hits", num_u64(epoch_hits)),
                     ("epoch_cache_misses", num_u64(epoch_misses)),
+                    ("stale_served", num_u64(self.cache_counters.stale_served())),
+                    ("publish_mode", string(mode_name.to_owned())),
+                    ("publishes", num_u64(publish.publishes)),
+                    ("patched_publishes", num_u64(publish.patched_publishes)),
+                    ("rebuilt_publishes", num_u64(publish.rebuilt_publishes)),
+                    ("memos_carried", num_u64(publish.memos_carried)),
+                    ("memos_invalidated", num_u64(publish.memos_invalidated)),
+                    (
+                        "publish_batch_size",
+                        num_u64(publish.last.publish_batch_size),
+                    ),
+                    ("csr_patch_micros", num_u64(publish.last.csr_patch_micros)),
+                    (
+                        "full_rebuild_micros",
+                        num_u64(publish.last.full_rebuild_micros),
+                    ),
+                    ("publish_p50_micros", num_u64(publish_p50)),
+                    ("publish_p99_micros", num_u64(publish_p99)),
                 ]))
             }
         }
+    }
+}
+
+/// Spawns the batched-publish flusher: every `interval` it publishes the
+/// queued batch as one epoch and pre-computes the warming select so the
+/// first reader on the new epoch gets a memo hit.
+fn spawn_flusher(
+    writer: Arc<Mutex<RepositoryWriter>>,
+    store: Arc<SnapshotStore>,
+    interval: Duration,
+    warm_budget: Option<usize>,
+) -> Flusher {
+    let stop = Arc::new((Mutex::new(false), Condvar::new()));
+    let signal = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || loop {
+        {
+            let (lock, cv) = &*signal;
+            let mut stopped = poison::recover(lock.lock());
+            while !*stopped {
+                let (next, timeout) = poison::recover(cv.wait_timeout(stopped, interval));
+                stopped = next;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            if *stopped {
+                return;
+            }
+        }
+        let published = match writer.lock() {
+            Ok(mut w) => w.publish_if_dirty(),
+            // A poisoned writer refuses further publishes; readers keep
+            // serving the last snapshot and the service surfaces the
+            // poisoning on the next update-profile.
+            Err(_) => return,
+        };
+        if published.is_some() {
+            if let Some(budget) = warm_budget {
+                let _ = store.load().select(&warm_params(budget), None);
+            }
+        }
+    });
+    Flusher {
+        stop,
+        handle: Some(handle),
     }
 }
 
@@ -472,6 +681,7 @@ mod tests {
                 queue_capacity: 8,
                 default_deadline_ms: 2000,
                 max_session_lag: 2,
+                ..ServiceConfig::default()
             },
         );
         let open = parse(&svc.handle_line(r#"{"op":"open-session"}"#));
@@ -505,6 +715,173 @@ mod tests {
             gone.get("error").and_then(Value::as_str),
             Some("unknown_session"),
             "{gone:?}"
+        );
+    }
+
+    #[test]
+    fn batched_policy_queues_updates_until_flush() {
+        let mut repo = UserRepository::new();
+        let mex = repo.intern_property("avgRating Mexican");
+        for i in 0..16 {
+            let u = repo.add_user(format!("u{i}"));
+            repo.set_score(u, mex, (i as f64) / 16.0).unwrap();
+        }
+        let buckets = BucketingConfig::paper_default().bucketize(&repo);
+        let svc = PodiumService::new(
+            repo,
+            &buckets,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 8,
+                default_deadline_ms: 2000,
+                // An interval the test never reaches: only the explicit
+                // flush below publishes.
+                publish_policy: PublishPolicy::Batched {
+                    interval_ms: 3_600_000,
+                },
+                warm_budget: Some(3),
+                ..ServiceConfig::default()
+            },
+        );
+        for user in ["u1", "u2", "u3"] {
+            let resp = parse(&svc.handle_line(&format!(
+                r#"{{"op":"update-profile","user":"{user}","property":"avgRating Mexican","score":0.9}}"#
+            )));
+            assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+            assert_eq!(resp.get("queued").and_then(Value::as_bool), Some(true));
+            assert_eq!(
+                resp.get("epoch").and_then(Value::as_u64),
+                Some(0),
+                "reports the last *published* epoch while queued"
+            );
+        }
+        // Readers still see epoch 0 until the batch publishes.
+        let resp = parse(&svc.handle_line(r#"{"op":"select","budget":3}"#));
+        assert_eq!(resp.get("epoch").and_then(Value::as_u64), Some(0));
+        assert_eq!(svc.flush().unwrap(), Some(1), "one epoch for the batch");
+        assert_eq!(svc.flush().unwrap(), None, "nothing left to publish");
+        let stats = parse(&svc.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(stats.get("epoch").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            stats.get("publish_batch_size").and_then(Value::as_u64),
+            Some(3)
+        );
+        assert_eq!(stats.get("publishes").and_then(Value::as_u64), Some(1));
+        // The flush pre-warmed the budget-3 memo: the first reader on the
+        // new epoch hits it.
+        let resp = parse(&svc.handle_line(r#"{"op":"select","budget":3}"#));
+        assert_eq!(resp.get("epoch").and_then(Value::as_u64), Some(1));
+        let stats = parse(&svc.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(
+            stats.get("epoch_cache_hits").and_then(Value::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn flusher_thread_publishes_batches_on_its_own() {
+        let mut repo = UserRepository::new();
+        let mex = repo.intern_property("avgRating Mexican");
+        for i in 0..8 {
+            let u = repo.add_user(format!("u{i}"));
+            repo.set_score(u, mex, (i as f64) / 8.0).unwrap();
+        }
+        let buckets = BucketingConfig::paper_default().bucketize(&repo);
+        let svc = PodiumService::new(
+            repo,
+            &buckets,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 8,
+                default_deadline_ms: 2000,
+                publish_policy: PublishPolicy::Batched { interval_ms: 5 },
+                ..ServiceConfig::default()
+            },
+        );
+        svc.handle_line(
+            r#"{"op":"update-profile","user":"u1","property":"avgRating Mexican","score":0.9}"#,
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while svc.store().epoch() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(svc.store().epoch(), 1, "flusher published the batch");
+    }
+
+    #[test]
+    fn stale_ok_select_serves_carried_memo_over_the_wire() {
+        let svc = service();
+        // Epoch 0: memoize the budget-1 selection (u0 — covers the
+        // low-Mexican bucket and the Thai group).
+        let before = parse(&svc.handle_line(r#"{"op":"select","budget":1}"#));
+        let before_score = before.get("score").and_then(Value::as_f64).unwrap();
+        // u11 moves between the two *upper* Mexican buckets: both stay
+        // non-empty and neither is covered by the memo, so it carries.
+        svc.handle_line(
+            r#"{"op":"update-profile","user":"u11","property":"avgRating Mexican","score":0.5}"#,
+        );
+        // Default read mode recomputes and says nothing about staleness.
+        let fresh = parse(&svc.handle_line(r#"{"op":"select","budget":2}"#));
+        assert!(fresh.get("stale").is_none());
+        assert!(fresh.get("certified_score_lb").is_none());
+        // Opted-in read is served from the carried epoch-0 memo.
+        let stale = parse(&svc.handle_line(r#"{"op":"select","budget":1,"stale_ok":true}"#));
+        assert_eq!(stale.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(stale.get("stale").and_then(Value::as_bool), Some(true));
+        assert_eq!(stale.get("epoch").and_then(Value::as_u64), Some(0));
+        assert_eq!(
+            stale.get("certified_score_lb").and_then(Value::as_f64),
+            Some(before_score)
+        );
+        assert_eq!(
+            stale.get("users").and_then(Value::as_array).map(Vec::len),
+            Some(1)
+        );
+        let stats = parse(&svc.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(stats.get("stale_served").and_then(Value::as_u64), Some(1));
+        assert_eq!(stats.get("memos_carried").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn stats_expose_the_epoch_build_breakdown() {
+        let svc = service();
+        let stats = parse(&svc.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(
+            stats.get("publish_mode").and_then(Value::as_str),
+            Some("incremental")
+        );
+        assert_eq!(stats.get("publishes").and_then(Value::as_u64), Some(0));
+        svc.handle_line(
+            r#"{"op":"update-profile","user":"u11","property":"avgRating Mexican","score":0.5}"#,
+        );
+        let stats = parse(&svc.handle_line(r#"{"op":"stats"}"#));
+        for field in [
+            "publishes",
+            "patched_publishes",
+            "rebuilt_publishes",
+            "memos_carried",
+            "memos_invalidated",
+            "publish_batch_size",
+            "csr_patch_micros",
+            "full_rebuild_micros",
+            "publish_p50_micros",
+            "publish_p99_micros",
+            "stale_served",
+        ] {
+            assert!(
+                stats.get(field).and_then(Value::as_u64).is_some(),
+                "stats field '{field}' missing: {stats:?}"
+            );
+        }
+        assert_eq!(stats.get("publishes").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            stats.get("patched_publishes").and_then(Value::as_u64),
+            Some(1),
+            "a same-universe single-user move patches the CSR"
+        );
+        assert_eq!(
+            stats.get("publish_batch_size").and_then(Value::as_u64),
+            Some(1)
         );
     }
 

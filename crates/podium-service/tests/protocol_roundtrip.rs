@@ -80,6 +80,7 @@ fn request_from(
         0 => Request::Select {
             params,
             deadline_ms: if deadline == 0 { None } else { Some(deadline) },
+            stale_ok: scheme_bits & 4 != 0,
         },
         1 => Request::Explain {
             params,

@@ -24,6 +24,7 @@ use std::time::Duration;
 
 use podium_data::report::{load_report, replay, save_report, ReplayFormat, ReplayStatus};
 use podium_service::bench::{run_bench, BenchConfig, BenchTransport};
+use podium_service::snapshot::PublishMode;
 use podium_service::{PodiumService, ServiceConfig, TcpServerConfig};
 
 use crate::cli::bucketing_from;
@@ -43,11 +44,14 @@ serving subcommands:
   bench-serve [--transport inproc|tcp] [--users N] [--properties N]
         [--scores-per-user N] [--budget B] [--clients N] [--workers N]
         [--queue N] [--duration-s SECS] [--update-hz HZ]
+        [--drift-hz HZ] [--publish-mode incremental|full-rebuild]
         [--deadline-ms MS] [--seed S] [--out FILE]
       closed-loop load generator over a synthetic repository, either
       in-process or through a loopback TCP server with the resilient
       client; appends one JSONL row to --out
-      (default target/bench-serve.jsonl).
+      (default target/bench-serve.jsonl). --drift-hz is the profile-
+      drift alias of --update-hz; with --publish-mode it compares
+      incremental CSR patching against full epoch rebuilds.
   quarantine scan <document> [--format F] [--report FILE]
       lenient-load the document, print its quarantine, and (with
       --report) persist the report JSON for later replay.
@@ -198,6 +202,18 @@ pub fn parse_bench_serve_args(argv: &[String]) -> Result<BenchServeArgs, String>
                 config.duration = Duration::from_secs_f64(secs);
             }
             "--update-hz" => config.update_hz = parse_num(&value("--update-hz")?, "--update-hz")?,
+            "--drift-hz" => config.update_hz = parse_num(&value("--drift-hz")?, "--drift-hz")?,
+            "--publish-mode" => {
+                config.publish_mode = match value("--publish-mode")?.as_str() {
+                    "incremental" => PublishMode::Incremental,
+                    "full-rebuild" | "full_rebuild" => PublishMode::FullRebuild,
+                    other => {
+                        return Err(format!(
+                            "unknown publish mode '{other}' (incremental | full-rebuild)"
+                        ))
+                    }
+                }
+            }
             "--deadline-ms" => {
                 config.deadline_ms = parse_num(&value("--deadline-ms")?, "--deadline-ms")?
             }
@@ -498,6 +514,18 @@ mod tests {
     }
 
     #[test]
+    fn parse_bench_serve_drift_flags() {
+        let a =
+            parse_bench_serve_args(&argv("--drift-hz 500 --publish-mode full-rebuild")).unwrap();
+        assert_eq!(a.config.update_hz, 500, "--drift-hz aliases --update-hz");
+        assert_eq!(a.config.publish_mode, PublishMode::FullRebuild);
+        let a = parse_bench_serve_args(&argv("--publish-mode incremental")).unwrap();
+        assert_eq!(a.config.publish_mode, PublishMode::Incremental);
+        assert!(parse_bench_serve_args(&argv("--publish-mode sometimes")).is_err());
+        assert!(parse_bench_serve_args(&argv("--drift-hz")).is_err());
+    }
+
+    #[test]
     fn bench_serve_summary_and_row_agree() {
         let args = BenchServeArgs {
             config: BenchConfig {
@@ -513,6 +541,7 @@ mod tests {
                 deadline_ms: 1_000,
                 seed: 11,
                 transport: BenchTransport::InProcess,
+                publish_mode: PublishMode::Incremental,
             },
             out: "unused".into(),
         };
