@@ -24,7 +24,8 @@ use podium_core::bucket::BucketingConfig;
 use podium_core::profile::UserRepository;
 use serde_json::Value;
 
-use crate::client::{ClientConfig, ClientError, PodiumClient};
+use crate::client::{ClientConfig, ClientError, ClientHealth, PodiumClient};
+use crate::recovery::{self, DurabilityOptions};
 use crate::service::{PodiumService, ServiceConfig};
 use crate::snapshot::PublishMode;
 use crate::tcp::{TcpServer, TcpServerConfig};
@@ -166,6 +167,19 @@ pub struct BenchReport {
     pub memos_invalidated: u64,
     /// `cache_hits / (cache_hits + cache_misses)`, 0 when no selects ran.
     pub memo_hit_rate: f64,
+    /// WAL bytes on disk at the end of the run (0 when not durable).
+    pub wal_bytes: u64,
+    /// Epoch captured by the newest checkpoint (0 when not durable or no
+    /// checkpoint was cut).
+    pub last_checkpoint_epoch: u64,
+    /// Wall-clock milliseconds a cold recovery of the run's data
+    /// directory took, measured after the run (0 when not durable).
+    pub recovery_ms: f64,
+    /// Epoch the post-run recovery landed on (0 when not durable).
+    pub recovered_epoch: u64,
+    /// Final breaker/health state of each TCP client, in client order
+    /// (empty in-process).
+    pub client_health: Vec<ClientHealth>,
     /// Served requests per second.
     pub throughput_rps: f64,
     /// Median latency, microseconds.
@@ -229,6 +243,40 @@ impl BenchReport {
                 num_u64(self.memos_invalidated),
             ),
             ("memo_hit_rate".to_owned(), num_f64(self.memo_hit_rate)),
+            ("wal_bytes".to_owned(), num_u64(self.wal_bytes)),
+            (
+                "last_checkpoint_epoch".to_owned(),
+                num_u64(self.last_checkpoint_epoch),
+            ),
+            ("recovery_ms".to_owned(), num_f64(self.recovery_ms)),
+            ("recovered_epoch".to_owned(), num_u64(self.recovered_epoch)),
+            (
+                "client_health".to_owned(),
+                Value::Array(
+                    self.client_health
+                        .iter()
+                        .enumerate()
+                        .map(|(i, h)| {
+                            Value::Object(vec![
+                                ("client".to_owned(), num_u64(i as u64)),
+                                (
+                                    "state".to_owned(),
+                                    Value::String(h.state.as_str().to_owned()),
+                                ),
+                                (
+                                    "consecutive_failures".to_owned(),
+                                    num_u64(u64::from(h.consecutive_failures)),
+                                ),
+                                (
+                                    "last_transition_epoch".to_owned(),
+                                    num_u64(h.last_transition_epoch),
+                                ),
+                                ("last_seen_epoch".to_owned(), num_u64(h.last_seen_epoch)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("throughput_rps".to_owned(), num_f64(self.throughput_rps)),
             ("p50_us".to_owned(), num_u64(self.p50_us)),
             ("p90_us".to_owned(), num_u64(self.p90_us)),
@@ -320,6 +368,8 @@ struct ClientTally {
     overloaded: u64,
     inconsistent: u64,
     latencies_us: Vec<u64>,
+    /// Final breaker/health snapshot, TCP clients only.
+    health: Option<ClientHealth>,
 }
 
 impl ClientTally {
@@ -422,6 +472,7 @@ fn tcp_client_loop(
             Err(error) => tally.record_failure(classify_client_error(&error)),
         }
     }
+    tally.health = Some(client.health());
     tally
 }
 
@@ -470,6 +521,15 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 
 /// Runs the closed-loop benchmark and returns the merged report.
 pub fn run_bench(config: &BenchConfig) -> BenchReport {
+    run_bench_with(config, None)
+}
+
+/// [`run_bench`] with optional durability: when `durability` is set, the
+/// service writes its WAL and checkpoints into the given data directory,
+/// and after the measurement window the report additionally records how
+/// long a cold recovery of that directory takes (`recovery_ms`) and which
+/// epoch it lands on (`recovered_epoch`).
+pub fn run_bench_with(config: &BenchConfig, durability: Option<&DurabilityOptions>) -> BenchReport {
     let repo = synthetic_repository(
         config.users,
         config.properties,
@@ -477,17 +537,22 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
         config.seed,
     );
     let buckets = BucketingConfig::paper_default().bucketize(&repo);
-    let service = Arc::new(PodiumService::new(
-        repo,
-        &buckets,
-        ServiceConfig {
-            workers: config.workers,
-            queue_capacity: config.queue_capacity,
-            default_deadline_ms: config.deadline_ms,
-            publish_mode: config.publish_mode,
-            ..ServiceConfig::default()
-        },
-    ));
+    let service_config = ServiceConfig {
+        workers: config.workers,
+        queue_capacity: config.queue_capacity,
+        default_deadline_ms: config.deadline_ms,
+        publish_mode: config.publish_mode,
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(match durability {
+        None => PodiumService::new(repo, &buckets, service_config),
+        Some(opts) => {
+            let (service, _report) =
+                PodiumService::with_durability(repo, &buckets, service_config, opts.clone())
+                    .expect("durable bench service");
+            service
+        }
+    });
     let stop = Arc::new(AtomicBool::new(false));
     let applied = Arc::new(AtomicU64::new(0));
     let max_depth = Arc::new(AtomicU64::new(0));
@@ -540,6 +605,7 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
     stop.store(true, Ordering::Relaxed);
 
     let mut total = ClientTally::default();
+    let mut client_health = Vec::new();
     for client in clients {
         let tally = client.join().expect("client thread panicked");
         total.served += tally.served;
@@ -549,6 +615,7 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
         total.overloaded += tally.overloaded;
         total.inconsistent += tally.inconsistent;
         total.latencies_us.extend(tally.latencies_us);
+        client_health.extend(tally.health);
     }
     let elapsed = started.elapsed();
     updater.join().expect("updater thread panicked");
@@ -562,6 +629,29 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
     let stats_value: Value =
         serde_json::from_str(&service.handle_line(r#"{"op":"stats"}"#)).unwrap_or(Value::Null);
     let stat = |field: &str| stats_value.get(field).and_then(Value::as_u64).unwrap_or(0);
+
+    // With durability on, measure what a cold restart of this data
+    // directory would cost: rebuild the genesis repository and time the
+    // full checkpoint-load + WAL-replay path.
+    let (recovery_ms, recovered_epoch) = match durability {
+        None => (0.0, 0),
+        Some(opts) => {
+            let genesis = synthetic_repository(
+                config.users,
+                config.properties,
+                config.scores_per_user,
+                config.seed,
+            );
+            let recovery_started = Instant::now();
+            match recovery::recover(&opts.data_dir, genesis, &buckets, config.publish_mode) {
+                Ok((_, _, report)) => (
+                    recovery_started.elapsed().as_secs_f64() * 1_000.0,
+                    report.recovered_epoch,
+                ),
+                Err(_) => (0.0, 0),
+            }
+        }
+    };
 
     BenchReport {
         transport: config.transport.as_str(),
@@ -598,6 +688,11 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
         } else {
             0.0
         },
+        wal_bytes: stat("wal_bytes"),
+        last_checkpoint_epoch: stat("last_checkpoint_epoch"),
+        recovery_ms,
+        recovered_epoch,
+        client_health,
         throughput_rps: total.served as f64 / elapsed.as_secs_f64(),
         p50_us: percentile(&total.latencies_us, 0.50),
         p90_us: percentile(&total.latencies_us, 0.90),
@@ -683,6 +778,56 @@ mod tests {
         assert_eq!(report.failed, 0, "{report:?}");
         assert_eq!(report.inconsistent, 0, "{report:?}");
         assert_eq!(report.transport, "tcp");
+    }
+
+    #[test]
+    fn short_durable_tcp_bench_records_recovery_and_client_health() {
+        use crate::client::BreakerState;
+        let dir = std::env::temp_dir().join(format!(
+            "podium-bench-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = BenchConfig {
+            transport: BenchTransport::Tcp,
+            ..short_config()
+        };
+        let opts = DurabilityOptions::new(&dir);
+        let report = run_bench_with(&config, Some(&opts));
+        assert_eq!(report.failed, 0, "{report:?}");
+        assert!(report.updates_applied > 0, "{report:?}");
+        assert!(report.wal_bytes > 0, "{report:?}");
+        assert!(report.recovery_ms > 0.0, "{report:?}");
+        assert_eq!(
+            report.recovered_epoch, report.final_epoch,
+            "an always-fsync run recovers to its final epoch: {report:?}"
+        );
+        assert_eq!(report.client_health.len(), config.clients);
+        assert!(
+            report
+                .client_health
+                .iter()
+                .all(|h| h.state == BreakerState::Closed && h.last_seen_epoch > 0),
+            "{report:?}"
+        );
+        let row = report.to_json();
+        let value: Value = serde_json::from_str(&row).unwrap();
+        assert!(value.get("recovery_ms").is_some(), "{row}");
+        assert_eq!(
+            value.get("recovered_epoch").and_then(Value::as_u64),
+            Some(report.recovered_epoch)
+        );
+        let health = value
+            .get("client_health")
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(health.len(), config.clients);
+        assert_eq!(
+            health[0].get("state").and_then(Value::as_str),
+            Some("closed")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

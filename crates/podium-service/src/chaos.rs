@@ -21,12 +21,17 @@
 //!   harness drives the client's circuit breaker open and then lets it
 //!   recover.
 //!
-//! Determinism scope: each connection's fault decisions come from an RNG
-//! seeded `seed ^ connection_index`, so *which faults a given connection
-//! draws* is reproducible for a fixed seed and connection order. Chunk
-//! boundaries still depend on thread scheduling, so harnesses assert
-//! invariants (consistency, breaker behaviour, fault counters nonzero)
-//! rather than exact byte traces.
+//! Determinism scope: each connection's fault stream comes from an RNG
+//! seeded `seed ^ connection_index`, and each direction's byte stream is
+//! partitioned into *scripted chunks* whose lengths (1–512 bytes) are
+//! drawn from that RNG — so both the chunk boundaries (as byte offsets
+//! into the stream) and the per-chunk fault decisions are a pure function
+//! of the seed and connection order, independent of read timing. The only
+//! residual timing dependence: a disconnect whose scripted cut lies past
+//! the bytes that ever arrive severs at the next idle tick instead, and
+//! the low-level write slicing (1–7 byte writes) uses a derived cosmetic
+//! RNG that does not perturb the fault schedule. Harnesses may therefore
+//! assert per-seed fault schedules, not just aggregate invariants.
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -125,6 +130,16 @@ fn unit_float(state: &mut u64) -> f64 {
 }
 
 const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Upper bound on a scripted chunk length, in bytes.
+const MAX_SCRIPT_CHUNK: u64 = 512;
+
+/// Draws the next scripted chunk length (1–[`MAX_SCRIPT_CHUNK`] bytes)
+/// from the schedule RNG. The sequence of lengths — and therefore the
+/// byte offsets of every chunk boundary — is a pure function of the seed.
+fn scripted_chunk_len(rng: &mut u64) -> usize {
+    1 + (splitmix64(rng) % MAX_SCRIPT_CHUNK) as usize
+}
 
 impl ChaosProxy {
     /// Binds an ephemeral local port and starts proxying to `upstream`.
@@ -264,49 +279,100 @@ fn spawn_pump(shared: &Arc<ChaosShared>, from: &TcpStream, to: &TcpStream, rng: 
 /// Copies bytes `from` → `to`, injecting faults per the config. Exits on
 /// EOF, error, injected disconnect, or proxy shutdown; always severs both
 /// streams on the way out so the opposite pump exits too.
+///
+/// The stream is partitioned into scripted chunks drawn from the schedule
+/// RNG: fault decisions (stall, disconnect + cut offset) roll once when
+/// each scripted chunk *starts*, and bytes are forwarded as they arrive,
+/// so the fault schedule is deterministic without adding latency or
+/// holding bytes back from request/response traffic. A disconnect sets
+/// the chunk's effective length to the scripted cut and kills once that
+/// many bytes have been forwarded — or at the next idle tick if the
+/// sender stalls before reaching the cut.
 fn pump(shared: &ChaosShared, mut from: TcpStream, mut to: TcpStream, mut rng: u64) {
     let config = &shared.config;
     if from.set_read_timeout(Some(READ_TICK)).is_err() {
         return;
     }
-    let mut chunk = [0u8; 2048];
-    loop {
+    // Cosmetic RNG for 1–7 byte write re-slicing. Derived up front so the
+    // schedule RNG's draw sequence is independent of how reads and writes
+    // happen to interleave.
+    let mut slice_rng = splitmix64(&mut rng);
+    let _ = splitmix64(&mut slice_rng);
+    let mut buf = [0u8; 2048];
+    // Bytes left in the current scripted chunk; 0 means the next byte
+    // starts a new chunk (and rolls its fault decisions).
+    let mut remaining: usize = 0;
+    // A disconnect was rolled for the current chunk: sever once
+    // `remaining` reaches zero (or at the next idle tick).
+    let mut kill_after = false;
+    let mut dead = false;
+    while !dead {
         if shared.shutdown.load(Ordering::SeqCst) || shared.blackout.load(Ordering::SeqCst) {
             break;
         }
-        let n = match from.read(&mut chunk) {
+        let n = match from.read(&mut buf) {
             Ok(0) => break,
             Ok(n) => n,
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
+                if kill_after {
+                    // The scripted cut lies past the bytes that ever
+                    // arrived; sever at the idle tick instead.
+                    break;
+                }
                 continue;
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => break,
         };
-        if config.stall_per_chunk > 0.0 && unit_float(&mut rng) < config.stall_per_chunk {
-            shared.stats.stalls.fetch_add(1, Ordering::Relaxed);
-            std::thread::sleep(config.stall);
-        }
-        let mut payload = &chunk[..n];
-        let mut kill_after = false;
-        if config.disconnect_per_chunk > 0.0 && unit_float(&mut rng) < config.disconnect_per_chunk {
-            // Truncate at a random byte (possibly zero) and kill after
-            // forwarding — the peer sees a broken frame then EOF.
-            let cut = (splitmix64(&mut rng) % (n as u64 + 1)) as usize;
-            payload = &chunk[..cut];
-            kill_after = true;
-            shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
-        }
-        let write_ok = if config.split_writes && !payload.is_empty() {
-            shared.stats.splits.fetch_add(1, Ordering::Relaxed);
-            write_split(&mut to, payload, &mut rng)
-        } else {
-            to.write_all(payload).is_ok()
-        };
-        if kill_after || !write_ok {
-            break;
+        let mut payload = &buf[..n];
+        while !payload.is_empty() {
+            if remaining == 0 {
+                if kill_after {
+                    dead = true;
+                    break;
+                }
+                remaining = scripted_chunk_len(&mut rng);
+                if config.stall_per_chunk > 0.0 && unit_float(&mut rng) < config.stall_per_chunk {
+                    shared.stats.stalls.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(config.stall);
+                }
+                if config.disconnect_per_chunk > 0.0
+                    && unit_float(&mut rng) < config.disconnect_per_chunk
+                {
+                    // Truncate the chunk at a scripted byte (possibly
+                    // zero) and kill once it is forwarded — the peer
+                    // sees a broken frame then EOF.
+                    remaining = (splitmix64(&mut rng) % (remaining as u64 + 1)) as usize;
+                    kill_after = true;
+                    shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                    if remaining == 0 {
+                        dead = true;
+                        break;
+                    }
+                }
+                if config.split_writes {
+                    shared.stats.splits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let take = payload.len().min(remaining);
+            let (now, rest) = payload.split_at(take);
+            let write_ok = if config.split_writes {
+                write_split(&mut to, now, &mut slice_rng)
+            } else {
+                to.write_all(now).is_ok()
+            };
+            if !write_ok {
+                dead = true;
+                break;
+            }
+            remaining -= take;
+            payload = rest;
+            if remaining == 0 && kill_after {
+                dead = true;
+                break;
+            }
         }
     }
     let _ = from.shutdown(Shutdown::Both);
@@ -450,6 +516,39 @@ mod tests {
         let n = reader.read_line(&mut line).unwrap_or(0);
         assert_eq!(n, 0, "connection survived an injected disconnect");
         assert!(proxy.stats().disconnects.load(Ordering::Relaxed) >= 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn scripted_chunk_schedule_is_deterministic_and_bounded() {
+        let schedule = |seed: u64| -> Vec<usize> {
+            let mut rng = seed;
+            (0..64).map(|_| scripted_chunk_len(&mut rng)).collect()
+        };
+        let a = schedule(0xC4A0_0001);
+        assert_eq!(a, schedule(0xC4A0_0001));
+        assert_ne!(a, schedule(0xC4A0_0002));
+        assert!(a
+            .iter()
+            .all(|&len| (1..=MAX_SCRIPT_CHUNK as usize).contains(&len)));
+        // The schedule actually varies — it is not a constant chunk size.
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn scripted_chunks_preserve_large_payloads() {
+        // A payload spanning many scripted chunks must arrive intact.
+        let (upstream, _handle) = echo_server();
+        let proxy = ChaosProxy::bind(upstream, ChaosConfig::default()).unwrap();
+        let stream = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let msg = format!("{}\n", "payload".repeat(1200));
+        writer.write_all(msg.as_bytes()).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, msg);
+        assert!(proxy.stats().splits.load(Ordering::Relaxed) > 1);
         proxy.shutdown();
     }
 

@@ -102,6 +102,21 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// A point-in-time view of the client's breaker/health state, as
+/// surfaced in bench-serve's JSONL `peers` array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientHealth {
+    /// The breaker's current state.
+    pub state: BreakerState,
+    /// Consecutive transport failures since the last response.
+    pub consecutive_failures: u32,
+    /// The client's epoch view at the most recent breaker transition
+    /// (close→open or back); `0` when no transition has happened.
+    pub last_transition_epoch: u64,
+    /// Highest `epoch` field seen in any response (`0` before the first).
+    pub last_seen_epoch: u64,
+}
+
 /// The breaker's observable state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BreakerState {
@@ -227,6 +242,8 @@ pub struct PodiumClient {
     rng: u64,
     stats: ClientStats,
     read_buffer: Vec<u8>,
+    last_seen_epoch: u64,
+    last_transition_epoch: u64,
 }
 
 impl std::fmt::Debug for PodiumClient {
@@ -255,12 +272,24 @@ impl PodiumClient {
             stream: None,
             stats: ClientStats::default(),
             read_buffer: Vec::with_capacity(1024),
+            last_seen_epoch: 0,
+            last_transition_epoch: 0,
         }
     }
 
     /// Counters so far.
     pub fn stats(&self) -> ClientStats {
         self.stats
+    }
+
+    /// The client's breaker/health view, for health reporting.
+    pub fn health(&self) -> ClientHealth {
+        ClientHealth {
+            state: self.breaker.state,
+            consecutive_failures: self.breaker.consecutive_failures,
+            last_transition_epoch: self.last_transition_epoch,
+            last_seen_epoch: self.last_seen_epoch,
+        }
     }
 
     /// The breaker's current state (Open is reported as such even if the
@@ -303,8 +332,15 @@ impl PodiumClient {
             }
             match self.attempt(line, deadline) {
                 Ok(value) => {
+                    if self.breaker.state != BreakerState::Closed {
+                        // Recovery transition: stamp the epoch view.
+                        self.last_transition_epoch = self.last_seen_epoch;
+                    }
                     self.breaker.record_success();
                     self.stats.successes += 1;
+                    if let Some(epoch) = value.get("epoch").and_then(Value::as_u64) {
+                        self.last_seen_epoch = self.last_seen_epoch.max(epoch);
+                    }
                     return Ok(value);
                 }
                 Err(AttemptError::Timeout) => {
@@ -326,6 +362,7 @@ impl PodiumClient {
                     self.stats.transport_errors += 1;
                     if self.breaker.record_failure(Instant::now()) {
                         self.stats.breaker_opens += 1;
+                        self.last_transition_epoch = self.last_seen_epoch;
                     }
                     if self.breaker.state == BreakerState::Open {
                         // Opened (or re-opened from half-open) mid-call:
@@ -553,6 +590,9 @@ mod tests {
         assert!(matches!(err, ClientError::Transport(_)), "{err:?}");
         assert_eq!(client.breaker_state(), BreakerState::Open);
         assert_eq!(client.stats().breaker_opens, 1);
+        let health = client.health();
+        assert_eq!(health.state, BreakerState::Open);
+        assert!(health.consecutive_failures >= 3, "{health:?}");
         // While open (cooldown not elapsed) calls fail fast.
         let err = client.call(r#"{"op":"stats"}"#).unwrap_err();
         assert_eq!(err, ClientError::BreakerOpen);

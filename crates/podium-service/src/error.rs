@@ -37,6 +37,10 @@ pub enum ServiceError {
     ShuttingDown,
     /// An error surfaced from the core selection layer.
     Core(CoreError),
+    /// The durable log or a checkpoint could not be written, or recovery
+    /// from them failed. The service refuses to acknowledge updates it
+    /// cannot make durable.
+    Durability(String),
 }
 
 impl ServiceError {
@@ -51,6 +55,7 @@ impl ServiceError {
             ServiceError::SessionRetired { .. } => "session_retired",
             ServiceError::ShuttingDown => "shutting_down",
             ServiceError::Core(_) => "core",
+            ServiceError::Durability(_) => "durability",
         }
     }
 }
@@ -72,6 +77,7 @@ impl std::fmt::Display for ServiceError {
             ),
             ServiceError::ShuttingDown => write!(f, "service shutting down"),
             ServiceError::Core(e) => write!(f, "{e}"),
+            ServiceError::Durability(m) => write!(f, "durability: {m}"),
         }
     }
 }
@@ -105,5 +111,6 @@ mod tests {
         );
         assert_eq!(ServiceError::ShuttingDown.code(), "shutting_down");
         assert_eq!(ServiceError::Core(CoreError::ZeroBudget).code(), "core");
+        assert_eq!(ServiceError::Durability("x".into()).code(), "durability");
     }
 }

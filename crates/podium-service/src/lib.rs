@@ -29,6 +29,11 @@
 //! * [`chaos`] — a deterministic in-process chaos proxy injecting write
 //!   splits, mid-frame disconnects, stalls, and refusals from a seeded
 //!   splitmix64 stream, for transport-resilience tests;
+//! * [`wal`] + [`recovery`] — the durability subsystem: a checksummed,
+//!   length-prefixed write-ahead log with a configurable fsync policy,
+//!   atomic checkpoint files, and a startup recovery path that loads the
+//!   newest valid checkpoint, replays the WAL suffix through the ordinary
+//!   publish path, and quarantines torn tails instead of panicking;
 //! * [`bench`] — a closed-loop load generator reporting sustained
 //!   throughput and latency percentiles while a background writer streams
 //!   profile updates, in-process or over TCP.
@@ -47,15 +52,19 @@ pub mod error;
 pub mod executor;
 pub mod poison;
 pub mod protocol;
+pub mod recovery;
 pub mod server;
 pub mod service;
 pub mod session;
 pub mod snapshot;
 pub mod tcp;
+pub mod wal;
 
 pub use chaos::{ChaosConfig, ChaosProxy};
-pub use client::{BreakerState, ClientConfig, ClientError, PodiumClient};
+pub use client::{BreakerState, ClientConfig, ClientError, ClientHealth, PodiumClient};
 pub use error::ServiceError;
-pub use service::{PodiumService, ServiceConfig};
+pub use recovery::{DurabilityOptions, RecoveryReport};
+pub use service::{PeerHealth, PodiumService, ServiceConfig};
 pub use snapshot::{ProfileUpdate, RepositoryWriter, Snapshot, SnapshotStore};
 pub use tcp::{TcpServer, TcpServerConfig};
+pub use wal::FsyncPolicy;

@@ -28,6 +28,7 @@
 //! | `session_retired`   | pinned epoch fell behind `max_session_lag`     | reopen and replay      |
 //! | `shutting_down`     | service is draining; no new work accepted      | fail over              |
 //! | `core`              | selection-layer error (e.g. zero budget)       | fix the request        |
+//! | `durability`        | WAL append/fsync or checkpoint/recovery failed | fail over; the update was not made durable |
 //!
 //! Wire flags — optional request booleans that change serving semantics:
 //!

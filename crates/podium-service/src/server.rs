@@ -21,12 +21,23 @@ pub fn serve_lines<R: BufRead, W: Write>(
     reader: R,
     mut writer: W,
 ) -> io::Result<()> {
+    serve_lines_from(service, "stdio", reader, &mut writer)
+}
+
+/// [`serve_lines`] with an explicit peer label for per-peer health
+/// tracking in the `stats` op.
+pub fn serve_lines_from<R: BufRead, W: Write>(
+    service: &PodiumService,
+    peer: &str,
+    reader: R,
+    writer: &mut W,
+) -> io::Result<()> {
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let response = service.handle_line(&line);
+        let response = service.handle_line_from(peer, &line);
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -38,13 +49,14 @@ pub fn serve_lines<R: BufRead, W: Write>(
 pub fn serve_stdio(service: &PodiumService) -> io::Result<()> {
     let stdin = io::stdin();
     let stdout = io::stdout();
-    serve_lines(service, stdin.lock(), stdout.lock())
+    let mut out = stdout.lock();
+    serve_lines_from(service, "stdio", stdin.lock(), &mut out)
 }
 
 fn handle_connection(service: &PodiumService, stream: UnixStream) -> io::Result<()> {
     let reader = BufReader::new(stream.try_clone()?);
-    let writer = BufWriter::new(stream);
-    serve_lines(service, reader, writer)
+    let mut writer = BufWriter::new(stream);
+    serve_lines_from(service, "unix", reader, &mut writer)
 }
 
 /// Binds `path` and serves connections forever (one thread per client).

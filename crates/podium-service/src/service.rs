@@ -1,6 +1,7 @@
 //! [`PodiumService`]: the embeddable facade tying the snapshot store,
 //! writer, executor, and session layer together behind the JSONL protocol.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -20,8 +21,10 @@ use crate::protocol::{
     self, error_response, num_f64, num_u64, ok_response, parse_request, string, string_array,
     Request,
 };
+use crate::recovery::{self, DurabilityOptions, RecoveryReport};
 use crate::session::SessionManager;
-use crate::snapshot::{PublishMode, RepositoryWriter, SelectParams, SnapshotStore};
+use crate::snapshot::{ProfileUpdate, PublishMode, RepositoryWriter, SelectParams, SnapshotStore};
+use crate::wal::WalWriter;
 
 /// When each applied update becomes visible to readers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -124,6 +127,103 @@ impl CacheCounters {
     }
 }
 
+/// The mutable half of the durability subsystem: the WAL appender and the
+/// checkpoint cadence. Guarded by one mutex; every holder already holds
+/// the writer lock (lock order: writer → durability), so WAL appends are
+/// serialized in the same order updates are applied.
+#[derive(Debug)]
+struct DurabilityState {
+    wal: WalWriter,
+    dir: PathBuf,
+    /// Frames between checkpoints; `0` disables periodic checkpoints.
+    checkpoint_every: u64,
+    frames_since_checkpoint: u64,
+}
+
+/// Shared durability handle: WAL + checkpoints behind a mutex, and the
+/// lock-free counters the `stats` op reads.
+#[derive(Debug)]
+pub struct DurabilityHandle {
+    inner: Mutex<DurabilityState>,
+    wal_bytes: AtomicU64,
+    last_checkpoint_epoch: AtomicU64,
+    recovery_replayed: AtomicU64,
+}
+
+impl DurabilityHandle {
+    /// Valid WAL bytes (recovered prefix + this run's appends).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Epoch of the most recent checkpoint (this run's, else the one
+    /// recovery loaded).
+    pub fn last_checkpoint_epoch(&self) -> u64 {
+        self.last_checkpoint_epoch.load(Ordering::Relaxed)
+    }
+
+    /// WAL frames recovery replayed at startup.
+    pub fn recovery_replayed(&self) -> u64 {
+        self.recovery_replayed.load(Ordering::Relaxed)
+    }
+
+    /// Appends one accepted update as a WAL frame and fsyncs per policy.
+    /// `epoch` is the epoch the batch will publish at (`0` = unassigned,
+    /// batched policy). An error here means the update must NOT be
+    /// acknowledged.
+    fn log_update(&self, epoch: u64, update: &ProfileUpdate) -> Result<(), ServiceError> {
+        let mut state = poison::checked(self.inner.lock())?;
+        state.wal.append(epoch, vec![update.clone()])?;
+        state.frames_since_checkpoint += 1;
+        self.wal_bytes
+            .store(state.wal.bytes_written(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Writes a checkpoint when the cadence says so. The caller holds the
+    /// writer lock, so the serialized repository is exactly the state at
+    /// the WAL's current sequence. Syncs the WAL first so a checkpoint
+    /// never claims coverage of frames that were still in page cache.
+    fn maybe_checkpoint(&self, writer: &RepositoryWriter) -> Result<(), ServiceError> {
+        let mut state = poison::checked(self.inner.lock())?;
+        if state.checkpoint_every == 0 || state.frames_since_checkpoint < state.checkpoint_every {
+            return Ok(());
+        }
+        state.wal.sync()?;
+        let profiles = podium_data::json::profiles_to_json(writer.repo())
+            .map_err(|e| ServiceError::Durability(format!("serialize checkpoint: {e}")))?;
+        let seq = state.wal.next_seq().saturating_sub(1);
+        recovery::write_checkpoint(&state.dir, seq, writer.epoch(), &profiles)?;
+        state.frames_since_checkpoint = 0;
+        self.last_checkpoint_epoch
+            .store(writer.epoch(), Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Health of one peer (connection label) as tracked by the server side:
+/// consecutive failed responses flip it to `degraded`, one success flips
+/// it back. Transitions are stamped with the epoch current at the flip.
+#[derive(Debug, Clone, Default)]
+pub struct PeerHealth {
+    /// `true` after [`PEER_DEGRADE_AFTER`] consecutive failures.
+    pub degraded: bool,
+    /// Failed responses since the last success.
+    pub consecutive_failures: u32,
+    /// Epoch at the most recent ok↔degraded transition (0 = never).
+    pub last_transition_epoch: u64,
+    /// Total requests from this peer.
+    pub requests: u64,
+    /// Total failed responses to this peer.
+    pub errors: u64,
+}
+
+/// Consecutive failures before a peer is reported `degraded`.
+pub const PEER_DEGRADE_AFTER: u32 = 3;
+
+/// Peers tracked at once; the oldest entry is evicted beyond this.
+const PEER_REGISTRY_CAP: usize = 64;
+
 /// Shutdown signal + join handle of the batched-publish flusher thread.
 #[derive(Debug)]
 struct Flusher {
@@ -156,6 +256,11 @@ pub struct PodiumService {
     publish_policy: PublishPolicy,
     warm_budget: Option<usize>,
     cache_counters: CacheCounters,
+    /// WAL + checkpoints; `None` when running volatile (no `--data-dir`).
+    durability: Option<Arc<DurabilityHandle>>,
+    /// Per-peer health, keyed by the connection label the transport
+    /// passes to [`PodiumService::handle_line_from`].
+    peers: Mutex<Vec<(String, PeerHealth)>>,
     /// Joined (and thereby stopped) on drop; `None` under
     /// [`PublishPolicy::Immediate`].
     _flusher: Option<Flusher>,
@@ -177,6 +282,52 @@ impl PodiumService {
     /// the new epoch's memo cache.
     pub fn new(repo: UserRepository, buckets: &PropertyBuckets, config: ServiceConfig) -> Self {
         let (store, writer) = RepositoryWriter::with_mode(repo, buckets, config.publish_mode);
+        Self::assemble(store, writer, config, None)
+    }
+
+    /// [`PodiumService::new`] with durability: recovers the data
+    /// directory's state (newest valid checkpoint + WAL suffix replay,
+    /// torn tails quarantined), opens the WAL for appending, and from
+    /// then on logs every accepted `update-profile` before it is
+    /// acknowledged. Returns the service and what recovery found.
+    ///
+    /// `repo` is the genesis repository (the `--profiles` load); it only
+    /// matters on the first start or when every checkpoint is rejected,
+    /// since the WAL replays the full update history on top of it.
+    pub fn with_durability(
+        repo: UserRepository,
+        buckets: &PropertyBuckets,
+        config: ServiceConfig,
+        opts: DurabilityOptions,
+    ) -> Result<(Self, RecoveryReport), ServiceError> {
+        let (store, writer, report) =
+            recovery::recover(&opts.data_dir, repo, buckets, config.publish_mode)?;
+        let wal = WalWriter::open(
+            &opts.data_dir,
+            opts.fsync,
+            report.next_seq,
+            report.wal_bytes,
+        )?;
+        let handle = Arc::new(DurabilityHandle {
+            inner: Mutex::new(DurabilityState {
+                wal,
+                dir: opts.data_dir,
+                checkpoint_every: opts.checkpoint_every,
+                frames_since_checkpoint: 0,
+            }),
+            wal_bytes: AtomicU64::new(report.wal_bytes),
+            last_checkpoint_epoch: AtomicU64::new(report.checkpoint_epoch),
+            recovery_replayed: AtomicU64::new(report.replayed_frames),
+        });
+        Ok((Self::assemble(store, writer, config, Some(handle)), report))
+    }
+
+    fn assemble(
+        store: Arc<SnapshotStore>,
+        writer: RepositoryWriter,
+        config: ServiceConfig,
+        durability: Option<Arc<DurabilityHandle>>,
+    ) -> Self {
         let writer = Arc::new(Mutex::new(writer));
         let executor = QueryExecutor::new(
             Arc::clone(&store),
@@ -193,6 +344,7 @@ impl PodiumService {
                 Arc::clone(&store),
                 Duration::from_millis(interval_ms.max(1)),
                 config.warm_budget,
+                durability.clone(),
             )),
         };
         Self {
@@ -204,8 +356,15 @@ impl PodiumService {
             publish_policy: config.publish_policy,
             warm_budget: config.warm_budget,
             cache_counters: CacheCounters::default(),
+            durability,
+            peers: Mutex::new(Vec::new()),
             _flusher: flusher,
         }
+    }
+
+    /// The durability handle, when the service runs with a data dir.
+    pub fn durability(&self) -> Option<&Arc<DurabilityHandle>> {
+        self.durability.as_ref()
     }
 
     /// Publishes any queued updates right now (one epoch for the whole
@@ -214,7 +373,15 @@ impl PodiumService {
     pub fn flush(&self) -> Result<Option<u64>, ServiceError> {
         let published = {
             let mut writer = poison::checked(self.writer.lock())?;
-            writer.publish_if_dirty()
+            let published = writer.publish_if_dirty();
+            if published.is_some() {
+                if let Some(d) = &self.durability {
+                    // Checkpoints are accelerators: a failed one costs
+                    // recovery time, never durability (the WAL has it all).
+                    let _ = d.maybe_checkpoint(&writer);
+                }
+            }
+            published
         };
         if published.is_some() {
             if let Some(budget) = self.warm_budget {
@@ -249,6 +416,54 @@ impl PodiumService {
                 Err(e) => error_response(&e),
             },
             Err(e) => error_response(&e),
+        }
+    }
+
+    /// [`PodiumService::handle_line`] with a peer label (a remote address
+    /// or transport name) for per-peer health tracking: consecutive
+    /// failure responses degrade the peer, a success recovers it, and the
+    /// `stats` op reports the registry.
+    pub fn handle_line_from(&self, peer: &str, line: &str) -> String {
+        let response = self.handle_line(line);
+        // `ok` is always the first field of a response (see
+        // `protocol::ok_response`), so a prefix check classifies it.
+        self.record_peer(peer, response.starts_with("{\"ok\":true"));
+        response
+    }
+
+    /// A snapshot of the per-peer health registry.
+    pub fn peer_health(&self) -> Vec<(String, PeerHealth)> {
+        poison::recover(self.peers.lock()).clone()
+    }
+
+    fn record_peer(&self, peer: &str, success: bool) {
+        let epoch = self.store.epoch();
+        let mut peers = poison::recover(self.peers.lock());
+        let entry = match peers.iter_mut().find(|(name, _)| name == peer) {
+            Some((_, health)) => health,
+            None => {
+                if peers.len() >= PEER_REGISTRY_CAP {
+                    peers.remove(0);
+                }
+                peers.push((peer.to_owned(), PeerHealth::default()));
+                // podium-lint: allow(expect) — the entry was pushed on the line above
+                &mut peers.last_mut().expect("registry is non-empty").1
+            }
+        };
+        entry.requests += 1;
+        if success {
+            entry.consecutive_failures = 0;
+            if entry.degraded {
+                entry.degraded = false;
+                entry.last_transition_epoch = epoch;
+            }
+        } else {
+            entry.errors += 1;
+            entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
+            if !entry.degraded && entry.consecutive_failures >= PEER_DEGRADE_AFTER {
+                entry.degraded = true;
+                entry.last_transition_epoch = epoch;
+            }
         }
     }
 
@@ -362,6 +577,19 @@ impl PodiumService {
                 // publish from it (reads keep serving the last snapshot).
                 let mut writer = poison::checked(self.writer.lock())?;
                 let outcome = writer.apply(&update)?;
+                if let Some(d) = &self.durability {
+                    // Log before publish, ack after fsync (per policy): an
+                    // acknowledged update is in the WAL. An append failure
+                    // leaves the update applied but unpublished and
+                    // unacknowledged — recovery resolves the ambiguity in
+                    // the client's disfavor, exactly like a crash between
+                    // send and ack.
+                    let epoch_hint = match self.publish_policy {
+                        PublishPolicy::Immediate => writer.epoch().saturating_add(1),
+                        PublishPolicy::Batched { .. } => 0,
+                    };
+                    d.log_update(epoch_hint, &update)?;
+                }
                 let (epoch, queued) = match self.publish_policy {
                     // One epoch per update: the original behavior.
                     PublishPolicy::Immediate => (writer.publish(), false),
@@ -370,6 +598,14 @@ impl PodiumService {
                     // poll for visibility.
                     PublishPolicy::Batched { .. } => (self.store.epoch(), true),
                 };
+                if let Some(d) = &self.durability {
+                    if matches!(self.publish_policy, PublishPolicy::Immediate) {
+                        // Checkpoints are accelerators: a failed one costs
+                        // recovery time, never durability. Batched-policy
+                        // checkpoints run in the flusher, after publish.
+                        let _ = d.maybe_checkpoint(&writer);
+                    }
+                }
                 let mut fields = vec![
                     ("epoch", num_u64(epoch)),
                     ("user", string(update.user)),
@@ -400,6 +636,41 @@ impl PodiumService {
                     PublishMode::Incremental => "incremental",
                     PublishMode::FullRebuild => "full_rebuild",
                 };
+                let peers = Value::Array(
+                    self.peer_health()
+                        .into_iter()
+                        .map(|(name, h)| {
+                            Value::Object(vec![
+                                ("peer".to_owned(), string(name)),
+                                (
+                                    "state".to_owned(),
+                                    string(if h.degraded { "degraded" } else { "ok" }),
+                                ),
+                                (
+                                    "consecutive_failures".to_owned(),
+                                    num_u64(u64::from(h.consecutive_failures)),
+                                ),
+                                (
+                                    "last_transition_epoch".to_owned(),
+                                    num_u64(h.last_transition_epoch),
+                                ),
+                                ("requests".to_owned(), num_u64(h.requests)),
+                                ("errors".to_owned(), num_u64(h.errors)),
+                            ])
+                        })
+                        .collect(),
+                );
+                let (wal_bytes, last_checkpoint_epoch, recovery_replayed) = self
+                    .durability
+                    .as_ref()
+                    .map(|d| {
+                        (
+                            d.wal_bytes(),
+                            d.last_checkpoint_epoch(),
+                            d.recovery_replayed(),
+                        )
+                    })
+                    .unwrap_or_default();
                 Ok(ok_response(vec![
                     ("epoch", num_u64(snapshot.epoch())),
                     ("users", num_u64(snapshot.repo().user_count() as u64)),
@@ -437,6 +708,10 @@ impl PodiumService {
                     ),
                     ("publish_p50_micros", num_u64(publish_p50)),
                     ("publish_p99_micros", num_u64(publish_p99)),
+                    ("wal_bytes", num_u64(wal_bytes)),
+                    ("last_checkpoint_epoch", num_u64(last_checkpoint_epoch)),
+                    ("recovery_replayed", num_u64(recovery_replayed)),
+                    ("peers", peers),
                 ]))
             }
         }
@@ -451,6 +726,7 @@ fn spawn_flusher(
     store: Arc<SnapshotStore>,
     interval: Duration,
     warm_budget: Option<usize>,
+    durability: Option<Arc<DurabilityHandle>>,
 ) -> Flusher {
     let stop = Arc::new((Mutex::new(false), Condvar::new()));
     let signal = Arc::clone(&stop);
@@ -470,7 +746,19 @@ fn spawn_flusher(
             }
         }
         let published = match writer.lock() {
-            Ok(mut w) => w.publish_if_dirty(),
+            Ok(mut w) => {
+                let published = w.publish_if_dirty();
+                if published.is_some() {
+                    if let Some(d) = &durability {
+                        // After publish, under the writer lock: the repo
+                        // has no pending updates, so the checkpoint's
+                        // epoch matches its contents exactly. Failures
+                        // cost recovery time, never durability.
+                        let _ = d.maybe_checkpoint(&w);
+                    }
+                }
+                published
+            }
             // A poisoned writer refuses further publishes; readers keep
             // serving the last snapshot and the service surfaces the
             // poisoning on the next update-profile.
@@ -882,6 +1170,111 @@ mod tests {
         assert_eq!(
             stats.get("publish_batch_size").and_then(Value::as_u64),
             Some(1)
+        );
+    }
+
+    #[test]
+    fn durable_service_survives_restart() {
+        let dir = std::env::temp_dir().join(format!("podium-svc-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let build = || {
+            let mut repo = UserRepository::new();
+            let mex = repo.intern_property("avgRating Mexican");
+            for i in 0..16 {
+                let u = repo.add_user(format!("u{i}"));
+                repo.set_score(u, mex, (i as f64) / 16.0).unwrap();
+            }
+            let buckets = BucketingConfig::paper_default().bucketize(&repo);
+            (repo, buckets)
+        };
+        let config = ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            default_deadline_ms: 2000,
+            ..ServiceConfig::default()
+        };
+        let (repo, buckets) = build();
+        let (svc, report) =
+            PodiumService::with_durability(repo, &buckets, config, DurabilityOptions::new(&dir))
+                .unwrap();
+        assert_eq!(report.recovered_epoch, 0);
+        for (i, user) in ["newbie-a", "newbie-b"].iter().enumerate() {
+            let resp = parse(&svc.handle_line(&format!(
+                r#"{{"op":"update-profile","user":"{user}","property":"avgRating Mexican","score":0.7}}"#
+            )));
+            assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+            assert_eq!(
+                resp.get("epoch").and_then(Value::as_u64),
+                Some(i as u64 + 1)
+            );
+        }
+        let stats = parse(&svc.handle_line(r#"{"op":"stats"}"#));
+        assert!(stats.get("wal_bytes").and_then(Value::as_u64).unwrap() > 0);
+        assert_eq!(
+            stats.get("recovery_replayed").and_then(Value::as_u64),
+            Some(0)
+        );
+        drop(svc);
+
+        let (repo, buckets) = build();
+        let (svc, report) =
+            PodiumService::with_durability(repo, &buckets, config, DurabilityOptions::new(&dir))
+                .unwrap();
+        assert_eq!(report.replayed_frames, 2);
+        assert_eq!(report.recovered_epoch, 2);
+        let stats = parse(&svc.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(stats.get("epoch").and_then(Value::as_u64), Some(2));
+        assert_eq!(stats.get("users").and_then(Value::as_u64), Some(18));
+        assert_eq!(
+            stats.get("recovery_replayed").and_then(Value::as_u64),
+            Some(2)
+        );
+        // The recovered service keeps appending where the log left off.
+        let resp = parse(&svc.handle_line(
+            r#"{"op":"update-profile","user":"newbie-c","property":"avgRating Mexican","score":0.2}"#,
+        ));
+        assert_eq!(resp.get("epoch").and_then(Value::as_u64), Some(3));
+        drop(svc);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peer_health_degrades_and_recovers_in_stats() {
+        let svc = service();
+        for _ in 0..PEER_DEGRADE_AFTER {
+            svc.handle_line_from("10.0.0.9:1234", "garbage");
+        }
+        svc.handle_line_from("10.0.0.7:5678", r#"{"op":"select","budget":3}"#);
+        let stats = parse(&svc.handle_line(r#"{"op":"stats"}"#));
+        let peers = stats.get("peers").and_then(Value::as_array).unwrap();
+        assert_eq!(peers.len(), 2);
+        let find = |name: &str| {
+            peers
+                .iter()
+                .find(|p| p.get("peer").and_then(Value::as_str) == Some(name))
+                .unwrap_or_else(|| panic!("peer {name} missing: {peers:?}"))
+        };
+        let bad = find("10.0.0.9:1234");
+        assert_eq!(bad.get("state").and_then(Value::as_str), Some("degraded"));
+        assert_eq!(
+            bad.get("consecutive_failures").and_then(Value::as_u64),
+            Some(u64::from(PEER_DEGRADE_AFTER))
+        );
+        let good = find("10.0.0.7:5678");
+        assert_eq!(good.get("state").and_then(Value::as_str), Some("ok"));
+        assert_eq!(good.get("errors").and_then(Value::as_u64), Some(0));
+        // One success flips the degraded peer back.
+        svc.handle_line_from("10.0.0.9:1234", r#"{"op":"select","budget":3}"#);
+        let stats = parse(&svc.handle_line(r#"{"op":"stats"}"#));
+        let peers = stats.get("peers").and_then(Value::as_array).unwrap();
+        let back = peers
+            .iter()
+            .find(|p| p.get("peer").and_then(Value::as_str) == Some("10.0.0.9:1234"))
+            .unwrap();
+        assert_eq!(back.get("state").and_then(Value::as_str), Some("ok"));
+        assert_eq!(
+            back.get("consecutive_failures").and_then(Value::as_u64),
+            Some(0)
         );
     }
 

@@ -697,6 +697,43 @@ impl RepositoryWriter {
         self.epoch
     }
 
+    /// The writer's working repository — what a checkpoint serializes.
+    /// Between `apply` and `publish` this is ahead of the published
+    /// snapshot; checkpoint callers sync (publish) first.
+    pub fn repo(&self) -> &UserRepository {
+        &self.repo
+    }
+
+    /// Jumps a freshly-built writer to `epoch` by republishing its current
+    /// state there, so epochs stay monotone across a recovery. Publishing
+    /// with no pending changes is the documented sync-barrier path, and
+    /// the epoch jump clears the (empty) history so nothing tries to span
+    /// the gap. Returns the published epoch (`epoch` itself, or `0`
+    /// untouched when asked for the genesis epoch).
+    pub fn resume_at_epoch(&mut self, epoch: u64) -> u64 {
+        if epoch == 0 {
+            return 0;
+        }
+        self.epoch = epoch - 1;
+        self.history.clear();
+        self.publish()
+    }
+
+    /// Aligns the *next* publish to land exactly on `epoch`. Returns
+    /// `false` when `epoch` is not ahead of the current one (replay would
+    /// go backwards — corruption). A jump of more than one clears the
+    /// history so incremental catch-up never spans the gap.
+    pub fn align_next_epoch(&mut self, epoch: u64) -> bool {
+        if epoch <= self.epoch {
+            return false;
+        }
+        if epoch > self.epoch + 1 {
+            self.history.clear();
+        }
+        self.epoch = epoch - 1;
+        true
+    }
+
     /// Applies one update to the writer's working state. Not visible to
     /// readers until [`RepositoryWriter::publish`].
     pub fn apply(&mut self, update: &ProfileUpdate) -> Result<ApplyOutcome, ServiceError> {

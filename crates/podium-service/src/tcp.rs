@@ -242,6 +242,10 @@ fn serve_connection(shared: &TcpShared, mut stream: TcpStream) {
     if stream.set_read_timeout(Some(READ_TICK)).is_err() {
         return;
     }
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "tcp-unknown".to_owned());
     let mut pending: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     let mut last_request = Instant::now();
@@ -257,7 +261,7 @@ fn serve_connection(shared: &TcpShared, mut stream: TcpStream) {
                 continue;
             }
             shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-            let response = shared.service.handle_line(line);
+            let response = shared.service.handle_line_from(&peer, line);
             if write_response(&mut stream, &response).is_err() {
                 return;
             }

@@ -45,10 +45,13 @@ fn run_serve(argv: &[String]) {
         Err(e) => usage_error(&e),
     };
     let profiles = read_file(&args.profiles);
-    let service = match service_cli::build_service(&profiles, &args) {
+    let (service, recovery) = match service_cli::build_service(&profiles, &args) {
         Ok(s) => s,
         Err(e) => fail(&e),
     };
+    if let Some(report) = &recovery {
+        eprintln!("podium-cli: {}", service_cli::describe_recovery(report));
+    }
     if let Some(addr) = &args.tcp {
         // TCP serving: the listener runs on background threads, so this
         // thread just parks; the process is stopped by signal.
@@ -132,17 +135,42 @@ fn run_quarantine(argv: &[String]) {
                 Err(e) => fail(&e),
             }
         }
-        QuarantineCmd::Replay { report, input } => {
+        QuarantineCmd::Replay {
+            report,
+            input,
+            max_attempts,
+            backoff_base_ms,
+            backoff_cap_ms,
+            mut seed,
+        } => {
             let report_json = read_file(&report);
-            let document = read_file(&input);
-            match service_cli::quarantine_replay(&report_json, &document) {
-                Ok((human, clean)) => {
-                    print!("{human}");
-                    if !clean {
-                        std::process::exit(1);
+            // The document is re-read before every attempt: the point of
+            // retrying is that someone (or something) is editing it.
+            for attempt in 1..=max_attempts {
+                let document = read_file(&input);
+                match service_cli::quarantine_replay(&report_json, &document) {
+                    Ok((human, clean)) => {
+                        print!("{human}");
+                        if clean {
+                            return;
+                        }
+                        if attempt == max_attempts {
+                            std::process::exit(1);
+                        }
+                        let sleep_ms = service_cli::compute_backoff_ms(
+                            backoff_base_ms,
+                            backoff_cap_ms,
+                            attempt,
+                            &mut seed,
+                        );
+                        eprintln!(
+                            "podium-cli: replay attempt {attempt}/{max_attempts} not clean; \
+                             retrying in {sleep_ms} ms"
+                        );
+                        std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
                     }
+                    Err(e) => fail(&e),
                 }
-                Err(e) => fail(&e),
             }
         }
     }

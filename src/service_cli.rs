@@ -23,9 +23,11 @@
 use std::time::Duration;
 
 use podium_data::report::{load_report, replay, save_report, ReplayFormat, ReplayStatus};
-use podium_service::bench::{run_bench, BenchConfig, BenchTransport};
+use podium_service::bench::{run_bench_with, BenchConfig, BenchTransport};
 use podium_service::snapshot::PublishMode;
-use podium_service::{PodiumService, ServiceConfig, TcpServerConfig};
+use podium_service::{
+    DurabilityOptions, FsyncPolicy, PodiumService, RecoveryReport, ServiceConfig, TcpServerConfig,
+};
 
 use crate::cli::bucketing_from;
 
@@ -36,31 +38,45 @@ serving subcommands:
   serve --profiles FILE [--strategy S] [--buckets K] [--socket PATH]
         [--tcp ADDR] [--max-conns N] [--idle-timeout-ms MS]
         [--session-lag N] [--workers N] [--queue N] [--deadline-ms MS]
+        [--data-dir DIR] [--fsync always|batch|off]
+        [--checkpoint-every N]
       serve the line-delimited JSON protocol (select/explain/refine/
       update-profile/stats) over stdin/stdout, over a Unix domain
       socket when --socket is given, or over TCP when --tcp is given
       (e.g. --tcp 127.0.0.1:7474; --max-conns and --idle-timeout-ms
-      bound the TCP listener).
+      bound the TCP listener). With --data-dir, accepted updates are
+      written to a checksummed WAL in DIR before acknowledgement and
+      recovered on restart; --fsync picks the durability/latency
+      trade-off and --checkpoint-every the frames between checkpoints
+      (0 disables checkpoints).
   bench-serve [--transport inproc|tcp] [--users N] [--properties N]
         [--scores-per-user N] [--budget B] [--clients N] [--workers N]
         [--queue N] [--duration-s SECS] [--update-hz HZ]
         [--drift-hz HZ] [--publish-mode incremental|full-rebuild]
-        [--deadline-ms MS] [--seed S] [--out FILE]
+        [--deadline-ms MS] [--seed S] [--out FILE] [--data-dir DIR]
+        [--fsync always|batch|off] [--checkpoint-every N]
       closed-loop load generator over a synthetic repository, either
       in-process or through a loopback TCP server with the resilient
       client; appends one JSONL row to --out
       (default target/bench-serve.jsonl). --drift-hz is the profile-
       drift alias of --update-hz; with --publish-mode it compares
-      incremental CSR patching against full epoch rebuilds.
+      incremental CSR patching against full epoch rebuilds. With
+      --data-dir the run is durable and the row additionally reports
+      wal_bytes, last_checkpoint_epoch, and how long a cold recovery
+      of the data directory takes (recovery_ms / recovered_epoch).
   quarantine scan <document> [--format F] [--report FILE]
       lenient-load the document, print its quarantine, and (with
       --report) persist the report JSON for later replay.
   quarantine inspect <report.json>
       pretty-print a persisted quarantine report.
-  quarantine replay <report.json> <document>
+  quarantine replay <report.json> <document> [--max-attempts N]
+        [--backoff-base-ms MS] [--backoff-cap-ms MS] [--seed S]
       re-attempt loading just the quarantined records against the
       (edited) document; exits non-zero unless every defect is fixed
-      and no new ones appeared.
+      and no new ones appeared. With --max-attempts > 1 the replay is
+      retried until clean, re-reading the document before each attempt
+      and sleeping a seeded, jittered exponential backoff (capped at
+      --backoff-cap-ms) between attempts.
 
   formats F: json-profiles | csv-profiles | taxonomy | rules
 ";
@@ -83,6 +99,8 @@ pub struct ServeArgs {
     pub tcp_config: TcpServerConfig,
     /// Service sizing.
     pub config: ServiceConfig,
+    /// Durable-mode options; `None` serves purely in memory.
+    pub durability: Option<DurabilityOptions>,
 }
 
 /// Parses `serve` arguments (everything after the subcommand word).
@@ -95,7 +113,9 @@ pub fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
         tcp: None,
         tcp_config: TcpServerConfig::default(),
         config: ServiceConfig::default(),
+        durability: None,
     };
+    let mut durable = DurabilityFlags::default();
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -127,6 +147,14 @@ pub fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
                 args.config.default_deadline_ms =
                     parse_num(&value("--deadline-ms")?, "--deadline-ms")?
             }
+            "--data-dir" => durable.data_dir = Some(value("--data-dir")?),
+            "--fsync" => durable.fsync = Some(parse_fsync(&value("--fsync")?)?),
+            "--checkpoint-every" => {
+                durable.checkpoint_every = Some(parse_num(
+                    &value("--checkpoint-every")?,
+                    "--checkpoint-every",
+                )?)
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -139,17 +167,95 @@ pub fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
     if args.tcp_config.max_connections == 0 {
         return Err("--max-conns must be at least 1".to_owned());
     }
+    args.durability = durable.assemble()?;
     Ok(args)
 }
 
+/// Raw `--data-dir` / `--fsync` / `--checkpoint-every` flags, shared by
+/// `serve` and `bench-serve` parsing.
+#[derive(Debug, Default)]
+struct DurabilityFlags {
+    data_dir: Option<String>,
+    fsync: Option<FsyncPolicy>,
+    checkpoint_every: Option<u64>,
+}
+
+impl DurabilityFlags {
+    /// Turns the raw flags into options, rejecting durability knobs
+    /// without the data directory that gives them meaning.
+    fn assemble(self) -> Result<Option<DurabilityOptions>, String> {
+        match self.data_dir {
+            Some(dir) => {
+                let mut opts = DurabilityOptions::new(dir);
+                if let Some(fsync) = self.fsync {
+                    opts.fsync = fsync;
+                }
+                if let Some(every) = self.checkpoint_every {
+                    opts.checkpoint_every = every;
+                }
+                Ok(Some(opts))
+            }
+            None if self.fsync.is_some() || self.checkpoint_every.is_some() => {
+                Err("--fsync/--checkpoint-every need --data-dir".to_owned())
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+fn parse_fsync(tag: &str) -> Result<FsyncPolicy, String> {
+    FsyncPolicy::from_tag(tag)
+        .ok_or_else(|| format!("unknown fsync policy '{tag}' (always | batch | off)"))
+}
+
 /// Builds the service from already-loaded profile JSON: parse, bucketize
-/// with the requested strategy, then stand up the worker pool.
-pub fn build_service(profiles_json: &str, args: &ServeArgs) -> Result<PodiumService, String> {
+/// with the requested strategy, then stand up the worker pool. With
+/// `--data-dir`, recovery runs first (checkpoint load + WAL replay over
+/// the genesis profiles) and its report is returned alongside.
+pub fn build_service(
+    profiles_json: &str,
+    args: &ServeArgs,
+) -> Result<(PodiumService, Option<RecoveryReport>), String> {
     let repo = podium_data::json::profiles_from_json(profiles_json)
         .map_err(|e| format!("cannot parse profiles: {e}"))?;
     let bucketing = bucketing_from(&args.strategy, args.buckets)?;
     let buckets = bucketing.bucketize(&repo);
-    Ok(PodiumService::new(repo, &buckets, args.config))
+    match &args.durability {
+        None => Ok((PodiumService::new(repo, &buckets, args.config), None)),
+        Some(opts) => {
+            let (service, report) =
+                PodiumService::with_durability(repo, &buckets, args.config, opts.clone())
+                    .map_err(|e| format!("cannot recover data dir: {e}"))?;
+            Ok((service, Some(report)))
+        }
+    }
+}
+
+/// One-line human rendering of a recovery report, for serve startup
+/// stderr and bench-serve summaries.
+pub fn describe_recovery(report: &RecoveryReport) -> String {
+    let mut line = format!(
+        "recovered epoch {} (checkpoint seq {} @ epoch {}, {} frames / {} updates replayed, wal {} bytes)",
+        report.recovered_epoch,
+        report.checkpoint_seq,
+        report.checkpoint_epoch,
+        report.replayed_frames,
+        report.replayed_updates,
+        report.wal_bytes,
+    );
+    if report.checkpoints_rejected > 0 {
+        line.push_str(&format!(
+            ", {} corrupt checkpoint(s) rejected",
+            report.checkpoints_rejected
+        ));
+    }
+    if let Some(reason) = &report.quarantined {
+        line.push_str(&format!(
+            ", quarantined {} torn byte(s): {reason}",
+            report.quarantined_bytes
+        ));
+    }
+    line
 }
 
 /// Parsed `bench-serve` command line.
@@ -159,12 +265,15 @@ pub struct BenchServeArgs {
     pub config: BenchConfig,
     /// JSONL output path the binary appends the report row to.
     pub out: String,
+    /// Durable-mode options; `None` benches a purely in-memory service.
+    pub durability: Option<DurabilityOptions>,
 }
 
 /// Parses `bench-serve` arguments (everything after the subcommand word).
 pub fn parse_bench_serve_args(argv: &[String]) -> Result<BenchServeArgs, String> {
     let mut config = BenchConfig::default();
     let mut out = "target/bench-serve.jsonl".to_owned();
+    let mut durable = DurabilityFlags::default();
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -219,20 +328,32 @@ pub fn parse_bench_serve_args(argv: &[String]) -> Result<BenchServeArgs, String>
             }
             "--seed" => config.seed = parse_num(&value("--seed")?, "--seed")?,
             "--out" => out = value("--out")?,
+            "--data-dir" => durable.data_dir = Some(value("--data-dir")?),
+            "--fsync" => durable.fsync = Some(parse_fsync(&value("--fsync")?)?),
+            "--checkpoint-every" => {
+                durable.checkpoint_every = Some(parse_num(
+                    &value("--checkpoint-every")?,
+                    "--checkpoint-every",
+                )?)
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     if config.users == 0 || config.budget == 0 || config.clients == 0 || config.workers == 0 {
         return Err("--users/--budget/--clients/--workers must be at least 1".to_owned());
     }
-    Ok(BenchServeArgs { config, out })
+    Ok(BenchServeArgs {
+        config,
+        out,
+        durability: durable.assemble()?,
+    })
 }
 
 /// Runs the load generator; returns the human-readable summary and the
 /// JSONL row the binary appends to `args.out`.
 pub fn run_bench_serve(args: &BenchServeArgs) -> (String, String) {
     use std::fmt::Write as _;
-    let report = run_bench(&args.config);
+    let report = run_bench_with(&args.config, args.durability.as_ref());
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -268,6 +389,16 @@ pub fn run_bench_serve(args: &BenchServeArgs) -> (String, String) {
         report.cache_misses,
         report.queue_depth_max
     );
+    if args.durability.is_some() {
+        let _ = writeln!(
+            out,
+            "durable: wal {} bytes, last checkpoint epoch {}; cold recovery {:.1} ms to epoch {}",
+            report.wal_bytes,
+            report.last_checkpoint_epoch,
+            report.recovery_ms,
+            report.recovered_epoch
+        );
+    }
     (out, report.to_json())
 }
 
@@ -295,7 +426,50 @@ pub enum QuarantineCmd {
         report: String,
         /// Path of the edited document.
         input: String,
+        /// Attempts before giving up; `1` replays exactly once (the
+        /// historical behaviour).
+        max_attempts: u32,
+        /// Base of the exponential backoff between attempts.
+        backoff_base_ms: u64,
+        /// Backoff ceiling: no sleep exceeds this many milliseconds.
+        backoff_cap_ms: u64,
+        /// Seed of the backoff jitter stream.
+        seed: u64,
     },
+}
+
+/// Default `--max-attempts` for `quarantine replay`.
+pub const REPLAY_DEFAULT_MAX_ATTEMPTS: u32 = 1;
+/// Default `--backoff-base-ms` for `quarantine replay`.
+pub const REPLAY_DEFAULT_BACKOFF_BASE_MS: u64 = 50;
+/// Default `--backoff-cap-ms` for `quarantine replay`.
+pub const REPLAY_DEFAULT_BACKOFF_CAP_MS: u64 = 5_000;
+/// Default `--seed` for the replay backoff jitter.
+pub const REPLAY_DEFAULT_SEED: u64 = 0xB0FF;
+
+/// Seeded jittered exponential backoff for `quarantine replay`:
+/// `base_ms * 2^(attempt-1)` capped at `cap_ms`, then jittered into
+/// `[50%, 100%)` of the capped value (the same scheme as the TCP
+/// client's reconnect backoff) so repeated replays of a shared document
+/// don't synchronize. `attempt` counts from 1 = the sleep after the
+/// first failed attempt.
+pub fn compute_backoff_ms(base_ms: u64, cap_ms: u64, attempt: u32, seed: &mut u64) -> u64 {
+    let exponent = attempt.saturating_sub(1).min(32);
+    let uncapped = base_ms.saturating_mul(1u64 << exponent);
+    let capped = uncapped.min(cap_ms);
+    // podium-lint: allow(as-cast) — 53-bit jitter mantissa and millisecond caps are exact in f64
+    let unit = (splitmix64(seed) >> 11) as f64 / (1u64 << 53) as f64;
+    // podium-lint: allow(as-cast) — capped ≤ cap_ms (a CLI millisecond count, far below 2^53); the product is non-negative so the u64 round-trip is lossless
+    (capped as f64 * (0.5 + 0.5 * unit)).round() as u64
+}
+
+/// splitmix64, for the replay backoff jitter stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Parses `quarantine` arguments (everything after the `quarantine` word).
@@ -342,13 +516,50 @@ pub fn parse_quarantine_args(argv: &[String]) -> Result<QuarantineCmd, String> {
             }),
             _ => Err("usage: quarantine inspect <report.json>".to_owned()),
         },
-        "replay" => match rest {
-            [report, input] => Ok(QuarantineCmd::Replay {
-                report: report.clone(),
-                input: input.clone(),
-            }),
-            _ => Err("usage: quarantine replay <report.json> <document>".to_owned()),
-        },
+        "replay" => {
+            let mut positional = Vec::new();
+            let mut max_attempts = REPLAY_DEFAULT_MAX_ATTEMPTS;
+            let mut backoff_base_ms = REPLAY_DEFAULT_BACKOFF_BASE_MS;
+            let mut backoff_cap_ms = REPLAY_DEFAULT_BACKOFF_CAP_MS;
+            let mut seed = REPLAY_DEFAULT_SEED;
+            let mut it = rest.iter();
+            while let Some(word) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match word.as_str() {
+                    "--max-attempts" => {
+                        max_attempts = parse_num(&value("--max-attempts")?, "--max-attempts")?
+                    }
+                    "--backoff-base-ms" => {
+                        backoff_base_ms =
+                            parse_num(&value("--backoff-base-ms")?, "--backoff-base-ms")?
+                    }
+                    "--backoff-cap-ms" => {
+                        backoff_cap_ms = parse_num(&value("--backoff-cap-ms")?, "--backoff-cap-ms")?
+                    }
+                    "--seed" => seed = parse_num(&value("--seed")?, "--seed")?,
+                    flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+                    path => positional.push(path.to_owned()),
+                }
+            }
+            if max_attempts == 0 {
+                return Err("--max-attempts must be at least 1".to_owned());
+            }
+            match positional.as_slice() {
+                [report, input] => Ok(QuarantineCmd::Replay {
+                    report: report.clone(),
+                    input: input.clone(),
+                    max_attempts,
+                    backoff_base_ms,
+                    backoff_cap_ms,
+                    seed,
+                }),
+                _ => Err("usage: quarantine replay <report.json> <document>".to_owned()),
+            }
+        }
         other => Err(format!("unknown quarantine mode '{other}'")),
     }
 }
@@ -456,10 +667,38 @@ mod tests {
         assert_eq!(a.config.workers, 2);
         assert_eq!(a.config.queue_capacity, 16);
         assert_eq!(a.config.default_deadline_ms, 500);
+        assert_eq!(a.durability, None);
 
         assert!(parse_serve_args(&argv("")).is_err(), "--profiles required");
         assert!(parse_serve_args(&argv("--profiles p --workers 0")).is_err());
         assert!(parse_serve_args(&argv("--profiles p --wat 1")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_durability_flags() {
+        let a = parse_serve_args(&argv(
+            "--profiles p.json --data-dir /tmp/podium-data --fsync batch --checkpoint-every 64",
+        ))
+        .unwrap();
+        let opts = a.durability.expect("durability options");
+        assert_eq!(opts.data_dir, std::path::PathBuf::from("/tmp/podium-data"));
+        assert_eq!(opts.fsync, FsyncPolicy::Batch);
+        assert_eq!(opts.checkpoint_every, 64);
+
+        // Defaults: always-fsync, default checkpoint cadence.
+        let a = parse_serve_args(&argv("--profiles p.json --data-dir d")).unwrap();
+        let opts = a.durability.expect("durability options");
+        assert_eq!(opts.fsync, FsyncPolicy::Always);
+        assert_eq!(
+            opts.checkpoint_every,
+            podium_service::recovery::DEFAULT_CHECKPOINT_EVERY
+        );
+
+        // Durability knobs without --data-dir are a user error, as is an
+        // unknown policy.
+        assert!(parse_serve_args(&argv("--profiles p --fsync batch")).is_err());
+        assert!(parse_serve_args(&argv("--profiles p --checkpoint-every 8")).is_err());
+        assert!(parse_serve_args(&argv("--profiles p --data-dir d --fsync sometimes")).is_err());
     }
 
     #[test]
@@ -481,13 +720,46 @@ mod tests {
     #[test]
     fn built_service_answers_the_protocol() {
         let a = parse_serve_args(&argv("--profiles p.json --strategy paper --workers 1")).unwrap();
-        let service = build_service(SAMPLE, &a).unwrap();
+        let (service, recovery) = build_service(SAMPLE, &a).unwrap();
+        assert!(recovery.is_none(), "no --data-dir, no recovery");
         let response = service.handle_line(r#"{"op":"select","budget":2}"#);
         assert!(response.contains(r#""ok":true"#), "{response}");
         assert!(
             response.contains("Alice") || response.contains("Bob"),
             "{response}"
         );
+    }
+
+    #[test]
+    fn built_durable_service_recovers_across_builds() {
+        let dir = std::env::temp_dir().join(format!(
+            "podium-cli-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let flags = format!(
+            "--profiles p.json --strategy paper --workers 1 --data-dir {}",
+            dir.display()
+        );
+        let a = parse_serve_args(&argv(&flags)).unwrap();
+        {
+            let (service, recovery) = build_service(SAMPLE, &a).unwrap();
+            let report = recovery.expect("durable build reports recovery");
+            assert_eq!(report.recovered_epoch, 0);
+            assert!(describe_recovery(&report).contains("recovered epoch 0"));
+            let response = service.handle_line(
+                r#"{"op":"update-profile","user":"Dave","property":"avgRating Mexican","score":0.7}"#,
+            );
+            assert!(response.contains(r#""ok":true"#), "{response}");
+        }
+        let (service, recovery) = build_service(SAMPLE, &a).unwrap();
+        let report = recovery.expect("durable build reports recovery");
+        assert_eq!(report.replayed_updates, 1, "{report:?}");
+        assert_eq!(report.recovered_epoch, 1, "{report:?}");
+        let response = service.handle_line(r#"{"op":"stats"}"#);
+        assert!(response.contains(r#""users":4"#), "{response}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -507,10 +779,16 @@ mod tests {
 
         let a = parse_bench_serve_args(&argv("--transport tcp")).unwrap();
         assert_eq!(a.config.transport, BenchTransport::Tcp);
+        assert_eq!(a.durability, None);
+
+        let a = parse_bench_serve_args(&argv("--data-dir /tmp/d --fsync off")).unwrap();
+        let opts = a.durability.expect("durability options");
+        assert_eq!(opts.fsync, FsyncPolicy::Off);
 
         assert!(parse_bench_serve_args(&argv("--users 0")).is_err());
         assert!(parse_bench_serve_args(&argv("--duration-s -1")).is_err());
         assert!(parse_bench_serve_args(&argv("--transport carrier-pigeon")).is_err());
+        assert!(parse_bench_serve_args(&argv("--fsync batch")).is_err());
     }
 
     #[test]
@@ -544,6 +822,7 @@ mod tests {
                 publish_mode: PublishMode::Incremental,
             },
             out: "unused".into(),
+            durability: None,
         };
         let (human, row) = run_bench_serve(&args);
         assert!(human.contains("bench-serve: 150 users"), "{human}");
@@ -586,6 +865,25 @@ mod tests {
             QuarantineCmd::Replay {
                 report: "r.json".into(),
                 input: "d.json".into(),
+                max_attempts: REPLAY_DEFAULT_MAX_ATTEMPTS,
+                backoff_base_ms: REPLAY_DEFAULT_BACKOFF_BASE_MS,
+                backoff_cap_ms: REPLAY_DEFAULT_BACKOFF_CAP_MS,
+                seed: REPLAY_DEFAULT_SEED,
+            }
+        );
+        assert_eq!(
+            parse_quarantine_args(&argv(
+                "replay r.json d.json --max-attempts 5 --backoff-base-ms 10 \
+                 --backoff-cap-ms 200 --seed 42"
+            ))
+            .unwrap(),
+            QuarantineCmd::Replay {
+                report: "r.json".into(),
+                input: "d.json".into(),
+                max_attempts: 5,
+                backoff_base_ms: 10,
+                backoff_cap_ms: 200,
+                seed: 42,
             }
         );
         assert!(parse_quarantine_args(&argv("")).is_err());
@@ -593,6 +891,38 @@ mod tests {
         assert!(parse_quarantine_args(&argv("scan d --format wat")).is_err());
         assert!(parse_quarantine_args(&argv("inspect a b")).is_err());
         assert!(parse_quarantine_args(&argv("frobnicate x")).is_err());
+        assert!(parse_quarantine_args(&argv("replay r d --max-attempts 0")).is_err());
+        assert!(parse_quarantine_args(&argv("replay r d --max-attempts")).is_err());
+        assert!(parse_quarantine_args(&argv("replay r d --wat 1")).is_err());
+        assert!(parse_quarantine_args(&argv("replay r d extra")).is_err());
+    }
+
+    #[test]
+    fn backoff_is_seeded_capped_and_grows() {
+        // Same seed, same schedule; the jitter stays within [50%, 100%]
+        // of the capped exponential envelope.
+        let schedule = |mut seed: u64| -> Vec<u64> {
+            (1..=8)
+                .map(|a| compute_backoff_ms(50, 2_000, a, &mut seed))
+                .collect()
+        };
+        assert_eq!(schedule(7), schedule(7));
+        assert_ne!(schedule(7), schedule(8));
+        let mut seed = 7;
+        for attempt in 1..=12u32 {
+            let envelope = 50u64
+                .saturating_mul(1 << u64::from(attempt.saturating_sub(1).min(32)))
+                .min(2_000);
+            let ms = compute_backoff_ms(50, 2_000, attempt, &mut seed);
+            assert!(
+                ms >= envelope / 2 && ms <= envelope,
+                "attempt {attempt}: {ms} outside [{}, {envelope}]",
+                envelope / 2
+            );
+        }
+        // Huge attempt numbers must not overflow.
+        let mut seed = 1;
+        assert!(compute_backoff_ms(50, 2_000, u32::MAX, &mut seed) <= 2_000);
     }
 
     /// End-to-end scan → inspect → replay over an actually corrupted

@@ -439,3 +439,349 @@ fn stalls_past_the_deadline_surface_as_timeouts() {
     proxy.shutdown();
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------
+// Crash injection: SIGKILL a real `podium-cli serve --data-dir` process
+// at seeded points, restart it on the same directory, and prove the
+// recovered state is bit-identical to a single-threaded mirror at the
+// last durable epoch, with epochs monotone across the crash.
+
+mod crash {
+    use super::*;
+    use std::io::{BufRead, BufReader, Read as _};
+    use std::net::SocketAddr;
+    use std::path::{Path, PathBuf};
+    use std::process::{Child, Command, Stdio};
+
+    use podium::core::weights::{CovScheme, WeightScheme};
+    use podium::data::json::profiles_to_json;
+
+    /// A `podium-cli serve` child process plus what it said on startup.
+    pub struct ServerProc {
+        child: Child,
+        pub addr: SocketAddr,
+        pub recovery_line: Option<String>,
+    }
+
+    impl ServerProc {
+        /// SIGKILL — no graceful shutdown, no flush. The crash under test.
+        pub fn kill(mut self) {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+
+    /// Spawns the real binary serving TCP on an ephemeral port with the
+    /// given data dir, and blocks until it announces its address.
+    pub fn spawn_server(profiles: &Path, data_dir: &Path, extra: &[&str]) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_podium-cli"))
+            .arg("serve")
+            .arg("--profiles")
+            .arg(profiles)
+            .args([
+                "--strategy",
+                "paper",
+                "--workers",
+                "2",
+                "--tcp",
+                "127.0.0.1:0",
+            ])
+            .arg("--data-dir")
+            .arg(data_dir)
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn podium-cli serve");
+        let stderr = child.stderr.take().expect("stderr piped");
+        let mut reader = BufReader::new(stderr);
+        let mut recovery_line = None;
+        let addr = loop {
+            let mut line = String::new();
+            let n = reader.read_line(&mut line).expect("read server stderr");
+            assert!(n > 0, "server exited before announcing its tcp address");
+            if line.contains("recovered epoch") {
+                recovery_line = Some(line.trim().to_owned());
+            }
+            if let Some(rest) = line.trim().strip_prefix("podium-cli: serving on tcp ") {
+                break rest.parse().expect("tcp address");
+            }
+        };
+        // Keep draining stderr so the child can never block on the pipe.
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            let _ = reader.read_to_string(&mut sink);
+        });
+        ServerProc {
+            child,
+            addr,
+            recovery_line,
+        }
+    }
+
+    pub fn crash_client(addr: SocketAddr) -> PodiumClient {
+        PodiumClient::new(
+            addr,
+            ClientConfig {
+                connect_timeout: Duration::from_millis(2_000),
+                request_timeout: Duration::from_millis(2_000),
+                max_attempts: 4,
+                ..ClientConfig::default()
+            },
+        )
+    }
+
+    pub fn update_line(u: &ProfileUpdate) -> String {
+        format!(
+            r#"{{"op":"update-profile","user":"{}","property":"{}","score":{}}}"#,
+            u.user,
+            u.property,
+            u.score.expect("crash updates always set a score")
+        )
+    }
+
+    /// Fresh per-seed scratch dir; returns (root, profiles path, data dir).
+    pub fn scratch(tag: &str, seed: u64) -> (PathBuf, PathBuf, PathBuf) {
+        let root = std::env::temp_dir().join(format!(
+            "podium-crash-{tag}-{}-{seed:x}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("scratch dir");
+        let profiles = root.join("genesis.json");
+        let repo = synthetic_repository(USERS, PROPERTIES, SCORES_PER_USER, REPO_SEED);
+        std::fs::write(&profiles, profiles_to_json(&repo).expect("genesis json"))
+            .expect("write genesis");
+        let data_dir = root.join("data");
+        (root, profiles, data_dir)
+    }
+
+    pub fn select_params() -> SelectParams {
+        SelectParams {
+            budget: BUDGET,
+            weight: WeightScheme::LinearBySize,
+            cov: CovScheme::Single,
+        }
+    }
+
+    /// Asserts the server's current `select` answer is byte-for-byte the
+    /// mirror's answer at the server's current epoch, and returns that
+    /// epoch.
+    pub fn assert_bit_identical(
+        client: &mut PodiumClient,
+        per_epoch: &[Arc<Snapshot>],
+        context: &str,
+    ) -> u64 {
+        let v = client
+            .call(&format!(r#"{{"op":"select","budget":{BUDGET}}}"#))
+            .expect("select after recovery");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v:?}");
+        let epoch = v.get("epoch").and_then(Value::as_u64).expect("epoch");
+        let users: Vec<String> = v
+            .get("users")
+            .and_then(Value::as_array)
+            .expect("users")
+            .iter()
+            .map(|u| u.as_str().expect("name").to_owned())
+            .collect();
+        let snapshot = per_epoch
+            .get(epoch as usize)
+            .unwrap_or_else(|| panic!("{context}: recovered epoch {epoch} beyond the mirror"));
+        let expected = snapshot
+            .select(&select_params(), None)
+            .expect("mirror select");
+        assert_eq!(
+            users, expected.names,
+            "{context}: recovered selection diverged from the mirror at epoch {epoch}"
+        );
+        epoch
+    }
+}
+
+/// Kill after `k` acknowledged updates (k scripted by the seed), restart,
+/// and require: the recovered epoch is exactly `k` (always-fsync: an ack
+/// IS durability), the recovered selection is bit-identical to the
+/// mirror, and epochs continue monotonically `k+1, k+2, …` across the
+/// crash — twice, to cover recovery-of-a-recovered directory.
+#[test]
+fn crash_after_acked_updates_recovers_bit_identically() {
+    let updates = update_stream();
+    let per_epoch = mirror_snapshots(&updates);
+    for seed in seed_matrix() {
+        let (root, profiles, data_dir) = crash::scratch("acked", seed);
+        let k = 4 + (seed % 11) as usize; // scripted kill point, 4..=14
+        let server = crash::spawn_server(&profiles, &data_dir, &["--fsync", "always"]);
+        let mut client = crash::crash_client(server.addr);
+        for (i, u) in updates[..k].iter().enumerate() {
+            let v = client.call(&crash::update_line(u)).expect("update");
+            assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v:?}");
+            assert_eq!(v.get("epoch").and_then(Value::as_u64), Some(i as u64 + 1));
+        }
+        server.kill();
+
+        let server = crash::spawn_server(&profiles, &data_dir, &["--fsync", "always"]);
+        let line = server.recovery_line.clone().expect("recovery line");
+        assert!(
+            line.contains(&format!("recovered epoch {k}")),
+            "seed {seed:#x}: {line}"
+        );
+        let mut client = crash::crash_client(server.addr);
+        let epoch = crash::assert_bit_identical(&mut client, &per_epoch, "first restart");
+        assert_eq!(epoch, k as u64, "seed {seed:#x}: lost acknowledged updates");
+
+        // Epochs stay monotone across the crash: the stream continues.
+        for (i, u) in updates[k..].iter().enumerate() {
+            let v = client.call(&crash::update_line(u)).expect("update");
+            assert_eq!(
+                v.get("epoch").and_then(Value::as_u64),
+                Some((k + i) as u64 + 1),
+                "seed {seed:#x}: epoch not monotone across the crash"
+            );
+        }
+        server.kill();
+
+        // Second crash/restart: the full stream must be durable now.
+        let server = crash::spawn_server(&profiles, &data_dir, &["--fsync", "always"]);
+        let mut client = crash::crash_client(server.addr);
+        let epoch = crash::assert_bit_identical(&mut client, &per_epoch, "second restart");
+        assert_eq!(epoch, UPDATES as u64, "seed {seed:#x}");
+        server.kill();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+/// Kill mid-burst: pipeline the whole update stream down one raw socket
+/// without waiting for acks, SIGKILL after a seeded delay (the kill can
+/// land mid-frame, mid-checkpoint, or between publish and fsync), and
+/// require recovery to land on a *valid prefix* of the stream —
+/// bit-identical to the mirror at whatever epoch survived — with epochs
+/// monotone afterwards.
+#[test]
+fn crash_mid_burst_recovers_a_valid_prefix() {
+    use std::io::Write as _;
+    let updates = update_stream();
+    let per_epoch = mirror_snapshots(&updates);
+    for seed in seed_matrix() {
+        let (root, profiles, data_dir) = crash::scratch("burst", seed);
+        // Batch fsync + tight checkpoints: the kill window covers torn
+        // frames, half-written checkpoints, and unsynced tails.
+        let flags = ["--fsync", "batch", "--checkpoint-every", "4"];
+        let server = crash::spawn_server(&profiles, &data_dir, &flags);
+        let mut stream =
+            std::net::TcpStream::connect(server.addr).expect("raw connect for the burst");
+        let mut burst = String::new();
+        for u in &updates {
+            burst.push_str(&crash::update_line(u));
+            burst.push('\n');
+        }
+        let _ = stream.write_all(burst.as_bytes());
+        let _ = stream.flush();
+        // Scripted kill delay: lands at a different point of the burst
+        // per seed (possibly before it, possibly after all of it).
+        std::thread::sleep(Duration::from_millis(seed % 23));
+        server.kill();
+        drop(stream);
+
+        let server = crash::spawn_server(&profiles, &data_dir, &flags);
+        let mut client = crash::crash_client(server.addr);
+        let epoch = crash::assert_bit_identical(&mut client, &per_epoch, "mid-burst restart");
+        assert!(
+            epoch <= UPDATES as u64,
+            "seed {seed:#x}: recovered past the stream"
+        );
+        // Monotone across the crash: the next update gets epoch+1.
+        let v = client
+            .call(&crash::update_line(&updates[0]))
+            .expect("post-recovery update");
+        assert_eq!(
+            v.get("epoch").and_then(Value::as_u64),
+            Some(epoch + 1),
+            "seed {seed:#x}: epoch not monotone across the mid-burst crash"
+        );
+        server.kill();
+
+        // And that post-crash update is itself durable on the next boot.
+        let server = crash::spawn_server(&profiles, &data_dir, &flags);
+        let mut client = crash::crash_client(server.addr);
+        let v = client.call(r#"{"op":"stats"}"#).expect("stats");
+        assert_eq!(
+            v.get("epoch").and_then(Value::as_u64),
+            Some(epoch + 1),
+            "seed {seed:#x}"
+        );
+        server.kill();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+/// Corrupt the WAL tail after a crash (torn frame bytes appended), then
+/// restart: recovery must quarantine exactly the garbage — never panic —
+/// serve the last durable epoch bit-identically, and keep the log usable
+/// for new updates.
+#[test]
+fn crash_with_torn_wal_tail_quarantines_and_serves() {
+    let updates = update_stream();
+    let per_epoch = mirror_snapshots(&updates);
+    for seed in seed_matrix() {
+        let (root, profiles, data_dir) = crash::scratch("torn", seed);
+        let k = 3 + (seed % 5) as usize;
+        let server = crash::spawn_server(&profiles, &data_dir, &["--fsync", "always"]);
+        let mut client = crash::crash_client(server.addr);
+        for u in &updates[..k] {
+            let v = client.call(&crash::update_line(u)).expect("update");
+            assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v:?}");
+        }
+        server.kill();
+
+        // Tear the tail: a plausible length prefix, a bogus checksum, and
+        // a payload that cuts off mid-frame.
+        let wal_path = data_dir.join("wal.log");
+        let mut torn = Vec::new();
+        torn.extend_from_slice(&200u32.to_le_bytes());
+        torn.extend_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+        torn.extend_from_slice(&[0xAB; 37]);
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&wal_path)
+                .expect("open wal for tearing");
+            f.write_all(&torn).expect("append torn tail");
+        }
+
+        let server = crash::spawn_server(&profiles, &data_dir, &["--fsync", "always"]);
+        let line = server.recovery_line.clone().expect("recovery line");
+        assert!(
+            line.contains("quarantined"),
+            "seed {seed:#x}: torn tail not quarantined: {line}"
+        );
+        assert!(
+            data_dir.join("wal.quarantine").exists(),
+            "seed {seed:#x}: quarantine file missing"
+        );
+        let mut client = crash::crash_client(server.addr);
+        let epoch = crash::assert_bit_identical(&mut client, &per_epoch, "torn-tail restart");
+        assert_eq!(
+            epoch, k as u64,
+            "seed {seed:#x}: torn tail ate durable epochs"
+        );
+
+        // The truncated log keeps accepting and recovering new frames.
+        let v = client
+            .call(&crash::update_line(&updates[k]))
+            .expect("post-quarantine update");
+        assert_eq!(v.get("epoch").and_then(Value::as_u64), Some(k as u64 + 1));
+        server.kill();
+        let server = crash::spawn_server(&profiles, &data_dir, &["--fsync", "always"]);
+        let mut client = crash::crash_client(server.addr);
+        let v = client.call(r#"{"op":"stats"}"#).expect("stats");
+        assert_eq!(
+            v.get("epoch").and_then(Value::as_u64),
+            Some(k as u64 + 1),
+            "seed {seed:#x}: post-quarantine update not durable"
+        );
+        server.kill();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
