@@ -350,10 +350,17 @@ pub fn recover(
     let scan = scan_frames(&wal_bytes);
     let mut keep_len = scan.valid_len;
     let mut torn = scan.torn;
+    // `last_seq` is the replay cursor: it starts at the checkpoint's
+    // coverage and advances only over replayed frames. `kept_last_seq` is
+    // the sequence of the last frame that *survives in the kept file
+    // prefix* — when corruption truncates the log below the checkpoint's
+    // coverage the two diverge, and the rotation below keys off the
+    // latter (the cursor alone can never fall behind the checkpoint).
     let mut last_seq = ck_seq;
+    let mut kept_last_seq = 0u64;
     for (i, frame) in scan.frames.iter().enumerate() {
         if frame.seq <= ck_seq {
-            last_seq = last_seq.max(frame.seq);
+            kept_last_seq = frame.seq;
             continue;
         }
         let frame_start = i
@@ -400,6 +407,7 @@ pub fn recover(
         report.replayed_frames += 1;
         report.replayed_updates += u64::try_from(frame.updates.len()).unwrap_or(u64::MAX);
         last_seq = frame.seq;
+        kept_last_seq = frame.seq;
     }
     // Frames accepted by the byte scan but rejected semantically shrink
     // the kept prefix below the scan's.
@@ -411,18 +419,21 @@ pub fn recover(
     writer.publish_if_dirty();
 
     // A log whose surviving frames all predate the checkpoint cannot be
-    // appended to contiguously — rotate it into quarantine and restart
-    // the file at the checkpoint's sequence.
-    if last_seq < ck_seq && keep_len > 0 {
+    // appended to contiguously: the writer would resume at the
+    // checkpoint's sequence and the resulting internal gap would make the
+    // *next* restart's scan quarantine every acknowledged frame appended
+    // after it. Rotate the survivors into quarantine instead, so the file
+    // restarts empty at the checkpoint's sequence (the scanner lets the
+    // first frame of a file fix the starting sequence).
+    if kept_last_seq < ck_seq && keep_len > 0 {
         let prior = report.quarantined_bytes;
         let kept = wal_bytes.get(..keep_len).unwrap_or_default();
-        let reason = format!("log (last seq {last_seq}) behind checkpoint seq {ck_seq}; rotated");
+        let reason = format!(
+            "log (last surviving seq {kept_last_seq}) behind checkpoint seq {ck_seq}; rotated"
+        );
         quarantine_tail(dir, kept, 0, reason, &mut report)?;
         report.quarantined_bytes = report.quarantined_bytes.saturating_add(prior);
         keep_len = 0;
-    }
-    if last_seq < ck_seq {
-        last_seq = ck_seq;
     }
 
     report.wal_bytes = u64::try_from(keep_len).unwrap_or(u64::MAX);
@@ -582,6 +593,58 @@ mod tests {
         assert_eq!(r3.replayed_frames, 2);
         assert_eq!(r3.recovered_epoch, 2);
         assert!(w3.repo().user_by_name("bob").is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn log_truncated_below_checkpoint_rotates_so_future_appends_stay_contiguous() {
+        let dir = temp_dir("rotate");
+        let (repo, buckets) = fixture();
+        let mut wal = WalWriter::open(&dir, FsyncPolicy::Always, 1, 0).unwrap();
+        wal.append(1, vec![update("bob", "topic-0", Some(0.9))])
+            .unwrap();
+        wal.append(2, vec![update("carol", "topic-1", Some(0.2))])
+            .unwrap();
+        drop(wal);
+        // Checkpoint covering both frames…
+        let (_s, w, _r) = recover(&dir, repo.clone(), &buckets, PublishMode::Incremental).unwrap();
+        let profiles = podium_data::json::profiles_to_json(w.repo()).unwrap();
+        write_checkpoint(&dir, 2, 2, &profiles).unwrap();
+        drop(w);
+        // …then frame 2 rots on disk: the byte scan keeps only frame 1,
+        // leaving the log's surviving max seq below the checkpoint's.
+        let mut bytes = fs::read(dir.join(WAL_FILE)).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(dir.join(WAL_FILE), &bytes).unwrap();
+
+        let (_s, w2, r2) = recover(&dir, repo.clone(), &buckets, PublishMode::Incremental).unwrap();
+        assert_eq!(r2.checkpoint_seq, 2);
+        assert_eq!(r2.recovered_epoch, 2, "the checkpoint carries the state");
+        assert_eq!(r2.next_seq, 3);
+        // The surviving prefix was rotated away: appending seq 3 after a
+        // file ending at seq 1 would strand every later acked frame
+        // behind a sequence gap on the following restart.
+        assert_eq!(r2.wal_bytes, 0);
+        assert_eq!(fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
+        assert!(
+            r2.quarantined.as_deref().unwrap().contains("behind checkpoint"),
+            "{:?}",
+            r2.quarantined
+        );
+        drop(w2);
+
+        // The next run appends acked frames from next_seq — and a further
+        // restart must replay them, not quarantine them.
+        let mut wal = WalWriter::open(&dir, FsyncPolicy::Always, r2.next_seq, 0).unwrap();
+        wal.append(3, vec![update("dave", "topic-0", Some(0.4))])
+            .unwrap();
+        drop(wal);
+        let (_s, w3, r3) = recover(&dir, repo, &buckets, PublishMode::Incremental).unwrap();
+        assert!(r3.quarantined.is_none(), "{:?}", r3.quarantined);
+        assert_eq!(r3.replayed_frames, 1);
+        assert_eq!(r3.recovered_epoch, 3);
+        assert!(w3.repo().user_by_name("dave").is_some());
         fs::remove_dir_all(&dir).unwrap();
     }
 

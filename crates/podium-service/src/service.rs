@@ -148,6 +148,8 @@ pub struct DurabilityHandle {
     wal_bytes: AtomicU64,
     last_checkpoint_epoch: AtomicU64,
     recovery_replayed: AtomicU64,
+    checkpoint_failures: AtomicU64,
+    last_checkpoint_error: Mutex<Option<String>>,
 }
 
 impl DurabilityHandle {
@@ -165,6 +167,30 @@ impl DurabilityHandle {
     /// WAL frames recovery replayed at startup.
     pub fn recovery_replayed(&self) -> u64 {
         self.recovery_replayed.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint attempts that failed (serialization or I/O). A value
+    /// that keeps growing while `last_checkpoint_epoch` stands still
+    /// means the WAL — and with it replay time — is growing unboundedly.
+    pub fn checkpoint_failures(&self) -> u64 {
+        self.checkpoint_failures.load(Ordering::Relaxed)
+    }
+
+    /// The most recent checkpoint failure, for operators chasing a
+    /// non-zero [`DurabilityHandle::checkpoint_failures`].
+    pub fn last_checkpoint_error(&self) -> Option<String> {
+        poison::recover(self.last_checkpoint_error.lock()).clone()
+    }
+
+    /// [`DurabilityHandle::maybe_checkpoint`] with failures recorded
+    /// instead of propagated: a failed checkpoint costs recovery time,
+    /// never durability (the WAL has everything), so the live path keeps
+    /// serving and surfaces the stall through the `stats` op.
+    fn checkpoint_if_due(&self, writer: &RepositoryWriter) {
+        if let Err(e) = self.maybe_checkpoint(writer) {
+            self.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+            *poison::recover(self.last_checkpoint_error.lock()) = Some(e.to_string());
+        }
     }
 
     /// Appends one accepted update as a WAL frame and fsyncs per policy.
@@ -221,7 +247,8 @@ pub struct PeerHealth {
 /// Consecutive failures before a peer is reported `degraded`.
 pub const PEER_DEGRADE_AFTER: u32 = 3;
 
-/// Peers tracked at once; the oldest entry is evicted beyond this.
+/// Peers tracked at once; the least-recently-active entry is evicted
+/// beyond this.
 const PEER_REGISTRY_CAP: usize = 64;
 
 /// Shutdown signal + join handle of the batched-publish flusher thread.
@@ -318,6 +345,8 @@ impl PodiumService {
             wal_bytes: AtomicU64::new(report.wal_bytes),
             last_checkpoint_epoch: AtomicU64::new(report.checkpoint_epoch),
             recovery_replayed: AtomicU64::new(report.replayed_frames),
+            checkpoint_failures: AtomicU64::new(0),
+            last_checkpoint_error: Mutex::new(None),
         });
         Ok((Self::assemble(store, writer, config, Some(handle)), report))
     }
@@ -378,7 +407,7 @@ impl PodiumService {
                 if let Some(d) = &self.durability {
                     // Checkpoints are accelerators: a failed one costs
                     // recovery time, never durability (the WAL has it all).
-                    let _ = d.maybe_checkpoint(&writer);
+                    d.checkpoint_if_due(&writer);
                 }
             }
             published
@@ -410,12 +439,19 @@ impl PodiumService {
     /// trailing newline). Never panics on malformed input — parse and
     /// execution errors map to `{"ok":false,...}` responses.
     pub fn handle_line(&self, line: &str) -> String {
+        self.handle_line_classified(line).0
+    }
+
+    /// [`PodiumService::handle_line`] plus a structural success flag, so
+    /// peer-health classification never re-parses (or prefix-matches) the
+    /// serialized wire string.
+    fn handle_line_classified(&self, line: &str) -> (String, bool) {
         match parse_request(line) {
             Ok(req) => match self.handle(req) {
-                Ok(response) => response,
-                Err(e) => error_response(&e),
+                Ok(response) => (response, true),
+                Err(e) => (error_response(&e), false),
             },
-            Err(e) => error_response(&e),
+            Err(e) => (error_response(&e), false),
         }
     }
 
@@ -424,10 +460,8 @@ impl PodiumService {
     /// failure responses degrade the peer, a success recovers it, and the
     /// `stats` op reports the registry.
     pub fn handle_line_from(&self, peer: &str, line: &str) -> String {
-        let response = self.handle_line(line);
-        // `ok` is always the first field of a response (see
-        // `protocol::ok_response`), so a prefix check classifies it.
-        self.record_peer(peer, response.starts_with("{\"ok\":true"));
+        let (response, ok) = self.handle_line_classified(line);
+        self.record_peer(peer, ok);
         response
     }
 
@@ -439,32 +473,35 @@ impl PodiumService {
     fn record_peer(&self, peer: &str, success: bool) {
         let epoch = self.store.epoch();
         let mut peers = poison::recover(self.peers.lock());
-        let entry = match peers.iter_mut().find(|(name, _)| name == peer) {
-            Some((_, health)) => health,
+        // The registry stays ordered least- → most-recently-active, so
+        // eviction at cap drops the stalest peer — not a long-lived active
+        // one that merely connected first.
+        let mut entry = match peers.iter().position(|(name, _)| name == peer) {
+            Some(pos) => peers.remove(pos),
             None => {
                 if peers.len() >= PEER_REGISTRY_CAP {
                     peers.remove(0);
                 }
-                peers.push((peer.to_owned(), PeerHealth::default()));
-                // podium-lint: allow(expect) — the entry was pushed on the line above
-                &mut peers.last_mut().expect("registry is non-empty").1
+                (peer.to_owned(), PeerHealth::default())
             }
         };
-        entry.requests += 1;
+        let health = &mut entry.1;
+        health.requests += 1;
         if success {
-            entry.consecutive_failures = 0;
-            if entry.degraded {
-                entry.degraded = false;
-                entry.last_transition_epoch = epoch;
+            health.consecutive_failures = 0;
+            if health.degraded {
+                health.degraded = false;
+                health.last_transition_epoch = epoch;
             }
         } else {
-            entry.errors += 1;
-            entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
-            if !entry.degraded && entry.consecutive_failures >= PEER_DEGRADE_AFTER {
-                entry.degraded = true;
-                entry.last_transition_epoch = epoch;
+            health.errors += 1;
+            health.consecutive_failures = health.consecutive_failures.saturating_add(1);
+            if !health.degraded && health.consecutive_failures >= PEER_DEGRADE_AFTER {
+                health.degraded = true;
+                health.last_transition_epoch = epoch;
             }
         }
+        peers.push(entry);
     }
 
     /// Handles a parsed request.
@@ -576,20 +613,25 @@ impl PodiumService {
                 // state inconsistent; refuse further writes rather than
                 // publish from it (reads keep serving the last snapshot).
                 let mut writer = poison::checked(self.writer.lock())?;
-                let outcome = writer.apply(&update)?;
                 if let Some(d) = &self.durability {
-                    // Log before publish, ack after fsync (per policy): an
-                    // acknowledged update is in the WAL. An append failure
-                    // leaves the update applied but unpublished and
-                    // unacknowledged — recovery resolves the ambiguity in
-                    // the client's disfavor, exactly like a crash between
-                    // send and ack.
+                    // Write-ahead order: validate against the exact state
+                    // the frame will replay against, make it durable, then
+                    // apply. Validating first keeps rejected updates out
+                    // of the log (replay would quarantine them and every
+                    // acked frame behind them); logging before applying
+                    // means an append failure leaves the writer untouched,
+                    // so a non-durable update can never be published or
+                    // checkpointed. A crash between append and ack is
+                    // resolved in the client's disfavor, exactly like a
+                    // crash between send and ack.
+                    writer.validate(&update)?;
                     let epoch_hint = match self.publish_policy {
                         PublishPolicy::Immediate => writer.epoch().saturating_add(1),
                         PublishPolicy::Batched { .. } => 0,
                     };
                     d.log_update(epoch_hint, &update)?;
                 }
+                let outcome = writer.apply(&update)?;
                 let (epoch, queued) = match self.publish_policy {
                     // One epoch per update: the original behavior.
                     PublishPolicy::Immediate => (writer.publish(), false),
@@ -603,7 +645,7 @@ impl PodiumService {
                         // Checkpoints are accelerators: a failed one costs
                         // recovery time, never durability. Batched-policy
                         // checkpoints run in the flusher, after publish.
-                        let _ = d.maybe_checkpoint(&writer);
+                        d.checkpoint_if_due(&writer);
                     }
                 }
                 let mut fields = vec![
@@ -660,18 +702,23 @@ impl PodiumService {
                         })
                         .collect(),
                 );
-                let (wal_bytes, last_checkpoint_epoch, recovery_replayed) = self
+                let (wal_bytes, last_checkpoint_epoch, recovery_replayed, checkpoint_failures) =
+                    self.durability
+                        .as_ref()
+                        .map(|d| {
+                            (
+                                d.wal_bytes(),
+                                d.last_checkpoint_epoch(),
+                                d.recovery_replayed(),
+                                d.checkpoint_failures(),
+                            )
+                        })
+                        .unwrap_or_default();
+                let checkpoint_error = self
                     .durability
                     .as_ref()
-                    .map(|d| {
-                        (
-                            d.wal_bytes(),
-                            d.last_checkpoint_epoch(),
-                            d.recovery_replayed(),
-                        )
-                    })
-                    .unwrap_or_default();
-                Ok(ok_response(vec![
+                    .and_then(|d| d.last_checkpoint_error());
+                let mut fields = vec![
                     ("epoch", num_u64(snapshot.epoch())),
                     ("users", num_u64(snapshot.repo().user_count() as u64)),
                     ("groups", num_u64(snapshot.groups().len() as u64)),
@@ -711,8 +758,15 @@ impl PodiumService {
                     ("wal_bytes", num_u64(wal_bytes)),
                     ("last_checkpoint_epoch", num_u64(last_checkpoint_epoch)),
                     ("recovery_replayed", num_u64(recovery_replayed)),
+                    ("checkpoint_failures", num_u64(checkpoint_failures)),
                     ("peers", peers),
-                ]))
+                ];
+                if let Some(e) = checkpoint_error {
+                    // Present only once a checkpoint has failed, so the
+                    // healthy-path response shape is unchanged.
+                    fields.push(("checkpoint_last_error", string(e)));
+                }
+                Ok(ok_response(fields))
             }
         }
     }
@@ -754,7 +808,7 @@ fn spawn_flusher(
                         // has no pending updates, so the checkpoint's
                         // epoch matches its contents exactly. Failures
                         // cost recovery time, never durability.
-                        let _ = d.maybe_checkpoint(&w);
+                        d.checkpoint_if_due(&w);
                     }
                 }
                 published
@@ -1236,6 +1290,133 @@ mod tests {
         assert_eq!(resp.get("epoch").and_then(Value::as_u64), Some(3));
         drop(svc);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_rejected_update_never_reaches_the_wal() {
+        let dir = std::env::temp_dir().join(format!("podium-svc-prevalid-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let build = || {
+            let mut repo = UserRepository::new();
+            let mex = repo.intern_property("avgRating Mexican");
+            for i in 0..16 {
+                let u = repo.add_user(format!("u{i}"));
+                repo.set_score(u, mex, (i as f64) / 16.0).unwrap();
+            }
+            let buckets = BucketingConfig::paper_default().bucketize(&repo);
+            (repo, buckets)
+        };
+        let config = ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            default_deadline_ms: 2000,
+            ..ServiceConfig::default()
+        };
+        let (repo, buckets) = build();
+        let (svc, _) =
+            PodiumService::with_durability(repo, &buckets, config, DurabilityOptions::new(&dir))
+                .unwrap();
+        // Rejected updates (unknown property, bad score, bad retraction)
+        // are validated before the WAL append, so none of them leaves a
+        // frame that replay would quarantine.
+        for line in [
+            r#"{"op":"update-profile","user":"u1","property":"never-bucketed","score":0.5}"#,
+            r#"{"op":"update-profile","user":"u1","property":"avgRating Mexican","score":7.0}"#,
+            r#"{"op":"update-profile","user":"nobody","property":"avgRating Mexican","score":null}"#,
+        ] {
+            let resp = parse(&svc.handle_line(line));
+            assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false));
+        }
+        let stats = parse(&svc.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(stats.get("wal_bytes").and_then(Value::as_u64), Some(0));
+        assert_eq!(stats.get("epoch").and_then(Value::as_u64), Some(0));
+        // A valid update still logs and publishes…
+        let resp = parse(&svc.handle_line(
+            r#"{"op":"update-profile","user":"u1","property":"avgRating Mexican","score":0.5}"#,
+        ));
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+        drop(svc);
+        // …and the restart replays exactly that one frame.
+        let (repo, buckets) = build();
+        let (_svc, report) =
+            PodiumService::with_durability(repo, &buckets, config, DurabilityOptions::new(&dir))
+                .unwrap();
+        assert_eq!(report.replayed_frames, 1);
+        assert!(report.quarantined.is_none(), "{:?}", report.quarantined);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_checkpoints_are_counted_in_stats() {
+        let dir = std::env::temp_dir().join(format!("podium-svc-ckfail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A directory squatting on the checkpoint's tmp path makes the
+        // tmp-file create fail; with checkpoint_every=1 the first update
+        // attempts a checkpoint at seq 1.
+        std::fs::create_dir_all(dir.join("checkpoint-1.json.tmp")).unwrap();
+        let mut repo = UserRepository::new();
+        let mex = repo.intern_property("avgRating Mexican");
+        for i in 0..8 {
+            let u = repo.add_user(format!("u{i}"));
+            repo.set_score(u, mex, (i as f64) / 8.0).unwrap();
+        }
+        let buckets = BucketingConfig::paper_default().bucketize(&repo);
+        let opts = DurabilityOptions {
+            checkpoint_every: 1,
+            ..DurabilityOptions::new(&dir)
+        };
+        let (svc, _) = PodiumService::with_durability(
+            repo,
+            &buckets,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 8,
+                default_deadline_ms: 2000,
+                ..ServiceConfig::default()
+            },
+            opts,
+        )
+        .unwrap();
+        // The update is still acknowledged — checkpoints are accelerators —
+        // but the failure is counted and described instead of swallowed.
+        let resp = parse(&svc.handle_line(
+            r#"{"op":"update-profile","user":"u1","property":"avgRating Mexican","score":0.9}"#,
+        ));
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+        let stats = parse(&svc.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(
+            stats.get("checkpoint_failures").and_then(Value::as_u64),
+            Some(1)
+        );
+        assert!(
+            stats
+                .get("checkpoint_last_error")
+                .and_then(Value::as_str)
+                .is_some(),
+            "{stats:?}"
+        );
+        assert_eq!(
+            stats.get("last_checkpoint_epoch").and_then(Value::as_u64),
+            Some(0)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peer_registry_evicts_least_recently_active_at_cap() {
+        let svc = service();
+        for i in 0..PEER_REGISTRY_CAP {
+            svc.handle_line_from(&format!("peer-{i}"), r#"{"op":"stats"}"#);
+        }
+        // Touch the oldest-inserted peer, then overflow the cap: eviction
+        // must hit peer-1 (now the stalest), not the still-active peer-0.
+        svc.handle_line_from("peer-0", r#"{"op":"stats"}"#);
+        svc.handle_line_from("peer-new", r#"{"op":"stats"}"#);
+        let peers = svc.peer_health();
+        assert_eq!(peers.len(), PEER_REGISTRY_CAP);
+        assert!(peers.iter().any(|(n, _)| n == "peer-0"));
+        assert!(peers.iter().any(|(n, _)| n == "peer-new"));
+        assert!(!peers.iter().any(|(n, _)| n == "peer-1"));
     }
 
     #[test]

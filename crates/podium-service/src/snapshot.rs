@@ -734,8 +734,38 @@ impl RepositoryWriter {
         true
     }
 
+    /// Checks `update` against the current working state without applying
+    /// anything: the property must exist, a score must be normalized, and
+    /// a retraction must name a user that exists. These are exactly the
+    /// failure modes of [`RepositoryWriter::apply`] — the durable path
+    /// validates first, appends the WAL frame, then applies, so a frame
+    /// that reaches the log is guaranteed to apply (now and at replay).
+    pub fn validate(&self, update: &ProfileUpdate) -> Result<(), ServiceError> {
+        if self.repo.property_id(&update.property).is_none() {
+            return Err(ServiceError::BadRequest(format!(
+                "unknown property '{}' (bucketing is fixed at fit time; re-fit to add properties)",
+                update.property
+            )));
+        }
+        match update.score {
+            Some(s) if !s.is_finite() || !(0.0..=1.0).contains(&s) => {
+                Err(ServiceError::BadRequest(format!(
+                    "score {s} outside the normalized [0, 1] range"
+                )))
+            }
+            None if self.repo.user_by_name(&update.user).is_none() => {
+                Err(ServiceError::BadRequest(format!(
+                    "cannot retract a score for unknown user '{}'",
+                    update.user
+                )))
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Applies one update to the writer's working state. Not visible to
-    /// readers until [`RepositoryWriter::publish`].
+    /// readers until [`RepositoryWriter::publish`]. Fails exactly when
+    /// [`RepositoryWriter::validate`] does, before any state is mutated.
     pub fn apply(&mut self, update: &ProfileUpdate) -> Result<ApplyOutcome, ServiceError> {
         let Some(pid) = self.repo.property_id(&update.property) else {
             return Err(ServiceError::BadRequest(format!(
@@ -1246,6 +1276,43 @@ mod tests {
         }
         let build = *store.load().build_stats();
         assert!(build.patched && build.groups_patched && build.repo_replayed);
+    }
+
+    /// `validate` must agree with `apply` on every failure mode, or the
+    /// durable path's validate → WAL-append → apply ordering could log a
+    /// frame that then refuses to apply (live or at replay).
+    #[test]
+    fn validate_mirrors_apply_verdicts() {
+        let cases = [
+            ("Alice", "avgRating Mexican", Some(0.7), true),
+            ("Newcomer", "avgRating Mexican", Some(0.1), true),
+            ("Alice", "avgRating Mexican", None, true),
+            ("Alice", "never-bucketed", Some(0.5), false),
+            ("Alice", "avgRating Mexican", Some(1.5), false),
+            ("Alice", "avgRating Mexican", Some(f64::NAN), false),
+            ("Nobody", "avgRating Mexican", None, false),
+        ];
+        for (user, property, score, expect_ok) in cases {
+            // A fresh writer per case: `apply` mutates on success.
+            let (_store, mut w) = writer();
+            let update = ProfileUpdate {
+                user: user.into(),
+                property: property.into(),
+                score,
+            };
+            let validated = w.validate(&update);
+            let applied = w.apply(&update);
+            assert_eq!(
+                validated.is_ok(),
+                expect_ok,
+                "validate({user}, {property}, {score:?})"
+            );
+            assert_eq!(
+                validated.is_ok(),
+                applied.is_ok(),
+                "validate and apply disagree on ({user}, {property}, {score:?})"
+            );
+        }
     }
 
     #[test]
