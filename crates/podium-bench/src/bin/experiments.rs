@@ -234,7 +234,11 @@ fn main() {
                 );
             }
         }
-        let _ = writeln!(status_file, "{}", status.to_json());
+        let _ = writeln!(
+            status_file,
+            "{}",
+            status.to_json(u64::try_from(statuses.len()).unwrap_or(u64::MAX))
+        );
         let _ = status_file.flush();
         statuses.push(status);
     }
@@ -435,12 +439,15 @@ fn run_one(id: &str, args: &Args) -> Option<String> {
         }
         "serving" => {
             header("Serving: sustained select throughput under live updates (podium-service)");
-            let report = podium_bench::serving_exp::run(args.scale, args.seed);
+            let mut report = podium_bench::serving_exp::run(args.scale, args.seed);
             print!("{}", podium_bench::serving_exp::render(&report));
             let row_path = std::path::Path::new("target/bench-serve.jsonl");
             if let Some(dir) = row_path.parent() {
                 let _ = std::fs::create_dir_all(dir);
             }
+            report.seq = podium_service::bench::next_row_seq(
+                &std::fs::read_to_string(row_path).unwrap_or_default(),
+            );
             let appended = std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
@@ -456,12 +463,18 @@ fn run_one(id: &str, args: &Args) -> Option<String> {
         }
         "drift" => {
             header("Drift: publish latency and memo retention under profile drift");
-            let reports = podium_bench::serving_exp::run_drift(args.scale, args.seed);
+            let mut reports = podium_bench::serving_exp::run_drift(args.scale, args.seed);
             print!("{}", podium_bench::serving_exp::render_drift(&reports));
             // Each cell is also one bench-serve JSONL row.
             let row_path = std::path::Path::new("target/bench-serve.jsonl");
             if let Some(dir) = row_path.parent() {
                 let _ = std::fs::create_dir_all(dir);
+            }
+            let base_seq = podium_service::bench::next_row_seq(
+                &std::fs::read_to_string(row_path).unwrap_or_default(),
+            );
+            for (offset, report) in reports.iter_mut().enumerate() {
+                report.seq = base_seq.saturating_add(u64::try_from(offset).unwrap_or(u64::MAX));
             }
             if let Ok(mut f) = std::fs::OpenOptions::new()
                 .create(true)

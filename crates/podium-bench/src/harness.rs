@@ -25,6 +25,9 @@ pub enum Outcome {
     TimedOut,
 }
 
+/// Schema tag on every status row (see `podium-sim`'s stream reader).
+pub const STATUS_SCHEMA: &str = "podium.experiment-status/1";
+
 /// The recorded result of one isolated experiment run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentStatus {
@@ -49,10 +52,11 @@ impl ExperimentStatus {
     }
 
     /// One-line JSON rendering for the status file (JSONL, one experiment
-    /// per line).
-    pub fn to_json(&self) -> String {
+    /// per line). `seq` is the row's position in the stream — the status
+    /// file is rewritten per sweep, so the driver passes the loop index.
+    pub fn to_json(&self, seq: u64) -> String {
         let mut out = format!(
-            "{{\"name\":\"{}\",\"outcome\":\"{}\",\"seconds\":{:.3}",
+            "{{\"schema\":\"{STATUS_SCHEMA}\",\"seq\":{seq},\"name\":\"{}\",\"outcome\":\"{}\",\"seconds\":{:.3}",
             json_escape(&self.name),
             match self.outcome {
                 Outcome::Ok => "ok",
@@ -157,9 +161,9 @@ mod tests {
         let s = run_isolated("fine", Duration::from_secs(10), || None);
         assert!(s.is_ok());
         assert_eq!(
-            s.to_json(),
+            s.to_json(4),
             format!(
-                "{{\"name\":\"fine\",\"outcome\":\"ok\",\"seconds\":{:.3}}}",
+                "{{\"schema\":\"{STATUS_SCHEMA}\",\"seq\":4,\"name\":\"fine\",\"outcome\":\"ok\",\"seconds\":{:.3}}}",
                 s.seconds
             )
         );
@@ -175,7 +179,7 @@ mod tests {
             s.details.as_deref(),
             Some("{\"cache_hits\":3,\"queue_depth_max\":1}")
         );
-        let row = s.to_json();
+        let row = s.to_json(0);
         assert!(
             row.contains(",\"details\":{\"cache_hits\":3,\"queue_depth_max\":1}}"),
             "{row}"
@@ -191,7 +195,7 @@ mod tests {
             Outcome::Panicked(msg) => assert!(msg.contains("deliberate")),
             other => panic!("expected Panicked, got {other:?}"),
         }
-        assert!(s.to_json().contains("\\\"failure\\\""), "{}", s.to_json());
+        assert!(s.to_json(0).contains("\\\"failure\\\""), "{}", s.to_json(0));
     }
 
     #[test]

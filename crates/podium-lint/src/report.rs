@@ -4,6 +4,10 @@
 
 use crate::Violation;
 
+/// Schema tag on every JSONL row; bump the version when the row shape
+/// changes so stream readers can reject mixed files.
+pub const LINT_SCHEMA: &str = "podium.lint/1";
+
 /// Escapes `s` for inclusion in a JSON string literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -24,18 +28,18 @@ fn json_escape(s: &str) -> String {
 }
 
 /// One JSONL line per violation:
-/// `{"file":…,"line":…,"col":…,"rule":…,"message":…,"allowed":bool,"justification":…}`.
+/// `{"schema":…,"seq":…,"file":…,"line":…,"col":…,"rule":…,"message":…,"allowed":bool,"justification":…}`.
 /// Suppressed findings are included (with `allowed: true`) so the
 /// dashboard can track suppression debt over time.
 pub fn to_jsonl(violations: &[Violation]) -> String {
     let mut out = String::new();
-    for v in violations {
+    for (seq, v) in violations.iter().enumerate() {
         let justification = match &v.allowed {
             Some(j) => format!(",\"justification\":\"{}\"", json_escape(j)),
             None => String::new(),
         };
         out.push_str(&format!(
-            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\",\"allowed\":{}{}}}\n",
+            "{{\"schema\":\"{LINT_SCHEMA}\",\"seq\":{seq},\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\",\"allowed\":{}{}}}\n",
             json_escape(&v.file),
             v.line,
             v.col,
@@ -97,6 +101,7 @@ mod tests {
     fn jsonl_escapes_and_flags() {
         let mut v = Violation::new("a\"b.rs", 3, 7, Rule::Unwrap, "line1\nline2");
         let plain = to_jsonl(std::slice::from_ref(&v));
+        assert!(plain.contains("\"schema\":\"podium.lint/1\",\"seq\":0,"));
         assert!(plain.contains("\"file\":\"a\\\"b.rs\""));
         assert!(plain.contains("\"message\":\"line1\\nline2\""));
         assert!(plain.contains("\"allowed\":false"));

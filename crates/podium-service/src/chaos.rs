@@ -11,8 +11,13 @@
 //!   random byte, forwarded, and then both directions are torn down —
 //!   the peer sees a broken frame followed by EOF.
 //! * **Stalls** — with probability [`ChaosConfig::stall_per_chunk`], the
-//!   pump sleeps [`ChaosConfig::stall`] before forwarding, long enough
-//!   (when configured past the client deadline) to force timeouts.
+//!   pump delays [`ChaosConfig::stall`] before forwarding. Under the
+//!   default [`ChaosClock::Real`] the delay is a wall-clock sleep, long
+//!   enough (when configured past the client deadline) to force
+//!   timeouts; under [`ChaosClock::Virtual`] the delay is *bookkept* on
+//!   a shared virtual-nanosecond counter instead of slept, so
+//!   stall-heavy tests and simulator runs finish at full speed while
+//!   still exercising the seeded fault schedule.
 //! * **Connection refusals** — with probability
 //!   [`ChaosConfig::refuse_per_conn`], an accepted connection is dropped
 //!   immediately without contacting upstream.
@@ -42,9 +47,76 @@ use std::time::Duration;
 
 use crate::poison;
 
+/// How injected fault *timing* (stalls, idle ticks) is accounted.
+///
+/// The fault *schedule* — which chunks stall, where disconnects cut —
+/// is always a pure function of the seed; the clock only decides
+/// whether the scheduled delays consume wall time or a virtual
+/// counter. Routing timing through the virtual clock removes the last
+/// wall-time dependence from stall-heavy chaos tests and keeps
+/// simulator runs with chaos deterministic and fast.
+#[derive(Debug, Clone, Default)]
+pub enum ChaosClock {
+    /// Delays are real `thread::sleep`s (the historical behavior).
+    #[default]
+    Real,
+    /// Delays advance a shared virtual-nanosecond counter instead of
+    /// sleeping. Readable via [`ChaosClock::virtual_ns`].
+    Virtual(Arc<AtomicU64>),
+}
+
+impl ChaosClock {
+    /// A fresh virtual clock starting at zero.
+    pub fn virtual_clock() -> Self {
+        Self::Virtual(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Nanoseconds accumulated on the virtual counter; `None` for the
+    /// real clock.
+    pub fn virtual_ns(&self) -> Option<u64> {
+        match self {
+            Self::Real => None,
+            Self::Virtual(t) => Some(t.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Spends `d` on this clock: a sleep under [`ChaosClock::Real`], a
+    /// counter bump under [`ChaosClock::Virtual`].
+    fn spend(&self, d: Duration) {
+        match self {
+            Self::Real => std::thread::sleep(d),
+            Self::Virtual(t) => {
+                let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+                t.fetch_add(ns, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Accounts one idle read tick (no bytes arrived within the read
+    /// timeout). The wall wait already happened inside the blocking
+    /// read; the virtual clock records it so idle-driven faults are
+    /// visible in virtual time too.
+    fn idle_tick(&self, d: Duration) {
+        if let Self::Virtual(t) = self {
+            let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+            t.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+}
+
+impl PartialEq for ChaosClock {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Self::Real, Self::Real) => true,
+            (Self::Virtual(a), Self::Virtual(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
 /// Fault probabilities and timings. All probabilities are per-chunk (or
 /// per-connection for refusals) in `[0.0, 1.0]`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChaosConfig {
     /// Seed for the fault stream; same seed ⇒ same per-connection fault
     /// decisions.
@@ -60,6 +132,9 @@ pub struct ChaosConfig {
     /// Probability an accepted connection is dropped before contacting
     /// upstream.
     pub refuse_per_conn: f64,
+    /// Whether stall/idle timing sleeps ([`ChaosClock::Real`]) or is
+    /// bookkept on a virtual counter ([`ChaosClock::Virtual`]).
+    pub clock: ChaosClock,
 }
 
 impl Default for ChaosConfig {
@@ -71,6 +146,7 @@ impl Default for ChaosConfig {
             stall_per_chunk: 0.0,
             stall: Duration::from_millis(0),
             refuse_per_conn: 0.0,
+            clock: ChaosClock::Real,
         }
     }
 }
@@ -86,6 +162,9 @@ pub struct ChaosStats {
     pub disconnects: AtomicU64,
     /// Stalls injected.
     pub stalls: AtomicU64,
+    /// Total injected stall time in nanoseconds (wall or virtual,
+    /// depending on [`ChaosConfig::clock`]).
+    pub stalled_ns: AtomicU64,
     /// Chunks forwarded as split writes.
     pub splits: AtomicU64,
 }
@@ -316,6 +395,7 @@ fn pump(shared: &ChaosShared, mut from: TcpStream, mut to: TcpStream, mut rng: u
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
+                config.clock.idle_tick(READ_TICK);
                 if kill_after {
                     // The scripted cut lies past the bytes that ever
                     // arrived; sever at the idle tick instead.
@@ -336,7 +416,11 @@ fn pump(shared: &ChaosShared, mut from: TcpStream, mut to: TcpStream, mut rng: u
                 remaining = scripted_chunk_len(&mut rng);
                 if config.stall_per_chunk > 0.0 && unit_float(&mut rng) < config.stall_per_chunk {
                     shared.stats.stalls.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(config.stall);
+                    shared.stats.stalled_ns.fetch_add(
+                        u64::try_from(config.stall.as_nanos()).unwrap_or(u64::MAX),
+                        Ordering::Relaxed,
+                    );
+                    config.clock.spend(config.stall);
                 }
                 if config.disconnect_per_chunk > 0.0
                     && unit_float(&mut rng) < config.disconnect_per_chunk
@@ -550,6 +634,61 @@ mod tests {
         assert_eq!(line, msg);
         assert!(proxy.stats().splits.load(Ordering::Relaxed) > 1);
         proxy.shutdown();
+    }
+
+    #[test]
+    fn virtual_clock_stalls_do_not_sleep() {
+        // Every chunk stalls for 10 virtual seconds — under the real
+        // clock this exchange would take minutes; under the virtual
+        // clock it must finish promptly while the stall schedule is
+        // still drawn, counted, and bookkept in virtual nanoseconds.
+        let (upstream, _handle) = echo_server();
+        let clock = ChaosClock::virtual_clock();
+        let config = ChaosConfig {
+            stall_per_chunk: 1.0,
+            stall: Duration::from_secs(10),
+            clock: clock.clone(),
+            ..ChaosConfig::default()
+        };
+        let proxy = ChaosProxy::bind(upstream, config).unwrap();
+        let started = std::time::Instant::now();
+        let stream = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        for i in 0..5 {
+            let msg = format!("virtual-{i}\n");
+            writer.write_all(msg.as_bytes()).unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line, msg);
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "virtual stalls must not consume wall time: {:?}",
+            started.elapsed()
+        );
+        let stalls = proxy.stats().stalls.load(Ordering::Relaxed);
+        assert!(stalls >= 1, "no stalls injected");
+        let virtual_ns = clock.virtual_ns().unwrap();
+        assert!(
+            virtual_ns >= stalls * 10_000_000_000,
+            "virtual clock under-counted: {virtual_ns} ns for {stalls} stalls"
+        );
+        assert_eq!(
+            proxy.stats().stalled_ns.load(Ordering::Relaxed),
+            stalls * 10_000_000_000
+        );
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn real_clock_reports_no_virtual_time() {
+        assert_eq!(ChaosClock::Real.virtual_ns(), None);
+        let v = ChaosClock::virtual_clock();
+        assert_eq!(v.virtual_ns(), Some(0));
+        assert_eq!(v, v.clone(), "a virtual clock equals its own handle");
+        assert_ne!(v, ChaosClock::virtual_clock(), "distinct counters differ");
+        assert_eq!(ChaosClock::Real, ChaosClock::Real);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod snapshot;
 pub mod tcp;
 pub mod wal;
 
-pub use chaos::{ChaosConfig, ChaosProxy};
+pub use chaos::{ChaosClock, ChaosConfig, ChaosProxy};
 pub use client::{BreakerState, ClientConfig, ClientError, ClientHealth, PodiumClient};
 pub use error::ServiceError;
 pub use recovery::{DurabilityOptions, RecoveryReport};

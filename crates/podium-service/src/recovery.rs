@@ -628,7 +628,10 @@ mod tests {
         assert_eq!(r2.wal_bytes, 0);
         assert_eq!(fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
         assert!(
-            r2.quarantined.as_deref().unwrap().contains("behind checkpoint"),
+            r2.quarantined
+                .as_deref()
+                .unwrap()
+                .contains("behind checkpoint"),
             "{:?}",
             r2.quarantined
         );

@@ -748,11 +748,9 @@ impl RepositoryWriter {
             )));
         }
         match update.score {
-            Some(s) if !s.is_finite() || !(0.0..=1.0).contains(&s) => {
-                Err(ServiceError::BadRequest(format!(
-                    "score {s} outside the normalized [0, 1] range"
-                )))
-            }
+            Some(s) if !s.is_finite() || !(0.0..=1.0).contains(&s) => Err(
+                ServiceError::BadRequest(format!("score {s} outside the normalized [0, 1] range")),
+            ),
             None if self.repo.user_by_name(&update.user).is_none() => {
                 Err(ServiceError::BadRequest(format!(
                     "cannot retract a score for unknown user '{}'",

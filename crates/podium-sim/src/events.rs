@@ -1,0 +1,140 @@
+//! The virtual-clock event heap.
+//!
+//! A discrete-event simulation advances a virtual clock from one
+//! scheduled event to the next instead of sleeping through real time.
+//! The queue is a min-heap keyed by `(virtual_time_us, seq)`: the
+//! monotone `seq` breaks ties between events scheduled for the same
+//! instant in scheduling order, which makes the pop order — and
+//! therefore the whole simulation — fully deterministic.
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One schedulable occurrence in the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A new user joins the population.
+    Arrival,
+    /// An active user leaves (their scores are retracted).
+    Churn,
+    /// A batch of Markov opinion-drift steps.
+    Drift,
+    /// A client opens a customization session.
+    OpenSession,
+    /// The next step of an open session (select / refine / close),
+    /// keyed by the simulator-local session number.
+    SessionStep {
+        /// Simulator-local session key (not the server's session id).
+        sid: u64,
+    },
+    /// A monitoring poll: issue `stats` and refresh the driver's view
+    /// of the epoch and group count.
+    Observer,
+    /// End of the simulated horizon.
+    End,
+}
+
+/// An event bound to a virtual instant.
+#[derive(Debug, Clone)]
+pub struct Scheduled {
+    /// Virtual time in microseconds since simulation start.
+    pub at_us: u64,
+    /// Scheduling order, unique per queue; the tie-breaker.
+    pub seq: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at_us, self.seq) == (other.at_us, other.seq)
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at_us, self.seq).cmp(&(other.at_us, other.seq))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at virtual microsecond `at_us`; returns the
+    /// assigned sequence number.
+    pub fn schedule(&mut self, at_us: u64, event: Event) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { at_us, seq, event }));
+        seq
+    }
+
+    /// Pops the earliest event (ties broken by scheduling order).
+    pub fn pop(&mut self) -> Option<Scheduled> {
+        self.heap.pop().map(|Reverse(s)| s)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, Event::Churn);
+        q.schedule(10, Event::Arrival);
+        q.schedule(20, Event::Drift);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|s| s.at_us).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, Event::Churn);
+        q.schedule(5, Event::Arrival);
+        q.schedule(5, Event::Drift);
+        let order: Vec<Event> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+        assert_eq!(order, vec![Event::Churn, Event::Arrival, Event::Drift]);
+    }
+
+    #[test]
+    fn seq_is_monotone() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1, Event::Arrival);
+        let b = q.schedule(1, Event::Arrival);
+        assert!(b > a);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,482 @@
+//! The unified observability dashboard: one pass over every stream the
+//! workspace emits.
+//!
+//! `podium sim report` feeds this module bench-serve rows, experiment
+//! harness status rows, podium-lint findings, and simulator
+//! trace/request logs — in any combination — and gets back two views of
+//! the same aggregation:
+//!
+//! * a human text dashboard, sectioned per stream kind, and
+//! * a machine rollup (`podium.dashboard-rollup/1`) checked in as
+//!   `BENCH_8.json`: req/s and p50/p99 per op, failure breakdown, cache
+//!   hit rate, WAL/recovery stats, and the lint suppression-debt count.
+//!
+//! Aggregation rules are deliberately simple and documented here so the
+//! numbers are auditable: bench-serve headline stats come from the row
+//! with the highest `seq` (the newest run) while failure counters sum
+//! over all rows; experiment and lint sections count rows; the sim
+//! section recomputes latency percentiles from the raw request log.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use podium_service::protocol::{num_f64, num_u64};
+use serde_json::Value;
+
+use crate::driver::percentiles;
+use crate::stream::{JsonlStream, StreamKind};
+
+/// Schema tag of the machine rollup this module produces.
+pub const DASHBOARD_SCHEMA: &str = "podium.dashboard-rollup/1";
+
+/// Per-op accumulator for the sim section.
+#[derive(Default)]
+struct OpStats {
+    count: u64,
+    ok: u64,
+    failed: u64,
+    latencies_us: Vec<u64>,
+    max_staleness: u64,
+}
+
+/// Renders the dashboard over validated streams. Returns the human text
+/// and the machine rollup; either is useful without the other.
+pub fn render(streams: &[JsonlStream]) -> (String, Value) {
+    let mut human = String::new();
+    let mut rollup: Vec<(String, Value)> = vec![
+        (
+            "schema".to_owned(),
+            Value::String(DASHBOARD_SCHEMA.to_owned()),
+        ),
+        ("bench".to_owned(), Value::String("sim-report".to_owned())),
+    ];
+
+    let _ = writeln!(human, "==== podium dashboard ====");
+    let mut source_pairs: Vec<(String, Value)> = Vec::new();
+    for kind in [
+        StreamKind::BenchServe,
+        StreamKind::ExperimentStatus,
+        StreamKind::Lint,
+        StreamKind::SimTrace,
+        StreamKind::SimRequests,
+    ] {
+        let files: Vec<&JsonlStream> = streams.iter().filter(|s| s.kind == kind).collect();
+        if files.is_empty() {
+            continue;
+        }
+        let rows: usize = files.iter().map(|s| s.rows.len()).sum();
+        let _ = writeln!(
+            human,
+            "source: {:<18} {} row(s) from {} file(s)",
+            kind.schema(),
+            rows,
+            files.len()
+        );
+        source_pairs.push((
+            kind.schema().to_owned(),
+            num_u64(u64::try_from(rows).unwrap_or(u64::MAX)),
+        ));
+    }
+    rollup.push(("sources".to_owned(), Value::Object(source_pairs)));
+
+    if let Some(section) = bench_serve_section(streams, &mut human) {
+        rollup.push(("bench_serve".to_owned(), section));
+    }
+    if let Some(section) = experiments_section(streams, &mut human) {
+        rollup.push(("experiments".to_owned(), section));
+    }
+    if let Some(section) = lint_section(streams, &mut human) {
+        rollup.push(("lint".to_owned(), section));
+    }
+    if let Some(section) = sim_section(streams, &mut human) {
+        rollup.push(("sim".to_owned(), section));
+    }
+
+    (human, Value::Object(rollup))
+}
+
+/// All rows of one kind, across files, in file order.
+fn rows_of(streams: &[JsonlStream], kind: StreamKind) -> Vec<&Value> {
+    streams
+        .iter()
+        .filter(|s| s.kind == kind)
+        .flat_map(|s| s.rows.iter())
+        .collect()
+}
+
+fn get_u64(row: &Value, key: &str) -> u64 {
+    row.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn get_f64(row: &Value, key: &str) -> f64 {
+    row.get(key).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+/// Serving health: headline stats from the newest row (highest `seq`),
+/// failure counters summed over every row.
+fn bench_serve_section(streams: &[JsonlStream], human: &mut String) -> Option<Value> {
+    let rows = rows_of(streams, StreamKind::BenchServe);
+    let latest = rows.iter().max_by_key(|r| get_u64(r, "seq"))?;
+
+    let mut failed = 0u64;
+    let mut failed_deadline = 0u64;
+    let mut failed_transport = 0u64;
+    let mut failed_other = 0u64;
+    let mut overloaded = 0u64;
+    let mut inconsistent = 0u64;
+    let mut served = 0u64;
+    for row in &rows {
+        served += get_u64(row, "served");
+        failed += get_u64(row, "failed");
+        failed_deadline += get_u64(row, "failed_deadline");
+        failed_transport += get_u64(row, "failed_transport");
+        failed_other += get_u64(row, "failed_other");
+        overloaded += get_u64(row, "overloaded");
+        inconsistent += get_u64(row, "inconsistent");
+    }
+    let cache_hits = get_u64(latest, "cache_hits");
+    let cache_misses = get_u64(latest, "cache_misses");
+    let cache_total = cache_hits + cache_misses;
+    let cache_hit_rate = if cache_total > 0 {
+        // podium-lint: allow(as-cast) — cache counters are far below 2^53
+        cache_hits as f64 / cache_total as f64
+    } else {
+        0.0
+    };
+
+    let _ = writeln!(human, "\n-- serving (bench-serve) --");
+    let _ = writeln!(
+        human,
+        "latest run: {:.1} req/s, p50 {}us p99 {}us over {}",
+        get_f64(latest, "throughput_rps"),
+        get_u64(latest, "p50_us"),
+        get_u64(latest, "p99_us"),
+        latest
+            .get("transport")
+            .and_then(Value::as_str)
+            .unwrap_or("?"),
+    );
+    let _ = writeln!(
+        human,
+        "all runs:   served {served}, failed {failed} (deadline {failed_deadline}, transport {failed_transport}, other {failed_other}), overloaded {overloaded}, inconsistent {inconsistent}"
+    );
+    let _ = writeln!(
+        human,
+        "cache:      {:.1}% hit rate ({cache_hits}/{cache_total}); wal {} bytes, checkpoint epoch {}, recovery {:.1} ms to epoch {}",
+        cache_hit_rate * 100.0,
+        get_u64(latest, "wal_bytes"),
+        get_u64(latest, "last_checkpoint_epoch"),
+        get_f64(latest, "recovery_ms"),
+        get_u64(latest, "recovered_epoch"),
+    );
+
+    Some(Value::Object(vec![
+        (
+            "rows".to_owned(),
+            num_u64(u64::try_from(rows.len()).unwrap_or(u64::MAX)),
+        ),
+        (
+            "throughput_rps".to_owned(),
+            num_f64(get_f64(latest, "throughput_rps")),
+        ),
+        ("p50_us".to_owned(), num_u64(get_u64(latest, "p50_us"))),
+        ("p99_us".to_owned(), num_u64(get_u64(latest, "p99_us"))),
+        ("served".to_owned(), num_u64(served)),
+        ("failed".to_owned(), num_u64(failed)),
+        ("failed_deadline".to_owned(), num_u64(failed_deadline)),
+        ("failed_transport".to_owned(), num_u64(failed_transport)),
+        ("failed_other".to_owned(), num_u64(failed_other)),
+        ("overloaded".to_owned(), num_u64(overloaded)),
+        ("inconsistent".to_owned(), num_u64(inconsistent)),
+        ("cache_hit_rate".to_owned(), num_f64(cache_hit_rate)),
+        (
+            "wal_bytes".to_owned(),
+            num_u64(get_u64(latest, "wal_bytes")),
+        ),
+        (
+            "last_checkpoint_epoch".to_owned(),
+            num_u64(get_u64(latest, "last_checkpoint_epoch")),
+        ),
+        (
+            "recovery_ms".to_owned(),
+            num_f64(get_f64(latest, "recovery_ms")),
+        ),
+        (
+            "recovered_epoch".to_owned(),
+            num_u64(get_u64(latest, "recovered_epoch")),
+        ),
+        (
+            "publish_p50_us".to_owned(),
+            num_u64(get_u64(latest, "publish_p50_us")),
+        ),
+        (
+            "publish_p99_us".to_owned(),
+            num_u64(get_u64(latest, "publish_p99_us")),
+        ),
+    ]))
+}
+
+/// Experiment sweep health: outcome counts and which experiments failed.
+fn experiments_section(streams: &[JsonlStream], human: &mut String) -> Option<Value> {
+    let rows = rows_of(streams, StreamKind::ExperimentStatus);
+    if rows.is_empty() {
+        return None;
+    }
+    let mut ok = 0u64;
+    let mut panicked = 0u64;
+    let mut timed_out = 0u64;
+    let mut total_seconds = 0.0f64;
+    let mut failures: Vec<String> = Vec::new();
+    for row in &rows {
+        let name = row.get("name").and_then(Value::as_str).unwrap_or("?");
+        let outcome = row.get("outcome").and_then(Value::as_str).unwrap_or("?");
+        total_seconds += get_f64(row, "seconds");
+        match outcome {
+            "ok" => ok += 1,
+            "panicked" => {
+                panicked += 1;
+                failures.push(format!("{name} (panicked)"));
+            }
+            "timed_out" => {
+                timed_out += 1;
+                failures.push(format!("{name} (timed out)"));
+            }
+            other => failures.push(format!("{name} ({other})")),
+        }
+    }
+    let _ = writeln!(human, "\n-- experiments --");
+    let _ = writeln!(
+        human,
+        "{ok} ok, {panicked} panicked, {timed_out} timed out in {total_seconds:.1}s total"
+    );
+    if !failures.is_empty() {
+        let _ = writeln!(human, "failures: {}", failures.join(", "));
+    }
+    Some(Value::Object(vec![
+        ("ok".to_owned(), num_u64(ok)),
+        ("panicked".to_owned(), num_u64(panicked)),
+        ("timed_out".to_owned(), num_u64(timed_out)),
+        ("total_seconds".to_owned(), num_f64(total_seconds)),
+    ]))
+}
+
+/// Hygiene: denied findings and the suppression-debt count (findings
+/// carrying an `allowed: true` justification).
+fn lint_section(streams: &[JsonlStream], human: &mut String) -> Option<Value> {
+    let rows = rows_of(streams, StreamKind::Lint);
+    if rows.is_empty() {
+        return None;
+    }
+    let mut denied = 0u64;
+    let mut suppressed_debt = 0u64;
+    let mut by_rule: BTreeMap<String, u64> = BTreeMap::new();
+    for row in &rows {
+        let rule = row.get("rule").and_then(Value::as_str).unwrap_or("?");
+        *by_rule.entry(rule.to_owned()).or_insert(0) += 1;
+        if row.get("allowed").and_then(Value::as_bool) == Some(true) {
+            suppressed_debt += 1;
+        } else {
+            denied += 1;
+        }
+    }
+    let _ = writeln!(human, "\n-- lint --");
+    let _ = writeln!(
+        human,
+        "{denied} denied, {suppressed_debt} suppressed with justification (suppression debt)"
+    );
+    let top: Vec<String> = by_rule
+        .iter()
+        .map(|(rule, n)| format!("{rule} {n}"))
+        .collect();
+    let _ = writeln!(human, "by rule: {}", top.join(", "));
+    Some(Value::Object(vec![
+        (
+            "total".to_owned(),
+            num_u64(u64::try_from(rows.len()).unwrap_or(u64::MAX)),
+        ),
+        ("denied".to_owned(), num_u64(denied)),
+        ("suppressed_debt".to_owned(), num_u64(suppressed_debt)),
+    ]))
+}
+
+/// Simulator section: per-op latency percentiles and outcome breakdown
+/// recomputed from the raw request log; trace rows counted if present.
+fn sim_section(streams: &[JsonlStream], human: &mut String) -> Option<Value> {
+    let requests = rows_of(streams, StreamKind::SimRequests);
+    let trace_rows = rows_of(streams, StreamKind::SimTrace).len();
+    if requests.is_empty() && trace_rows == 0 {
+        return None;
+    }
+    let mut per_op: BTreeMap<String, OpStats> = BTreeMap::new();
+    let mut outcomes: BTreeMap<String, u64> = BTreeMap::new();
+    for row in &requests {
+        let op = row.get("op").and_then(Value::as_str).unwrap_or("?");
+        let outcome = row.get("outcome").and_then(Value::as_str).unwrap_or("?");
+        let stats = per_op.entry(op.to_owned()).or_default();
+        stats.count += 1;
+        if outcome == "ok" {
+            stats.ok += 1;
+        } else {
+            stats.failed += 1;
+        }
+        stats.latencies_us.push(get_u64(row, "latency_us"));
+        stats.max_staleness = stats.max_staleness.max(get_u64(row, "staleness"));
+        *outcomes.entry(outcome.to_owned()).or_insert(0) += 1;
+    }
+    let _ = writeln!(human, "\n-- simulator --");
+    let _ = writeln!(
+        human,
+        "{} request(s), {} trace event(s)",
+        requests.len(),
+        trace_rows
+    );
+    let mut op_pairs: Vec<(String, Value)> = Vec::new();
+    for (op, stats) in &per_op {
+        let (p50, p99) = percentiles(&stats.latencies_us);
+        let _ = writeln!(
+            human,
+            "  {op:<15} n={:<6} ok={:<6} failed={:<4} p50={p50}us p99={p99}us max-staleness={}",
+            stats.count, stats.ok, stats.failed, stats.max_staleness
+        );
+        op_pairs.push((
+            op.clone(),
+            Value::Object(vec![
+                ("count".to_owned(), num_u64(stats.count)),
+                ("ok".to_owned(), num_u64(stats.ok)),
+                ("failed".to_owned(), num_u64(stats.failed)),
+                ("p50_us".to_owned(), num_u64(p50)),
+                ("p99_us".to_owned(), num_u64(p99)),
+                ("max_staleness".to_owned(), num_u64(stats.max_staleness)),
+            ]),
+        ));
+    }
+    let outcome_line: Vec<String> = outcomes.iter().map(|(t, n)| format!("{t} {n}")).collect();
+    if !outcome_line.is_empty() {
+        let _ = writeln!(human, "  outcomes: {}", outcome_line.join(", "));
+    }
+    let outcome_pairs: Vec<(String, Value)> =
+        outcomes.into_iter().map(|(t, n)| (t, num_u64(n))).collect();
+    Some(Value::Object(vec![
+        (
+            "requests".to_owned(),
+            num_u64(u64::try_from(requests.len()).unwrap_or(u64::MAX)),
+        ),
+        (
+            "trace_events".to_owned(),
+            num_u64(u64::try_from(trace_rows).unwrap_or(u64::MAX)),
+        ),
+        ("per_op".to_owned(), Value::Object(op_pairs)),
+        ("outcomes".to_owned(), Value::Object(outcome_pairs)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::parse_stream;
+
+    fn bench_rows() -> JsonlStream {
+        let text = concat!(
+            "{\"schema\":\"podium.bench-serve/1\",\"seq\":0,\"bench\":\"serve\",\"transport\":\"inproc\",\"served\":100,\"failed\":2,\"failed_deadline\":1,\"failed_transport\":1,\"failed_other\":0,\"overloaded\":0,\"inconsistent\":0,\"throughput_rps\":500.0,\"p50_us\":90,\"p99_us\":400,\"cache_hits\":10,\"cache_misses\":10,\"wal_bytes\":0,\"last_checkpoint_epoch\":0,\"recovery_ms\":0.0,\"recovered_epoch\":0,\"publish_p50_us\":5,\"publish_p99_us\":9}\n",
+            "{\"schema\":\"podium.bench-serve/1\",\"seq\":1,\"bench\":\"serve\",\"transport\":\"tcp\",\"served\":200,\"failed\":0,\"failed_deadline\":0,\"failed_transport\":0,\"failed_other\":0,\"overloaded\":0,\"inconsistent\":0,\"throughput_rps\":800.0,\"p50_us\":120,\"p99_us\":900,\"cache_hits\":30,\"cache_misses\":10,\"wal_bytes\":4096,\"last_checkpoint_epoch\":7,\"recovery_ms\":1.5,\"recovered_epoch\":9,\"publish_p50_us\":6,\"publish_p99_us\":11}\n",
+        );
+        parse_stream("bench.jsonl", text).unwrap()
+    }
+
+    #[test]
+    fn bench_serve_headline_is_latest_failures_sum() {
+        let streams = vec![bench_rows()];
+        let (human, rollup) = render(&streams);
+        let bench = rollup.get("bench_serve").unwrap();
+        // Headline from seq=1 (the tcp run) …
+        assert_eq!(
+            bench.get("throughput_rps").and_then(Value::as_f64),
+            Some(800.0)
+        );
+        assert_eq!(bench.get("p99_us").and_then(Value::as_u64), Some(900));
+        assert_eq!(bench.get("wal_bytes").and_then(Value::as_u64), Some(4096));
+        // … failure breakdown summed over both runs.
+        assert_eq!(bench.get("served").and_then(Value::as_u64), Some(300));
+        assert_eq!(bench.get("failed").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            bench.get("cache_hit_rate").and_then(Value::as_f64),
+            Some(0.75)
+        );
+        assert!(human.contains("-- serving (bench-serve) --"), "{human}");
+        assert!(human.contains("800.0 req/s"), "{human}");
+    }
+
+    #[test]
+    fn experiments_and_lint_sections_count_rows() {
+        let exp = parse_stream(
+            "status.jsonl",
+            concat!(
+                "{\"schema\":\"podium.experiment-status/1\",\"seq\":0,\"name\":\"fig3a\",\"outcome\":\"ok\",\"seconds\":1.5}\n",
+                "{\"schema\":\"podium.experiment-status/1\",\"seq\":1,\"name\":\"drift\",\"outcome\":\"panicked\",\"seconds\":0.5,\"message\":\"boom\"}\n",
+            ),
+        )
+        .unwrap();
+        let lint = parse_stream(
+            "lint.jsonl",
+            concat!(
+                "{\"schema\":\"podium.lint/1\",\"seq\":0,\"file\":\"a.rs\",\"line\":1,\"col\":1,\"rule\":\"unwrap\",\"message\":\"m\",\"allowed\":false}\n",
+                "{\"schema\":\"podium.lint/1\",\"seq\":1,\"file\":\"b.rs\",\"line\":2,\"col\":1,\"rule\":\"index\",\"message\":\"m\",\"allowed\":true,\"justification\":\"why\"}\n",
+            ),
+        )
+        .unwrap();
+        let (human, rollup) = render(&[exp, lint]);
+        let e = rollup.get("experiments").unwrap();
+        assert_eq!(e.get("ok").and_then(Value::as_u64), Some(1));
+        assert_eq!(e.get("panicked").and_then(Value::as_u64), Some(1));
+        let l = rollup.get("lint").unwrap();
+        assert_eq!(l.get("denied").and_then(Value::as_u64), Some(1));
+        assert_eq!(l.get("suppressed_debt").and_then(Value::as_u64), Some(1));
+        assert!(human.contains("drift (panicked)"), "{human}");
+        assert!(human.contains("suppression debt"), "{human}");
+        // No bench-serve stream → no bench_serve section.
+        assert!(rollup.get("bench_serve").is_none());
+    }
+
+    #[test]
+    fn sim_section_recomputes_percentiles_per_op() {
+        let reqs = parse_stream(
+            "requests.jsonl",
+            concat!(
+                "{\"schema\":\"podium.sim-requests/1\",\"seq\":0,\"vt_us\":10,\"op\":\"select\",\"outcome\":\"ok\",\"latency_us\":100,\"epoch\":3,\"staleness\":1}\n",
+                "{\"schema\":\"podium.sim-requests/1\",\"seq\":1,\"vt_us\":20,\"op\":\"select\",\"outcome\":\"ok\",\"latency_us\":300,\"epoch\":4,\"staleness\":0}\n",
+                "{\"schema\":\"podium.sim-requests/1\",\"seq\":2,\"vt_us\":30,\"op\":\"update-profile\",\"outcome\":\"timeout\",\"latency_us\":2000}\n",
+            ),
+        )
+        .unwrap();
+        let (human, rollup) = render(&[reqs]);
+        let sim = rollup.get("sim").unwrap();
+        assert_eq!(sim.get("requests").and_then(Value::as_u64), Some(3));
+        let select = sim.get("per_op").and_then(|o| o.get("select")).unwrap();
+        assert_eq!(select.get("count").and_then(Value::as_u64), Some(2));
+        assert_eq!(select.get("ok").and_then(Value::as_u64), Some(2));
+        assert_eq!(select.get("max_staleness").and_then(Value::as_u64), Some(1));
+        let update = sim
+            .get("per_op")
+            .and_then(|o| o.get("update-profile"))
+            .unwrap();
+        assert_eq!(update.get("failed").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            sim.get("outcomes")
+                .and_then(|o| o.get("timeout"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        assert!(human.contains("-- simulator --"), "{human}");
+    }
+
+    #[test]
+    fn rollup_is_tagged_and_serializable() {
+        let (_, rollup) = render(&[bench_rows()]);
+        assert_eq!(
+            rollup.get("schema").and_then(Value::as_str),
+            Some(DASHBOARD_SCHEMA)
+        );
+        let text = serde_json::to_string(&rollup).unwrap();
+        assert!(text.starts_with("{\"schema\":\"podium.dashboard-rollup/1\""));
+    }
+}

@@ -1,0 +1,282 @@
+//! How simulated requests reach the service under test.
+//!
+//! The generator half of the simulator is transport-agnostic: it emits
+//! protocol lines and classifies the answer. Three transports are
+//! supported — in-process dispatch (`handle_line`), a Unix domain
+//! socket, and TCP through the resilient [`PodiumClient`], optionally
+//! behind the deterministic [`ChaosProxy`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use podium_service::chaos::{ChaosClock, ChaosConfig, ChaosProxy};
+use podium_service::client::{ClientConfig, ClientError, PodiumClient};
+use podium_service::service::PodiumService;
+use podium_service::tcp::{TcpServer, TcpServerConfig};
+use serde_json::Value;
+
+use crate::SimError;
+
+/// Which transport a simulation drives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportSpec {
+    /// Direct in-process dispatch; no sockets, fastest, fully
+    /// deterministic.
+    Inproc,
+    /// A Unix domain socket served by a background thread.
+    Unix,
+    /// Loopback TCP through [`PodiumClient`]; `chaos` interposes the
+    /// deterministic proxy (virtual-clock stalls) between client and
+    /// server.
+    Tcp {
+        /// Inject the chaos proxy.
+        chaos: bool,
+    },
+}
+
+impl TransportSpec {
+    /// Parses a `--transport` flag value.
+    pub fn parse(name: &str, chaos: bool) -> Result<Self, String> {
+        match name {
+            "inproc" => Ok(Self::Inproc),
+            "unix" => Ok(Self::Unix),
+            "tcp" => Ok(Self::Tcp { chaos }),
+            other => Err(format!(
+                "unknown transport '{other}' (expected inproc|unix|tcp)"
+            )),
+        }
+    }
+
+    /// The stable tag used in rollups.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Self::Inproc => "inproc",
+            Self::Unix => "unix",
+            Self::Tcp { chaos: false } => "tcp",
+            Self::Tcp { chaos: true } => "tcp+chaos",
+        }
+    }
+}
+
+/// Why a call produced no usable response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    /// Bytes did not make it there and back.
+    Transport(String),
+    /// The client's per-request deadline expired.
+    Timeout,
+    /// The client's circuit breaker failed the call fast.
+    BreakerOpen,
+    /// The server answered with something that is not a JSON object.
+    Protocol(String),
+}
+
+impl CallError {
+    /// The stable outcome tag recorded in the request log.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Self::Transport(_) => "transport",
+            Self::Timeout => "timeout",
+            Self::BreakerOpen => "breaker_open",
+            Self::Protocol(_) => "protocol",
+        }
+    }
+}
+
+enum Inner {
+    Inproc(Arc<PodiumService>),
+    Unix(BufReader<UnixStream>),
+    Tcp(Box<PodiumClient>),
+}
+
+/// A connected transport, keeping any background server/proxy alive for
+/// its own lifetime.
+pub struct Transport {
+    inner: Inner,
+    // Held for their Drop side effects (shutdown on scope exit).
+    _tcp_server: Option<TcpServer>,
+    _proxy: Option<ChaosProxy>,
+    socket_path: Option<PathBuf>,
+}
+
+impl Transport {
+    /// In-process dispatch against `service`.
+    pub fn inproc(service: Arc<PodiumService>) -> Self {
+        Self {
+            inner: Inner::Inproc(service),
+            _tcp_server: None,
+            _proxy: None,
+            socket_path: None,
+        }
+    }
+
+    /// Serves `service` on a fresh Unix socket under the system temp
+    /// directory and connects to it. The serving thread is detached; it
+    /// lives until the process exits (matching `serve_unix`'s
+    /// accept-forever contract).
+    pub fn unix(service: Arc<PodiumService>, tag: &str) -> Result<Self, SimError> {
+        let path =
+            std::env::temp_dir().join(format!("podium-sim-{}-{tag}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let serve_path = path.clone();
+        std::thread::spawn(move || {
+            let _ = podium_service::server::serve_unix(service, &serve_path);
+        });
+        // The listener creates the socket file; poll briefly for it.
+        for _ in 0..200 {
+            if path.exists() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stream = UnixStream::connect(&path)
+            .map_err(|e| SimError::Transport(format!("unix connect {}: {e}", path.display())))?;
+        Ok(Self {
+            inner: Inner::Unix(BufReader::new(stream)),
+            _tcp_server: None,
+            _proxy: None,
+            socket_path: Some(path),
+        })
+    }
+
+    /// Serves `service` on loopback TCP (ephemeral port) and connects a
+    /// [`PodiumClient`] to it — through a virtual-clock [`ChaosProxy`]
+    /// when `chaos` is set. `deadline_ms` bounds each client call;
+    /// `seed` drives the client's backoff jitter and the proxy's fault
+    /// schedule.
+    pub fn tcp(
+        service: Arc<PodiumService>,
+        chaos: bool,
+        deadline_ms: u64,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let server = TcpServer::bind(service, "127.0.0.1:0", TcpServerConfig::default())
+            .map_err(|e| SimError::Transport(format!("tcp bind: {e}")))?;
+        let upstream: SocketAddr = server.local_addr();
+        let (proxy, target) = if chaos {
+            // Virtual-clock stalls: fault timing is bookkept, not slept,
+            // so chaotic runs stay fast and deterministic.
+            let config = ChaosConfig {
+                seed,
+                split_writes: true,
+                disconnect_per_chunk: 0.002,
+                stall_per_chunk: 0.01,
+                stall: Duration::from_millis(500),
+                refuse_per_conn: 0.002,
+                clock: ChaosClock::virtual_clock(),
+            };
+            let proxy = ChaosProxy::bind(upstream, config)
+                .map_err(|e| SimError::Transport(format!("chaos bind: {e}")))?;
+            let addr = proxy.local_addr();
+            (Some(proxy), addr)
+        } else {
+            (None, upstream)
+        };
+        let client = PodiumClient::new(
+            target,
+            ClientConfig {
+                request_timeout: Duration::from_millis(deadline_ms.max(1)),
+                seed,
+                ..ClientConfig::default()
+            },
+        );
+        Ok(Self {
+            inner: Inner::Tcp(Box::new(client)),
+            _tcp_server: Some(server),
+            _proxy: proxy,
+            socket_path: None,
+        })
+    }
+
+    /// Sends one protocol line and parses the response object.
+    pub fn call(&mut self, line: &str) -> Result<Value, CallError> {
+        match &mut self.inner {
+            Inner::Inproc(service) => parse_response(&service.handle_line(line)),
+            Inner::Unix(stream) => {
+                stream
+                    .get_mut()
+                    .write_all(line.as_bytes())
+                    .and_then(|()| stream.get_mut().write_all(b"\n"))
+                    .map_err(|e| CallError::Transport(format!("unix write: {e}")))?;
+                let mut response = String::new();
+                let n = stream
+                    .read_line(&mut response)
+                    .map_err(|e| CallError::Transport(format!("unix read: {e}")))?;
+                if n == 0 {
+                    return Err(CallError::Transport("unix peer closed".to_owned()));
+                }
+                parse_response(response.trim_end())
+            }
+            Inner::Tcp(client) => client.call(line).map_err(|e| match e {
+                ClientError::Timeout => CallError::Timeout,
+                ClientError::BreakerOpen => CallError::BreakerOpen,
+                ClientError::Transport(m) => CallError::Transport(m),
+                ClientError::Protocol(m) => CallError::Protocol(m),
+            }),
+        }
+    }
+}
+
+impl Drop for Transport {
+    fn drop(&mut self) {
+        if let Some(path) = &self.socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn parse_response(line: &str) -> Result<Value, CallError> {
+    let value: Value = serde_json::from_str(line)
+        .map_err(|e| CallError::Protocol(format!("unparseable response: {e}")))?;
+    if value.is_object() {
+        Ok(value)
+    } else {
+        Err(CallError::Protocol("response is not an object".to_owned()))
+    }
+}
+
+/// Classifies a response object into the request log's outcome tag:
+/// `"ok"` for successes, the server's error code otherwise.
+pub fn outcome_tag(response: &Value) -> String {
+    if response.get("ok").and_then(Value::as_bool) == Some(true) {
+        return "ok".to_owned();
+    }
+    response
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap_or("unknown_error")
+        .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_classifies_ok_and_error() {
+        let ok = parse_response(r#"{"ok":true,"epoch":3}"#).unwrap();
+        assert_eq!(outcome_tag(&ok), "ok");
+        let err = parse_response(r#"{"ok":false,"error":"overloaded","message":"m"}"#).unwrap();
+        assert_eq!(outcome_tag(&err), "overloaded");
+        assert!(parse_response("not json").is_err());
+        assert!(parse_response("[1,2]").is_err());
+    }
+
+    #[test]
+    fn transport_spec_parses() {
+        assert_eq!(
+            TransportSpec::parse("inproc", false),
+            Ok(TransportSpec::Inproc)
+        );
+        assert_eq!(
+            TransportSpec::parse("tcp", true),
+            Ok(TransportSpec::Tcp { chaos: true })
+        );
+        assert_eq!(TransportSpec::Tcp { chaos: true }.tag(), "tcp+chaos");
+        assert!(TransportSpec::parse("smoke-signals", false).is_err());
+    }
+}

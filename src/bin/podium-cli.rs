@@ -8,11 +8,17 @@ use std::io::Write as _;
 use std::sync::Arc;
 
 use podium::service_cli::{self, QuarantineCmd};
+use podium::sim_cli;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
-        eprint!("{}\n{}", podium::cli::USAGE, service_cli::SERVICE_USAGE);
+        eprint!(
+            "{}\n{}\n{}",
+            podium::cli::USAGE,
+            service_cli::SERVICE_USAGE,
+            sim_cli::SIM_USAGE
+        );
         std::process::exit(if argv.is_empty() { 2 } else { 0 });
     }
     if let Some((cmd, rest)) = argv.split_first() {
@@ -20,8 +26,64 @@ fn main() {
             "serve" => run_serve(rest),
             "bench-serve" => run_bench_serve(rest),
             "quarantine" => run_quarantine(rest),
+            "sim" => run_sim(rest),
             _ => run_classic(&argv),
         }
+    }
+}
+
+/// `sim run` / `sim report` dispatch: the library computes, this binary
+/// owns every file write.
+fn run_sim(argv: &[String]) {
+    let Some((sub, rest)) = argv.split_first() else {
+        usage_error("sim needs a subcommand: run | report");
+    };
+    match sub.as_str() {
+        "run" => {
+            let args = match sim_cli::parse_sim_run_args(rest) {
+                Ok(a) => a,
+                Err(e) => usage_error(&e),
+            };
+            let output = match sim_cli::run_sim_run(&args) {
+                Ok(o) => o,
+                Err(e) => fail(&e),
+            };
+            let dir = std::path::Path::new(&args.out_dir);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                fail(&format!("cannot create '{}': {e}", dir.display()));
+            }
+            for (name, contents) in [
+                ("trace.jsonl", &output.trace),
+                ("requests.jsonl", &output.requests),
+                ("rollup.json", &output.rollup_json),
+            ] {
+                let path = dir.join(name);
+                if let Err(e) = std::fs::write(&path, contents) {
+                    fail(&format!("cannot write '{}': {e}", path.display()));
+                }
+            }
+            print!("{}", output.human);
+            println!(
+                "recorded: {}/{{trace.jsonl,requests.jsonl,rollup.json}}",
+                args.out_dir
+            );
+        }
+        "report" => {
+            let args = match sim_cli::parse_sim_report_args(rest) {
+                Ok(a) => a,
+                Err(e) => usage_error(&e),
+            };
+            let (human, rollup_json) = match sim_cli::run_sim_report(&args) {
+                Ok(r) => r,
+                Err(e) => fail(&e),
+            };
+            print!("{human}");
+            if let Err(e) = std::fs::write(&args.out, format!("{rollup_json}\n")) {
+                fail(&format!("cannot write '{}': {e}", args.out));
+            }
+            println!("wrote {}", args.out);
+        }
+        other => usage_error(&format!("unknown sim subcommand '{other}' (run | report)")),
     }
 }
 

@@ -30,9 +30,11 @@ pub use podium_core as core;
 pub use podium_data as data;
 pub use podium_metrics as metrics;
 pub use podium_service as service;
+pub use podium_sim as sim;
 
 pub mod cli;
 pub mod service_cli;
+pub mod sim_cli;
 
 /// One-stop prelude: the core prelude plus the most-used items of the other
 /// crates.

@@ -23,7 +23,7 @@
 use std::time::Duration;
 
 use podium_data::report::{load_report, replay, save_report, ReplayFormat, ReplayStatus};
-use podium_service::bench::{run_bench_with, BenchConfig, BenchTransport};
+use podium_service::bench::{next_row_seq, run_bench_with, BenchConfig, BenchTransport};
 use podium_service::snapshot::PublishMode;
 use podium_service::{
     DurabilityOptions, FsyncPolicy, PodiumService, RecoveryReport, ServiceConfig, TcpServerConfig,
@@ -353,7 +353,10 @@ pub fn parse_bench_serve_args(argv: &[String]) -> Result<BenchServeArgs, String>
 /// JSONL row the binary appends to `args.out`.
 pub fn run_bench_serve(args: &BenchServeArgs) -> (String, String) {
     use std::fmt::Write as _;
-    let report = run_bench_with(&args.config, args.durability.as_ref());
+    let mut report = run_bench_with(&args.config, args.durability.as_ref());
+    // Sequence numbers continue across appends to the same JSONL file so
+    // readers can detect truncation/reordering (podium.bench-serve/1).
+    report.seq = next_row_seq(&std::fs::read_to_string(&args.out).unwrap_or_default());
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -831,6 +834,11 @@ mod tests {
             "{human}"
         );
         let v: serde_json::Value = serde_json::from_str(&row).unwrap();
+        assert_eq!(
+            v["schema"].as_str(),
+            Some(podium_service::bench::BENCH_SERVE_SCHEMA)
+        );
+        assert_eq!(v["seq"].as_u64(), Some(0));
         assert_eq!(v["bench"].as_str(), Some("serve"));
         assert_eq!(v["transport"].as_str(), Some("inproc"));
         assert_eq!(v["failed"].as_u64(), Some(0));

@@ -129,6 +129,7 @@ fn soak_one_seed(seed: u64) {
             stall_per_chunk: 0.01,
             stall: Duration::from_millis(1_700), // past the client deadline
             refuse_per_conn: 0.10,
+            ..ChaosConfig::default()
         },
     )
     .expect("bind chaos proxy");
